@@ -1,0 +1,49 @@
+// Figure 3: confidence percentile of the top-10 errors caught by each video
+// assertion, ranked by model confidence.
+//
+// The x-axis is the error's rank; the y-axis is the percentile of its
+// confidence among all deployed detections. The paper's point: assertions
+// find errors in the top ~94th percentile of confidence, which
+// uncertainty-based monitoring cannot flag.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "eval/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace omg;
+  const auto flags = common::Flags::Parse(argc, argv);
+  flags.CheckAllowed({"seed", "topk"});
+  const auto top_k = static_cast<std::size_t>(flags.GetInt("topk", 10));
+
+  video::VideoPipeline pipeline(bench::VideoConfig());
+  const auto rows = video::AnalyzeHighConfidenceErrors(pipeline, top_k);
+
+  std::cout << "=== Figure 3: confidence percentile of top-" << top_k
+            << " errors caught (video) ===\n\n";
+  std::vector<std::string> headers = {"Rank"};
+  for (const auto& row : rows) headers.push_back(row.assertion);
+  common::TextTable table(std::move(headers));
+  for (std::size_t rank = 0; rank < top_k; ++rank) {
+    std::vector<std::string> cells = {std::to_string(rank + 1)};
+    for (const auto& row : rows) {
+      cells.push_back(rank < row.percentiles.size()
+                          ? common::FormatDouble(row.percentiles[rank], 1)
+                          : "-");
+    }
+    table.AddRow(std::move(cells));
+  }
+  table.Print(std::cout);
+
+  double best = 0.0;
+  for (const auto& row : rows) {
+    if (!row.percentiles.empty()) best = std::max(best, row.percentiles[0]);
+  }
+  std::cout << "\nTop caught error sits at the "
+            << common::FormatDouble(best, 1)
+            << "th percentile of confidence among all deployed boxes.\n"
+            << "Paper reference: up to the 94th percentile — errors that\n"
+            << "uncertainty-based monitoring would never flag.\n";
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Microbenchmarks (google-benchmark): runtime overhead of the OMG pieces.
+//
+// §7 of the paper notes that assertions may add overhead to systems with
+// tight actuation latency; these benches quantify this implementation's
+// per-frame costs: assertion checking (pointwise and consistency), the
+// streaming monitor, BAL selection, and mAP evaluation.
+#include <benchmark/benchmark.h>
+
+#include "bandit/bal.hpp"
+#include "bench_util.hpp"
+#include "core/monitor.hpp"
+#include "eval/detection_metrics.hpp"
+
+namespace {
+
+using namespace omg;
+
+video::VideoPipeline& SharedPipeline() {
+  static video::VideoPipeline pipeline([] {
+    auto config = bench::VideoConfig();
+    config.pool_frames = 300;
+    config.test_frames = 100;
+    return config;
+  }());
+  return pipeline;
+}
+
+void BM_MultiboxSeverity(benchmark::State& state) {
+  auto& pipeline = SharedPipeline();
+  const auto examples = pipeline.MakeExamples(pipeline.pool());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(video::MultiboxSeverity(
+        examples[i % examples.size()].detections, 0.3));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MultiboxSeverity);
+
+void BM_FullSuiteOverPool(benchmark::State& state) {
+  auto& pipeline = SharedPipeline();
+  const auto examples = pipeline.MakeExamples(pipeline.pool());
+  for (auto _ : state) {
+    pipeline.suite().consistency->Invalidate();
+    benchmark::DoNotOptimize(pipeline.suite().suite.CheckAll(examples));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(examples.size()));
+}
+BENCHMARK(BM_FullSuiteOverPool);
+
+void BM_StreamingMonitorPerFrame(benchmark::State& state) {
+  auto& pipeline = SharedPipeline();
+  const auto examples = pipeline.MakeExamples(pipeline.pool());
+  video::VideoSuite suite = video::BuildVideoSuite();
+  core::StreamingMonitor<video::VideoExample> monitor(suite.suite, 16, 4);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    suite.consistency->Invalidate();
+    benchmark::DoNotOptimize(monitor.Observe(examples[i % examples.size()]));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StreamingMonitorPerFrame);
+
+void BM_BalSelection(benchmark::State& state) {
+  auto& pipeline = SharedPipeline();
+  const core::SeverityMatrix severities = pipeline.ComputeSeverities();
+  const std::vector<double> confidences = pipeline.Confidences();
+  common::Rng rng(1);
+  for (auto _ : state) {
+    bandit::BalStrategy bal(bandit::BalConfig{},
+                            std::make_unique<bandit::RandomStrategy>());
+    bandit::RoundContext context;
+    context.severities = &severities;
+    context.confidences = confidences;
+    benchmark::DoNotOptimize(bal.Select(context, 40, rng));
+  }
+}
+BENCHMARK(BM_BalSelection);
+
+void BM_DetectorInference(benchmark::State& state) {
+  auto& pipeline = SharedPipeline();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pipeline.detector().Detect(pipeline.pool()[i % pipeline.pool().size()]));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DetectorInference);
+
+void BM_MapEvaluation(benchmark::State& state) {
+  auto& pipeline = SharedPipeline();
+  std::vector<eval::FrameEval> evals;
+  for (const auto& frame : pipeline.test()) {
+    eval::FrameEval fe;
+    fe.detections = pipeline.detector().DetectForEval(frame);
+    fe.truths = frame.truths;
+    evals.push_back(std::move(fe));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval::MeanAveragePrecision(evals));
+  }
+}
+BENCHMARK(BM_MapEvaluation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

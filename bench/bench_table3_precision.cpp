@@ -1,0 +1,90 @@
+// Table 3: precision of the deployed assertions, measured on up to 50
+// randomly sampled firings per assertion, against simulator ground truth.
+//
+// Two columns as in the paper: counting only ML-model output errors, and
+// additionally counting identification-function errors (tracker identity
+// breaks, anchor-slot collisions). "N/A" marks custom assertions without an
+// identification function.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace omg;
+  const auto flags = common::Flags::Parse(argc, argv);
+  flags.CheckAllowed({"seed", "samples"});
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 3));
+  const auto samples =
+      static_cast<std::size_t>(flags.GetInt("samples", 50));
+
+  common::TextTable table({"Assertion", "Sampled",
+                           "Precision (identifier and output)",
+                           "Precision (model output only)"});
+  auto add = [&](const std::string& name, std::size_t sampled,
+                 std::size_t with_id, std::size_t output_only,
+                 bool has_identifier) {
+    if (sampled == 0) {
+      table.AddRow({name, "0", "-", "-"});
+      return;
+    }
+    const auto pct = [&](std::size_t k) {
+      return common::FormatPercent(static_cast<double>(k) /
+                                   static_cast<double>(sampled), 0);
+    };
+    table.AddRow({name, std::to_string(sampled),
+                  has_identifier ? pct(with_id) : "N/A", pct(output_only)});
+  };
+
+  // TV news (consistency assertions).
+  {
+    tvnews::NewsGenerator generator(bench::NewsConfig(), seed);
+    const auto frames = generator.Generate(4000);
+    for (const auto& sample :
+         tvnews::MeasureNewsAssertionPrecision(frames, samples, seed)) {
+      add("news " + sample.assertion, sample.sampled,
+          sample.correct_with_identifier, sample.correct_model_output,
+          true);
+    }
+  }
+
+  // ECG (consistency assertion, 30 s window).
+  {
+    ecg::EcgPipeline pipeline(bench::EcgConfig());
+    for (const auto& sample :
+         ecg::MeasureEcgAssertionPrecision(pipeline, samples, seed)) {
+      add(sample.assertion, sample.sampled,
+          sample.correct_with_identifier, sample.correct_model_output,
+          true);
+    }
+  }
+
+  // Video (flicker/appear consistency + multibox custom).
+  {
+    video::VideoPipeline pipeline(bench::VideoConfig());
+    for (const auto& sample :
+         video::MeasureVideoAssertionPrecision(pipeline, samples, seed)) {
+      const bool has_identifier = sample.assertion != "multibox";
+      add(sample.assertion, sample.sampled,
+          sample.correct_with_identifier, sample.correct_model_output,
+          has_identifier);
+    }
+  }
+
+  // AV (agree + multibox custom assertions).
+  {
+    av::AvPipeline pipeline(bench::AvConfig());
+    for (const auto& sample :
+         av::MeasureAvAssertionPrecision(pipeline, samples, seed)) {
+      add(sample.assertion + " (AV)", sample.sampled,
+          sample.correct_with_identifier, sample.correct_model_output,
+          false);
+    }
+  }
+
+  std::cout << "=== Table 3: assertion precision on sampled firings ===\n\n";
+  table.Print(std::cout);
+  std::cout << "\nPaper reference: 88-100% precision (model output only)\n"
+            << "across all assertions; 100% when identifier errors count.\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Table 4: pretrained vs weakly-supervised model quality for the video,
+// AV and ECG domains — no human labels involved.
+//
+//   * video: 750-frame budget dominated by flicker-flagged frames plus
+//     random fillers; corrections become weak labels (imputed boxes from
+//     nearby occurrences; brief-appearance removals).
+//   * AV: 2D boxes imputed from the fixed LIDAR model's 3D predictions.
+//   * ECG: brief-episode windows relabeled with the surrounding class.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace omg;
+  const auto flags = common::Flags::Parse(argc, argv);
+  flags.CheckAllowed({"seed"});
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 11));
+
+  common::TextTable table({"Domain", "Pretrained", "Weakly supervised",
+                           "Relative gain", "Weak labels"});
+
+  {
+    video::VideoPipeline pipeline(bench::VideoConfig());
+    // Paper protocol: 1,000 frames — 750 that triggered flicker + 250
+    // random.
+    const auto result = RunVideoWeakSupervision(pipeline, 450, 150, seed);
+    table.AddRow(
+        {"Video analytics (mAP)",
+         common::FormatDouble(100.0 * result.pretrained_metric, 1),
+         common::FormatDouble(100.0 * result.weakly_supervised_metric, 1),
+         common::FormatPercent(result.RelativeImprovement(), 1),
+         std::to_string(result.weak_positives + result.weak_negatives)});
+  }
+  {
+    av::AvPipeline pipeline(bench::AvConfig());
+    const auto result = RunAvWeakSupervision(
+        pipeline, pipeline.pool().size(), seed);
+    table.AddRow(
+        {"AVs (mAP)",
+         common::FormatDouble(100.0 * result.pretrained_metric, 1),
+         common::FormatDouble(100.0 * result.weakly_supervised_metric, 1),
+         common::FormatPercent(result.RelativeImprovement(), 1),
+         std::to_string(result.weak_positives)});
+  }
+  {
+    ecg::EcgPipeline pipeline(bench::EcgConfig());
+    const auto result = RunEcgWeakSupervision(pipeline, 1000, seed);
+    table.AddRow(
+        {"ECG (% accuracy)",
+         common::FormatDouble(100.0 * result.pretrained_metric, 1),
+         common::FormatDouble(100.0 * result.weakly_supervised_metric, 1),
+         common::FormatPercent(result.RelativeImprovement(), 1),
+         std::to_string(result.weak_positives)});
+  }
+
+  std::cout << "=== Table 4: weak supervision, no human labels ===\n\n";
+  table.Print(std::cout);
+  std::cout << "\nPaper reference: video 34.4 -> 49.9 mAP (+46% relative),\n"
+            << "AV 10.6 -> 14.1 mAP (+33%), ECG 70.7 -> 72.1 accuracy.\n"
+            << "Expected shape: large relative video gain, moderate AV\n"
+            << "gain, small ECG gain.\n";
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Table 6 (Appendix E): validating human labels with a model assertion.
+//
+// 1,000 night-street frames are labeled by a simulated annotation service
+// whose mistakes are mostly consistent confusions (an object that looks
+// like a truck is always labeled "truck") plus occasional per-frame slips.
+// An IoU tracker assigns identities across frames and the class-consistency
+// assertion flags labels that disagree within a track.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "labels/labels.hpp"
+
+int main(int argc, char** argv) {
+  using namespace omg;
+  const auto flags = common::Flags::Parse(argc, argv);
+  flags.CheckAllowed({"seed", "frames"});
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 21));
+  const auto n_frames =
+      static_cast<std::size_t>(flags.GetInt("frames", 1000));
+
+  video::NightStreetWorld world(bench::VideoConfig().world, seed);
+  const auto frames = world.GenerateFrames(n_frames);
+  labels::AnnotatorSim annotator(labels::AnnotatorConfig{}, seed + 1);
+  const auto labeled = annotator.LabelFrames(frames);
+  const auto report = labels::ValidateLabels(labeled);
+
+  std::cout << "=== Table 6: errors in human labels caught by the\n"
+            << "    class-consistency assertion (" << n_frames
+            << " frames) ===\n\n";
+  common::TextTable table({"Description", "Number"});
+  table.AddRow({"All labels", std::to_string(report.total_labels)});
+  table.AddRow({"Errors", std::to_string(report.errors)});
+  table.AddRow({"Errors caught", std::to_string(report.errors_caught)});
+  table.Print(std::cout);
+  std::cout << "\nCatch rate: "
+            << common::FormatPercent(report.CatchRate(), 1)
+            << " (paper: 469 labels, 32 errors, 4 caught = 12.5%).\n"
+            << "Consistent confusions are invisible to the assertion;\n"
+            << "per-frame slips on multi-frame tracks are caught.\n";
+  return 0;
+}

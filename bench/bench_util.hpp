@@ -1,0 +1,68 @@
+// Shared configuration for the bench harnesses.
+//
+// Every table/figure binary uses these scaled-down-but-faithful experiment
+// configurations so results are comparable across benches. All binaries
+// accept --seed and print deterministic tables (see EXPERIMENTS.md for the
+// recorded outputs).
+#pragma once
+
+#include <cstdint>
+
+#include "av/pipeline.hpp"
+#include "common/flags.hpp"
+#include "ecg/pipeline.hpp"
+#include "tvnews/news.hpp"
+#include "video/pipeline.hpp"
+
+namespace omg::bench {
+
+/// Night-street: one "day" pool + a held-out test day (paper: 300k-frame
+/// pool, 25k test frames, 100 labels/round; here scaled ~500x down).
+inline video::VideoPipelineConfig VideoConfig() {
+  video::VideoPipelineConfig config;
+  config.pool_frames = 600;
+  config.test_frames = 200;
+  config.pretrain_positives = 500;
+  config.pretrain_negatives = 700;
+  config.world_seed = 42;
+  return config;
+}
+
+/// NuScenes-like: pool/test scenes at 2 Hz (paper: 175 unlabeled scenes).
+inline av::AvPipelineConfig AvConfig() {
+  av::AvPipelineConfig config;
+  config.pool_scenes = 18;
+  config.test_scenes = 6;
+  config.pretrain_positives = 400;
+  config.pretrain_negatives = 600;
+  config.world_seed = 37;
+  return config;
+}
+
+/// CINC17-like: records split into train/unlabeled/test (paper: 8,528
+/// points total).
+inline ecg::EcgPipelineConfig EcgConfig() {
+  ecg::EcgPipelineConfig config;
+  config.pool_records = 80;
+  config.test_records = 30;
+  config.pretrain_windows = 700;
+  config.world_seed = 7;
+  return config;
+}
+
+/// TV-news generator config (50 hour-long segments in the paper; here a
+/// stream of scenes with the same error processes).
+inline tvnews::NewsConfig NewsConfig() { return tvnews::NewsConfig{}; }
+
+/// Active-learning protocol shared by Figure 4/9 benches.
+struct AlProtocol {
+  std::size_t rounds = 5;
+  std::size_t budget_video = 15;
+  std::size_t budget_av = 20;
+  std::size_t budget_ecg = 40;
+  std::size_t trials_video = 3;
+  std::size_t trials_av = 3;
+  std::size_t trials_ecg = 8;  // as in the paper
+};
+
+}  // namespace omg::bench

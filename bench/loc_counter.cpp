@@ -1,0 +1,67 @@
+#include "loc_counter.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace omg::bench {
+
+namespace {
+
+bool IsCountableLine(const std::string& line) {
+  for (const char c : line) {
+    if (c == ' ' || c == '\t') continue;
+    if (c == '/') return false;  // comment-only line (// or /*)
+    return true;
+  }
+  return false;  // blank
+}
+
+}  // namespace
+
+std::size_t CountFunctionLoc(const std::string& repo_root,
+                             const FunctionRef& ref) {
+  std::ifstream in(repo_root + "/" + ref.file);
+  common::Check(in.good(), "cannot open " + ref.file);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+
+  std::size_t start = lines.size();
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].find(ref.signature) != std::string::npos) {
+      start = i;
+      break;
+    }
+  }
+  common::Check(start < lines.size(),
+                "signature not found in " + ref.file + ": " + ref.signature);
+
+  // Walk to the matching closing brace of the function body.
+  int depth = 0;
+  bool body_started = false;
+  std::size_t loc = 0;
+  for (std::size_t i = start; i < lines.size(); ++i) {
+    if (IsCountableLine(lines[i])) ++loc;
+    for (const char c : lines[i]) {
+      if (c == '{') {
+        ++depth;
+        body_started = true;
+      } else if (c == '}') {
+        --depth;
+      }
+    }
+    if (body_started && depth == 0) return loc;
+  }
+  throw common::CheckError("unbalanced braces after " + ref.signature);
+}
+
+std::size_t CountTotalLoc(const std::string& repo_root,
+                          const std::vector<FunctionRef>& refs) {
+  std::size_t total = 0;
+  for (const auto& ref : refs) total += CountFunctionLoc(repo_root, ref);
+  return total;
+}
+
+}  // namespace omg::bench

@@ -1,0 +1,30 @@
+// Counts lines of code of named functions in this repository's sources, for
+// the Table 2 reproduction (LOC per assertion, with and without helpers).
+//
+// The count is a real measurement over the checked-in C++: a function's LOC
+// is the number of non-blank, non-pure-comment lines from its signature line
+// to the matching closing brace.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace omg::bench {
+
+/// One function to count: file path relative to the repository root plus a
+/// substring that uniquely identifies the signature line.
+struct FunctionRef {
+  std::string file;
+  std::string signature;
+};
+
+/// LOC of one function; throws CheckError when the file or signature is not
+/// found (so Table 2 fails loudly if an assertion implementation moves).
+std::size_t CountFunctionLoc(const std::string& repo_root,
+                             const FunctionRef& ref);
+
+/// Sum of LOC over several functions.
+std::size_t CountTotalLoc(const std::string& repo_root,
+                          const std::vector<FunctionRef>& refs);
+
+}  // namespace omg::bench

@@ -1,0 +1,57 @@
+// Validating human labels with a model assertion (§2.3 and Appendix E):
+// a labeling service annotates night-street frames; an IoU tracker plays
+// the identification function and the class-consistency assertion flags
+// objects whose label changes across frames.
+//
+// Build & run:  ./examples/label_validation [--frames N]
+#include <iostream>
+
+#include "common/flags.hpp"
+#include "common/table.hpp"
+#include "labels/labels.hpp"
+#include "video/world.hpp"
+
+int main(int argc, char** argv) {
+  using namespace omg;
+  const auto flags = common::Flags::Parse(argc, argv);
+  flags.CheckAllowed({"frames", "seed"});
+  const auto n_frames =
+      static_cast<std::size_t>(flags.GetInt("frames", 600));
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 21));
+
+  video::NightStreetWorld world(video::WorldConfig{}, seed);
+  const auto frames = world.GenerateFrames(n_frames);
+
+  // Two annotator profiles: a careful one and a sloppy one.
+  struct Profile {
+    std::string name;
+    labels::AnnotatorConfig config;
+  };
+  std::vector<Profile> profiles(2);
+  profiles[0].name = "careful annotator";
+  profiles[0].config.consistent_confusion_rate = 0.02;
+  profiles[0].config.random_error_rate = 0.004;
+  profiles[1].name = "sloppy annotator";
+  profiles[1].config.consistent_confusion_rate = 0.08;
+  profiles[1].config.random_error_rate = 0.03;
+
+  std::cout << "=== human-label validation over " << n_frames
+            << " frames ===\n\n";
+  common::TextTable table(
+      {"Annotator", "Labels", "Errors", "Caught", "Catch rate"});
+  for (const auto& profile : profiles) {
+    labels::AnnotatorSim annotator(profile.config, seed + 1);
+    const auto labeled = annotator.LabelFrames(frames);
+    const auto report = labels::ValidateLabels(labeled);
+    table.AddRow({profile.name, std::to_string(report.total_labels),
+                  std::to_string(report.errors),
+                  std::to_string(report.errors_caught),
+                  common::FormatPercent(report.CatchRate(), 1)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nConsistency assertions catch per-frame slips (the same\n"
+            << "object labeled differently in different frames) but not\n"
+            << "consistent confusions — exactly the paper's Appendix E\n"
+            << "observation that 12.5% of service errors were caught.\n";
+  return 0;
+}

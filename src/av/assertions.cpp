@@ -1,0 +1,50 @@
+#include "av/assertions.hpp"
+
+#include "video/assertions.hpp"  // MultiboxSeverity is shared
+
+namespace omg::av {
+
+double AgreeSeverity(const AvExample& example, double iou) {
+  double disagreements = 0.0;
+  for (const auto& camera : example.camera) {
+    bool overlaps = false;
+    for (const auto& lidar : example.lidar_projected) {
+      if (!lidar.Valid()) continue;
+      if (geometry::Iou(camera.box, lidar) >= iou) {
+        overlaps = true;
+        break;
+      }
+    }
+    if (!overlaps) disagreements += 1.0;
+  }
+  for (const auto& lidar : example.lidar_projected) {
+    if (!lidar.Valid()) continue;
+    bool overlaps = false;
+    for (const auto& camera : example.camera) {
+      if (geometry::Iou(camera.box, lidar) >= iou) {
+        overlaps = true;
+        break;
+      }
+    }
+    if (!overlaps) disagreements += 1.0;
+  }
+  return disagreements;
+}
+
+AvSuite BuildAvSuite(const AvAssertionConfig& config) {
+  AvSuite built;
+  built.suite.AddPointwise(
+      "agree", [iou = config.agree_iou](const AvExample& example) {
+        return AgreeSeverity(example, iou);
+      });
+  built.suite.AddPointwise(
+      "multibox",
+      [iou = config.multibox_iou](const AvExample& example) {
+        return video::MultiboxSeverity(example.camera, iou);
+      });
+  built.agree_index = 0;
+  built.multibox_index = 1;
+  return built;
+}
+
+}  // namespace omg::av

@@ -1,0 +1,51 @@
+// AV assertions (§5.1, Table 1): `agree` (LIDAR 3D boxes projected onto the
+// camera plane must be consistent with camera detections) and `multibox`
+// (three camera boxes should not highly overlap). Flicker/appear are not
+// deployed: as in the paper, 2 Hz sampling is too sparse for them.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/assertion.hpp"
+#include "geometry/box.hpp"
+
+namespace omg::av {
+
+/// One sample as the assertion layer sees it: both models' deployed outputs.
+struct AvExample {
+  std::size_t sample_index = 0;
+  double timestamp = 0.0;
+  std::string scene;
+  /// Camera detections (2D, thresholded + NMS).
+  std::vector<geometry::Detection> camera;
+  /// LIDAR detections already projected onto the camera plane; entries with
+  /// invalid (zero-area) boxes were outside the frustum and are skipped.
+  std::vector<geometry::Box2D> lidar_projected;
+};
+
+/// Assertion-suite parameters.
+struct AvAssertionConfig {
+  /// Minimum IoU for a camera box and a projected LIDAR box to "agree".
+  double agree_iou = 0.20;
+  /// Pairwise IoU above which camera boxes count as highly overlapping.
+  double multibox_iou = 0.30;
+};
+
+/// Severity of `agree` on one sample: the number of camera detections with
+/// no overlapping projected LIDAR box plus the number of projected LIDAR
+/// boxes with no overlapping camera detection (§2.1's sensor_agreement,
+/// counted in both directions).
+double AgreeSeverity(const AvExample& example, double iou);
+
+/// The assembled AV suite. Column order: agree, multibox.
+struct AvSuite {
+  core::AssertionSuite<AvExample> suite;
+  std::size_t agree_index = 0;
+  std::size_t multibox_index = 1;
+};
+
+AvSuite BuildAvSuite(const AvAssertionConfig& config = {});
+
+}  // namespace omg::av

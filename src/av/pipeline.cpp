@@ -1,0 +1,351 @@
+#include "av/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/check.hpp"
+#include "eval/detection_metrics.hpp"
+
+namespace omg::av {
+
+using common::Check;
+
+namespace {
+
+nn::MlpConfig MakeMlpConfig(const CameraDetectorConfig& config,
+                            std::size_t feature_dim) {
+  nn::MlpConfig mlp;
+  mlp.input_dim = feature_dim;
+  mlp.hidden = config.hidden;
+  mlp.num_classes = 2;
+  return mlp;
+}
+
+}  // namespace
+
+CameraDetector::CameraDetector(CameraDetectorConfig config,
+                               std::size_t feature_dim, std::uint64_t seed)
+    : config_(std::move(config)),
+      train_rng_(seed),
+      model_(MakeMlpConfig(config_, feature_dim), train_rng_) {}
+
+void CameraDetector::Pretrain(const nn::Dataset& data) {
+  nn::SoftmaxTrainer trainer(config_.pretrain_sgd);
+  trainer.Train(model_, data, train_rng_);
+}
+
+void CameraDetector::FineTune(const nn::Dataset& data) {
+  nn::SoftmaxTrainer trainer(config_.finetune_sgd);
+  trainer.Train(model_, data, train_rng_);
+}
+
+double CameraDetector::Score(const CameraProposal& proposal) const {
+  return model_.PredictProba(proposal.features)[1];
+}
+
+std::vector<geometry::Detection> CameraDetector::DetectWithThreshold(
+    const AvSample& sample, double threshold) const {
+  std::vector<geometry::Detection> detections;
+  for (const auto& proposal : sample.proposals) {
+    const double score = Score(proposal);
+    if (score < threshold) continue;
+    geometry::Detection det;
+    det.box = proposal.box;
+    det.label = "car";
+    det.confidence = score;
+    det.truth_id = proposal.truth_id;
+    detections.push_back(std::move(det));
+  }
+  return geometry::Nms(std::move(detections), config_.nms_iou);
+}
+
+std::vector<geometry::Detection> CameraDetector::Detect(
+    const AvSample& sample) const {
+  return DetectWithThreshold(sample, config_.confidence_threshold);
+}
+
+std::vector<geometry::Detection> CameraDetector::DetectForEval(
+    const AvSample& sample) const {
+  return DetectWithThreshold(sample, config_.eval_threshold);
+}
+
+double CameraDetector::SampleConfidence(const AvSample& sample) const {
+  if (sample.proposals.empty()) return 1.0;
+  double total = 0.0;
+  for (const auto& proposal : sample.proposals) {
+    const double p = Score(proposal);
+    total += std::max(p, 1.0 - p);
+  }
+  return total / static_cast<double>(sample.proposals.size());
+}
+
+AvPipeline::AvPipeline(AvPipelineConfig config)
+    : config_(std::move(config)),
+      world_(config_.world, config_.world_seed),
+      suite_(BuildAvSuite(config_.assertions)) {
+  pool_ = world_.GenerateScenes(config_.pool_scenes);
+  test_ = world_.GenerateScenes(config_.test_scenes);
+  pretrain_set_ = world_.PretrainingSet(config_.pretrain_positives,
+                                        config_.pretrain_negatives);
+  Reset(config_.world_seed ^ 0x9E3779B97F4A7C15ULL);
+}
+
+void AvPipeline::Reset(std::uint64_t seed) {
+  detector_ = std::make_unique<CameraDetector>(
+      config_.detector, config_.world.feature_dim, seed);
+  detector_->Pretrain(pretrain_set_);
+  labeled_ = nn::Dataset{};
+}
+
+std::vector<AvExample> AvPipeline::MakeExamples(
+    std::span<const AvSample> samples) const {
+  std::vector<AvExample> examples;
+  examples.reserve(samples.size());
+  for (const auto& sample : samples) {
+    AvExample example;
+    example.sample_index = sample.index;
+    example.timestamp = sample.timestamp;
+    example.scene = sample.scene;
+    example.camera = detector_->Detect(sample);
+    for (const auto& box3 : sample.lidar_boxes) {
+      example.lidar_projected.push_back(
+          config_.world.camera.ProjectBox(box3));
+    }
+    examples.push_back(std::move(example));
+  }
+  return examples;
+}
+
+core::SeverityMatrix AvPipeline::ComputeSeverities() {
+  const std::vector<AvExample> examples = MakeExamples(pool_);
+  return suite_.suite.CheckAll(examples);
+}
+
+std::vector<double> AvPipeline::Confidences() {
+  std::vector<double> confidences;
+  confidences.reserve(pool_.size());
+  for (const auto& sample : pool_) {
+    confidences.push_back(detector_->SampleConfidence(sample));
+  }
+  return confidences;
+}
+
+void AvPipeline::LabelAndTrain(std::span<const std::size_t> indices) {
+  for (const std::size_t i : indices) {
+    Check(i < pool_.size(), "label index out of range");
+    labeled_.Append(AvWorld::LabelSample(pool_[i]));
+  }
+  if (labeled_.empty()) return;
+  // Replay the original training distribution alongside the new labels, as
+  // the paper's retraining procedure does.
+  nn::Dataset combined = pretrain_set_;
+  combined.Append(labeled_);
+  detector_->FineTune(combined);
+}
+
+double AvPipeline::EvaluateMap(std::span<const AvSample> samples) const {
+  std::vector<eval::FrameEval> evals;
+  evals.reserve(samples.size());
+  for (const auto& sample : samples) {
+    eval::FrameEval fe;
+    fe.detections = detector_->DetectForEval(sample);
+    fe.truths = sample.truths_2d;
+    evals.push_back(std::move(fe));
+  }
+  return eval::MeanAveragePrecision(evals);
+}
+
+double AvPipeline::Evaluate() { return EvaluateMap(test_); }
+
+namespace {
+
+/// Greedy 3D matching by center distance (NuScenes-style).
+struct LidarMatch {
+  std::vector<bool> lidar_correct;
+  std::vector<bool> truth_matched;
+};
+
+LidarMatch MatchLidar(const AvSample& sample, double max_center_dist) {
+  LidarMatch match;
+  match.lidar_correct.assign(sample.lidar_boxes.size(), false);
+  match.truth_matched.assign(sample.truths_3d.size(), false);
+  for (std::size_t l = 0; l < sample.lidar_boxes.size(); ++l) {
+    const auto& box = sample.lidar_boxes[l];
+    double best = max_center_dist;
+    std::size_t best_truth = sample.truths_3d.size();
+    for (std::size_t t = 0; t < sample.truths_3d.size(); ++t) {
+      if (match.truth_matched[t]) continue;
+      const auto& truth = sample.truths_3d[t];
+      const double dist = std::hypot(box.x - truth.x, box.z - truth.z);
+      // Oversized boxes (>1.5x the truth volume) count as errors even when
+      // centred correctly.
+      const bool oversize = box.Volume() > 1.5 * truth.Volume();
+      if (dist <= best && !oversize) {
+        best = dist;
+        best_truth = t;
+      }
+    }
+    if (best_truth < sample.truths_3d.size()) {
+      match.lidar_correct[l] = true;
+      match.truth_matched[best_truth] = true;
+    }
+  }
+  return match;
+}
+
+struct SampleErrors {
+  bool camera_fp = false;
+  bool camera_fn = false;
+  bool lidar_fp = false;   // ghost or oversize
+  bool lidar_fn = false;   // missed vehicle
+  std::vector<bool> camera_correct;
+};
+
+SampleErrors AnalyzeSampleErrors(const AvSample& sample,
+                                 const AvExample& example) {
+  SampleErrors errors;
+  eval::FrameEval fe;
+  fe.detections = example.camera;
+  fe.truths = sample.truths_2d;
+  const eval::MatchResult match = eval::MatchFrame(fe);
+  errors.camera_correct = match.detection_correct;
+  for (const bool c : match.detection_correct) {
+    if (!c) errors.camera_fp = true;
+  }
+  for (const bool m : match.truth_matched) {
+    if (!m) errors.camera_fn = true;
+  }
+  const LidarMatch lidar = MatchLidar(sample, 2.0);
+  for (const bool c : lidar.lidar_correct) {
+    if (!c) errors.lidar_fp = true;
+  }
+  for (const bool m : lidar.truth_matched) {
+    if (!m) errors.lidar_fn = true;
+  }
+  return errors;
+}
+
+}  // namespace
+
+video::WeakSupervisionResult RunAvWeakSupervision(AvPipeline& pipeline,
+                                                  std::size_t max_samples,
+                                                  std::uint64_t seed) {
+  common::Rng rng(seed);
+  pipeline.Reset(seed);
+  video::WeakSupervisionResult result;
+  result.pretrained_metric = pipeline.Evaluate();
+
+  // Choose the weak-supervision scenes (the paper used 175 scenes of
+  // unlabeled data).
+  std::vector<std::size_t> order(pipeline.pool().size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(order);
+  if (order.size() > max_samples) order.resize(max_samples);
+  result.flagged_frames_used = order.size();
+
+  const std::vector<AvExample> examples =
+      pipeline.MakeExamples(pipeline.pool());
+  const double agree_iou = pipeline.config().assertions.agree_iou;
+
+  nn::Dataset weak;
+  for (const std::size_t i : order) {
+    const AvSample& sample = pipeline.pool()[i];
+    const AvExample& example = examples[i];
+    // Imputation rule: every projected LIDAR box with no agreeing camera
+    // detection proposes a missing 2D box; the best-overlapping camera
+    // proposal becomes a weak positive.
+    for (const auto& projected : example.lidar_projected) {
+      if (!projected.Valid()) continue;
+      bool agreed = false;
+      for (const auto& camera : example.camera) {
+        if (geometry::Iou(camera.box, projected) >= agree_iou) {
+          agreed = true;
+          break;
+        }
+      }
+      if (agreed) continue;
+      double best = 0.25;
+      std::int64_t best_p = -1;
+      for (std::size_t p = 0; p < sample.proposals.size(); ++p) {
+        const double iou =
+            geometry::Iou(sample.proposals[p].box, projected);
+        if (iou >= best) {
+          best = iou;
+          best_p = static_cast<std::int64_t>(p);
+        }
+      }
+      if (best_p < 0) continue;
+      weak.Add(sample.proposals[static_cast<std::size_t>(best_p)].features,
+               1, 1.0);
+      ++result.weak_positives;
+    }
+  }
+
+  // Fine-tune on the imputed boxes with the original training data
+  // replayed at reduced weight (see the video pipeline for rationale).
+  if (!weak.empty()) {
+    nn::Dataset combined;
+    for (std::size_t i = 0; i < pipeline.pretrain_set().size(); ++i) {
+      combined.Add(pipeline.pretrain_set().features[i],
+                   pipeline.pretrain_set().labels[i], 0.5);
+    }
+    combined.Append(weak);
+    pipeline.detector().FineTune(combined);
+  }
+  result.weakly_supervised_metric = pipeline.Evaluate();
+  return result;
+}
+
+std::vector<video::AssertionPrecisionSample> MeasureAvAssertionPrecision(
+    AvPipeline& pipeline, std::size_t sample_size, std::uint64_t seed) {
+  common::Rng rng(seed);
+  const std::vector<AvExample> examples =
+      pipeline.MakeExamples(pipeline.pool());
+  core::SeverityMatrix severities = pipeline.ComputeSeverities();
+
+  std::vector<SampleErrors> errors(examples.size());
+  for (std::size_t e = 0; e < examples.size(); ++e) {
+    errors[e] = AnalyzeSampleErrors(pipeline.pool()[e], examples[e]);
+  }
+
+  std::vector<video::AssertionPrecisionSample> out;
+  const auto names = pipeline.suite().suite.Names();
+  for (std::size_t a = 0; a < names.size(); ++a) {
+    video::AssertionPrecisionSample sample;
+    sample.assertion = names[a];
+    std::vector<std::size_t> fired = severities.ExamplesFiring(a);
+    rng.Shuffle(fired);
+    if (fired.size() > sample_size) fired.resize(sample_size);
+    sample.sampled = fired.size();
+    for (const std::size_t e : fired) {
+      bool correct = false;
+      if (names[a] == "agree") {
+        // "If the assertion triggers, at least one of the sensors returned
+        // an incorrect answer" — verify that against ground truth.
+        correct = errors[e].camera_fp || errors[e].camera_fn ||
+                  errors[e].lidar_fp || errors[e].lidar_fn;
+      } else if (names[a] == "multibox") {
+        const auto& dets = examples[e].camera;
+        for (std::size_t i = 0; i < dets.size() && !correct; ++i) {
+          if (errors[e].camera_correct[i]) continue;
+          for (std::size_t j = 0; j < dets.size(); ++j) {
+            if (j != i && geometry::Iou(dets[i].box, dets[j].box) >
+                              pipeline.config().assertions.multibox_iou) {
+              correct = true;
+              break;
+            }
+          }
+        }
+      }
+      if (correct) {
+        ++sample.correct_model_output;
+        ++sample.correct_with_identifier;
+      }
+    }
+    out.push_back(std::move(sample));
+  }
+  return out;
+}
+
+}  // namespace omg::av

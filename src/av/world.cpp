@@ -1,0 +1,318 @@
+#include "av/world.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace omg::av {
+
+using common::Check;
+
+namespace {
+
+// Camera feature geometry (same scheme as the video domain): dims 0-1 are
+// appearance, dim 2 marks distance/darkness, dim 3 marks reflections; the
+// pretraining set carries no signal in dims 2-3.
+constexpr double kNearPretrainMean[4] = {2.0, 2.0, 0.0, 0.0};
+constexpr double kNearDeployMean[4] = {1.3, 1.3, 0.2, 0.0};
+constexpr double kDistantMean[4] = {-0.5, -0.5, 1.6, 0.0};
+constexpr double kDarkMean[4] = {-0.35, -0.35, 2.0, 0.0};
+constexpr double kClutterMean[4] = {-1.8, -1.8, 0.0, 0.0};
+constexpr double kHardClutterMean[4] = {-0.3, -0.3, -1.0, 0.0};
+constexpr double kReflectionMean[4] = {2.0, 2.0, 0.2, 2.2};
+
+constexpr double kNearNoise = 0.50;
+constexpr double kDistantNoise = 0.75;
+constexpr double kDarkNoise = 0.90;
+constexpr double kClutterNoise = 0.70;
+constexpr double kReflectionNoise = 0.35;
+
+constexpr std::size_t kNumArchetypes = 12;
+constexpr double kArchetypeSpread = 1.6;   // between-archetype scatter
+constexpr double kWithinArchetype = 0.60;  // within-archetype scatter
+
+}  // namespace
+
+AvWorld::AvWorld(AvWorldConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  Check(config_.feature_dim >= 5, "feature_dim must be >= 5");
+  Check(config_.samples_per_scene >= 2, "scenes need >= 2 samples");
+  const std::size_t archetype_dims = config_.feature_dim - 4;
+  auto make_archetypes = [&] {
+    std::vector<std::vector<double>> centers(kNumArchetypes);
+    for (auto& center : centers) {
+      center.resize(archetype_dims);
+      for (double& v : center) v = rng_.Normal(0.0, kArchetypeSpread);
+    }
+    return centers;
+  };
+  hard_archetypes_ = make_archetypes();
+  reflection_archetypes_ = make_archetypes();
+}
+
+geometry::Box3D AvWorld::VehicleBox(const Vehicle& vehicle) const {
+  geometry::Box3D box;
+  box.x = vehicle.x;
+  box.y = 0.0;  // center at camera height for simplicity
+  box.z = vehicle.z;
+  box.width = vehicle.width;
+  box.height = vehicle.height;
+  box.depth = vehicle.depth;
+  return box;
+}
+
+std::vector<double> AvWorld::VehicleFeatures(const Vehicle& vehicle) {
+  const double* mean = kNearDeployMean;
+  double noise = kNearNoise;
+  switch (vehicle.kind) {
+    case VehicleKind::kNear:
+      break;
+    case VehicleKind::kDistant:
+      mean = kDistantMean;
+      noise = kDistantNoise;
+      break;
+    case VehicleKind::kDark:
+      mean = kDarkMean;
+      noise = kDarkNoise;
+      break;
+    case VehicleKind::kReflective:
+      mean = kNearDeployMean;
+      noise = kNearNoise;
+      break;
+  }
+  std::vector<double> f(config_.feature_dim, 0.0);
+  for (std::size_t i = 0; i < config_.feature_dim; ++i) {
+    const double base = i < 4 ? mean[i] : 0.0;
+    f[i] = base + vehicle.appearance_offset[i] + rng_.Normal(0.0, noise);
+  }
+  // Camera-hard vehicles carry their correctable signal in the archetype
+  // subspace (dims 4+), mirroring the video domain: generalising requires
+  // labels near each archetype.
+  if (vehicle.kind == VehicleKind::kDistant ||
+      vehicle.kind == VehicleKind::kDark) {
+    const auto& center = hard_archetypes_[vehicle.archetype];
+    for (std::size_t i = 4; i < config_.feature_dim; ++i) {
+      f[i] += center[i - 4] + rng_.Normal(0.0, kWithinArchetype);
+    }
+  }
+  return f;
+}
+
+std::vector<double> AvWorld::ReflectionFeatures(const Vehicle& vehicle) {
+  std::vector<double> f(config_.feature_dim, 0.0);
+  for (std::size_t i = 0; i < config_.feature_dim; ++i) {
+    const double base = i < 4 ? kReflectionMean[i] : 0.0;
+    f[i] = base + 0.5 * vehicle.appearance_offset[i] +
+           rng_.Normal(0.0, kReflectionNoise);
+  }
+  const auto& center = reflection_archetypes_[vehicle.archetype];
+  for (std::size_t i = 4; i < config_.feature_dim; ++i) {
+    f[i] += center[i - 4] + rng_.Normal(0.0, kWithinArchetype);
+  }
+  return f;
+}
+
+std::vector<double> AvWorld::ClutterFeatures() {
+  const double* mean = rng_.Bernoulli(0.5) ? kHardClutterMean : kClutterMean;
+  std::vector<double> f(config_.feature_dim, 0.0);
+  for (std::size_t i = 0; i < config_.feature_dim; ++i) {
+    const double base = i < 4 ? mean[i] : 0.0;
+    f[i] = base + rng_.Normal(0.0, kClutterNoise);
+  }
+  return f;
+}
+
+std::vector<AvSample> AvWorld::GenerateScenes(std::size_t count) {
+  std::vector<AvSample> samples;
+  samples.reserve(count * config_.samples_per_scene);
+
+  for (std::size_t s = 0; s < count; ++s) {
+    const std::string scene_name =
+        "scene-" + std::to_string(scene_counter_++);
+
+    // Populate the scene.
+    std::vector<Vehicle> vehicles;
+    const auto n_vehicles = static_cast<std::size_t>(std::max<std::int64_t>(
+        1, rng_.UniformInt(
+               static_cast<std::int64_t>(config_.expected_vehicles) - 2,
+               static_cast<std::int64_t>(config_.expected_vehicles) + 2)));
+    for (std::size_t v = 0; v < n_vehicles; ++v) {
+      Vehicle vehicle;
+      vehicle.id = next_vehicle_id_++;
+      const double mix = rng_.Uniform();
+      if (mix < config_.frac_distant) {
+        vehicle.kind = VehicleKind::kDistant;
+        vehicle.z = rng_.Uniform(35.0, 60.0);
+      } else if (mix < config_.frac_distant + config_.frac_dark) {
+        vehicle.kind = VehicleKind::kDark;
+        vehicle.z = rng_.Uniform(10.0, 40.0);
+      } else if (mix < config_.frac_distant + config_.frac_dark +
+                           config_.frac_reflective) {
+        vehicle.kind = VehicleKind::kReflective;
+        vehicle.z = rng_.Uniform(8.0, 30.0);
+      } else {
+        vehicle.kind = VehicleKind::kNear;
+        vehicle.z = rng_.Uniform(6.0, 30.0);
+      }
+      vehicle.x = rng_.Uniform(-0.35, 0.35) * vehicle.z;
+      vehicle.vx = rng_.Normal(0.0, 0.15);
+      vehicle.vz = rng_.Normal(0.0, 0.9);
+      vehicle.width = rng_.Uniform(1.7, 2.1);
+      vehicle.height = rng_.Uniform(1.4, 1.9);
+      vehicle.depth = rng_.Uniform(4.0, 5.2);
+      vehicle.archetype = static_cast<std::size_t>(rng_.UniformInt(
+          0, static_cast<std::int64_t>(kNumArchetypes) - 1));
+      vehicle.appearance_offset.resize(config_.feature_dim, 0.0);
+      for (double& o : vehicle.appearance_offset) o = rng_.Normal(0.0, 0.25);
+      vehicles.push_back(std::move(vehicle));
+    }
+
+    for (std::size_t step = 0; step < config_.samples_per_scene; ++step) {
+      AvSample sample;
+      sample.index = sample_index_++;
+      sample.timestamp =
+          static_cast<double>(sample.index) / config_.sample_hz;
+      sample.scene = scene_name;
+
+      for (auto& vehicle : vehicles) {
+        const geometry::Box3D box3 = VehicleBox(vehicle);
+        const geometry::Box2D box2 = config_.camera.ProjectBox(box3);
+        // Skip objects outside the frustum or visible only as a sliver at
+        // the image border (no real detector annotates those).
+        if (!box2.Valid() || box2.Area() < 120.0 || box2.Width() < 6.0 ||
+            box2.Height() < 6.0) {
+          continue;
+        }
+
+        sample.truths_3d.push_back(box3);
+        sample.truths_2d.push_back(eval::GroundTruthBox{box2, "car"});
+        sample.truth_ids.push_back(vehicle.id);
+
+        // Camera proposal for the vehicle. Localisation jitter scales with
+        // apparent size so distant (small) boxes keep a high IoU with
+        // their truth.
+        CameraProposal proposal;
+        const double jitter = std::max(0.5, 0.02 * box2.Width());
+        proposal.box = box2.Translated(rng_.Normal(0.0, jitter),
+                                       rng_.Normal(0.0, jitter));
+        proposal.features = VehicleFeatures(vehicle);
+        proposal.is_vehicle = true;
+        proposal.truth_id = vehicle.id;
+        sample.proposals.push_back(std::move(proposal));
+
+        // Reflection distractors (multibox driver).
+        if (vehicle.reflection_steps_left > 0) {
+          --vehicle.reflection_steps_left;
+        }
+        if (vehicle.kind == VehicleKind::kReflective &&
+            vehicle.reflection_steps_left == 0 && rng_.Bernoulli(0.35)) {
+          vehicle.reflection_steps_left =
+              static_cast<int>(rng_.UniformInt(1, 2));
+        }
+        if (vehicle.kind == VehicleKind::kReflective &&
+            vehicle.reflection_steps_left > 0) {
+          const int copies = rng_.Bernoulli(0.5) ? 2 : 1;
+          for (int c = 0; c < copies; ++c) {
+            CameraProposal reflection;
+            reflection.box = box2.Translated(
+                box2.Width() * rng_.Uniform(-0.15, 0.15),
+                box2.Height() * rng_.Uniform(0.25, 0.5));
+            reflection.features = ReflectionFeatures(vehicle);
+            reflection.is_vehicle = false;
+            reflection.truth_id = -1;
+            sample.proposals.push_back(std::move(reflection));
+          }
+        }
+
+        // LIDAR output for the vehicle.
+        const double recall = vehicle.z < 30.0 ? config_.lidar_recall_near
+                                               : config_.lidar_recall_far;
+        if (rng_.Bernoulli(recall)) {
+          geometry::Box3D lidar = box3;
+          lidar.x += rng_.Normal(0.0, 0.15);
+          lidar.z += rng_.Normal(0.0, 0.25);
+          if (rng_.Bernoulli(config_.lidar_oversize_rate)) {
+            // The oversized-truck failure mode of Figure 8b.
+            lidar.width *= 1.8;
+            lidar.depth *= 1.8;
+            lidar.height *= 1.4;
+          }
+          sample.lidar_boxes.push_back(lidar);
+        }
+      }
+
+      // LIDAR ghosts (false positives from vegetation/ground returns).
+      if (rng_.Bernoulli(config_.lidar_ghost_rate)) {
+        geometry::Box3D ghost;
+        ghost.z = rng_.Uniform(8.0, 45.0);
+        ghost.x = rng_.Uniform(-0.3, 0.3) * ghost.z;
+        ghost.y = 0.0;
+        ghost.width = rng_.Uniform(1.5, 2.2);
+        ghost.height = rng_.Uniform(1.2, 1.8);
+        ghost.depth = rng_.Uniform(3.5, 5.5);
+        sample.lidar_boxes.push_back(ghost);
+      }
+
+      // Camera clutter proposals.
+      for (int attempt = 0; attempt < 2; ++attempt) {
+        if (!rng_.Bernoulli(std::min(1.0, config_.clutter_rate / 2.0))) {
+          continue;
+        }
+        CameraProposal clutter;
+        const double w = rng_.Uniform(40.0, 180.0);
+        const double h = rng_.Uniform(30.0, 140.0);
+        const double x =
+            rng_.Uniform(0.0, config_.camera.image_width - w);
+        const double y =
+            rng_.Uniform(0.0, config_.camera.image_height - h);
+        clutter.box = geometry::Box2D{x, y, x + w, y + h};
+        clutter.features = ClutterFeatures();
+        clutter.is_vehicle = false;
+        clutter.truth_id = -1;
+        sample.proposals.push_back(std::move(clutter));
+      }
+
+      samples.push_back(std::move(sample));
+
+      // Advance the world by one 2 Hz step.
+      for (auto& vehicle : vehicles) {
+        vehicle.x += vehicle.vx;
+        vehicle.z = std::max(4.0, vehicle.z + vehicle.vz);
+      }
+    }
+  }
+  return samples;
+}
+
+nn::Dataset AvWorld::PretrainingSet(std::size_t positives,
+                                    std::size_t negatives) {
+  nn::Dataset data;
+  for (std::size_t i = 0; i < positives; ++i) {
+    std::vector<double> f(config_.feature_dim, 0.0);
+    for (std::size_t d = 0; d < config_.feature_dim; ++d) {
+      const double base = d < 4 ? kNearPretrainMean[d] : 0.0;
+      f[d] = base + rng_.Normal(0.0, kNearNoise + 0.15);
+    }
+    data.Add(std::move(f), 1);
+  }
+  for (std::size_t i = 0; i < negatives; ++i) {
+    std::vector<double> f(config_.feature_dim, 0.0);
+    for (std::size_t d = 0; d < config_.feature_dim; ++d) {
+      const double base = d < 4 ? kClutterMean[d] : 0.0;
+      f[d] = base + rng_.Normal(0.0, kClutterNoise + 0.15);
+    }
+    data.Add(std::move(f), 0);
+  }
+  return data;
+}
+
+nn::Dataset AvWorld::LabelSample(const AvSample& sample) {
+  nn::Dataset data;
+  for (const auto& proposal : sample.proposals) {
+    data.Add(proposal.features, proposal.is_vehicle ? 1 : 0);
+  }
+  return data;
+}
+
+}  // namespace omg::av

@@ -1,0 +1,81 @@
+#include "bandit/active_learning.hpp"
+
+#include "common/check.hpp"
+
+namespace omg::bandit {
+
+using common::Check;
+
+ActiveLearningCurve RunActiveLearning(ActiveLearningProblem& problem,
+                                      SelectionStrategy& strategy,
+                                      std::size_t rounds,
+                                      std::size_t budget_per_round,
+                                      std::uint64_t seed) {
+  Check(budget_per_round > 0, "budget must be positive");
+  common::Rng rng(seed);
+  problem.Reset(seed);
+  strategy.Reset();
+
+  ActiveLearningCurve curve;
+  curve.strategy = strategy.Name();
+  curve.metric_per_round.push_back(problem.Evaluate());
+
+  std::vector<std::size_t> labeled;
+  for (std::size_t t = 0; t < rounds; ++t) {
+    const core::SeverityMatrix severities = problem.ComputeSeverities();
+    Check(severities.num_examples() == problem.PoolSize(),
+          "severity matrix size mismatch");
+    const std::vector<double> confidences = problem.Confidences();
+
+    RoundContext context;
+    context.severities = &severities;
+    context.confidences = confidences;
+    context.round = t;
+    context.already_labeled = labeled;
+
+    const std::vector<std::size_t> picked =
+        strategy.Select(context, budget_per_round, rng);
+    Check(picked.size() <= budget_per_round, "strategy exceeded budget");
+    for (const std::size_t e : picked) {
+      Check(e < problem.PoolSize(), "strategy picked out-of-range index");
+      for (const std::size_t prior : labeled) {
+        Check(prior != e, "strategy re-picked a labeled example");
+      }
+    }
+    labeled.insert(labeled.end(), picked.begin(), picked.end());
+    problem.LabelAndTrain(picked);
+    curve.metric_per_round.push_back(problem.Evaluate());
+  }
+  return curve;
+}
+
+ActiveLearningCurve RunActiveLearningTrials(ActiveLearningProblem& problem,
+                                            SelectionStrategy& strategy,
+                                            std::size_t rounds,
+                                            std::size_t budget_per_round,
+                                            std::size_t trials,
+                                            std::uint64_t base_seed) {
+  Check(trials >= 1, "need at least one trial");
+  ActiveLearningCurve mean_curve;
+  mean_curve.strategy = strategy.Name();
+  mean_curve.metric_per_round.assign(rounds + 1, 0.0);
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    const ActiveLearningCurve curve = RunActiveLearning(
+        problem, strategy, rounds, budget_per_round,
+        base_seed + 1000003ULL * trial);
+    for (std::size_t r = 0; r < curve.metric_per_round.size(); ++r) {
+      mean_curve.metric_per_round[r] +=
+          curve.metric_per_round[r] / static_cast<double>(trials);
+    }
+  }
+  return mean_curve;
+}
+
+std::size_t RoundsToReach(const ActiveLearningCurve& curve, double target) {
+  for (std::size_t r = 1; r < curve.metric_per_round.size(); ++r) {
+    if (curve.metric_per_round[r] >= target) return r;
+  }
+  return 0;
+}
+
+}  // namespace omg::bandit

@@ -1,0 +1,74 @@
+// Round-based active-learning driver (§3: "BAL assumes that a set of data
+// points has been collected and a subset will be labeled in bulk").
+//
+// A domain exposes its pool/model/metric through ActiveLearningProblem; the
+// driver runs T rounds of select -> label -> retrain -> evaluate with any
+// SelectionStrategy, which is how Figures 4, 5 and 9 are produced.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bandit/strategy.hpp"
+#include "common/rng.hpp"
+#include "core/severity_matrix.hpp"
+
+namespace omg::bandit {
+
+/// Domain adapter for active learning.
+class ActiveLearningProblem {
+ public:
+  virtual ~ActiveLearningProblem() = default;
+
+  /// Size of the unlabeled pool.
+  virtual std::size_t PoolSize() const = 0;
+
+  /// Runs the registered assertions over the pool with the *current* model
+  /// and returns the severity matrix (recomputed every round: predictions,
+  /// and therefore assertions, change as the model trains).
+  virtual core::SeverityMatrix ComputeSeverities() = 0;
+
+  /// Current model confidence per pool item.
+  virtual std::vector<double> Confidences() = 0;
+
+  /// Reveals ground-truth labels for `indices` (the human labeler), adds
+  /// them to the training set, and retrains the model.
+  virtual void LabelAndTrain(std::span<const std::size_t> indices) = 0;
+
+  /// Evaluates the current model on held-out data (mAP or accuracy).
+  virtual double Evaluate() = 0;
+
+  /// Restores the freshly-pretrained state for a new trial.
+  virtual void Reset(std::uint64_t seed) = 0;
+};
+
+/// Metric trajectory of one strategy: entry 0 is the pretrained model,
+/// entry t (t >= 1) the model after round t.
+struct ActiveLearningCurve {
+  std::string strategy;
+  std::vector<double> metric_per_round;
+};
+
+/// Runs `rounds` rounds with `budget_per_round` labels each.
+ActiveLearningCurve RunActiveLearning(ActiveLearningProblem& problem,
+                                      SelectionStrategy& strategy,
+                                      std::size_t rounds,
+                                      std::size_t budget_per_round,
+                                      std::uint64_t seed);
+
+/// Repeats RunActiveLearning over `trials` seeds and averages the curves
+/// point-wise (the paper averages 2-8 trials depending on the domain).
+ActiveLearningCurve RunActiveLearningTrials(ActiveLearningProblem& problem,
+                                            SelectionStrategy& strategy,
+                                            std::size_t rounds,
+                                            std::size_t budget_per_round,
+                                            std::size_t trials,
+                                            std::uint64_t base_seed);
+
+/// First round (1-based) at which the curve reaches `target`; 0 when never.
+std::size_t RoundsToReach(const ActiveLearningCurve& curve, double target);
+
+}  // namespace omg::bandit

@@ -1,0 +1,184 @@
+#include "bandit/bal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace omg::bandit {
+
+using common::Check;
+
+BalStrategy::BalStrategy(BalConfig config,
+                         std::unique_ptr<SelectionStrategy> fallback)
+    : config_(config), fallback_(std::move(fallback)) {
+  Check(fallback_ != nullptr, "BAL requires a fallback strategy");
+  common::CheckInRange(config_.explore_fraction, 0.0, 1.0,
+                       "explore_fraction");
+  common::CheckNonNegative(config_.rank_power, "rank_power");
+}
+
+void BalStrategy::Reset() {
+  has_previous_counts_ = false;
+  previous_fire_counts_.clear();
+  last_reductions_.clear();
+  used_fallback_ = false;
+  fallback_->Reset();
+}
+
+bool BalStrategy::SampleFromAssertion(const RoundContext& context,
+                                      std::size_t m,
+                                      const std::vector<bool>& taken,
+                                      common::Rng& rng,
+                                      std::size_t& out_index) const {
+  // Unlabeled, untaken examples flagged by assertion m.
+  std::vector<std::size_t> candidates;
+  for (const std::size_t e : context.severities->ExamplesFiring(m)) {
+    if (!taken[e]) candidates.push_back(e);
+  }
+  if (candidates.empty()) return false;
+  // Severity-rank weighting: shuffle to break ties randomly, stable-sort by
+  // descending severity, then weight the k-th ranked item by (n-k)^p.
+  rng.Shuffle(candidates);
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return context.severities->At(a, m) >
+                            context.severities->At(b, m);
+                   });
+  std::vector<double> weights(candidates.size());
+  const double n = static_cast<double>(candidates.size());
+  for (std::size_t k = 0; k < candidates.size(); ++k) {
+    weights[k] = std::pow(n - static_cast<double>(k), config_.rank_power);
+  }
+  out_index = candidates[rng.Categorical(weights)];
+  return true;
+}
+
+std::vector<std::size_t> BalStrategy::Select(const RoundContext& context,
+                                             std::size_t budget,
+                                             common::Rng& rng) {
+  Check(context.severities != nullptr, "RoundContext missing severities");
+  const std::size_t n = context.severities->num_examples();
+  const std::size_t d = context.severities->num_assertions();
+  const std::vector<std::size_t> current_counts =
+      context.severities->FireCounts();
+  used_fallback_ = false;
+  last_reductions_.clear();
+
+  std::vector<bool> taken(n, false);
+  for (const std::size_t e : context.already_labeled) taken[e] = true;
+
+  auto run_fallback = [&](std::size_t amount,
+                          std::vector<std::size_t>& selected) {
+    if (amount == 0) return;
+    // The fallback must not re-pick anything already selected this round.
+    std::vector<std::size_t> blocked(context.already_labeled.begin(),
+                                     context.already_labeled.end());
+    blocked.insert(blocked.end(), selected.begin(), selected.end());
+    RoundContext sub = context;
+    sub.already_labeled = blocked;
+    for (const std::size_t e : fallback_->Select(sub, amount, rng)) {
+      taken[e] = true;
+      selected.push_back(e);
+    }
+  };
+
+  std::vector<std::size_t> selected;
+  selected.reserve(budget);
+
+  // Assertion-sampling weights for the exploit phase. Round 0 (or any call
+  // before counts exist) is all-exploration: uniform over assertions.
+  std::vector<double> exploit_weights;
+  bool exploit_available = false;
+  if (has_previous_counts_ && previous_fire_counts_.size() == d) {
+    last_reductions_.resize(d);
+    for (std::size_t m = 0; m < d; ++m) {
+      const double prev = static_cast<double>(previous_fire_counts_[m]);
+      const double cur = static_cast<double>(current_counts[m]);
+      last_reductions_[m] =
+          prev > 0.0 ? std::max(0.0, (prev - cur) / prev) : 0.0;
+    }
+    const bool any_reducing =
+        std::any_of(last_reductions_.begin(), last_reductions_.end(),
+                    [&](double r) { return r >= config_.min_marginal_reduction; });
+    if (!any_reducing) {
+      // Algorithm 2: "if all r_m < 1% fall back to baseline method".
+      used_fallback_ = true;
+      run_fallback(budget, selected);
+      previous_fire_counts_ = current_counts;
+      return selected;
+    }
+    exploit_weights = last_reductions_;
+    exploit_available = true;
+  }
+  previous_fire_counts_ = current_counts;
+  has_previous_counts_ = true;
+
+  const std::size_t explore_budget =
+      exploit_available
+          ? static_cast<std::size_t>(
+                std::llround(config_.explore_fraction *
+                             static_cast<double>(budget)))
+          : budget;
+
+  // Exploit phase: assertions proportional to marginal reduction.
+  std::size_t exploit_remaining =
+      exploit_available ? budget - explore_budget : 0;
+  while (exploit_remaining > 0) {
+    // Zero out assertions with no available flagged examples.
+    std::vector<double> weights = exploit_weights;
+    double total = 0.0;
+    for (std::size_t m = 0; m < d; ++m) {
+      // Availability probe: any untaken flagged example for assertion m?
+      bool available = false;
+      for (const std::size_t e : context.severities->ExamplesFiring(m)) {
+        if (!taken[e]) {
+          available = true;
+          break;
+        }
+      }
+      if (!available) weights[m] = 0.0;
+      total += weights[m];
+    }
+    if (total <= 0.0) break;
+    const std::size_t m = rng.Categorical(weights);
+    std::size_t picked;
+    if (!SampleFromAssertion(context, m, taken, rng, picked)) break;
+    taken[picked] = true;
+    selected.push_back(picked);
+    --exploit_remaining;
+  }
+
+  // Exploration phase: uniform over assertions that still have candidates.
+  std::size_t explore_remaining =
+      explore_budget + exploit_remaining;  // roll over anything unfilled
+  while (explore_remaining > 0 && selected.size() < budget) {
+    std::vector<double> weights(d, 0.0);
+    double total = 0.0;
+    for (std::size_t m = 0; m < d; ++m) {
+      for (const std::size_t e : context.severities->ExamplesFiring(m)) {
+        if (!taken[e]) {
+          weights[m] = 1.0;
+          total += 1.0;
+          break;
+        }
+      }
+    }
+    if (total <= 0.0) break;
+    const std::size_t m = rng.Categorical(weights);
+    std::size_t picked;
+    if (!SampleFromAssertion(context, m, taken, rng, picked)) break;
+    taken[picked] = true;
+    selected.push_back(picked);
+    --explore_remaining;
+  }
+
+  // If the flagged pool ran dry before the budget was spent, fill the rest
+  // with the fallback baseline so the label budget is never wasted.
+  if (selected.size() < budget) {
+    run_fallback(budget - selected.size(), selected);
+  }
+  return selected;
+}
+
+}  // namespace omg::bandit

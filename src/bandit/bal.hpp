@@ -1,0 +1,72 @@
+// BAL — the paper's bandit-based active-learning algorithm (Algorithm 2).
+//
+// Round 0 samples uniformly at random from the d model assertions. In later
+// rounds BAL computes, per assertion m, the marginal reduction r_m in the
+// number of times m fired relative to the previous round; if every r_m is
+// below 1% it falls back to a user-chosen baseline (random or uncertainty
+// sampling), otherwise it selects assertions proportional to r_m and, within
+// an assertion, samples flagged examples proportional to severity-score
+// rank. 25% of each round's budget is always spent exploring assertions
+// uniformly (ε-greedy style) so no context is starved as training progresses.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "bandit/strategy.hpp"
+
+namespace omg::bandit {
+
+/// Tunable knobs of BAL; defaults follow the paper.
+struct BalConfig {
+  /// Share of the budget spent on uniform exploration over assertions.
+  double explore_fraction = 0.25;
+  /// Fallback triggers when every relative reduction is below this.
+  double min_marginal_reduction = 0.01;
+  /// Rank-weighted sampling within an assertion: weight of the k-th highest
+  /// severity item is (n - k)^rank_power, normalised. 1.0 = linear-in-rank;
+  /// 0.0 degenerates to uniform over flagged items.
+  double rank_power = 1.0;
+};
+
+/// Algorithm 2 of the paper.
+class BalStrategy final : public SelectionStrategy {
+ public:
+  /// `fallback` is the baseline used when no assertion's fire count is
+  /// reducing (the paper defaults to random or uncertainty sampling, as
+  /// specified by the user).
+  BalStrategy(BalConfig config, std::unique_ptr<SelectionStrategy> fallback);
+
+  std::string Name() const override { return "bal"; }
+
+  std::vector<std::size_t> Select(const RoundContext& context,
+                                  std::size_t budget,
+                                  common::Rng& rng) override;
+
+  void Reset() override;
+
+  /// Relative per-assertion fire-count reductions computed in the most
+  /// recent Select call (empty on round 0); exposed for tests and ablations.
+  const std::vector<double>& LastMarginalReductions() const {
+    return last_reductions_;
+  }
+
+  /// True when the most recent Select call used the fallback baseline.
+  bool UsedFallback() const { return used_fallback_; }
+
+ private:
+  /// Samples one unlabeled example flagged by assertion `m`, weighted by
+  /// severity rank; returns false when none remain.
+  bool SampleFromAssertion(const RoundContext& context, std::size_t m,
+                           const std::vector<bool>& taken, common::Rng& rng,
+                           std::size_t& out_index) const;
+
+  BalConfig config_;
+  std::unique_ptr<SelectionStrategy> fallback_;
+  bool has_previous_counts_ = false;
+  std::vector<std::size_t> previous_fire_counts_;
+  std::vector<double> last_reductions_;
+  bool used_fallback_ = false;
+};
+
+}  // namespace omg::bandit

@@ -1,0 +1,126 @@
+#include "bandit/ccmab.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace omg::bandit {
+
+using common::Check;
+
+CcMab::CcMab(std::size_t dims, CcMabConfig config)
+    : dims_(dims), config_(config) {
+  Check(dims_ >= 1, "CcMab requires at least one context dimension");
+  Check(config_.cubes_per_dim >= 1, "cubes_per_dim must be >= 1");
+  Check(config_.alpha > 0.0, "alpha must be positive");
+  std::size_t total = 1;
+  for (std::size_t i = 0; i < dims_; ++i) {
+    Check(total <= 1'000'000 / config_.cubes_per_dim,
+          "context partition too large");
+    total *= config_.cubes_per_dim;
+  }
+  counts_.assign(total, 0);
+  reward_sums_.assign(total, 0.0);
+}
+
+std::size_t CcMab::CubeIndex(std::span<const double> context) const {
+  Check(context.size() == dims_, "context dimensionality mismatch");
+  std::size_t index = 0;
+  for (const double value : context) {
+    common::CheckInRange(value, 0.0, 1.0, "context entry");
+    auto bucket = static_cast<std::size_t>(
+        value * static_cast<double>(config_.cubes_per_dim));
+    if (bucket == config_.cubes_per_dim) --bucket;  // value == 1.0
+    index = index * config_.cubes_per_dim + bucket;
+  }
+  return index;
+}
+
+double CcMab::ExplorationThreshold(std::size_t round) const {
+  Check(round >= 1, "rounds start at 1");
+  const double t = static_cast<double>(round);
+  const double d = static_cast<double>(dims_);
+  const double exponent =
+      2.0 * config_.alpha / (3.0 * config_.alpha + d);
+  return std::pow(t, exponent) * std::log(t + 1.0);
+}
+
+std::size_t CcMab::CubeCount(std::span<const double> context) const {
+  return counts_[CubeIndex(context)];
+}
+
+double CcMab::CubeMean(std::span<const double> context) const {
+  const std::size_t cube = CubeIndex(context);
+  if (counts_[cube] == 0) return 0.0;
+  return reward_sums_[cube] / static_cast<double>(counts_[cube]);
+}
+
+std::vector<std::size_t> CcMab::SelectArms(
+    std::span<const std::vector<double>> contexts, std::size_t budget,
+    std::size_t round, common::Rng& rng) {
+  const double threshold = ExplorationThreshold(round);
+
+  // Arms whose cube is under-explored.
+  std::vector<std::size_t> underexplored;
+  for (std::size_t i = 0; i < contexts.size(); ++i) {
+    if (static_cast<double>(counts_[CubeIndex(contexts[i])]) < threshold) {
+      underexplored.push_back(i);
+    }
+  }
+
+  std::vector<std::size_t> selected;
+  selected.reserve(budget);
+  std::vector<bool> taken(contexts.size(), false);
+
+  // Phase 1 (Algorithm 1): random arms from under-explored cubes.
+  rng.Shuffle(underexplored);
+  for (const std::size_t i : underexplored) {
+    if (selected.size() == budget) break;
+    taken[i] = true;
+    selected.push_back(i);
+  }
+
+  // Phase 2: greedy by estimated marginal gain. The estimate for an arm is
+  // its cube's mean reward times diminishing^(picks already made from the
+  // same cube this round) — a submodular surrogate for Delta R({j}, S).
+  std::vector<std::size_t> cube_of(contexts.size());
+  for (std::size_t i = 0; i < contexts.size(); ++i) {
+    cube_of[i] = CubeIndex(contexts[i]);
+  }
+  std::vector<std::size_t> picks_per_cube(counts_.size(), 0);
+  for (const std::size_t i : selected) ++picks_per_cube[cube_of[i]];
+
+  while (selected.size() < budget) {
+    double best_gain = -1.0;
+    std::size_t best_arm = contexts.size();
+    for (std::size_t i = 0; i < contexts.size(); ++i) {
+      if (taken[i]) continue;
+      const std::size_t cube = cube_of[i];
+      const double mean =
+          counts_[cube] == 0
+              ? 0.0
+              : reward_sums_[cube] / static_cast<double>(counts_[cube]);
+      const double gain =
+          mean * std::pow(config_.diminishing,
+                          static_cast<double>(picks_per_cube[cube]));
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_arm = i;
+      }
+    }
+    if (best_arm == contexts.size()) break;  // no arms left
+    taken[best_arm] = true;
+    ++picks_per_cube[cube_of[best_arm]];
+    selected.push_back(best_arm);
+  }
+  return selected;
+}
+
+void CcMab::ObserveReward(std::span<const double> context, double reward) {
+  const std::size_t cube = CubeIndex(context);
+  ++counts_[cube];
+  reward_sums_[cube] += reward;
+}
+
+}  // namespace omg::bandit

@@ -1,0 +1,76 @@
+#include "bandit/strategy.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.hpp"
+
+namespace omg::bandit {
+
+using common::Check;
+
+std::vector<std::size_t> UnlabeledIndices(const RoundContext& context) {
+  Check(context.severities != nullptr, "RoundContext missing severities");
+  const std::set<std::size_t> labeled(context.already_labeled.begin(),
+                                      context.already_labeled.end());
+  std::vector<std::size_t> unlabeled;
+  const std::size_t n = context.severities->num_examples();
+  unlabeled.reserve(n - labeled.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!labeled.contains(i)) unlabeled.push_back(i);
+  }
+  return unlabeled;
+}
+
+std::vector<std::size_t> RandomStrategy::Select(const RoundContext& context,
+                                                std::size_t budget,
+                                                common::Rng& rng) {
+  auto unlabeled = UnlabeledIndices(context);
+  rng.Shuffle(unlabeled);
+  if (unlabeled.size() > budget) unlabeled.resize(budget);
+  return unlabeled;
+}
+
+std::vector<std::size_t> UncertaintyStrategy::Select(
+    const RoundContext& context, std::size_t budget, common::Rng& rng) {
+  auto unlabeled = UnlabeledIndices(context);
+  Check(context.confidences.size() == context.severities->num_examples(),
+        "confidence vector size mismatch");
+  // Shuffle first so ties are broken randomly, then stable-sort ascending by
+  // confidence: least confident first.
+  rng.Shuffle(unlabeled);
+  std::stable_sort(unlabeled.begin(), unlabeled.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return context.confidences[a] < context.confidences[b];
+                   });
+  if (unlabeled.size() > budget) unlabeled.resize(budget);
+  return unlabeled;
+}
+
+std::vector<std::size_t> UniformAssertionStrategy::Select(
+    const RoundContext& context, std::size_t budget, common::Rng& rng) {
+  const auto unlabeled = UnlabeledIndices(context);
+  std::vector<std::size_t> flagged;
+  std::vector<std::size_t> unflagged;
+  for (const std::size_t i : unlabeled) {
+    if (context.severities->AnyFired(i)) {
+      flagged.push_back(i);
+    } else {
+      unflagged.push_back(i);
+    }
+  }
+  rng.Shuffle(flagged);
+  if (flagged.size() >= budget) {
+    flagged.resize(budget);
+    return flagged;
+  }
+  // Not enough flagged data: fill the remainder uniformly from the rest.
+  rng.Shuffle(unflagged);
+  for (const std::size_t i : unflagged) {
+    if (flagged.size() == budget) break;
+    flagged.push_back(i);
+  }
+  return flagged;
+}
+
+}  // namespace omg::bandit

@@ -1,0 +1,83 @@
+// Data-selection strategies for active learning (§3 and §5.4 of the paper).
+//
+// A strategy sees, each round, the current severity matrix of the unlabeled
+// pool (one column per assertion — the bandit "contexts"), the model's
+// confidence per pool item, and the set of already-labeled items, and picks
+// `budget` new items to label. The four strategies evaluated in Figure 4 are
+// implemented: random sampling, least-confident uncertainty sampling,
+// uniform sampling from assertion-flagged data, and BAL (bandit/bal.hpp).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/severity_matrix.hpp"
+
+namespace omg::bandit {
+
+/// Everything a strategy may look at in one selection round.
+struct RoundContext {
+  /// Severities of every assertion over the whole unlabeled pool.
+  const core::SeverityMatrix* severities = nullptr;
+  /// Model confidence per pool item (max softmax probability; used by
+  /// uncertainty sampling).
+  std::span<const double> confidences;
+  /// Round number, starting at 0.
+  std::size_t round = 0;
+  /// Pool items labeled in earlier rounds; strategies must not re-select.
+  std::span<const std::size_t> already_labeled;
+};
+
+/// Interface for a selection strategy.
+class SelectionStrategy {
+ public:
+  virtual ~SelectionStrategy() = default;
+
+  /// Display name ("random", "uncertainty", "uniform-ma", "bal", ...).
+  virtual std::string Name() const = 0;
+
+  /// Picks up to `budget` distinct unlabeled pool indices.
+  virtual std::vector<std::size_t> Select(const RoundContext& context,
+                                          std::size_t budget,
+                                          common::Rng& rng) = 0;
+
+  /// Resets any cross-round state (between trials).
+  virtual void Reset() {}
+};
+
+/// Uniform random sampling over the unlabeled pool.
+class RandomStrategy final : public SelectionStrategy {
+ public:
+  std::string Name() const override { return "random"; }
+  std::vector<std::size_t> Select(const RoundContext& context,
+                                  std::size_t budget,
+                                  common::Rng& rng) override;
+};
+
+/// "Least confident" uncertainty sampling (Settles 2009): picks the
+/// unlabeled items whose model confidence is lowest.
+class UncertaintyStrategy final : public SelectionStrategy {
+ public:
+  std::string Name() const override { return "uncertainty"; }
+  std::vector<std::size_t> Select(const RoundContext& context,
+                                  std::size_t budget,
+                                  common::Rng& rng) override;
+};
+
+/// Uniform sampling from the set of items flagged by at least one assertion;
+/// tops up from the rest of the pool when too few items are flagged.
+class UniformAssertionStrategy final : public SelectionStrategy {
+ public:
+  std::string Name() const override { return "uniform-ma"; }
+  std::vector<std::size_t> Select(const RoundContext& context,
+                                  std::size_t budget,
+                                  common::Rng& rng) override;
+};
+
+/// Helper shared by strategies: the unlabeled pool indices.
+std::vector<std::size_t> UnlabeledIndices(const RoundContext& context);
+
+}  // namespace omg::bandit

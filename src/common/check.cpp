@@ -1,0 +1,51 @@
+#include "common/check.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace omg::common {
+
+namespace detail {
+
+void FailCheck(std::string_view what, std::string_view message,
+               const std::source_location& loc) {
+  std::ostringstream os;
+  os << what << " at " << loc.file_name() << ":" << loc.line() << " ("
+     << loc.function_name() << ")";
+  if (!message.empty()) os << ": " << message;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+
+void CheckNonNegative(double value, std::string_view message,
+                      const std::source_location& loc) {
+  if (!(std::isfinite(value) && value >= 0.0)) {
+    std::ostringstream os;
+    os << "expected finite non-negative value, got " << value;
+    if (!message.empty()) os << " — " << message;
+    detail::FailCheck("CheckNonNegative failed", os.str(), loc);
+  }
+}
+
+void CheckIndex(std::ptrdiff_t value, std::ptrdiff_t lo, std::ptrdiff_t hi,
+                std::string_view message, const std::source_location& loc) {
+  if (value < lo || value >= hi) {
+    std::ostringstream os;
+    os << "index " << value << " outside [" << lo << ", " << hi << ")";
+    if (!message.empty()) os << " — " << message;
+    detail::FailCheck("CheckIndex failed", os.str(), loc);
+  }
+}
+
+void CheckInRange(double value, double lo, double hi, std::string_view message,
+                  const std::source_location& loc) {
+  if (!(std::isfinite(value) && value >= lo && value <= hi)) {
+    std::ostringstream os;
+    os << "value " << value << " outside [" << lo << ", " << hi << "]";
+    if (!message.empty()) os << " — " << message;
+    detail::FailCheck("CheckInRange failed", os.str(), loc);
+  }
+}
+
+}  // namespace omg::common

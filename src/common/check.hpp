@@ -1,0 +1,51 @@
+// Runtime-check helpers used throughout OMG-C++.
+//
+// Following the C++ Core Guidelines (I.6/I.8, E.12) we express preconditions
+// and invariants as ordinary functions that throw on violation rather than
+// macros. Checks are always on: the library is a correctness tool, so silent
+// corruption is worse than the (tiny) cost of a branch.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace omg::common {
+
+/// Error thrown when a `Check*` precondition fails.
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] void FailCheck(std::string_view what, std::string_view message,
+                            const std::source_location& loc);
+}  // namespace detail
+
+/// Throws CheckError unless `condition` holds.
+inline void Check(bool condition, std::string_view message = "",
+                  const std::source_location& loc =
+                      std::source_location::current()) {
+  if (!condition) detail::FailCheck("Check failed", message, loc);
+}
+
+/// Throws CheckError unless `value` is finite and non-negative.
+void CheckNonNegative(double value, std::string_view message = "",
+                      const std::source_location& loc =
+                          std::source_location::current());
+
+/// Throws CheckError unless `lo <= value && value < hi`.
+void CheckIndex(std::ptrdiff_t value, std::ptrdiff_t lo, std::ptrdiff_t hi,
+                std::string_view message = "",
+                const std::source_location& loc =
+                    std::source_location::current());
+
+/// Throws CheckError unless `value` lies in the closed interval [lo, hi].
+void CheckInRange(double value, double lo, double hi,
+                  std::string_view message = "",
+                  const std::source_location& loc =
+                      std::source_location::current());
+
+}  // namespace omg::common

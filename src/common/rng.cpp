@@ -1,0 +1,141 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace omg::common {
+
+namespace {
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t SplitMix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = SplitMix64(sm);
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+Rng Rng::Fork(std::uint64_t stream) {
+  const std::uint64_t a = (*this)();
+  return Rng(a ^ (stream * 0xD1342543DE82EF95ULL) ^ 0xA0761D6478BD642FULL);
+}
+
+double Rng::Uniform() {
+  // 53 random mantissa bits -> double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  Check(lo <= hi, "Uniform requires lo <= hi");
+  return lo + (hi - lo) * Uniform();
+}
+
+std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
+  Check(lo <= hi, "UniformInt requires lo <= hi");
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>((*this)());  // full range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~0ULL - (~0ULL % range);
+  std::uint64_t draw;
+  do {
+    draw = (*this)();
+  } while (draw > limit);
+  return lo + static_cast<std::int64_t>(draw % range);
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller transform; u1 kept away from zero for log().
+  double u1;
+  do {
+    u1 = Uniform();
+  } while (u1 <= 1e-300);
+  const double u2 = Uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  CheckNonNegative(stddev, "Normal stddev");
+  return mean + stddev * Normal();
+}
+
+bool Rng::Bernoulli(double p) {
+  CheckInRange(p, 0.0, 1.0, "Bernoulli probability");
+  return Uniform() < p;
+}
+
+double Rng::Exponential(double rate) {
+  Check(rate > 0.0, "Exponential rate must be positive");
+  double u;
+  do {
+    u = Uniform();
+  } while (u <= 1e-300);
+  return -std::log(u) / rate;
+}
+
+std::size_t Rng::Categorical(std::span<const double> weights) {
+  Check(!weights.empty(), "Categorical requires at least one weight");
+  double total = 0.0;
+  for (double w : weights) {
+    CheckNonNegative(w, "Categorical weight");
+    total += w;
+  }
+  Check(total > 0.0, "Categorical weights must have positive sum");
+  double draw = Uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    draw -= weights[i];
+    if (draw < 0.0) return i;
+  }
+  return weights.size() - 1;  // numerical edge: fell off the end
+}
+
+std::vector<std::size_t> Rng::SampleWithoutReplacement(std::size_t n,
+                                                       std::size_t k) {
+  Check(k <= n, "SampleWithoutReplacement requires k <= n");
+  std::vector<std::size_t> indices(n);
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  // Partial Fisher-Yates: after i steps the first i entries are the sample.
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto j = static_cast<std::size_t>(
+        UniformInt(static_cast<std::int64_t>(i),
+                   static_cast<std::int64_t>(n) - 1));
+    using std::swap;
+    swap(indices[i], indices[j]);
+  }
+  indices.resize(k);
+  return indices;
+}
+
+}  // namespace omg::common

@@ -1,0 +1,58 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace omg::common {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::Print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+         << cells[c];
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::string separator;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    separator += std::string(widths[c], '-') + "  ";
+  }
+  os << separator << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TextTable::ToString() const {
+  std::ostringstream os;
+  Print(os);
+  return os.str();
+}
+
+std::string FormatDouble(double value, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << value;
+  return os.str();
+}
+
+std::string FormatPercent(double fraction, int digits) {
+  return FormatDouble(100.0 * fraction, digits) + "%";
+}
+
+}  // namespace omg::common

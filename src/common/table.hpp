@@ -1,0 +1,42 @@
+// Column-aligned text tables for the bench harnesses.
+//
+// Every bench binary prints its table/figure rows through `TextTable` so the
+// output is uniform and diffable against EXPERIMENTS.md.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace omg::common {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; it may have fewer cells than there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Number of data rows added so far.
+  std::size_t RowCount() const { return rows_.size(); }
+
+  /// Renders the table (headers, separator, rows) to `os`.
+  void Print(std::ostream& os) const;
+
+  /// Renders to a string (used by tests).
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` digits after the decimal point.
+std::string FormatDouble(double value, int digits = 2);
+
+/// Formats a fraction as a percentage string, e.g. 0.464 -> "46.4%".
+std::string FormatPercent(double fraction, int digits = 1);
+
+}  // namespace omg::common

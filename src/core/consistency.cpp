@@ -1,0 +1,235 @@
+#include "core/consistency.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/check.hpp"
+
+namespace omg::core {
+
+using common::Check;
+
+ConsistencyEngine::ConsistencyEngine(ConsistencyConfig config)
+    : config_(std::move(config)) {}
+
+std::vector<std::string> ConsistencyEngine::AssertionNames() const {
+  std::vector<std::string> names;
+  for (const auto& key : config_.attribute_keys) {
+    names.push_back("consistent:" + key);
+  }
+  if (config_.temporal_threshold > 0.0) {
+    names.push_back("flicker");
+    names.push_back("appear");
+  }
+  return names;
+}
+
+namespace {
+
+/// Key identifying one tracked entity: (group, identifier).
+using EntityKey = std::pair<std::string, std::string>;
+
+/// Per-group ordered timeline of frames.
+struct GroupTimeline {
+  std::vector<std::size_t> example_indices;  // sorted by timestamp
+  std::vector<double> timestamps;
+};
+
+/// A maximal run of consecutive frames on which an entity is present.
+struct Episode {
+  std::size_t first_frame;  // index into the group timeline
+  std::size_t last_frame;   // inclusive
+};
+
+}  // namespace
+
+ConsistencyResult ConsistencyEngine::Analyze(
+    const std::vector<ConsistencyFrame>& frames,
+    const std::vector<ConsistencyRecord>& records,
+    std::size_t num_examples) const {
+  ConsistencyResult result;
+
+  // The configured attribute keys are authoritative: the generated
+  // assertion set (and therefore the severity-matrix columns) must not
+  // depend on which keys happen to appear in the data.
+  const std::vector<std::string>& keys = config_.attribute_keys;
+  result.assertion_names = AssertionNames();
+  const bool temporal = config_.temporal_threshold > 0.0;
+  result.severities.assign(result.assertion_names.size(),
+                           std::vector<double>(num_examples, 0.0));
+
+  for (const auto& record : records) {
+    Check(record.example_index < num_examples,
+          "record example_index out of range");
+  }
+
+  // ---- Attribute consistency ("consistent:<key>"). ----
+  // Group records by entity; for each attribute key take the most common
+  // value (mode; ties broken by first occurrence) and flag + correct the
+  // minority records.
+  std::map<EntityKey, std::vector<std::size_t>> entity_records;
+  for (std::size_t r = 0; r < records.size(); ++r) {
+    entity_records[{records[r].group, records[r].identifier}].push_back(r);
+  }
+
+  for (std::size_t k = 0; k < keys.size(); ++k) {
+    const std::string& key = keys[k];
+    for (const auto& [entity, record_indices] : entity_records) {
+      // Collect this entity's values for `key`, preserving order.
+      std::vector<std::pair<std::size_t, std::string>> values;  // (rec, val)
+      for (const std::size_t r : record_indices) {
+        for (const auto& [attr_key, attr_value] : records[r].attributes) {
+          if (attr_key == key) values.emplace_back(r, attr_value);
+        }
+      }
+      if (values.size() < 2) continue;
+      // Mode with first-occurrence tie-break.
+      std::map<std::string, std::size_t> counts;
+      for (const auto& [_, value] : values) ++counts[value];
+      std::string mode = values.front().second;
+      std::size_t mode_count = 0;
+      for (const auto& [r, value] : values) {
+        const std::size_t count = counts[value];
+        if (count > mode_count) {
+          mode_count = count;
+          mode = value;
+        }
+      }
+      if (mode_count == values.size()) continue;  // all consistent
+      for (const auto& [r, value] : values) {
+        if (value == mode) continue;
+        result.severities[k][records[r].example_index] += 1.0;
+        Correction correction;
+        correction.kind = CorrectionKind::kSetAttribute;
+        correction.group = records[r].group;
+        correction.identifier = records[r].identifier;
+        correction.example_index = records[r].example_index;
+        correction.timestamp = records[r].timestamp;
+        correction.output_index = records[r].output_index;
+        correction.attribute_key = key;
+        correction.proposed_value = mode;
+        result.corrections.push_back(std::move(correction));
+      }
+    }
+  }
+
+  if (!temporal) return result;
+
+  // ---- Temporal consistency (flicker / appear). ----
+  const std::size_t flicker_col = keys.size();
+  const std::size_t appear_col = keys.size() + 1;
+  const double threshold = config_.temporal_threshold;
+
+  // Build per-group ordered timelines.
+  std::map<std::string, GroupTimeline> timelines;
+  {
+    std::map<std::string, std::vector<std::pair<double, std::size_t>>> raw;
+    for (const auto& frame : frames) {
+      Check(frame.example_index < num_examples,
+            "frame example_index out of range");
+      raw[frame.group].emplace_back(frame.timestamp, frame.example_index);
+    }
+    for (auto& [group, entries] : raw) {
+      std::sort(entries.begin(), entries.end());
+      GroupTimeline timeline;
+      for (const auto& [ts, e] : entries) {
+        timeline.timestamps.push_back(ts);
+        timeline.example_indices.push_back(e);
+      }
+      timelines[group] = std::move(timeline);
+    }
+  }
+
+  for (const auto& [entity, record_indices] : entity_records) {
+    const auto timeline_it = timelines.find(entity.first);
+    Check(timeline_it != timelines.end(),
+          "records reference group with no frames: " + entity.first);
+    const GroupTimeline& timeline = timeline_it->second;
+    const std::size_t n = timeline.timestamps.size();
+
+    // Presence mask over the group's frames, and per-frame record lists.
+    std::map<std::size_t, std::size_t> example_to_frame;
+    for (std::size_t f = 0; f < n; ++f) {
+      example_to_frame[timeline.example_indices[f]] = f;
+    }
+    std::vector<std::vector<std::size_t>> frame_records(n);
+    for (const std::size_t r : record_indices) {
+      const auto it = example_to_frame.find(records[r].example_index);
+      Check(it != example_to_frame.end(),
+            "record example missing from frame timeline");
+      frame_records[it->second].push_back(r);
+    }
+
+    // Episodes: maximal presence runs.
+    std::vector<Episode> episodes;
+    for (std::size_t f = 0; f < n; ++f) {
+      if (frame_records[f].empty()) continue;
+      if (!episodes.empty() && episodes.back().last_frame + 1 == f) {
+        episodes.back().last_frame = f;
+      } else {
+        episodes.push_back(Episode{f, f});
+      }
+    }
+    if (episodes.empty()) continue;
+
+    // `flicker`: a gap between two episodes shorter than T means the
+    // identifier disappeared and reappeared within a T-second window.
+    for (std::size_t e = 0; e + 1 < episodes.size(); ++e) {
+      const std::size_t gap_begin = episodes[e].last_frame + 1;
+      const std::size_t gap_end = episodes[e + 1].first_frame;  // exclusive
+      const double gap_duration =
+          timeline.timestamps[gap_end] -
+          timeline.timestamps[episodes[e].last_frame];
+      if (gap_duration >= threshold) continue;
+      // Severity on every gap frame; one add-correction per gap frame,
+      // supported by the neighbouring occurrences.
+      std::vector<std::size_t> support;
+      support.insert(support.end(),
+                     frame_records[episodes[e].last_frame].begin(),
+                     frame_records[episodes[e].last_frame].end());
+      support.insert(support.end(), frame_records[gap_end].begin(),
+                     frame_records[gap_end].end());
+      for (std::size_t f = gap_begin; f < gap_end; ++f) {
+        result.severities[flicker_col][timeline.example_indices[f]] += 1.0;
+        Correction correction;
+        correction.kind = CorrectionKind::kAddOutput;
+        correction.group = entity.first;
+        correction.identifier = entity.second;
+        correction.example_index = timeline.example_indices[f];
+        correction.timestamp = timeline.timestamps[f];
+        correction.support_records = support;
+        result.corrections.push_back(std::move(correction));
+      }
+    }
+
+    // `appear`: an episode shorter than T bounded by absence on both sides
+    // (appear + disappear within a T-second window). Episodes touching the
+    // stream boundary are not flagged — their true extent is unknown.
+    for (const auto& episode : episodes) {
+      if (episode.first_frame == 0 || episode.last_frame + 1 >= n) continue;
+      // Duration measured absence-to-absence: the window containing both
+      // the appear and the disappear transition.
+      const double duration = timeline.timestamps[episode.last_frame + 1] -
+                              timeline.timestamps[episode.first_frame - 1];
+      if (duration >= threshold) continue;
+      for (std::size_t f = episode.first_frame; f <= episode.last_frame;
+           ++f) {
+        result.severities[appear_col][timeline.example_indices[f]] += 1.0;
+        for (const std::size_t r : frame_records[f]) {
+          Correction correction;
+          correction.kind = CorrectionKind::kRemoveOutput;
+          correction.group = entity.first;
+          correction.identifier = entity.second;
+          correction.example_index = records[r].example_index;
+          correction.timestamp = records[r].timestamp;
+          correction.output_index = records[r].output_index;
+          result.corrections.push_back(std::move(correction));
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace omg::core

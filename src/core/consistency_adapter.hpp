@@ -1,0 +1,148 @@
+// Bridges the domain-agnostic ConsistencyEngine into the Assertion<Example>
+// world, so consistency-generated assertions sit in an AssertionSuite next to
+// user-written ones (as §4.2 requires: "these assertions are treated the same
+// as user-provided ones in the rest of the system").
+//
+// A ConsistencyAnalyzer owns the engine plus a domain-provided extractor that
+// turns the example stream into frames/records (the Id and Attrs functions
+// live inside the extractor). All generated assertions share one analyzer,
+// and the analyzer memoises the latest analysis per input stream so a suite
+// run costs one engine pass, not one per generated column.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "core/assertion.hpp"
+#include "core/consistency.hpp"
+
+namespace omg::core {
+
+/// Frames + records extracted from an example stream.
+struct ConsistencyExtraction {
+  std::vector<ConsistencyFrame> frames;
+  std::vector<ConsistencyRecord> records;
+};
+
+/// Runs a ConsistencyEngine over example streams, caching the last analysis.
+template <typename Example>
+class ConsistencyAnalyzer {
+ public:
+  /// Extractor: applies the user's Id/Attrs functions to the stream.
+  using ExtractFn =
+      std::function<ConsistencyExtraction(std::span<const Example>)>;
+
+  ConsistencyAnalyzer(ConsistencyConfig config, ExtractFn extract)
+      : engine_(std::move(config)), extract_(std::move(extract)) {
+    common::Check(static_cast<bool>(extract_), "extractor must be set");
+  }
+
+  /// Names of the generated assertions (column order of Analyze results).
+  std::vector<std::string> AssertionNames() const {
+    return engine_.AssertionNames();
+  }
+
+  /// Analysis of `examples`, memoised on (data pointer, size). The cache
+  /// makes one suite pass run the engine once; passing a *different* stream
+  /// re-analyses.
+  const ConsistencyResult& Analyze(std::span<const Example> examples) {
+    if (cached_ != nullptr && cache_data_ == examples.data() &&
+        cache_size_ == examples.size()) {
+      return *cached_;
+    }
+    ConsistencyExtraction extraction = extract_(examples);
+    cached_ = std::make_unique<ConsistencyResult>(engine_.Analyze(
+        extraction.frames, extraction.records, examples.size()));
+    cache_records_ = std::move(extraction.records);
+    cache_data_ = examples.data();
+    cache_size_ = examples.size();
+    return *cached_;
+  }
+
+  /// Records from the latest Analyze call — Correction::support_records
+  /// index into this vector.
+  const std::vector<ConsistencyRecord>& LatestRecords() const {
+    common::Check(cached_ != nullptr, "Analyze must run first");
+    return cache_records_;
+  }
+
+  /// Corrections from the latest analysis of `examples`.
+  const std::vector<Correction>& Corrections(
+      std::span<const Example> examples) {
+    return Analyze(examples).corrections;
+  }
+
+  /// Drops the memoised analysis. Callers must invalidate whenever example
+  /// content may have changed without the (pointer, size) key changing —
+  /// e.g. a freshly allocated stream of the same length after retraining
+  /// the model (allocator reuse can alias the key).
+  void Invalidate() {
+    cached_.reset();
+    cache_records_.clear();
+    cache_data_ = nullptr;
+    cache_size_ = 0;
+  }
+
+ private:
+  ConsistencyEngine engine_;
+  ExtractFn extract_;
+  std::unique_ptr<ConsistencyResult> cached_;
+  std::vector<ConsistencyRecord> cache_records_;
+  const Example* cache_data_ = nullptr;
+  std::size_t cache_size_ = 0;
+};
+
+/// One generated assertion = one column of the shared analyzer's result.
+template <typename Example>
+class GeneratedConsistencyAssertion final : public Assertion<Example> {
+ public:
+  GeneratedConsistencyAssertion(
+      std::string name, std::shared_ptr<ConsistencyAnalyzer<Example>> analyzer,
+      std::size_t column)
+      : Assertion<Example>(std::move(name)),
+        analyzer_(std::move(analyzer)),
+        column_(column) {}
+
+  std::vector<double> CheckAll(std::span<const Example> examples) override {
+    const ConsistencyResult& result = analyzer_->Analyze(examples);
+    common::CheckIndex(static_cast<std::ptrdiff_t>(column_), 0,
+                       static_cast<std::ptrdiff_t>(result.severities.size()),
+                       "generated assertion column");
+    return result.severities[column_];
+  }
+
+ private:
+  std::shared_ptr<ConsistencyAnalyzer<Example>> analyzer_;
+  std::size_t column_;
+};
+
+/// Implements the paper's AddConsistencyAssertion(Id, Attrs, T): builds a
+/// shared analyzer, registers every generated assertion into `suite`, and
+/// returns the analyzer so callers can pull corrections for weak supervision.
+///
+/// `name_prefix` disambiguates when several consistency sources coexist
+/// (e.g. "" for the only source, "news:" for a second one).
+template <typename Example>
+std::shared_ptr<ConsistencyAnalyzer<Example>> AddConsistencyAssertion(
+    AssertionSuite<Example>& suite, ConsistencyConfig config,
+    typename ConsistencyAnalyzer<Example>::ExtractFn extract,
+    const std::string& name_prefix = "") {
+  auto analyzer = std::make_shared<ConsistencyAnalyzer<Example>>(
+      std::move(config), std::move(extract));
+  const auto names = analyzer->AssertionNames();
+  common::Check(!names.empty(),
+                "consistency config generates no assertions (no attribute "
+                "keys and no temporal threshold)");
+  for (std::size_t column = 0; column < names.size(); ++column) {
+    suite.Add(std::make_unique<GeneratedConsistencyAssertion<Example>>(
+        name_prefix + names[column], analyzer, column));
+  }
+  return analyzer;
+}
+
+}  // namespace omg::core

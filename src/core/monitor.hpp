@@ -1,0 +1,116 @@
+// Streaming runtime monitoring (§2.3: "model assertions can be used for
+// monitoring and validating all parts of the ML deployment pipeline").
+//
+// The monitor adapts batch assertions to a live stream: it keeps a sliding
+// window of recent examples, re-runs the suite as examples arrive, and emits
+// each (example, assertion) firing exactly once — but only after the example
+// is `settle_lag` steps behind the stream head, so retroactive assertions
+// (flicker needs the *next* frame to fire on the previous one) have settled.
+// Callbacks can log, populate a dashboard, or trigger corrective action such
+// as disengaging an autopilot.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "core/assertion.hpp"
+
+namespace omg::core {
+
+/// One emitted firing.
+struct MonitorEvent {
+  std::size_t example_index = 0;  ///< global stream position
+  std::string assertion;
+  double severity = 0.0;
+};
+
+/// Aggregate monitoring statistics (dashboard feed).
+struct MonitorStats {
+  std::size_t examples_seen = 0;
+  std::size_t events_emitted = 0;
+  /// Per-assertion number of examples that fired.
+  std::map<std::string, std::size_t> fire_counts;
+  /// Per-assertion maximum severity seen.
+  std::map<std::string, double> max_severity;
+};
+
+/// Sliding-window streaming monitor over an AssertionSuite.
+template <typename Example>
+class StreamingMonitor {
+ public:
+  using Callback = std::function<void(const MonitorEvent&)>;
+
+  /// `window` is the number of recent examples assertions see; `settle_lag`
+  /// is how far behind the head an example must be before its verdict is
+  /// emitted (settle_lag < window).
+  StreamingMonitor(AssertionSuite<Example>& suite, std::size_t window,
+                   std::size_t settle_lag)
+      : suite_(suite), window_(window), settle_lag_(settle_lag) {
+    common::Check(window_ >= 1, "window must be >= 1");
+    common::Check(settle_lag_ < window_, "settle_lag must be < window");
+  }
+
+  /// Registers a callback invoked once per emitted event.
+  void OnEvent(Callback callback) {
+    callbacks_.push_back(std::move(callback));
+  }
+
+  /// Feeds one example; runs the suite over the window and emits settled
+  /// verdicts. Returns events emitted by this step.
+  std::vector<MonitorEvent> Observe(Example example) {
+    window_buffer_.push_back(std::move(example));
+    if (window_buffer_.size() > window_) window_buffer_.pop_front();
+    ++stats_.examples_seen;
+    const std::size_t head = stats_.examples_seen - 1;  // global index
+
+    // Run the suite over the current window (contiguous copy for span).
+    scratch_.assign(window_buffer_.begin(), window_buffer_.end());
+    SeverityMatrix matrix = suite_.CheckAll(scratch_);
+    const std::size_t window_start = head + 1 - scratch_.size();
+
+    std::vector<MonitorEvent> emitted;
+    const auto names = suite_.Names();
+    for (std::size_t local = 0; local < scratch_.size(); ++local) {
+      const std::size_t global = window_start + local;
+      if (global + settle_lag_ > head) continue;  // not settled yet
+      for (std::size_t a = 0; a < names.size(); ++a) {
+        const double severity = matrix.At(local, a);
+        if (severity <= 0.0) continue;
+        if (!emitted_.insert({global, a}).second) continue;  // once only
+        MonitorEvent event{global, names[a], severity};
+        ++stats_.events_emitted;
+        ++stats_.fire_counts[names[a]];
+        auto& max_severity = stats_.max_severity[names[a]];
+        if (severity > max_severity) max_severity = severity;
+        for (const auto& callback : callbacks_) callback(event);
+        emitted.push_back(std::move(event));
+      }
+    }
+    // Garbage-collect emission dedup state that fell out of the window.
+    while (!emitted_.empty() &&
+           emitted_.begin()->first + window_ < stats_.examples_seen) {
+      emitted_.erase(emitted_.begin());
+    }
+    return emitted;
+  }
+
+  const MonitorStats& stats() const { return stats_; }
+
+ private:
+  AssertionSuite<Example>& suite_;
+  std::size_t window_;
+  std::size_t settle_lag_;
+  std::deque<Example> window_buffer_;
+  std::vector<Example> scratch_;
+  std::set<std::pair<std::size_t, std::size_t>> emitted_;
+  std::vector<Callback> callbacks_;
+  MonitorStats stats_;
+};
+
+}  // namespace omg::core

@@ -1,0 +1,89 @@
+#include "core/severity_matrix.hpp"
+
+#include "common/check.hpp"
+
+namespace omg::core {
+
+using common::Check;
+using common::CheckIndex;
+using common::CheckNonNegative;
+
+SeverityMatrix::SeverityMatrix(std::size_t num_examples,
+                               std::size_t num_assertions)
+    : num_examples_(num_examples),
+      num_assertions_(num_assertions),
+      data_(num_examples * num_assertions, kAbstain) {}
+
+double SeverityMatrix::At(std::size_t e, std::size_t a) const {
+  CheckIndex(static_cast<std::ptrdiff_t>(e), 0,
+             static_cast<std::ptrdiff_t>(num_examples_), "example index");
+  CheckIndex(static_cast<std::ptrdiff_t>(a), 0,
+             static_cast<std::ptrdiff_t>(num_assertions_), "assertion index");
+  return data_[e * num_assertions_ + a];
+}
+
+void SeverityMatrix::Set(std::size_t e, std::size_t a, double severity) {
+  CheckIndex(static_cast<std::ptrdiff_t>(e), 0,
+             static_cast<std::ptrdiff_t>(num_examples_), "example index");
+  CheckIndex(static_cast<std::ptrdiff_t>(a), 0,
+             static_cast<std::ptrdiff_t>(num_assertions_), "assertion index");
+  CheckNonNegative(severity, "severity scores are non-negative");
+  data_[e * num_assertions_ + a] = severity;
+}
+
+bool SeverityMatrix::AnyFired(std::size_t e) const {
+  for (std::size_t a = 0; a < num_assertions_; ++a) {
+    if (Fired(e, a)) return true;
+  }
+  return false;
+}
+
+std::span<const double> SeverityMatrix::Context(std::size_t e) const {
+  CheckIndex(static_cast<std::ptrdiff_t>(e), 0,
+             static_cast<std::ptrdiff_t>(num_examples_), "example index");
+  return std::span<const double>(data_).subspan(e * num_assertions_,
+                                                num_assertions_);
+}
+
+std::vector<std::size_t> SeverityMatrix::FireCounts() const {
+  std::vector<std::size_t> counts(num_assertions_, 0);
+  for (std::size_t e = 0; e < num_examples_; ++e) {
+    for (std::size_t a = 0; a < num_assertions_; ++a) {
+      if (Fired(e, a)) ++counts[a];
+    }
+  }
+  return counts;
+}
+
+std::size_t SeverityMatrix::TotalFired() const {
+  std::size_t total = 0;
+  for (const auto count : FireCounts()) total += count;
+  return total;
+}
+
+std::vector<std::size_t> SeverityMatrix::ExamplesFiring(std::size_t a) const {
+  std::vector<std::size_t> out;
+  for (std::size_t e = 0; e < num_examples_; ++e) {
+    if (Fired(e, a)) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<std::size_t> SeverityMatrix::FlaggedExamples() const {
+  std::vector<std::size_t> out;
+  for (std::size_t e = 0; e < num_examples_; ++e) {
+    if (AnyFired(e)) out.push_back(e);
+  }
+  return out;
+}
+
+void SeverityMatrix::SetColumn(std::size_t a,
+                               std::span<const double> severities) {
+  Check(severities.size() == num_examples_,
+        "SetColumn severity count mismatch");
+  for (std::size_t e = 0; e < num_examples_; ++e) {
+    Set(e, a, severities[e]);
+  }
+}
+
+}  // namespace omg::core

@@ -1,0 +1,63 @@
+// Per-example, per-assertion severity scores.
+//
+// §2.1 of the paper: an assertion returns a continuous severity score per
+// data point, with 0 meaning "abstain" (no error indicated). The severity
+// matrix over a pool of examples is exactly the bandit context of §3: each
+// example carries a d-dimensional feature vector of severities, one dimension
+// per registered assertion.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace omg::core {
+
+/// Severity value meaning "assertion abstains" (§2.1).
+inline constexpr double kAbstain = 0.0;
+
+/// Dense (num_examples x num_assertions) severity matrix.
+class SeverityMatrix {
+ public:
+  SeverityMatrix() = default;
+  SeverityMatrix(std::size_t num_examples, std::size_t num_assertions);
+
+  std::size_t num_examples() const { return num_examples_; }
+  std::size_t num_assertions() const { return num_assertions_; }
+
+  /// Severity of assertion `a` on example `e`.
+  double At(std::size_t e, std::size_t a) const;
+  void Set(std::size_t e, std::size_t a, double severity);
+
+  /// True when assertion `a` fired (severity > 0) on example `e`.
+  bool Fired(std::size_t e, std::size_t a) const { return At(e, a) > 0.0; }
+
+  /// True when any assertion fired on example `e`.
+  bool AnyFired(std::size_t e) const;
+
+  /// The d-dimensional severity vector of example `e` (its bandit context).
+  std::span<const double> Context(std::size_t e) const;
+
+  /// Number of examples on which each assertion fired.
+  std::vector<std::size_t> FireCounts() const;
+
+  /// Total number of (example, assertion) firings.
+  std::size_t TotalFired() const;
+
+  /// Indices of examples on which assertion `a` fired.
+  std::vector<std::size_t> ExamplesFiring(std::size_t a) const;
+
+  /// Indices of examples on which at least one assertion fired.
+  std::vector<std::size_t> FlaggedExamples() const;
+
+  /// Sets an entire column from per-example severities
+  /// (`severities.size() == num_examples()`).
+  void SetColumn(std::size_t a, std::span<const double> severities);
+
+ private:
+  std::size_t num_examples_ = 0;
+  std::size_t num_assertions_ = 0;
+  std::vector<double> data_;  // row-major: example-major
+};
+
+}  // namespace omg::core

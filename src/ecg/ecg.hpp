@@ -1,0 +1,140 @@
+// Synthetic CINC17-like ECG substrate + the 30-second consistency assertion.
+//
+// The paper's medical task classifies atrial fibrillation (AF) from
+// single-lead ECG with a deep network whose predictions can rapidly
+// oscillate; ESC guidelines require >= 30 s of signal before calling AF, so
+// the deployed assertion fires when the classification changes A -> B -> A
+// within 30 seconds (§2.2, §4.1: Id = detected class, T = 30 s).
+//
+// The simulator produces records (patients) whose true rhythm follows a
+// semi-Markov chain with dwell times >= 30 s (the guideline makes shorter
+// true episodes non-diagnosable, so ground truth never violates the rule).
+// Each record is split into fixed-length windows with class-conditional
+// feature vectors; a "noisy-signal" patient sub-population — absent from
+// the pretraining hospital's data — pushes windows toward the decision
+// boundary, which is what makes deployed predictions oscillate.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/assertion.hpp"
+#include "core/consistency_adapter.hpp"
+#include "nn/mlp.hpp"
+#include "nn/trainer.hpp"
+
+namespace omg::ecg {
+
+/// Rhythm classes (CINC17 uses normal / AF / other / noisy; we keep three).
+enum class Rhythm : std::size_t { kNormal = 0, kAf = 1, kOther = 2 };
+inline constexpr std::size_t kNumRhythms = 3;
+
+/// Human-readable class name.
+std::string RhythmName(Rhythm rhythm);
+
+/// One classification window of one record.
+struct EcgWindow {
+  std::string record;
+  std::size_t window_index = 0;
+  double timestamp = 0.0;  ///< seconds from record start
+  std::vector<double> features;
+  Rhythm truth = Rhythm::kNormal;
+  /// True when the record comes from the noisy-signal sub-population.
+  bool hard_record = false;
+};
+
+/// Generator parameters.
+struct EcgConfig {
+  double window_seconds = 10.0;
+  std::size_t windows_per_record = 36;  ///< 6-minute records
+  /// Mean dwell time of a rhythm state, seconds (minimum is 30 s).
+  double mean_dwell_seconds = 90.0;
+  /// Fraction of records from the noisy-signal sub-population.
+  double frac_hard_records = 0.35;
+  std::size_t feature_dim = 8;
+};
+
+/// Deterministic ECG record generator.
+class EcgGenerator {
+ public:
+  EcgGenerator(EcgConfig config, std::uint64_t seed);
+
+  const EcgConfig& config() const { return config_; }
+
+  /// Generates `count` records' windows, concatenated in record order.
+  std::vector<EcgWindow> GenerateRecords(std::size_t count);
+
+  /// Pretraining set: windows from clean records only.
+  nn::Dataset PretrainingSet(std::size_t count_windows);
+
+ private:
+  std::vector<double> WindowFeatures(Rhythm rhythm, bool hard,
+                                     std::size_t archetype,
+                                     std::span<const double> patient_offset);
+
+  EcgConfig config_;
+  common::Rng rng_;
+  /// Per-archetype rotation angle of the hard-record class signal (dims
+  /// 3-4) and archetype marker centres (dims 5-6). Hard records come in a
+  /// handful of noise archetypes; labels on one archetype do not fix the
+  /// others, so targeted sampling keeps paying off across rounds.
+  std::vector<double> archetype_angles_;
+  std::vector<std::array<double, 2>> archetype_markers_;
+  std::size_t record_counter_ = 0;
+};
+
+/// Trainable window classifier (the ECG ResNet stand-in).
+struct EcgClassifierConfig {
+  std::vector<std::size_t> hidden = {24};
+  nn::SgdConfig pretrain_sgd{0.08, 0.9, 1e-4, 32, 40};
+  nn::SgdConfig finetune_sgd{0.03, 0.9, 1e-4, 32, 12};
+};
+
+class EcgClassifier {
+ public:
+  EcgClassifier(EcgClassifierConfig config, std::size_t feature_dim,
+                std::uint64_t seed);
+
+  void Pretrain(const nn::Dataset& data);
+  void FineTune(const nn::Dataset& data);
+  /// Fine-tunes with caller-provided hyper-parameters (used by the gentler
+  /// weak-supervision pass).
+  void FineTune(const nn::Dataset& data, const nn::SgdConfig& sgd);
+
+  Rhythm Predict(const EcgWindow& window) const;
+  double Confidence(const EcgWindow& window) const;
+
+ private:
+  EcgClassifierConfig config_;
+  common::Rng train_rng_;
+  nn::Mlp model_;
+};
+
+/// One window as the assertion layer sees it: the prediction stream.
+struct EcgExample {
+  std::string record;
+  double timestamp = 0.0;
+  Rhythm predicted = Rhythm::kNormal;
+};
+
+/// The ECG suite holds the single deployed assertion (named "ECG"),
+/// generated through the consistency API with Id = predicted class and
+/// T = 30 s: a class that appears for less than 30 s between absences is an
+/// A -> B -> A oscillation.
+struct EcgSuite {
+  core::AssertionSuite<EcgExample> suite;
+  std::shared_ptr<core::ConsistencyAnalyzer<EcgExample>> consistency;
+};
+
+/// Builds the suite. `temporal_threshold` defaults to the guideline's 30 s.
+EcgSuite BuildEcgSuite(double temporal_threshold = 30.0);
+
+/// The consistency extractor (Id = predicted class, group = record).
+core::ConsistencyExtraction ExtractEcgRecords(
+    std::span<const EcgExample> examples);
+
+}  // namespace omg::ecg

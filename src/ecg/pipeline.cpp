@@ -1,0 +1,221 @@
+#include "ecg/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/check.hpp"
+
+namespace omg::ecg {
+
+using common::Check;
+
+EcgPipeline::EcgPipeline(EcgPipelineConfig config)
+    : config_(std::move(config)),
+      generator_(config_.generator, config_.world_seed),
+      suite_(BuildEcgSuite(config_.temporal_threshold)) {
+  pool_ = generator_.GenerateRecords(config_.pool_records);
+  test_ = generator_.GenerateRecords(config_.test_records);
+  pretrain_set_ = generator_.PretrainingSet(config_.pretrain_windows);
+  Reset(config_.world_seed ^ 0x9E3779B97F4A7C15ULL);
+}
+
+void EcgPipeline::Reset(std::uint64_t seed) {
+  classifier_ = std::make_unique<EcgClassifier>(
+      config_.classifier, config_.generator.feature_dim, seed);
+  classifier_->Pretrain(pretrain_set_);
+  labeled_ = nn::Dataset{};
+  suite_.consistency->Invalidate();
+}
+
+std::vector<EcgExample> EcgPipeline::MakeExamples(
+    std::span<const EcgWindow> windows) const {
+  std::vector<EcgExample> examples;
+  examples.reserve(windows.size());
+  for (const auto& window : windows) {
+    EcgExample example;
+    example.record = window.record;
+    example.timestamp = window.timestamp;
+    example.predicted = classifier_->Predict(window);
+    examples.push_back(std::move(example));
+  }
+  return examples;
+}
+
+core::SeverityMatrix EcgPipeline::ComputeSeverities() {
+  suite_.consistency->Invalidate();
+  const std::vector<EcgExample> examples = MakeExamples(pool_);
+  return suite_.suite.CheckAll(examples);
+}
+
+std::vector<double> EcgPipeline::Confidences() {
+  std::vector<double> confidences;
+  confidences.reserve(pool_.size());
+  for (const auto& window : pool_) {
+    confidences.push_back(classifier_->Confidence(window));
+  }
+  return confidences;
+}
+
+void EcgPipeline::LabelAndTrain(std::span<const std::size_t> indices) {
+  for (const std::size_t i : indices) {
+    Check(i < pool_.size(), "label index out of range");
+    labeled_.Add(pool_[i].features,
+                 static_cast<std::size_t>(pool_[i].truth));
+  }
+  if (labeled_.empty()) return;
+  // Retrain with the original training split replayed alongside the new
+  // labels, as the paper's per-domain training code does — fine-tuning on
+  // the flagged distribution alone would forget the clean population.
+  nn::Dataset combined = pretrain_set_;
+  combined.Append(labeled_);
+  classifier_->FineTune(combined);
+}
+
+double EcgPipeline::EvaluateAccuracy(
+    std::span<const EcgWindow> windows) const {
+  if (windows.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (const auto& window : windows) {
+    if (classifier_->Predict(window) == window.truth) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(windows.size());
+}
+
+double EcgPipeline::Evaluate() { return EvaluateAccuracy(test_); }
+
+video::WeakSupervisionResult RunEcgWeakSupervision(
+    EcgPipeline& pipeline, std::size_t max_weak_labels, std::uint64_t seed) {
+  common::Rng rng(seed);
+  pipeline.Reset(seed);
+  video::WeakSupervisionResult result;
+  result.pretrained_metric = pipeline.Evaluate();
+
+  EcgSuite& suite = pipeline.suite();
+  suite.consistency->Invalidate();
+  const std::vector<EcgExample> examples =
+      pipeline.MakeExamples(pipeline.pool());
+  (void)suite.suite.CheckAll(examples);
+  const auto& corrections = suite.consistency->Corrections(examples);
+
+  // Weak label for a brief-episode window: the surrounding episode's class
+  // (the mode of the identifier's neighbourhood — the paper's default
+  // correction rule). We require the classes before and after the episode
+  // to agree (the A -> B -> A pattern) so each weak label has two
+  // independent witnesses.
+  // Trust only records where the model is mostly coherent: a record whose
+  // predictions oscillate massively offers no reliable "surrounding class"
+  // to borrow, so its corrections are skipped (the paper's weak labels
+  // likewise smooth occasional blips, not wholesale confusion).
+  std::map<std::string, std::size_t> removals_per_record;
+  for (const auto& correction : corrections) {
+    if (correction.kind == core::CorrectionKind::kRemoveOutput) {
+      ++removals_per_record[examples[correction.example_index].record];
+    }
+  }
+  constexpr std::size_t kMaxRemovalsPerTrustedRecord = 6;
+
+  nn::Dataset weak;
+  std::vector<std::size_t> correction_order(corrections.size());
+  for (std::size_t i = 0; i < correction_order.size(); ++i) {
+    correction_order[i] = i;
+  }
+  rng.Shuffle(correction_order);
+  for (const std::size_t c : correction_order) {
+    if (result.weak_positives >= max_weak_labels) break;
+    const auto& correction = corrections[c];
+    if (correction.kind != core::CorrectionKind::kRemoveOutput) continue;
+    if (removals_per_record[examples[correction.example_index].record] >
+        kMaxRemovalsPerTrustedRecord) {
+      continue;
+    }
+    const std::size_t e = correction.example_index;
+    const Rhythm episode_class = examples[e].predicted;
+    const auto& record = examples[e].record;
+    // Scan both ways within the record for the surrounding classes, and
+    // keep track of how confident the model is in those witnesses.
+    Rhythm before = episode_class, after = episode_class;
+    double before_confidence = 0.0, after_confidence = 0.0;
+    for (std::size_t probe = e; probe > 0; --probe) {
+      if (examples[probe - 1].record != record) break;
+      if (examples[probe - 1].predicted != episode_class) {
+        before = examples[probe - 1].predicted;
+        before_confidence =
+            pipeline.classifier().Confidence(pipeline.pool()[probe - 1]);
+        break;
+      }
+    }
+    for (std::size_t probe = e + 1; probe < examples.size(); ++probe) {
+      if (examples[probe].record != record) break;
+      if (examples[probe].predicted != episode_class) {
+        after = examples[probe].predicted;
+        after_confidence =
+            pipeline.classifier().Confidence(pipeline.pool()[probe]);
+        break;
+      }
+    }
+    // Accept only corrections whose two witnesses agree and are confident;
+    // on severely degraded records the witnesses are themselves guesses
+    // and the proposed label would be noise.
+    if (before == episode_class || before != after) continue;
+    if (before_confidence < 0.8 || after_confidence < 0.8) continue;
+    weak.Add(pipeline.pool()[e].features, static_cast<std::size_t>(before),
+             1.0);
+    ++result.weak_positives;
+  }
+
+  // Fine-tune with the original training split replayed at reduced weight
+  // so the weak labels refine rather than overwrite the model.
+  if (!weak.empty()) {
+    nn::Dataset combined = pipeline.pretrain_set();
+    combined.Append(weak);
+    // A gentle pass, mirroring the paper's tiny weak-supervision learning
+    // rate (5e-6 for 6 epochs on the real ECG net).
+    pipeline.classifier().FineTune(combined,
+                                   nn::SgdConfig{0.005, 0.9, 1e-4, 32, 5});
+  }
+  result.weakly_supervised_metric = pipeline.Evaluate();
+  return result;
+}
+
+std::vector<video::AssertionPrecisionSample> MeasureEcgAssertionPrecision(
+    EcgPipeline& pipeline, std::size_t sample_size, std::uint64_t seed) {
+  common::Rng rng(seed);
+  EcgSuite& suite = pipeline.suite();
+  suite.consistency->Invalidate();
+  const std::vector<EcgExample> examples =
+      pipeline.MakeExamples(pipeline.pool());
+  const core::SeverityMatrix severities = suite.suite.CheckAll(examples);
+
+  video::AssertionPrecisionSample sample;
+  sample.assertion = "ECG";
+  std::vector<std::size_t> fired = severities.ExamplesFiring(0);
+  rng.Shuffle(fired);
+  if (fired.size() > sample_size) fired.resize(sample_size);
+  sample.sampled = fired.size();
+
+  const double threshold = pipeline.config().temporal_threshold;
+  for (const std::size_t e : fired) {
+    bool error_nearby = false;
+    for (std::size_t probe = 0; probe < pipeline.pool().size(); ++probe) {
+      if (pipeline.pool()[probe].record != pipeline.pool()[e].record) {
+        continue;
+      }
+      if (std::abs(pipeline.pool()[probe].timestamp -
+                   pipeline.pool()[e].timestamp) > threshold) {
+        continue;
+      }
+      if (examples[probe].predicted != pipeline.pool()[probe].truth) {
+        error_nearby = true;
+        break;
+      }
+    }
+    if (error_nearby) {
+      ++sample.correct_model_output;
+      ++sample.correct_with_identifier;
+    }
+  }
+  return {sample};
+}
+
+}  // namespace omg::ecg

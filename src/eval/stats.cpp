@@ -1,0 +1,73 @@
+#include "eval/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace omg::eval {
+
+using common::Check;
+
+double Mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double SampleStddev(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double mean = Mean(values);
+  double ss = 0.0;
+  for (double v : values) ss += (v - mean) * (v - mean);
+  return std::sqrt(ss / static_cast<double>(values.size() - 1));
+}
+
+double Percentile(std::span<const double> values, double p) {
+  Check(!values.empty(), "Percentile of empty span");
+  common::CheckInRange(p, 0.0, 100.0, "percentile");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double PercentileRank(std::span<const double> values, double value) {
+  Check(!values.empty(), "PercentileRank of empty span");
+  std::size_t below = 0;
+  std::size_t ties = 0;
+  for (double v : values) {
+    if (v < value) ++below;
+    if (v == value) ++ties;
+  }
+  return 100.0 *
+         (static_cast<double>(below) + 0.5 * static_cast<double>(ties)) /
+         static_cast<double>(values.size());
+}
+
+double Min(std::span<const double> values) {
+  Check(!values.empty(), "Min of empty span");
+  return *std::min_element(values.begin(), values.end());
+}
+
+double Max(std::span<const double> values) {
+  Check(!values.empty(), "Max of empty span");
+  return *std::max_element(values.begin(), values.end());
+}
+
+TrialSummary Summarize(std::span<const double> trial_values) {
+  TrialSummary summary;
+  summary.trials = trial_values.size();
+  summary.mean = Mean(trial_values);
+  if (summary.trials >= 2) {
+    summary.stderr_mean = SampleStddev(trial_values) /
+                          std::sqrt(static_cast<double>(summary.trials));
+  }
+  return summary;
+}
+
+}  // namespace omg::eval

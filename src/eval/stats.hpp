@@ -1,0 +1,39 @@
+// Scalar statistics used across the benches: means, percentiles, and
+// percentile ranks (Figure 3 plots errors by confidence percentile).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace omg::eval {
+
+/// Arithmetic mean; 0 for an empty span.
+double Mean(std::span<const double> values);
+
+/// Sample standard deviation (n-1 denominator); 0 when size < 2.
+double SampleStddev(std::span<const double> values);
+
+/// p-th percentile (p in [0, 100]) with linear interpolation between order
+/// statistics. Requires a non-empty span.
+double Percentile(std::span<const double> values, double p);
+
+/// Percentile rank of `value` within `values`: the percentage of entries
+/// strictly below `value` plus half the ties (midrank convention).
+/// Requires a non-empty span. Result is in [0, 100].
+double PercentileRank(std::span<const double> values, double value);
+
+/// Min / max helpers (require non-empty spans).
+double Min(std::span<const double> values);
+double Max(std::span<const double> values);
+
+/// Summary of repeated trials: mean and the standard error of the mean.
+struct TrialSummary {
+  double mean = 0.0;
+  double stderr_mean = 0.0;
+  std::size_t trials = 0;
+};
+
+/// Aggregates per-trial scalars.
+TrialSummary Summarize(std::span<const double> trial_values);
+
+}  // namespace omg::eval

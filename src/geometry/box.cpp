@@ -1,0 +1,119 @@
+#include "geometry/box.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace omg::geometry {
+
+using common::Check;
+
+double Box2D::Area() const {
+  if (!Valid()) return 0.0;
+  return Width() * Height();
+}
+
+Box2D Box2D::Translated(double dx, double dy) const {
+  return Box2D{x_min + dx, y_min + dy, x_max + dx, y_max + dy};
+}
+
+Box2D Box2D::Union(const Box2D& other) const {
+  return Box2D{std::min(x_min, other.x_min), std::min(y_min, other.y_min),
+               std::max(x_max, other.x_max), std::max(y_max, other.y_max)};
+}
+
+double IntersectionArea(const Box2D& a, const Box2D& b) {
+  const double w =
+      std::min(a.x_max, b.x_max) - std::max(a.x_min, b.x_min);
+  const double h =
+      std::min(a.y_max, b.y_max) - std::max(a.y_min, b.y_min);
+  if (w <= 0.0 || h <= 0.0) return 0.0;
+  return w * h;
+}
+
+double Iou(const Box2D& a, const Box2D& b) {
+  const double inter = IntersectionArea(a, b);
+  if (inter <= 0.0) return 0.0;
+  const double uni = a.Area() + b.Area() - inter;
+  return uni > 0.0 ? inter / uni : 0.0;
+}
+
+double Coverage(const Box2D& a, const Box2D& b) {
+  const double area = a.Area();
+  if (area <= 0.0) return 0.0;
+  return IntersectionArea(a, b) / area;
+}
+
+Box2D MeanBox(std::span<const Box2D> boxes) {
+  Check(!boxes.empty(), "MeanBox of empty span");
+  Box2D mean;
+  for (const auto& b : boxes) {
+    mean.x_min += b.x_min;
+    mean.y_min += b.y_min;
+    mean.x_max += b.x_max;
+    mean.y_max += b.y_max;
+  }
+  const double n = static_cast<double>(boxes.size());
+  mean.x_min /= n;
+  mean.y_min /= n;
+  mean.x_max /= n;
+  mean.y_max /= n;
+  return mean;
+}
+
+void Camera::Project(double x, double y, double z, double& u,
+                     double& v) const {
+  Check(z > 0.0, "Camera::Project requires z > 0");
+  u = image_width / 2.0 + focal_length * x / z;
+  // Image v grows downward while world y grows upward.
+  v = image_height / 2.0 - focal_length * y / z;
+}
+
+Box2D Camera::ProjectBox(const Box3D& box) const {
+  const double z_near = box.z - box.depth / 2.0;
+  if (z_near <= 0.1) return Box2D{};  // behind or grazing the camera
+  double u_min = 1e300, v_min = 1e300, u_max = -1e300, v_max = -1e300;
+  for (int dx = -1; dx <= 1; dx += 2) {
+    for (int dy = -1; dy <= 1; dy += 2) {
+      for (int dz = -1; dz <= 1; dz += 2) {
+        const double cx = box.x + dx * box.width / 2.0;
+        const double cy = box.y + dy * box.height / 2.0;
+        const double cz = std::max(box.z + dz * box.depth / 2.0, 0.1);
+        double u, v;
+        Project(cx, cy, cz, u, v);
+        u_min = std::min(u_min, u);
+        v_min = std::min(v_min, v);
+        u_max = std::max(u_max, u);
+        v_max = std::max(v_max, v);
+      }
+    }
+  }
+  Box2D out{std::max(u_min, 0.0), std::max(v_min, 0.0),
+            std::min(u_max, image_width), std::min(v_max, image_height)};
+  if (!out.Valid()) return Box2D{};
+  return out;
+}
+
+std::vector<Detection> Nms(std::vector<Detection> detections,
+                           double iou_threshold) {
+  std::sort(detections.begin(), detections.end(),
+            [](const Detection& a, const Detection& b) {
+              return a.confidence > b.confidence;
+            });
+  std::vector<Detection> kept;
+  for (auto& candidate : detections) {
+    bool suppressed = false;
+    for (const auto& winner : kept) {
+      if (winner.label == candidate.label &&
+          Iou(winner.box, candidate.box) > iou_threshold) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) kept.push_back(std::move(candidate));
+  }
+  return kept;
+}
+
+}  // namespace omg::geometry

@@ -1,0 +1,98 @@
+// 2D / 3D axis-aligned boxes, IoU, and non-maximum suppression.
+//
+// These are the geometric primitives behind the paper's detection pipelines
+// and assertions: `multibox` (three highly-overlapping boxes), `flicker`
+// (box association across frames) and `agree` (3D LIDAR boxes projected onto
+// the camera plane must overlap 2D detections).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace omg::geometry {
+
+/// Axis-aligned 2D box in pixel coordinates, [x_min, x_max) x [y_min, y_max).
+struct Box2D {
+  double x_min = 0.0;
+  double y_min = 0.0;
+  double x_max = 0.0;
+  double y_max = 0.0;
+
+  double Width() const { return x_max - x_min; }
+  double Height() const { return y_max - y_min; }
+  double Area() const;
+  double CenterX() const { return 0.5 * (x_min + x_max); }
+  double CenterY() const { return 0.5 * (y_min + y_max); }
+  bool Valid() const { return x_max > x_min && y_max > y_min; }
+
+  /// Box translated by (dx, dy).
+  Box2D Translated(double dx, double dy) const;
+
+  /// Smallest box containing both this and other.
+  Box2D Union(const Box2D& other) const;
+};
+
+/// Intersection area of two boxes (0 when disjoint).
+double IntersectionArea(const Box2D& a, const Box2D& b);
+
+/// Intersection-over-union in [0, 1].
+double Iou(const Box2D& a, const Box2D& b);
+
+/// Fraction of `a`'s area covered by `b` (intersection / area(a)).
+double Coverage(const Box2D& a, const Box2D& b);
+
+/// Element-wise mean of boxes (used by flicker weak-label imputation, which
+/// averages an object's location on nearby frames). Requires non-empty input.
+Box2D MeanBox(std::span<const Box2D> boxes);
+
+/// Axis-aligned 3D box (e.g. a LIDAR detection) in ego/world coordinates.
+/// x is right, y is up, z is forward (depth away from the camera).
+struct Box3D {
+  double x = 0.0;  ///< center
+  double y = 0.0;  ///< center
+  double z = 0.0;  ///< center (depth, > 0 means in front of the camera)
+  double width = 0.0;   ///< extent along x
+  double height = 0.0;  ///< extent along y
+  double depth = 0.0;   ///< extent along z
+
+  double Volume() const { return width * height * depth; }
+};
+
+/// Pinhole camera model used to project 3D boxes to the image plane for the
+/// `agree` assertion (§2.2: "projects the 3D boxes onto the 2D camera plane").
+struct Camera {
+  double focal_length = 800.0;  ///< in pixels
+  double image_width = 1600.0;
+  double image_height = 900.0;
+
+  /// Projects a 3D point to pixel coordinates; the point must be in front of
+  /// the camera (z > 0).
+  void Project(double x, double y, double z, double& u, double& v) const;
+
+  /// Projects a 3D box's 8 corners and returns the bounding 2D box, clipped
+  /// to the image. Returns an invalid (zero-area) box when the object is
+  /// entirely behind the camera or off-screen.
+  Box2D ProjectBox(const Box3D& box) const;
+};
+
+/// A scored, classified detection; the common output type of the simulated
+/// detectors.
+struct Detection {
+  Box2D box;
+  std::string label = "car";
+  double confidence = 0.0;
+  /// Ground-truth object index this detection came from, or -1 for a false
+  /// positive. Only the simulator and the evaluation harness read this; the
+  /// models and assertions never do.
+  std::int64_t truth_id = -1;
+};
+
+/// Greedy non-maximum suppression: keeps the highest-confidence detection and
+/// drops any remaining detection with IoU > `iou_threshold` against a kept
+/// one. Returns kept detections sorted by descending confidence.
+std::vector<Detection> Nms(std::vector<Detection> detections,
+                           double iou_threshold);
+
+}  // namespace omg::geometry

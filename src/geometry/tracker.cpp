@@ -1,0 +1,70 @@
+#include "geometry/tracker.hpp"
+
+#include <algorithm>
+
+namespace omg::geometry {
+
+IouTracker::IouTracker(TrackerConfig config) : config_(config) {}
+
+std::vector<TrackedDetection> IouTracker::Update(
+    std::span<const Detection> detections) {
+  // Candidate (track, detection, iou) triples above the matching threshold.
+  struct Candidate {
+    std::size_t track_index;
+    std::size_t det_index;
+    double iou;
+  };
+  std::vector<Candidate> candidates;
+  for (std::size_t t = 0; t < tracks_.size(); ++t) {
+    for (std::size_t d = 0; d < detections.size(); ++d) {
+      const double iou = Iou(tracks_[t].last_box, detections[d].box);
+      if (iou >= config_.min_iou) candidates.push_back({t, d, iou});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.iou > b.iou;
+            });
+
+  std::vector<bool> track_matched(tracks_.size(), false);
+  std::vector<std::int64_t> det_track(detections.size(), -1);
+  for (const auto& c : candidates) {
+    if (track_matched[c.track_index] || det_track[c.det_index] != -1) {
+      continue;
+    }
+    track_matched[c.track_index] = true;
+    det_track[c.det_index] = tracks_[c.track_index].id;
+    tracks_[c.track_index].last_box = detections[c.det_index].box;
+    tracks_[c.track_index].label = detections[c.det_index].label;
+    tracks_[c.track_index].frames_since_match = 0;
+  }
+
+  // Unmatched detections start new tracks.
+  std::vector<TrackedDetection> out;
+  out.reserve(detections.size());
+  for (std::size_t d = 0; d < detections.size(); ++d) {
+    if (det_track[d] == -1) {
+      tracks_.push_back(Track{next_track_id_, detections[d].box,
+                              detections[d].label, 0});
+      det_track[d] = next_track_id_;
+      ++next_track_id_;
+    }
+    out.push_back(TrackedDetection{detections[d], det_track[d]});
+  }
+
+  // Age unmatched tracks and retire the stale ones.
+  for (std::size_t t = 0; t < track_matched.size(); ++t) {
+    if (!track_matched[t]) ++tracks_[t].frames_since_match;
+  }
+  std::erase_if(tracks_, [this](const Track& track) {
+    return track.frames_since_match > config_.max_coast_frames;
+  });
+  return out;
+}
+
+void IouTracker::Reset() {
+  tracks_.clear();
+  next_track_id_ = 0;
+}
+
+}  // namespace omg::geometry

@@ -1,0 +1,69 @@
+// Dense row-major matrix used by the neural-network substrate.
+//
+// This is deliberately a small, double-precision, single-threaded matrix:
+// the models in this reproduction are tiny (tens of units), and double
+// precision keeps training bit-reproducible across platforms.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace omg::nn {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// rows x cols matrix, zero-initialised.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// rows x cols matrix with the given (row-major) contents.
+  Matrix(std::size_t rows, std::size_t cols, std::vector<double> data);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+
+  double& At(std::size_t r, std::size_t c);
+  double At(std::size_t r, std::size_t c) const;
+
+  /// View of row `r`.
+  std::span<double> Row(std::size_t r);
+  std::span<const double> Row(std::size_t r) const;
+
+  /// Raw storage (row-major).
+  std::span<double> Data() { return data_; }
+  std::span<const double> Data() const { return data_; }
+
+  /// Sets every element to zero.
+  void SetZero();
+
+  /// this += scale * other (same shape).
+  void AddScaled(const Matrix& other, double scale);
+
+  /// Returns this * other. Requires cols() == other.rows().
+  Matrix MatMul(const Matrix& other) const;
+
+  /// Returns transpose(this) * other. Requires rows() == other.rows().
+  Matrix TransposedMatMul(const Matrix& other) const;
+
+  /// Returns this * transpose(other). Requires cols() == other.cols().
+  Matrix MatMulTransposed(const Matrix& other) const;
+
+  /// Frobenius norm squared (used for L2 regularisation).
+  double SquaredNorm() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Builds a matrix whose rows are the given feature vectors (all must have
+/// equal length; the result is 0x0 when `rows` is empty).
+Matrix StackRows(std::span<const std::vector<double>> rows);
+
+}  // namespace omg::nn

@@ -1,0 +1,169 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace omg::nn {
+
+using common::Check;
+
+void Dataset::Add(std::vector<double> feature, std::size_t label,
+                  double weight) {
+  if (weights.empty() && !features.empty() && weight != 1.0) {
+    weights.assign(features.size(), 1.0);
+  }
+  features.push_back(std::move(feature));
+  labels.push_back(label);
+  if (!weights.empty() || weight != 1.0) {
+    if (weights.empty()) weights.assign(features.size() - 1, 1.0);
+    weights.push_back(weight);
+  }
+}
+
+void Dataset::Append(const Dataset& other) {
+  for (std::size_t i = 0; i < other.size(); ++i) {
+    Add(other.features[i], other.labels[i],
+        other.weights.empty() ? 1.0 : other.weights[i]);
+  }
+}
+
+SoftmaxTrainer::SoftmaxTrainer(SgdConfig config) : config_(config) {
+  Check(config_.learning_rate > 0.0, "learning rate must be positive");
+  Check(config_.batch_size > 0, "batch size must be positive");
+}
+
+double SoftmaxTrainer::Train(Mlp& model, const Dataset& data,
+                             common::Rng& rng) {
+  if (data.empty()) return 0.0;
+  Check(data.features.size() == data.labels.size(),
+        "Dataset features/labels size mismatch");
+  if (weight_velocity_.size() != model.weights().size()) {
+    weight_velocity_.clear();
+    bias_velocity_.clear();
+    for (const auto& w : model.weights()) {
+      weight_velocity_.emplace_back(w.rows(), w.cols());
+    }
+    for (const auto& b : model.biases()) {
+      bias_velocity_.emplace_back(b.rows(), b.cols());
+    }
+  }
+
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  double last_epoch_loss = 0.0;
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    double epoch_loss = 0.0;
+    for (std::size_t start = 0; start < order.size();
+         start += config_.batch_size) {
+      const std::size_t end =
+          std::min(start + config_.batch_size, order.size());
+      epoch_loss += Step(model, data,
+                         std::span<const std::size_t>(order).subspan(
+                             start, end - start));
+    }
+    last_epoch_loss = epoch_loss / static_cast<double>(data.size());
+  }
+  return last_epoch_loss;
+}
+
+double SoftmaxTrainer::Step(Mlp& model, const Dataset& data,
+                            std::span<const std::size_t> batch) {
+  const std::size_t n = batch.size();
+  const std::size_t num_classes = model.config().num_classes;
+
+  Matrix x(n, model.config().input_dim);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto& f = data.features[batch[r]];
+    Check(f.size() == model.config().input_dim, "feature dim mismatch");
+    std::copy(f.begin(), f.end(), x.Row(r).begin());
+  }
+
+  std::vector<Matrix> activations;
+  Matrix logits = model.Forward(x, &activations);
+  Matrix proba = logits;
+  SoftmaxRows(proba);
+
+  // dL/dlogits = weight * (p - onehot) / n, and the summed batch loss.
+  double batch_loss = 0.0;
+  Matrix dlogits(n, num_classes);
+  for (std::size_t r = 0; r < n; ++r) {
+    const std::size_t label = data.labels[batch[r]];
+    Check(label < num_classes, "label out of range");
+    const double w =
+        data.weights.empty() ? 1.0 : data.weights[batch[r]];
+    const auto p = proba.Row(r);
+    batch_loss += -w * std::log(std::max(p[label], 1e-12));
+    auto d = dlogits.Row(r);
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      d[c] = w * (p[c] - (c == label ? 1.0 : 0.0)) /
+             static_cast<double>(n);
+    }
+  }
+
+  // Backprop through the dense/ReLU stack.
+  const auto& weights = model.weights();
+  std::vector<Matrix> grad_w(weights.size());
+  std::vector<Matrix> grad_b(weights.size());
+  Matrix delta = std::move(dlogits);
+  for (std::size_t l = weights.size(); l-- > 0;) {
+    const Matrix& input =
+        (l == 0) ? x : activations[l - 1];  // post-activation of layer l-1
+    grad_w[l] = input.TransposedMatMul(delta);
+    grad_b[l] = Matrix(1, delta.cols());
+    for (std::size_t r = 0; r < delta.rows(); ++r) {
+      const auto d = delta.Row(r);
+      auto g = grad_b[l].Row(0);
+      for (std::size_t c = 0; c < d.size(); ++c) g[c] += d[c];
+    }
+    if (l > 0) {
+      Matrix next = delta.MatMulTransposed(weights[l]);
+      // ReLU mask of the layer below.
+      const Matrix& act = activations[l - 1];
+      for (std::size_t i = 0; i < next.size(); ++i) {
+        if (act.Data()[i] <= 0.0) next.Data()[i] = 0.0;
+      }
+      delta = std::move(next);
+    }
+  }
+
+  // SGD with momentum and L2 weight decay (decay on weights only).
+  for (std::size_t l = 0; l < weights.size(); ++l) {
+    grad_w[l].AddScaled(model.weights()[l], config_.l2);
+    weight_velocity_[l].AddScaled(weight_velocity_[l],
+                                  config_.momentum - 1.0);  // v *= momentum
+    weight_velocity_[l].AddScaled(grad_w[l], -config_.learning_rate);
+    model.weights()[l].AddScaled(weight_velocity_[l], 1.0);
+
+    bias_velocity_[l].AddScaled(bias_velocity_[l], config_.momentum - 1.0);
+    bias_velocity_[l].AddScaled(grad_b[l], -config_.learning_rate);
+    model.biases()[l].AddScaled(bias_velocity_[l], 1.0);
+  }
+  return batch_loss;
+}
+
+double SoftmaxTrainer::Loss(const Mlp& model, const Dataset& data) const {
+  if (data.empty()) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto proba = model.PredictProba(data.features[i]);
+    const double w = data.weights.empty() ? 1.0 : data.weights[i];
+    total += -w * std::log(std::max(proba[data.labels[i]], 1e-12));
+  }
+  return total / static_cast<double>(data.size());
+}
+
+double Accuracy(const Mlp& model, const Dataset& data) {
+  if (data.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (model.Predict(data.features[i]) == data.labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+}  // namespace omg::nn

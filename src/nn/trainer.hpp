@@ -1,0 +1,70 @@
+// Minibatch SGD training for Mlp with softmax cross-entropy loss.
+//
+// Supports per-example weights so weak labels (§5.5 of the paper) can be
+// down-weighted relative to human labels.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/matrix.hpp"
+#include "nn/mlp.hpp"
+
+namespace omg::nn {
+
+/// A labeled classification dataset: one feature row per example.
+struct Dataset {
+  std::vector<std::vector<double>> features;
+  std::vector<std::size_t> labels;
+  /// Optional per-example weights; empty means all 1.0.
+  std::vector<double> weights;
+
+  std::size_t size() const { return features.size(); }
+  bool empty() const { return features.empty(); }
+
+  /// Appends one example.
+  void Add(std::vector<double> feature, std::size_t label,
+           double weight = 1.0);
+
+  /// Appends all examples of `other`.
+  void Append(const Dataset& other);
+};
+
+/// Hyper-parameters for SGD with momentum.
+struct SgdConfig {
+  double learning_rate = 0.05;
+  double momentum = 0.9;
+  double l2 = 1e-4;
+  std::size_t batch_size = 32;
+  std::size_t epochs = 10;
+};
+
+/// Trains an Mlp in place and reports the loss trajectory.
+class SoftmaxTrainer {
+ public:
+  explicit SoftmaxTrainer(SgdConfig config);
+
+  /// Runs `config.epochs` passes over `data`, shuffling each epoch with
+  /// `rng`. Returns the mean weighted cross-entropy of the final epoch.
+  double Train(Mlp& model, const Dataset& data, common::Rng& rng);
+
+  /// Mean weighted cross-entropy of `model` on `data` (no update).
+  double Loss(const Mlp& model, const Dataset& data) const;
+
+ private:
+  /// One gradient step on the batch rows indexed by `batch`. Returns the
+  /// summed weighted cross-entropy over the batch.
+  double Step(Mlp& model, const Dataset& data,
+              std::span<const std::size_t> batch);
+
+  SgdConfig config_;
+  std::vector<Matrix> weight_velocity_;
+  std::vector<Matrix> bias_velocity_;
+};
+
+/// Classification accuracy of `model` on `data` (unweighted).
+double Accuracy(const Mlp& model, const Dataset& data);
+
+}  // namespace omg::nn

@@ -1,0 +1,74 @@
+#include "video/assertions.hpp"
+
+#include <string>
+
+namespace omg::video {
+
+double MultiboxSeverity(std::span<const geometry::Detection> detections,
+                        double iou) {
+  const std::size_t n = detections.size();
+  double triples = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (geometry::Iou(detections[i].box, detections[j].box) <= iou) {
+        continue;
+      }
+      for (std::size_t k = j + 1; k < n; ++k) {
+        if (geometry::Iou(detections[i].box, detections[k].box) > iou &&
+            geometry::Iou(detections[j].box, detections[k].box) > iou) {
+          triples += 1.0;
+        }
+      }
+    }
+  }
+  return triples;
+}
+
+core::ConsistencyExtraction ExtractVideoRecords(
+    std::span<const VideoExample> examples,
+    const geometry::TrackerConfig& tracker_config) {
+  core::ConsistencyExtraction extraction;
+  geometry::IouTracker tracker(tracker_config);
+  for (std::size_t e = 0; e < examples.size(); ++e) {
+    extraction.frames.push_back(
+        core::ConsistencyFrame{e, examples[e].timestamp, "video"});
+    const auto tracked = tracker.Update(examples[e].detections);
+    for (std::size_t d = 0; d < tracked.size(); ++d) {
+      core::ConsistencyRecord record;
+      record.example_index = e;
+      record.output_index = static_cast<std::int64_t>(d);
+      record.timestamp = examples[e].timestamp;
+      record.group = "video";
+      record.identifier = "track-" + std::to_string(tracked[d].track_id);
+      // The detected class is the consistency attribute (§4.1); with a
+      // single class it never mismatches but documents the API shape.
+      record.attributes.emplace_back("class", tracked[d].detection.label);
+      extraction.records.push_back(std::move(record));
+    }
+  }
+  return extraction;
+}
+
+VideoSuite BuildVideoSuite(const VideoAssertionConfig& config) {
+  VideoSuite built;
+  built.suite.AddPointwise(
+      "multibox", [iou = config.multibox_iou](const VideoExample& example) {
+        return MultiboxSeverity(example.detections, iou);
+      });
+
+  core::ConsistencyConfig consistency;
+  consistency.temporal_threshold = config.temporal_threshold;
+  // No attribute keys: with one class the generated columns are exactly
+  // {flicker, appear}.
+  built.consistency = core::AddConsistencyAssertion<VideoExample>(
+      built.suite, consistency,
+      [tracker = config.tracker](std::span<const VideoExample> examples) {
+        return ExtractVideoRecords(examples, tracker);
+      });
+  built.multibox_index = 0;
+  built.flicker_index = built.suite.IndexOf("flicker");
+  built.appear_index = built.suite.IndexOf("appear");
+  return built;
+}
+
+}  // namespace omg::video

@@ -1,0 +1,78 @@
+#include "video/detector.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace omg::video {
+
+namespace {
+
+nn::MlpConfig MakeMlpConfig(const DetectorConfig& config,
+                            std::size_t feature_dim) {
+  nn::MlpConfig mlp;
+  mlp.input_dim = feature_dim;
+  mlp.hidden = config.hidden;
+  mlp.num_classes = 2;
+  return mlp;
+}
+
+}  // namespace
+
+SsdDetector::SsdDetector(DetectorConfig config, std::size_t feature_dim,
+                         std::uint64_t seed)
+    : config_(std::move(config)),
+      train_rng_(seed),
+      model_(MakeMlpConfig(config_, feature_dim), train_rng_) {}
+
+void SsdDetector::Pretrain(const nn::Dataset& data) {
+  nn::SoftmaxTrainer trainer(config_.pretrain_sgd);
+  trainer.Train(model_, data, train_rng_);
+}
+
+void SsdDetector::FineTune(const nn::Dataset& data) {
+  nn::SoftmaxTrainer trainer(config_.finetune_sgd);
+  trainer.Train(model_, data, train_rng_);
+}
+
+double SsdDetector::Score(const Proposal& proposal) const {
+  return model_.PredictProba(proposal.features)[1];
+}
+
+std::vector<geometry::Detection> SsdDetector::DetectWithThreshold(
+    const Frame& frame, double threshold) const {
+  std::vector<geometry::Detection> detections;
+  for (const auto& proposal : frame.proposals) {
+    const double score = Score(proposal);
+    if (score < threshold) continue;
+    geometry::Detection det;
+    det.box = proposal.box;
+    det.label = "car";
+    det.confidence = score;
+    det.truth_id = proposal.truth_id;
+    detections.push_back(std::move(det));
+  }
+  return geometry::Nms(std::move(detections), config_.nms_iou);
+}
+
+std::vector<geometry::Detection> SsdDetector::Detect(
+    const Frame& frame) const {
+  return DetectWithThreshold(frame, config_.confidence_threshold);
+}
+
+std::vector<geometry::Detection> SsdDetector::DetectForEval(
+    const Frame& frame) const {
+  return DetectWithThreshold(frame, config_.eval_threshold);
+}
+
+double SsdDetector::FrameConfidence(const Frame& frame) const {
+  if (frame.proposals.empty()) return 1.0;
+  double total = 0.0;
+  for (const auto& proposal : frame.proposals) {
+    const double p = Score(proposal);
+    total += std::max(p, 1.0 - p);
+  }
+  return total / static_cast<double>(frame.proposals.size());
+}
+
+}  // namespace omg::video

@@ -1,0 +1,415 @@
+#include "video/pipeline.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/check.hpp"
+#include "eval/detection_metrics.hpp"
+#include "eval/stats.hpp"
+
+namespace omg::video {
+
+using common::Check;
+
+VideoPipeline::VideoPipeline(VideoPipelineConfig config)
+    : config_(std::move(config)),
+      world_(config_.world, config_.world_seed),
+      suite_(BuildVideoSuite(config_.assertions)) {
+  pool_ = world_.GenerateFrames(config_.pool_frames);
+  // A gap of frames separates the pool from the test "day".
+  (void)world_.GenerateFrames(50);
+  test_ = world_.GenerateFrames(config_.test_frames);
+  pretrain_set_ = world_.PretrainingSet(config_.pretrain_positives,
+                                        config_.pretrain_negatives);
+  Reset(config_.world_seed ^ 0x9E3779B97F4A7C15ULL);
+}
+
+void VideoPipeline::Reset(std::uint64_t seed) {
+  detector_ = std::make_unique<SsdDetector>(
+      config_.detector, config_.world.feature_dim, seed);
+  detector_->Pretrain(pretrain_set_);
+  labeled_ = nn::Dataset{};
+  suite_.consistency->Invalidate();
+}
+
+std::vector<VideoExample> VideoPipeline::MakeExamples(
+    std::span<const Frame> frames) const {
+  std::vector<VideoExample> examples;
+  examples.reserve(frames.size());
+  for (const auto& frame : frames) {
+    VideoExample example;
+    example.frame_index = frame.index;
+    example.timestamp = frame.timestamp;
+    example.detections = detector_->Detect(frame);
+    examples.push_back(std::move(example));
+  }
+  return examples;
+}
+
+core::SeverityMatrix VideoPipeline::ComputeSeverities() {
+  suite_.consistency->Invalidate();
+  const std::vector<VideoExample> examples = MakeExamples(pool_);
+  return suite_.suite.CheckAll(examples);
+}
+
+std::vector<double> VideoPipeline::Confidences() {
+  std::vector<double> confidences;
+  confidences.reserve(pool_.size());
+  for (const auto& frame : pool_) {
+    confidences.push_back(detector_->FrameConfidence(frame));
+  }
+  return confidences;
+}
+
+void VideoPipeline::LabelAndTrain(std::span<const std::size_t> indices) {
+  for (const std::size_t i : indices) {
+    Check(i < pool_.size(), "label index out of range");
+    labeled_.Append(NightStreetWorld::LabelFrame(pool_[i]));
+  }
+  if (labeled_.empty()) return;
+  // Replay the original training distribution alongside the new labels, as
+  // the paper's retraining procedure does.
+  nn::Dataset combined = pretrain_set_;
+  combined.Append(labeled_);
+  detector_->FineTune(combined);
+}
+
+double VideoPipeline::EvaluateMap(std::span<const Frame> frames) const {
+  std::vector<eval::FrameEval> evals;
+  evals.reserve(frames.size());
+  for (const auto& frame : frames) {
+    eval::FrameEval fe;
+    fe.detections = detector_->DetectForEval(frame);
+    fe.truths = frame.truths;
+    evals.push_back(std::move(fe));
+  }
+  return eval::MeanAveragePrecision(evals);
+}
+
+double VideoPipeline::Evaluate() { return EvaluateMap(test_); }
+
+namespace {
+
+/// Per-frame match info of the deployed detections against ground truth.
+struct FrameErrorInfo {
+  std::vector<bool> detection_correct;
+  bool has_false_positive = false;
+  bool has_missed_truth = false;
+};
+
+FrameErrorInfo AnalyzeFrameErrors(const Frame& frame,
+                                  const VideoExample& example) {
+  eval::FrameEval fe;
+  fe.detections = example.detections;
+  fe.truths = frame.truths;
+  const eval::MatchResult match = eval::MatchFrame(fe);
+  FrameErrorInfo info;
+  info.detection_correct = match.detection_correct;
+  for (const bool correct : match.detection_correct) {
+    if (!correct) info.has_false_positive = true;
+  }
+  for (const bool matched : match.truth_matched) {
+    if (!matched) info.has_missed_truth = true;
+  }
+  return info;
+}
+
+/// Best-IoU proposal index for a box, or -1 when nothing overlaps >= 0.3.
+std::int64_t FindProposal(const Frame& frame, const geometry::Box2D& box) {
+  double best = 0.3;
+  std::int64_t best_index = -1;
+  for (std::size_t p = 0; p < frame.proposals.size(); ++p) {
+    const double iou = geometry::Iou(frame.proposals[p].box, box);
+    if (iou >= best) {
+      best = iou;
+      best_index = static_cast<std::int64_t>(p);
+    }
+  }
+  return best_index;
+}
+
+}  // namespace
+
+WeakSupervisionResult RunVideoWeakSupervision(VideoPipeline& pipeline,
+                                              std::size_t flicker_frames,
+                                              std::size_t random_frames,
+                                              std::uint64_t seed) {
+  common::Rng rng(seed);
+  pipeline.Reset(seed);
+  WeakSupervisionResult result;
+  result.pretrained_metric = pipeline.Evaluate();
+
+  VideoSuite& suite = pipeline.suite();
+  suite.consistency->Invalidate();
+  const std::vector<VideoExample> examples =
+      pipeline.MakeExamples(pipeline.pool());
+  const core::SeverityMatrix severities = suite.suite.CheckAll(examples);
+  const auto& corrections = suite.consistency->Corrections(examples);
+  const auto& records = suite.consistency->LatestRecords();
+
+  // Pick the frame subset: flicker-flagged frames plus random fillers.
+  std::vector<std::size_t> flagged =
+      severities.ExamplesFiring(suite.flicker_index);
+  rng.Shuffle(flagged);
+  if (flagged.size() > flicker_frames) flagged.resize(flicker_frames);
+  std::set<std::size_t> chosen(flagged.begin(), flagged.end());
+  result.flagged_frames_used = chosen.size();
+  std::vector<std::size_t> everyone(pipeline.pool().size());
+  for (std::size_t i = 0; i < everyone.size(); ++i) everyone[i] = i;
+  rng.Shuffle(everyone);
+  for (const std::size_t i : everyone) {
+    if (result.random_frames_used == random_frames) break;
+    if (chosen.insert(i).second) ++result.random_frames_used;
+  }
+
+  // Corrections -> weak labels.
+  nn::Dataset weak;
+  for (const auto& correction : corrections) {
+    if (!chosen.contains(correction.example_index)) continue;
+    const Frame& frame = pipeline.pool()[correction.example_index];
+    if (correction.kind == core::CorrectionKind::kAddOutput) {
+      // The WeakLabel rule: impute the box by averaging the identifier's
+      // adjacent occurrences, then mark the matching proposal positive.
+      std::vector<geometry::Box2D> support_boxes;
+      for (const std::size_t r : correction.support_records) {
+        const auto& record = records[r];
+        const auto& source = examples[record.example_index];
+        if (record.output_index >= 0 &&
+            static_cast<std::size_t>(record.output_index) <
+                source.detections.size()) {
+          support_boxes.push_back(
+              source.detections[record.output_index].box);
+        }
+      }
+      if (support_boxes.empty()) continue;
+      const geometry::Box2D imputed = geometry::MeanBox(support_boxes);
+      const std::int64_t p = FindProposal(frame, imputed);
+      if (p < 0) continue;
+      weak.Add(frame.proposals[static_cast<std::size_t>(p)].features, 1,
+               1.0);
+      ++result.weak_positives;
+    } else if (correction.kind == core::CorrectionKind::kRemoveOutput) {
+      const auto& example = examples[correction.example_index];
+      if (correction.output_index < 0 ||
+          static_cast<std::size_t>(correction.output_index) >=
+              example.detections.size()) {
+        continue;
+      }
+      const std::int64_t p = FindProposal(
+          frame, example.detections[correction.output_index].box);
+      if (p < 0) continue;
+      weak.Add(frame.proposals[static_cast<std::size_t>(p)].features, 0,
+               1.0);
+      ++result.weak_negatives;
+    }
+  }
+
+  // Fine-tune on the weak labels with the original training data replayed
+  // at reduced weight — the paper fine-tunes the pretrained SSD at a tiny
+  // learning rate for the same reason: the weak labels must shift the
+  // model without erasing what it already knows.
+  if (!weak.empty()) {
+    nn::Dataset combined;
+    for (std::size_t i = 0; i < pipeline.pretrain_set().size(); ++i) {
+      combined.Add(pipeline.pretrain_set().features[i],
+                   pipeline.pretrain_set().labels[i], 0.5);
+    }
+    combined.Append(weak);
+    pipeline.detector().FineTune(combined);
+  }
+  result.weakly_supervised_metric = pipeline.Evaluate();
+  return result;
+}
+
+std::vector<HighConfidenceErrors> AnalyzeHighConfidenceErrors(
+    VideoPipeline& pipeline, std::size_t top_k) {
+  VideoSuite& suite = pipeline.suite();
+  suite.consistency->Invalidate();
+  const std::vector<VideoExample> examples =
+      pipeline.MakeExamples(pipeline.pool());
+  const core::SeverityMatrix severities = suite.suite.CheckAll(examples);
+  const auto& corrections = suite.consistency->Corrections(examples);
+  const auto& records = suite.consistency->LatestRecords();
+
+  // All deployed detection confidences (the reference population).
+  std::vector<double> all_confidences;
+  std::vector<FrameErrorInfo> frame_errors(examples.size());
+  for (std::size_t e = 0; e < examples.size(); ++e) {
+    for (const auto& det : examples[e].detections) {
+      all_confidences.push_back(det.confidence);
+    }
+    frame_errors[e] = AnalyzeFrameErrors(pipeline.pool()[e], examples[e]);
+  }
+
+  const double multibox_iou = pipeline.config().assertions.multibox_iou;
+  std::vector<double> multibox_confidences;
+  std::vector<double> appear_confidences;
+  std::vector<double> flicker_confidences;
+
+  // multibox: false-positive detections participating in an overlap triple.
+  for (std::size_t e = 0; e < examples.size(); ++e) {
+    if (!severities.Fired(e, suite.multibox_index)) continue;
+    const auto& dets = examples[e].detections;
+    for (std::size_t i = 0; i < dets.size(); ++i) {
+      if (frame_errors[e].detection_correct[i]) continue;
+      std::size_t overlapping = 0;
+      for (std::size_t j = 0; j < dets.size(); ++j) {
+        if (j != i && geometry::Iou(dets[i].box, dets[j].box) >
+                          multibox_iou) {
+          ++overlapping;
+        }
+      }
+      if (overlapping >= 2) {
+        multibox_confidences.push_back(dets[i].confidence);
+      }
+    }
+  }
+
+  // appear / flicker: from the consistency corrections.
+  for (const auto& correction : corrections) {
+    const std::size_t e = correction.example_index;
+    if (correction.kind == core::CorrectionKind::kRemoveOutput) {
+      if (correction.output_index < 0 ||
+          static_cast<std::size_t>(correction.output_index) >=
+              examples[e].detections.size()) {
+        continue;
+      }
+      // Only genuine errors (false positives) count as caught errors.
+      if (!frame_errors[e]
+               .detection_correct[static_cast<std::size_t>(
+                   correction.output_index)]) {
+        appear_confidences.push_back(
+            examples[e].detections[correction.output_index].confidence);
+      }
+    } else if (correction.kind == core::CorrectionKind::kAddOutput) {
+      if (!frame_errors[e].has_missed_truth) continue;
+      // A missing box has no confidence of its own; the paper uses the
+      // average of the surrounding boxes of the same track.
+      std::vector<double> support;
+      for (const std::size_t r : correction.support_records) {
+        const auto& record = records[r];
+        if (record.output_index >= 0 &&
+            static_cast<std::size_t>(record.output_index) <
+                examples[record.example_index].detections.size()) {
+          support.push_back(examples[record.example_index]
+                                .detections[record.output_index]
+                                .confidence);
+        }
+      }
+      if (!support.empty()) {
+        flicker_confidences.push_back(eval::Mean(support));
+      }
+    }
+  }
+
+  auto to_rows = [&](std::string name, std::vector<double> confidences) {
+    std::sort(confidences.rbegin(), confidences.rend());
+    if (confidences.size() > top_k) confidences.resize(top_k);
+    HighConfidenceErrors row;
+    row.assertion = std::move(name);
+    for (const double c : confidences) {
+      row.percentiles.push_back(
+          eval::PercentileRank(all_confidences, c));
+    }
+    return row;
+  };
+  return {to_rows("appear", std::move(appear_confidences)),
+          to_rows("multibox", std::move(multibox_confidences)),
+          to_rows("flicker", std::move(flicker_confidences))};
+}
+
+std::vector<AssertionPrecisionSample> MeasureVideoAssertionPrecision(
+    VideoPipeline& pipeline, std::size_t sample_size, std::uint64_t seed) {
+  common::Rng rng(seed);
+  VideoSuite& suite = pipeline.suite();
+  suite.consistency->Invalidate();
+  const std::vector<VideoExample> examples =
+      pipeline.MakeExamples(pipeline.pool());
+  const core::SeverityMatrix severities = suite.suite.CheckAll(examples);
+
+  std::vector<FrameErrorInfo> frame_errors(examples.size());
+  for (std::size_t e = 0; e < examples.size(); ++e) {
+    frame_errors[e] = AnalyzeFrameErrors(pipeline.pool()[e], examples[e]);
+  }
+
+  // Number of pool frames each ground-truth car is visible in; used to
+  // distinguish genuine brief appearances from tracker identifier breaks.
+  std::map<std::int64_t, std::size_t> truth_visibility;
+  for (const auto& frame : pipeline.pool()) {
+    for (const std::int64_t id : frame.truth_ids) ++truth_visibility[id];
+  }
+  const double fps = pipeline.config().world.fps;
+  const double threshold = pipeline.config().assertions.temporal_threshold;
+  const auto brief_truth = [&](std::int64_t id) {
+    const auto it = truth_visibility.find(id);
+    return it != truth_visibility.end() &&
+           static_cast<double>(it->second) < threshold * fps + 1.0;
+  };
+
+  std::vector<AssertionPrecisionSample> out;
+  const auto names = suite.suite.Names();
+  for (std::size_t a = 0; a < names.size(); ++a) {
+    AssertionPrecisionSample sample;
+    sample.assertion = names[a];
+    std::vector<std::size_t> fired = severities.ExamplesFiring(a);
+    rng.Shuffle(fired);
+    if (fired.size() > sample_size) fired.resize(sample_size);
+    sample.sampled = fired.size();
+    for (const std::size_t e : fired) {
+      bool output_error = false;
+      bool with_identifier = false;
+      if (names[a] == "multibox") {
+        // Correct catch: a false positive participates in an overlap stack.
+        const auto& dets = examples[e].detections;
+        for (std::size_t i = 0; i < dets.size() && !output_error; ++i) {
+          if (frame_errors[e].detection_correct[i]) continue;
+          for (std::size_t j = 0; j < dets.size(); ++j) {
+            if (j != i &&
+                geometry::Iou(dets[i].box, dets[j].box) >
+                    pipeline.config().assertions.multibox_iou) {
+              output_error = true;
+              break;
+            }
+          }
+        }
+        with_identifier = output_error;
+      } else if (names[a] == "flicker") {
+        output_error = frame_errors[e].has_missed_truth;
+        // A flicker firing with no missed truth means the tracker broke the
+        // identifier — an identification-function error, counted by the
+        // laxer Table 3 column.
+        with_identifier = true;
+      } else if (names[a] == "appear") {
+        // A brief track is an error when it is a false positive, or when
+        // it is the visible sliver of a car the model keeps missing — the
+        // adjacent frames then show the misses.
+        output_error = frame_errors[e].has_false_positive ||
+                       (e > 0 && frame_errors[e - 1].has_missed_truth) ||
+                       (e + 1 < examples.size() &&
+                        frame_errors[e + 1].has_missed_truth);
+        if (output_error) {
+          with_identifier = true;
+        } else {
+          // No false positive: the brief track covers a real car. If that
+          // car is genuinely short-lived the assertion was simply wrong;
+          // otherwise the tracker split a long-lived car's identity.
+          bool genuine_brief = false;
+          for (const auto& det : examples[e].detections) {
+            if (det.truth_id >= 0 && brief_truth(det.truth_id)) {
+              genuine_brief = true;
+              break;
+            }
+          }
+          with_identifier = !genuine_brief;
+        }
+      }
+      if (output_error) ++sample.correct_model_output;
+      if (with_identifier) ++sample.correct_with_identifier;
+    }
+    out.push_back(std::move(sample));
+  }
+  return out;
+}
+
+}  // namespace omg::video

@@ -1,0 +1,149 @@
+// Synthetic "night-street" traffic world — the video-analytics substrate.
+//
+// The paper deploys an SSD object detector (pretrained on MS-COCO still
+// images) on the night-street traffic video and observes systematic errors:
+// cars flicker in and out of detections (Figure 1), spurious boxes overlap
+// real ones (multibox, Figure 7), and some errors carry high confidence
+// (Figure 3). This simulator reproduces those mechanisms without pixels:
+//
+//   * Cars drive across a multi-lane road; each frame yields ground-truth
+//     boxes plus *proposals* (candidate regions with feature vectors) that a
+//     trainable scoring model (video/detector.hpp) turns into detections.
+//   * Sub-populations drive the systematic errors. "Easy" cars match the
+//     daytime pretraining distribution. "Dark" cars sit near the pretrained
+//     decision boundary with high per-frame feature noise, so their
+//     detections flicker. "Reflective" cars spawn short-lived reflection
+//     proposals whose features look exactly like easy cars to the pretrained
+//     model (the distinguishing feature dimension is uninformative in the
+//     pretraining set), producing high-confidence false positives, multibox
+//     stacks, and brief `appear` tracks.
+//   * A small fraction of cars transit only a screen corner for under a
+//     second — genuine brief appearances that bound the `appear` assertion's
+//     precision below 100%, as in Table 3.
+//
+// Labeling a frame reveals the true class of each of its proposals, so
+// training on assertion-flagged frames genuinely teaches the model the
+// feature dimensions that separate dark cars and reflections — this is what
+// makes the active-learning and weak-supervision experiments move.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "eval/detection_metrics.hpp"
+#include "geometry/box.hpp"
+#include "nn/trainer.hpp"
+
+namespace omg::video {
+
+/// Sub-population of a simulated car.
+enum class CarKind {
+  kEasy,        ///< matches the pretraining distribution
+  kDark,        ///< boundary features + high frame noise -> flicker
+  kReflective,  ///< spawns reflection distractors -> multibox/appear
+  kShortTransit ///< genuinely on screen < 1 s (bounds appear precision)
+};
+
+/// One candidate region in a frame, with its (simulated) feature vector.
+struct Proposal {
+  geometry::Box2D box;
+  std::vector<double> features;
+  /// Ground truth of the region; never shown to the model. True for real
+  /// cars (including dark ones), false for background and reflections.
+  bool is_car = false;
+  /// Ground-truth car id, or -1 for background/reflection proposals.
+  std::int64_t truth_id = -1;
+};
+
+/// One simulated frame: proposals (model input) plus ground truth.
+struct Frame {
+  std::size_t index = 0;
+  double timestamp = 0.0;
+  std::vector<Proposal> proposals;
+  std::vector<eval::GroundTruthBox> truths;
+  std::vector<std::int64_t> truth_ids;  ///< parallel to `truths`
+};
+
+/// World parameters. Defaults are the ones used by the benches.
+struct WorldConfig {
+  double fps = 5.0;
+  double frame_width = 1280.0;
+  double frame_height = 720.0;
+  std::size_t num_lanes = 3;
+  /// Expected new cars per frame.
+  double spawn_rate = 0.22;
+  /// Sub-population mix (must sum to <= 1; remainder is easy). The hard
+  /// sub-populations are deliberately rare: random sampling encounters
+  /// them slowly, which is what gives assertion-driven selection its edge.
+  double frac_dark = 0.22;
+  double frac_reflective = 0.10;
+  double frac_short_transit = 0.04;
+  /// Feature dimensionality of proposals.
+  std::size_t feature_dim = 8;
+  /// Expected background-clutter proposals per frame.
+  double clutter_rate = 1.5;
+  /// Probability that a car yields no proposal in a frame (sensor dropout —
+  /// a miss no amount of training fixes).
+  double proposal_dropout = 0.01;
+};
+
+/// Deterministic night-street world.
+class NightStreetWorld {
+ public:
+  NightStreetWorld(WorldConfig config, std::uint64_t seed);
+
+  const WorldConfig& config() const { return config_; }
+
+  /// Generates the next `count` frames of the stream (stateful: cars persist
+  /// across calls).
+  std::vector<Frame> GenerateFrames(std::size_t count);
+
+  /// A "COCO-like" pretraining set: easy-car positives and generic-clutter
+  /// negatives only — no dark cars, no reflections. The feature dimensions
+  /// that distinguish those sub-populations carry no signal here, which is
+  /// exactly why the pretrained model fails on them at deployment.
+  nn::Dataset PretrainingSet(std::size_t positives, std::size_t negatives);
+
+  /// Labels every proposal of `frame` (the human labeler): returns a dataset
+  /// of (features, is_car).
+  static nn::Dataset LabelFrame(const Frame& frame);
+
+ private:
+  struct Car {
+    std::int64_t id;
+    CarKind kind;
+    std::size_t lane;
+    double x;               // center, moves rightward
+    double speed;           // px per frame
+    double length, height;
+    std::size_t archetype = 0;              // dark/reflective cluster id
+    std::vector<double> appearance_offset;  // persistent per-car
+    int reflection_frames_left = 0;         // active reflection burst
+    int reflection_cooldown = 0;            // frames until the next burst
+  };
+
+  void SpawnCars();
+  void StepCars();
+  double LaneSpeed(std::size_t lane) const;
+  geometry::Box2D CarBox(const Car& car) const;
+  std::vector<double> CarFeatures(const Car& car);
+  std::vector<double> ReflectionFeatures(const Car& car);
+  std::vector<double> ClutterFeatures();
+  double LaneY(std::size_t lane) const;
+
+  WorldConfig config_;
+  common::Rng rng_;
+  std::uint64_t lane_speed_salt_ = 0;
+  /// Archetype cluster centres over dims 4+ for the dark and reflective
+  /// sub-populations; shared between pool and test streams so labels on
+  /// pool archetypes generalise to unseen cars of the same archetype.
+  std::vector<std::vector<double>> dark_archetypes_;
+  std::vector<std::vector<double>> reflection_archetypes_;
+  std::vector<Car> cars_;
+  std::int64_t next_car_id_ = 0;
+  std::size_t frame_index_ = 0;
+};
+
+}  // namespace omg::video

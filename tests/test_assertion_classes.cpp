@@ -1,0 +1,171 @@
+// Tests for the input-validation and perturbation assertion classes
+// (Appendix B / Table 5 of the paper), including an end-to-end perturbation
+// check against the ECG classifier.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/assertion_classes.hpp"
+#include "ecg/ecg.hpp"
+
+namespace omg::core {
+namespace {
+
+struct Input {
+  std::vector<double> features;
+  int output = 0;
+};
+
+TEST(InputSchema, DimensionChecked) {
+  InputSchema schema;
+  schema.ExpectDimension(3);
+  EXPECT_DOUBLE_EQ(schema.Violations(std::vector<double>{1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(schema.Violations(std::vector<double>{1, 2}), 1.0);
+}
+
+TEST(InputSchema, RangeChecked) {
+  InputSchema schema;
+  FieldConstraint c;
+  c.name = "age";
+  c.index = 0;
+  c.min = 0.0;
+  c.max = 120.0;
+  schema.Field(c);
+  EXPECT_DOUBLE_EQ(schema.Violations(std::vector<double>{42.0}), 0.0);
+  EXPECT_DOUBLE_EQ(schema.Violations(std::vector<double>{-1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(schema.Violations(std::vector<double>{150.0}), 1.0);
+}
+
+TEST(InputSchema, BooleanFieldRejectsNonBinary) {
+  InputSchema schema;
+  schema.BooleanField("flag", 0);
+  EXPECT_DOUBLE_EQ(schema.Violations(std::vector<double>{0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(schema.Violations(std::vector<double>{1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(schema.Violations(std::vector<double>{0.5}), 1.0);
+  EXPECT_DOUBLE_EQ(schema.Violations(std::vector<double>{-1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(schema.Violations(std::vector<double>{2.0}), 1.0);
+}
+
+TEST(InputSchema, NonFiniteRejected) {
+  InputSchema schema;
+  FieldConstraint c;
+  c.name = "x";
+  c.index = 0;
+  schema.Field(c);
+  EXPECT_DOUBLE_EQ(
+      schema.Violations(std::vector<double>{
+          std::numeric_limits<double>::quiet_NaN()}),
+      1.0);
+  EXPECT_DOUBLE_EQ(schema.Violations(std::vector<double>{
+                       std::numeric_limits<double>::infinity()}),
+                   1.0);
+}
+
+TEST(InputSchema, MissingFieldCounts) {
+  InputSchema schema;
+  FieldConstraint c;
+  c.name = "x";
+  c.index = 5;
+  schema.Field(c);
+  EXPECT_DOUBLE_EQ(schema.Violations(std::vector<double>{1.0}), 1.0);
+}
+
+TEST(InputSchema, ViolationsAccumulate) {
+  InputSchema schema;
+  schema.ExpectDimension(2);
+  schema.BooleanField("a", 0).BooleanField("b", 1);
+  EXPECT_DOUBLE_EQ(schema.Violations(std::vector<double>{0.5, 3.0}), 2.0);
+}
+
+TEST(SchemaAssertion, RegistersAndFires) {
+  AssertionSuite<Input> suite;
+  InputSchema schema;
+  schema.BooleanField("flag", 0);
+  AddSchemaAssertion<Input>(suite, "schema", std::move(schema),
+                            [](const Input& i) { return i.features; });
+  const std::vector<Input> stream = {{{1.0}, 0}, {{0.7}, 1}, {{0.0}, 0}};
+  const SeverityMatrix m = suite.CheckAll(stream);
+  EXPECT_FALSE(m.Fired(0, 0));
+  EXPECT_TRUE(m.Fired(1, 0));
+  EXPECT_FALSE(m.Fired(2, 0));
+}
+
+TEST(PerturbationAssertion, CountsDisagreeingVariants) {
+  AssertionSuite<Input> suite;
+  // The "model" is output = sign bucket of feature 0; variants shift the
+  // feature slightly.
+  auto classify = [](const Input& i) { return i.features[0] > 0 ? 1 : 0; };
+  AddPerturbationAssertion<Input>(
+      suite, "noise-stable",
+      [&](const Input& original) {
+        std::vector<Input> variants;
+        for (const double delta : {-0.1, 0.1}) {
+          Input v = original;
+          v.features[0] += delta;
+          v.output = v.features[0] > 0 ? 1 : 0;
+          variants.push_back(std::move(v));
+        }
+        return variants;
+      },
+      [&](const Input& a, const Input& b) {
+        return classify(a) == classify(b);
+      });
+  // Far from the boundary: stable. Near the boundary: the +-0.1 variants
+  // straddle it.
+  const std::vector<Input> stream = {{{5.0}, 1}, {{0.05}, 1}, {{-4.0}, 0}};
+  const SeverityMatrix m = suite.CheckAll(stream);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 1.0);  // the -0.1 variant flips the class
+  EXPECT_DOUBLE_EQ(m.At(2, 0), 0.0);
+}
+
+TEST(PerturbationAssertion, EcgNoiseStabilityEndToEnd) {
+  // Table 5, "Noise" row: small Gaussian noise should not affect time-
+  // series classification. Windows flagged by this assertion should skew
+  // toward the boundary-hugging hard records.
+  ecg::EcgGenerator generator(ecg::EcgConfig{}, 9);
+  const auto windows = generator.GenerateRecords(20);
+  ecg::EcgClassifier classifier(ecg::EcgClassifierConfig{},
+                                ecg::EcgConfig{}.feature_dim, 10);
+  classifier.Pretrain(generator.PretrainingSet(500));
+
+  AssertionSuite<ecg::EcgWindow> suite;
+  auto rng = std::make_shared<common::Rng>(11);
+  AddPerturbationAssertion<ecg::EcgWindow>(
+      suite, "noise-stable",
+      [rng](const ecg::EcgWindow& window) {
+        std::vector<ecg::EcgWindow> variants;
+        for (int v = 0; v < 3; ++v) {
+          ecg::EcgWindow variant = window;
+          for (double& f : variant.features) f += rng->Normal(0.0, 0.05);
+          variants.push_back(std::move(variant));
+        }
+        return variants;
+      },
+      [&classifier](const ecg::EcgWindow& a, const ecg::EcgWindow& b) {
+        return classifier.Predict(a) == classifier.Predict(b);
+      });
+
+  const SeverityMatrix m = suite.CheckAll(windows);
+  std::size_t hard_fired = 0, clean_fired = 0, fired = 0;
+  for (const std::size_t e : m.FlaggedExamples()) {
+    ++fired;
+    if (windows[e].hard_record) {
+      ++hard_fired;
+    } else {
+      ++clean_fired;
+    }
+  }
+  EXPECT_GT(fired, 0u) << "tiny noise should flip some boundary windows";
+  std::size_t hard_total = 0;
+  for (const auto& w : windows) hard_total += w.hard_record ? 1 : 0;
+  // Firing rate on hard windows exceeds the rate on clean windows.
+  const double hard_rate =
+      static_cast<double>(hard_fired) / static_cast<double>(hard_total);
+  const double clean_rate = static_cast<double>(clean_fired) /
+                            static_cast<double>(windows.size() - hard_total);
+  EXPECT_GT(hard_rate, clean_rate);
+}
+
+}  // namespace
+}  // namespace omg::core

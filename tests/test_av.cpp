@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "av/assertions.hpp"
+#include "av/pipeline.hpp"
+#include "av/world.hpp"
+
+namespace omg::av {
+namespace {
+
+AvWorldConfig SmallWorld() { return AvWorldConfig{}; }
+
+TEST(AvWorld, DeterministicGivenSeed) {
+  AvWorld a(SmallWorld(), 7), b(SmallWorld(), 7);
+  const auto sa = a.GenerateScenes(2);
+  const auto sb = b.GenerateScenes(2);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    ASSERT_EQ(sa[i].proposals.size(), sb[i].proposals.size());
+    EXPECT_EQ(sa[i].lidar_boxes.size(), sb[i].lidar_boxes.size());
+  }
+}
+
+TEST(AvWorld, SceneStructure) {
+  AvWorld world(SmallWorld(), 8);
+  const auto samples = world.GenerateScenes(3);
+  EXPECT_EQ(samples.size(), 3u * SmallWorld().samples_per_scene);
+  // Samples of one scene share the scene name; consecutive scenes differ.
+  EXPECT_EQ(samples[0].scene, samples[1].scene);
+  EXPECT_NE(samples[0].scene,
+            samples[SmallWorld().samples_per_scene].scene);
+}
+
+TEST(AvWorld, TruthsConsistentAcrossSpaces) {
+  AvWorld world(SmallWorld(), 9);
+  for (const auto& sample : world.GenerateScenes(2)) {
+    EXPECT_EQ(sample.truths_3d.size(), sample.truths_2d.size());
+    EXPECT_EQ(sample.truths_3d.size(), sample.truth_ids.size());
+    for (const auto& t2 : sample.truths_2d) {
+      EXPECT_TRUE(t2.box.Valid());
+    }
+  }
+}
+
+TEST(AvWorld, SampleTimestampsAdvanceAtRate) {
+  AvWorld world(SmallWorld(), 10);
+  const auto samples = world.GenerateScenes(1);
+  EXPECT_NEAR(samples[1].timestamp - samples[0].timestamp,
+              1.0 / SmallWorld().sample_hz, 1e-9);
+}
+
+TEST(AvWorld, VehicleProposalsOverlapTruth) {
+  AvWorld world(SmallWorld(), 11);
+  for (const auto& sample : world.GenerateScenes(2)) {
+    for (const auto& proposal : sample.proposals) {
+      if (!proposal.is_vehicle) continue;
+      bool overlaps = false;
+      for (std::size_t t = 0; t < sample.truths_2d.size(); ++t) {
+        if (sample.truth_ids[t] == proposal.truth_id &&
+            geometry::Iou(proposal.box, sample.truths_2d[t].box) > 0.4) {
+          overlaps = true;
+        }
+      }
+      EXPECT_TRUE(overlaps);
+    }
+  }
+}
+
+TEST(AgreeSeverity, ZeroWhenModelsAgree) {
+  AvExample example;
+  example.camera.push_back(
+      {geometry::Box2D{100, 100, 200, 200}, "car", 0.9, 0});
+  example.lidar_projected.push_back(geometry::Box2D{105, 105, 205, 205});
+  EXPECT_DOUBLE_EQ(AgreeSeverity(example, 0.2), 0.0);
+}
+
+TEST(AgreeSeverity, CountsBothDirections) {
+  AvExample example;
+  // A camera box with no LIDAR counterpart and a LIDAR box with no camera
+  // counterpart: two disagreements.
+  example.camera.push_back(
+      {geometry::Box2D{100, 100, 200, 200}, "car", 0.9, 0});
+  example.lidar_projected.push_back(geometry::Box2D{600, 600, 700, 700});
+  EXPECT_DOUBLE_EQ(AgreeSeverity(example, 0.2), 2.0);
+}
+
+TEST(AgreeSeverity, InvalidProjectionsIgnored) {
+  AvExample example;
+  example.lidar_projected.push_back(geometry::Box2D{});  // behind camera
+  EXPECT_DOUBLE_EQ(AgreeSeverity(example, 0.2), 0.0);
+}
+
+TEST(AgreeSeverity, EmptySampleAbstains) {
+  EXPECT_DOUBLE_EQ(AgreeSeverity(AvExample{}, 0.2), 0.0);
+}
+
+TEST(AvSuiteTest, ColumnOrder) {
+  AvSuite suite = BuildAvSuite();
+  EXPECT_EQ(suite.suite.Names(),
+            (std::vector<std::string>{"agree", "multibox"}));
+}
+
+AvPipelineConfig SmallPipelineConfig() {
+  AvPipelineConfig config;
+  config.pool_scenes = 4;
+  config.test_scenes = 2;
+  return config;
+}
+
+class AvPipelineTest : public ::testing::Test {
+ protected:
+  AvPipelineTest() : pipeline_(SmallPipelineConfig()) {}
+  AvPipeline pipeline_;
+};
+
+TEST_F(AvPipelineTest, PretrainedCameraIsWeak) {
+  const double map = pipeline_.Evaluate();
+  EXPECT_GT(map, 0.05);
+  EXPECT_LT(map, 0.9);
+}
+
+TEST_F(AvPipelineTest, AgreeFiresOnPretrainedModel) {
+  const core::SeverityMatrix m = pipeline_.ComputeSeverities();
+  EXPECT_GT(m.FireCounts()[pipeline_.suite().agree_index], 0u);
+}
+
+TEST_F(AvPipelineTest, LabelingFlaggedSamplesImprovesMap) {
+  const double before = pipeline_.Evaluate();
+  const core::SeverityMatrix m = pipeline_.ComputeSeverities();
+  auto flagged = m.ExamplesFiring(pipeline_.suite().agree_index);
+  if (flagged.size() > 50) flagged.resize(50);
+  pipeline_.LabelAndTrain(flagged);
+  EXPECT_GT(pipeline_.Evaluate(), before);
+}
+
+TEST_F(AvPipelineTest, WeakSupervisionImprovesMap) {
+  const auto result = RunAvWeakSupervision(pipeline_, 120, 5);
+  EXPECT_GT(result.weak_positives, 0u);
+  EXPECT_GT(result.weakly_supervised_metric, result.pretrained_metric);
+}
+
+TEST_F(AvPipelineTest, AgreePrecisionIsHigh) {
+  const auto samples = MeasureAvAssertionPrecision(pipeline_, 50, 3);
+  ASSERT_EQ(samples.size(), 2u);
+  const auto& agree = samples[0];
+  ASSERT_GT(agree.sampled, 0u);
+  EXPECT_GT(static_cast<double>(agree.correct_model_output) /
+                static_cast<double>(agree.sampled),
+            0.8);
+}
+
+TEST_F(AvPipelineTest, ExamplesCarryProjections) {
+  const auto examples = pipeline_.MakeExamples(
+      std::span<const AvSample>(pipeline_.pool().data(), 5));
+  for (const auto& example : examples) {
+    EXPECT_EQ(example.lidar_projected.size(),
+              pipeline_.pool()[example.sample_index].lidar_boxes.size());
+  }
+}
+
+}  // namespace
+}  // namespace omg::av

@@ -1,0 +1,65 @@
+#include "common/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace omg::common {
+namespace {
+
+TEST(Check, PassesOnTrue) { EXPECT_NO_THROW(Check(true)); }
+
+TEST(Check, ThrowsOnFalse) { EXPECT_THROW(Check(false), CheckError); }
+
+TEST(Check, MessageIsIncluded) {
+  try {
+    Check(false, "the message");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("the message"), std::string::npos);
+  }
+}
+
+TEST(Check, LocationIsIncluded) {
+  try {
+    Check(false);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("test_check.cpp"),
+              std::string::npos);
+  }
+}
+
+TEST(CheckNonNegative, AcceptsZeroAndPositive) {
+  EXPECT_NO_THROW(CheckNonNegative(0.0));
+  EXPECT_NO_THROW(CheckNonNegative(3.5));
+}
+
+TEST(CheckNonNegative, RejectsNegative) {
+  EXPECT_THROW(CheckNonNegative(-1e-9), CheckError);
+}
+
+TEST(CheckNonNegative, RejectsNonFinite) {
+  EXPECT_THROW(CheckNonNegative(std::numeric_limits<double>::quiet_NaN()),
+               CheckError);
+  EXPECT_THROW(CheckNonNegative(std::numeric_limits<double>::infinity()),
+               CheckError);
+}
+
+TEST(CheckIndex, AcceptsInRange) {
+  EXPECT_NO_THROW(CheckIndex(0, 0, 3));
+  EXPECT_NO_THROW(CheckIndex(2, 0, 3));
+}
+
+TEST(CheckIndex, RejectsOutOfRange) {
+  EXPECT_THROW(CheckIndex(3, 0, 3), CheckError);
+  EXPECT_THROW(CheckIndex(-1, 0, 3), CheckError);
+}
+
+TEST(CheckInRange, ClosedIntervalSemantics) {
+  EXPECT_NO_THROW(CheckInRange(0.0, 0.0, 1.0));
+  EXPECT_NO_THROW(CheckInRange(1.0, 0.0, 1.0));
+  EXPECT_THROW(CheckInRange(1.0 + 1e-12, 0.0, 1.0), CheckError);
+  EXPECT_THROW(CheckInRange(-1e-12, 0.0, 1.0), CheckError);
+}
+
+}  // namespace
+}  // namespace omg::common

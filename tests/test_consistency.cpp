@@ -1,0 +1,389 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "core/consistency.hpp"
+#include "core/consistency_adapter.hpp"
+
+namespace omg::core {
+namespace {
+
+// Builds frames 0..n-1 at 1 Hz in one group.
+std::vector<ConsistencyFrame> LinearFrames(std::size_t n,
+                                           const std::string& group = "g",
+                                           double period = 1.0) {
+  std::vector<ConsistencyFrame> frames;
+  for (std::size_t i = 0; i < n; ++i) {
+    frames.push_back({i, static_cast<double>(i) * period, group});
+  }
+  return frames;
+}
+
+ConsistencyRecord MakeRecord(std::size_t example, double ts,
+                             const std::string& id,
+                             const std::string& group = "g") {
+  ConsistencyRecord r;
+  r.example_index = example;
+  r.output_index = 0;
+  r.timestamp = ts;
+  r.group = group;
+  r.identifier = id;
+  return r;
+}
+
+TEST(ConsistencyEngine, AssertionNamesFollowConfig) {
+  ConsistencyConfig config;
+  config.attribute_keys = {"gender", "hair"};
+  config.temporal_threshold = 30.0;
+  const ConsistencyEngine engine(config);
+  EXPECT_EQ(engine.AssertionNames(),
+            (std::vector<std::string>{"consistent:gender",
+                                      "consistent:hair", "flicker",
+                                      "appear"}));
+}
+
+TEST(ConsistencyEngine, NoTemporalColumnsWhenDisabled) {
+  ConsistencyConfig config;
+  config.attribute_keys = {"k"};
+  const ConsistencyEngine engine(config);
+  EXPECT_EQ(engine.AssertionNames(),
+            (std::vector<std::string>{"consistent:k"}));
+}
+
+TEST(ConsistencyEngine, AttributeMismatchFlagsMinority) {
+  ConsistencyConfig config;
+  config.attribute_keys = {"gender"};
+  const ConsistencyEngine engine(config);
+  auto frames = LinearFrames(3);
+  std::vector<ConsistencyRecord> records;
+  for (std::size_t i = 0; i < 3; ++i) {
+    auto r = MakeRecord(i, static_cast<double>(i), "alice");
+    r.attributes.emplace_back("gender", i == 1 ? "male" : "female");
+    records.push_back(std::move(r));
+  }
+  const auto result = engine.Analyze(frames, records, 3);
+  EXPECT_DOUBLE_EQ(result.severities[0][0], 0.0);
+  EXPECT_DOUBLE_EQ(result.severities[0][1], 1.0);
+  EXPECT_DOUBLE_EQ(result.severities[0][2], 0.0);
+  ASSERT_EQ(result.corrections.size(), 1u);
+  EXPECT_EQ(result.corrections[0].kind, CorrectionKind::kSetAttribute);
+  EXPECT_EQ(result.corrections[0].proposed_value, "female");
+  EXPECT_EQ(result.corrections[0].example_index, 1u);
+}
+
+TEST(ConsistencyEngine, ConsistentAttributesDoNotFire) {
+  ConsistencyConfig config;
+  config.attribute_keys = {"gender"};
+  const ConsistencyEngine engine(config);
+  auto frames = LinearFrames(3);
+  std::vector<ConsistencyRecord> records;
+  for (std::size_t i = 0; i < 3; ++i) {
+    auto r = MakeRecord(i, static_cast<double>(i), "alice");
+    r.attributes.emplace_back("gender", "female");
+    records.push_back(std::move(r));
+  }
+  const auto result = engine.Analyze(frames, records, 3);
+  EXPECT_TRUE(result.corrections.empty());
+  for (const double s : result.severities[0]) EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+TEST(ConsistencyEngine, DifferentIdentifiersNotCompared) {
+  ConsistencyConfig config;
+  config.attribute_keys = {"gender"};
+  const ConsistencyEngine engine(config);
+  auto frames = LinearFrames(2);
+  std::vector<ConsistencyRecord> records;
+  auto a = MakeRecord(0, 0.0, "alice");
+  a.attributes.emplace_back("gender", "female");
+  auto b = MakeRecord(1, 1.0, "bob");
+  b.attributes.emplace_back("gender", "male");
+  records.push_back(a);
+  records.push_back(b);
+  const auto result = engine.Analyze(frames, records, 2);
+  EXPECT_TRUE(result.corrections.empty());
+}
+
+TEST(ConsistencyEngine, DifferentGroupsNotCompared) {
+  ConsistencyConfig config;
+  config.attribute_keys = {"gender"};
+  const ConsistencyEngine engine(config);
+  std::vector<ConsistencyFrame> frames = {{0, 0.0, "g1"}, {1, 0.0, "g2"}};
+  std::vector<ConsistencyRecord> records;
+  auto a = MakeRecord(0, 0.0, "alice", "g1");
+  a.attributes.emplace_back("gender", "female");
+  auto b = MakeRecord(1, 0.0, "alice", "g2");
+  b.attributes.emplace_back("gender", "male");
+  records.push_back(a);
+  records.push_back(b);
+  const auto result = engine.Analyze(frames, records, 2);
+  EXPECT_TRUE(result.corrections.empty());
+}
+
+TEST(ConsistencyEngine, UnlistedAttributeKeysIgnored) {
+  ConsistencyConfig config;
+  config.attribute_keys = {"gender"};
+  const ConsistencyEngine engine(config);
+  auto frames = LinearFrames(2);
+  std::vector<ConsistencyRecord> records;
+  for (std::size_t i = 0; i < 2; ++i) {
+    auto r = MakeRecord(i, static_cast<double>(i), "alice");
+    r.attributes.emplace_back("hair", i == 0 ? "black" : "blond");
+    records.push_back(std::move(r));
+  }
+  const auto result = engine.Analyze(frames, records, 2);
+  EXPECT_TRUE(result.corrections.empty());
+}
+
+// ---- Temporal assertions ----
+
+ConsistencyEngine TemporalEngine(double threshold) {
+  ConsistencyConfig config;
+  config.temporal_threshold = threshold;
+  return ConsistencyEngine(config);
+}
+
+TEST(ConsistencyEngine, FlickerFiresOnShortGap) {
+  const auto engine = TemporalEngine(3.0);
+  auto frames = LinearFrames(6);
+  // Present 0,1, absent 2, present 3,4,5 -> gap of 2 s < 3 s.
+  std::vector<ConsistencyRecord> records;
+  for (const std::size_t i : {0u, 1u, 3u, 4u, 5u}) {
+    records.push_back(MakeRecord(i, static_cast<double>(i), "car-1"));
+  }
+  const auto result = engine.Analyze(frames, records, 6);
+  const auto& flicker = result.severities[0];
+  EXPECT_DOUBLE_EQ(flicker[2], 1.0);
+  EXPECT_DOUBLE_EQ(flicker[1], 0.0);
+  EXPECT_DOUBLE_EQ(flicker[3], 0.0);
+  // One add-output correction for the gap frame.
+  ASSERT_EQ(result.corrections.size(), 1u);
+  EXPECT_EQ(result.corrections[0].kind, CorrectionKind::kAddOutput);
+  EXPECT_EQ(result.corrections[0].example_index, 2u);
+  EXPECT_FALSE(result.corrections[0].support_records.empty());
+}
+
+TEST(ConsistencyEngine, LongGapIsNotFlicker) {
+  const auto engine = TemporalEngine(3.0);
+  auto frames = LinearFrames(10);
+  // Present 0,1, absent 2..5 (gap 4 s >= 3 s), present 6..9.
+  std::vector<ConsistencyRecord> records;
+  for (const std::size_t i : {0u, 1u, 6u, 7u, 8u, 9u}) {
+    records.push_back(MakeRecord(i, static_cast<double>(i), "car-1"));
+  }
+  const auto result = engine.Analyze(frames, records, 10);
+  for (const double s : result.severities[0]) EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+TEST(ConsistencyEngine, AppearFiresOnBriefEpisode) {
+  const auto engine = TemporalEngine(3.5);
+  auto frames = LinearFrames(8);
+  // Absent 0..2, present 3,4, absent 5..7: the episode spans 3 s between
+  // the bounding absences (t=2 to t=5), under the 3.5 s threshold.
+  std::vector<ConsistencyRecord> records = {MakeRecord(3, 3.0, "ghost"),
+                                            MakeRecord(4, 4.0, "ghost")};
+  const auto result = engine.Analyze(frames, records, 8);
+  const auto& appear = result.severities[1];
+  EXPECT_DOUBLE_EQ(appear[3], 1.0);
+  EXPECT_DOUBLE_EQ(appear[4], 1.0);
+  EXPECT_DOUBLE_EQ(appear[2], 0.0);
+  // Remove-output corrections for both episode records.
+  ASSERT_EQ(result.corrections.size(), 2u);
+  for (const auto& c : result.corrections) {
+    EXPECT_EQ(c.kind, CorrectionKind::kRemoveOutput);
+  }
+}
+
+TEST(ConsistencyEngine, LongEpisodeDoesNotAppear) {
+  const auto engine = TemporalEngine(3.0);
+  auto frames = LinearFrames(10);
+  std::vector<ConsistencyRecord> records;
+  for (std::size_t i = 2; i <= 7; ++i) {
+    records.push_back(MakeRecord(i, static_cast<double>(i), "car-1"));
+  }
+  const auto result = engine.Analyze(frames, records, 10);
+  for (const double s : result.severities[1]) EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+TEST(ConsistencyEngine, BoundaryEpisodesNotFlagged) {
+  const auto engine = TemporalEngine(3.0);
+  auto frames = LinearFrames(6);
+  // Present only at the very start and the very end: their true extent is
+  // unknown, so neither is flagged as a brief appearance.
+  std::vector<ConsistencyRecord> records = {MakeRecord(0, 0.0, "a"),
+                                            MakeRecord(5, 5.0, "b")};
+  const auto result = engine.Analyze(frames, records, 6);
+  for (const double s : result.severities[1]) EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+TEST(ConsistencyEngine, FlickerGapOfTwoFrames) {
+  const auto engine = TemporalEngine(5.0);
+  auto frames = LinearFrames(8);
+  std::vector<ConsistencyRecord> records;
+  for (const std::size_t i : {0u, 1u, 4u, 5u, 6u, 7u}) {
+    records.push_back(MakeRecord(i, static_cast<double>(i), "car-1"));
+  }
+  const auto result = engine.Analyze(frames, records, 8);
+  EXPECT_DOUBLE_EQ(result.severities[0][2], 1.0);
+  EXPECT_DOUBLE_EQ(result.severities[0][3], 1.0);
+  EXPECT_EQ(result.corrections.size(), 2u);
+}
+
+TEST(ConsistencyEngine, MultipleEntitiesIndependent) {
+  const auto engine = TemporalEngine(3.0);
+  auto frames = LinearFrames(6);
+  std::vector<ConsistencyRecord> records;
+  // car-1 present everywhere; car-2 flickers at frame 2.
+  for (std::size_t i = 0; i < 6; ++i) {
+    records.push_back(MakeRecord(i, static_cast<double>(i), "car-1"));
+  }
+  for (const std::size_t i : {0u, 1u, 3u, 4u, 5u}) {
+    records.push_back(MakeRecord(i, static_cast<double>(i), "car-2"));
+  }
+  const auto result = engine.Analyze(frames, records, 6);
+  EXPECT_DOUBLE_EQ(result.severities[0][2], 1.0);  // only car-2's gap
+}
+
+TEST(ConsistencyEngine, SeverityCountsMultipleViolations) {
+  const auto engine = TemporalEngine(3.0);
+  auto frames = LinearFrames(6);
+  std::vector<ConsistencyRecord> records;
+  // Two entities both flicker at frame 2 -> severity 2 there.
+  for (const auto* id : {"car-1", "car-2"}) {
+    for (const std::size_t i : {0u, 1u, 3u, 4u, 5u}) {
+      records.push_back(MakeRecord(i, static_cast<double>(i), id));
+    }
+  }
+  const auto result = engine.Analyze(frames, records, 6);
+  EXPECT_DOUBLE_EQ(result.severities[0][2], 2.0);
+}
+
+TEST(ConsistencyEngine, RejectsOutOfRangeIndices) {
+  const auto engine = TemporalEngine(3.0);
+  auto frames = LinearFrames(2);
+  std::vector<ConsistencyRecord> records = {MakeRecord(5, 0.0, "x")};
+  EXPECT_THROW(engine.Analyze(frames, records, 2), common::CheckError);
+}
+
+TEST(ConsistencyEngine, RecordWithoutFrameRejected) {
+  const auto engine = TemporalEngine(3.0);
+  std::vector<ConsistencyFrame> frames = {{0, 0.0, "g"}};
+  // Record in a group that has frames, but at an example index that is not
+  // on that group's timeline.
+  std::vector<ConsistencyRecord> records = {MakeRecord(1, 1.0, "x")};
+  EXPECT_THROW(engine.Analyze(frames, records, 2), common::CheckError);
+}
+
+// Parameterized: threshold semantics — a gap of `gap` seconds fires iff
+// gap < T.
+class FlickerThreshold
+    : public ::testing::TestWithParam<std::pair<double, bool>> {};
+
+TEST_P(FlickerThreshold, GapFiresIffBelowThreshold) {
+  const auto [threshold, should_fire] = GetParam();
+  const auto engine = TemporalEngine(threshold);
+  auto frames = LinearFrames(7);
+  // Gap spans frames 2,3 -> absent from t=2 to t=4, duration 2 s
+  // (measured last-seen -> next-seen).
+  std::vector<ConsistencyRecord> records;
+  for (const std::size_t i : {0u, 1u, 4u, 5u, 6u}) {
+    records.push_back(MakeRecord(i, static_cast<double>(i), "car-1"));
+  }
+  const auto result = engine.Analyze(frames, records, 7);
+  const bool fired = result.severities[0][2] > 0.0;
+  EXPECT_EQ(fired, should_fire);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Thresholds, FlickerThreshold,
+    ::testing::Values(std::pair{1.0, false},   // gap 3 s >= 1 s
+                      std::pair{3.0, false},   // gap 3 s >= 3 s
+                      std::pair{3.01, true},   // gap 3 s < 3.01 s
+                      std::pair{10.0, true}));
+
+// ---- Adapter ----
+
+struct ToyExample {
+  double timestamp = 0.0;
+  bool present = false;
+};
+
+ConsistencyExtraction ExtractToy(std::span<const ToyExample> examples) {
+  ConsistencyExtraction extraction;
+  for (std::size_t e = 0; e < examples.size(); ++e) {
+    extraction.frames.push_back({e, examples[e].timestamp, "g"});
+    if (examples[e].present) {
+      ConsistencyRecord r;
+      r.example_index = e;
+      r.output_index = 0;
+      r.timestamp = examples[e].timestamp;
+      r.group = "g";
+      r.identifier = "obj";
+      extraction.records.push_back(std::move(r));
+    }
+  }
+  return extraction;
+}
+
+TEST(ConsistencyAdapter, GeneratesSuiteColumns) {
+  AssertionSuite<ToyExample> suite;
+  ConsistencyConfig config;
+  config.temporal_threshold = 3.0;
+  auto analyzer = AddConsistencyAssertion<ToyExample>(
+      suite, config, [](std::span<const ToyExample> ex) {
+        return ExtractToy(ex);
+      });
+  EXPECT_EQ(suite.Names(), (std::vector<std::string>{"flicker", "appear"}));
+
+  std::vector<ToyExample> stream;
+  for (std::size_t i = 0; i < 6; ++i) {
+    stream.push_back({static_cast<double>(i), i != 2});
+  }
+  const SeverityMatrix m = suite.CheckAll(stream);
+  EXPECT_TRUE(m.Fired(2, 0));   // flicker at the gap
+  EXPECT_FALSE(m.Fired(2, 1));  // not an appear
+  EXPECT_EQ(analyzer->Corrections(stream).size(), 1u);
+}
+
+TEST(ConsistencyAdapter, NamePrefixApplied) {
+  AssertionSuite<ToyExample> suite;
+  ConsistencyConfig config;
+  config.temporal_threshold = 3.0;
+  AddConsistencyAssertion<ToyExample>(
+      suite, config,
+      [](std::span<const ToyExample> ex) { return ExtractToy(ex); },
+      "news:");
+  EXPECT_EQ(suite.Names(),
+            (std::vector<std::string>{"news:flicker", "news:appear"}));
+}
+
+TEST(ConsistencyAdapter, EmptyConfigRejected) {
+  AssertionSuite<ToyExample> suite;
+  EXPECT_THROW(AddConsistencyAssertion<ToyExample>(
+                   suite, ConsistencyConfig{},
+                   [](std::span<const ToyExample> ex) {
+                     return ExtractToy(ex);
+                   }),
+               common::CheckError);
+}
+
+TEST(ConsistencyAdapter, InvalidateForcesReanalysis) {
+  ConsistencyConfig config;
+  config.temporal_threshold = 3.0;
+  ConsistencyAnalyzer<ToyExample> analyzer(
+      config,
+      [](std::span<const ToyExample> ex) { return ExtractToy(ex); });
+  std::vector<ToyExample> stream;
+  for (std::size_t i = 0; i < 6; ++i) {
+    stream.push_back({static_cast<double>(i), i != 2});
+  }
+  const auto& first = analyzer.Analyze(stream);
+  EXPECT_DOUBLE_EQ(first.severities[0][2], 1.0);
+  // Mutate the stream in place (same pointer/size): without Invalidate the
+  // cache would serve the stale result.
+  stream[2].present = true;
+  analyzer.Invalidate();
+  const auto& second = analyzer.Analyze(stream);
+  EXPECT_DOUBLE_EQ(second.severities[0][2], 0.0);
+}
+
+}  // namespace
+}  // namespace omg::core

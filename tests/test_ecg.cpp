@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "ecg/ecg.hpp"
+#include "ecg/pipeline.hpp"
+
+namespace omg::ecg {
+namespace {
+
+TEST(EcgGenerator, DwellTimesRespectGuideline) {
+  EcgGenerator generator(EcgConfig{}, 1);
+  const auto windows = generator.GenerateRecords(30);
+  // Within each record, count consecutive same-truth runs; every completed
+  // run must span >= 30 s (the ESC guideline built into the generator).
+  std::map<std::string, std::vector<std::pair<Rhythm, std::size_t>>> runs;
+  for (const auto& w : windows) {
+    auto& record_runs = runs[w.record];
+    if (record_runs.empty() || record_runs.back().first != w.truth) {
+      record_runs.push_back({w.truth, 1});
+    } else {
+      ++record_runs.back().second;
+    }
+  }
+  const double window_s = EcgConfig{}.window_seconds;
+  for (const auto& [record, record_runs] : runs) {
+    for (std::size_t i = 0; i + 1 < record_runs.size(); ++i) {
+      if (i == 0) continue;  // first run may be truncated at record start
+      EXPECT_GE(static_cast<double>(record_runs[i].second) * window_s, 30.0)
+          << "record " << record;
+    }
+  }
+}
+
+TEST(EcgGenerator, Deterministic) {
+  EcgGenerator a(EcgConfig{}, 5), b(EcgConfig{}, 5);
+  const auto wa = a.GenerateRecords(3);
+  const auto wb = b.GenerateRecords(3);
+  ASSERT_EQ(wa.size(), wb.size());
+  for (std::size_t i = 0; i < wa.size(); ++i) {
+    EXPECT_EQ(wa[i].features, wb[i].features);
+    EXPECT_EQ(wa[i].truth, wb[i].truth);
+  }
+}
+
+TEST(EcgGenerator, HardRecordFractionRoughlyRespected) {
+  EcgConfig config;
+  config.frac_hard_records = 0.4;
+  EcgGenerator generator(config, 6);
+  const auto windows = generator.GenerateRecords(200);
+  std::map<std::string, bool> record_hard;
+  for (const auto& w : windows) record_hard[w.record] = w.hard_record;
+  std::size_t hard = 0;
+  for (const auto& [_, is_hard] : record_hard) hard += is_hard ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hard) / 200.0, 0.4, 0.1);
+}
+
+TEST(EcgGenerator, RejectsSubGuidelineDwell) {
+  EcgConfig config;
+  config.mean_dwell_seconds = 10.0;
+  EXPECT_THROW(EcgGenerator(config, 1), common::CheckError);
+}
+
+TEST(RhythmNames, Distinct) {
+  EXPECT_EQ(RhythmName(Rhythm::kNormal), "normal");
+  EXPECT_EQ(RhythmName(Rhythm::kAf), "af");
+  EXPECT_EQ(RhythmName(Rhythm::kOther), "other");
+}
+
+TEST(EcgSuiteTest, FiresOnOscillation) {
+  EcgSuite suite = BuildEcgSuite(30.0);
+  std::vector<EcgExample> examples;
+  // N N N N A N N N N at 10 s windows: the single-window A episode spans
+  // 20 s between absences -> fires.
+  for (std::size_t i = 0; i < 9; ++i) {
+    examples.push_back(EcgExample{
+        "r0", static_cast<double>(i) * 10.0,
+        i == 4 ? Rhythm::kAf : Rhythm::kNormal});
+  }
+  const core::SeverityMatrix m = suite.suite.CheckAll(examples);
+  EXPECT_TRUE(m.Fired(4, 0));
+  EXPECT_FALSE(m.Fired(3, 0));
+}
+
+TEST(EcgSuiteTest, StablePredictionsDoNotFire) {
+  EcgSuite suite = BuildEcgSuite(30.0);
+  std::vector<EcgExample> examples;
+  for (std::size_t i = 0; i < 12; ++i) {
+    examples.push_back(EcgExample{
+        "r0", static_cast<double>(i) * 10.0,
+        i < 6 ? Rhythm::kNormal : Rhythm::kAf});
+  }
+  const core::SeverityMatrix m = suite.suite.CheckAll(examples);
+  for (std::size_t i = 0; i < 12; ++i) EXPECT_FALSE(m.Fired(i, 0));
+}
+
+TEST(EcgSuiteTest, LongEpisodeDoesNotFire) {
+  EcgSuite suite = BuildEcgSuite(30.0);
+  std::vector<EcgExample> examples;
+  // N N N A A A A N N N: the A episode spans 50 s between absences.
+  for (std::size_t i = 0; i < 10; ++i) {
+    examples.push_back(EcgExample{
+        "r0", static_cast<double>(i) * 10.0,
+        (i >= 3 && i <= 6) ? Rhythm::kAf : Rhythm::kNormal});
+  }
+  const core::SeverityMatrix m = suite.suite.CheckAll(examples);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_FALSE(m.Fired(i, 0));
+}
+
+TEST(EcgSuiteTest, RecordsDoNotBleedAcrossPatients) {
+  EcgSuite suite = BuildEcgSuite(30.0);
+  std::vector<EcgExample> examples;
+  // Patient r0 ends predicting AF; patient r1 starts predicting normal —
+  // no oscillation exists within either record.
+  for (std::size_t i = 0; i < 6; ++i) {
+    examples.push_back(
+        EcgExample{"r0", static_cast<double>(i) * 10.0, Rhythm::kAf});
+  }
+  for (std::size_t i = 0; i < 6; ++i) {
+    examples.push_back(
+        EcgExample{"r1", static_cast<double>(i) * 10.0, Rhythm::kNormal});
+  }
+  const core::SeverityMatrix m = suite.suite.CheckAll(examples);
+  for (std::size_t i = 0; i < examples.size(); ++i) {
+    EXPECT_FALSE(m.Fired(i, 0));
+  }
+}
+
+EcgPipelineConfig SmallPipelineConfig() {
+  EcgPipelineConfig config;
+  config.pool_records = 30;
+  config.test_records = 15;
+  config.pretrain_windows = 500;
+  return config;
+}
+
+class EcgPipelineTest : public ::testing::Test {
+ protected:
+  EcgPipelineTest() : pipeline_(SmallPipelineConfig()) {}
+  EcgPipeline pipeline_;
+};
+
+TEST_F(EcgPipelineTest, PretrainedAccuracyAboveChanceBelowCeiling) {
+  const double acc = pipeline_.Evaluate();
+  EXPECT_GT(acc, 1.0 / 3.0 + 0.1);
+  EXPECT_LT(acc, 0.95);
+}
+
+TEST_F(EcgPipelineTest, AssertionFiresOnPretrainedModel) {
+  const core::SeverityMatrix m = pipeline_.ComputeSeverities();
+  EXPECT_GT(m.FireCounts()[0], 0u)
+      << "hard records should make predictions oscillate";
+}
+
+TEST_F(EcgPipelineTest, OscillationsConcentrateOnHardRecords) {
+  const core::SeverityMatrix m = pipeline_.ComputeSeverities();
+  std::size_t hard_fired = 0, clean_fired = 0;
+  for (const std::size_t e : m.FlaggedExamples()) {
+    if (pipeline_.pool()[e].hard_record) {
+      ++hard_fired;
+    } else {
+      ++clean_fired;
+    }
+  }
+  EXPECT_GT(hard_fired, clean_fired);
+}
+
+TEST_F(EcgPipelineTest, LabelingFlaggedWindowsImprovesAccuracy) {
+  const double before = pipeline_.Evaluate();
+  const core::SeverityMatrix m = pipeline_.ComputeSeverities();
+  auto flagged = m.FlaggedExamples();
+  if (flagged.size() > 120) flagged.resize(120);
+  pipeline_.LabelAndTrain(flagged);
+  EXPECT_GT(pipeline_.Evaluate(), before);
+}
+
+TEST(EcgWeakSupervision, ImprovesAccuracyAtExperimentScale) {
+  // The ECG weak-supervision effect is small (the paper reports 70.7 ->
+  // 72.1); at the tiny fixture scale only a handful of trusted corrections
+  // exist and noise dominates, so this test runs the experiment-sized
+  // configuration.
+  EcgPipelineConfig config;
+  config.pool_records = 80;
+  config.test_records = 30;
+  config.pretrain_windows = 700;
+  EcgPipeline pipeline(config);
+  const auto result = RunEcgWeakSupervision(pipeline, 1000, 11);
+  EXPECT_GT(result.weak_positives, 5u);
+  EXPECT_GE(result.weakly_supervised_metric, result.pretrained_metric);
+}
+
+TEST_F(EcgPipelineTest, PrecisionIsHigh) {
+  const auto samples = MeasureEcgAssertionPrecision(pipeline_, 50, 3);
+  ASSERT_EQ(samples.size(), 1u);
+  ASSERT_GT(samples[0].sampled, 0u);
+  EXPECT_GT(static_cast<double>(samples[0].correct_model_output) /
+                static_cast<double>(samples[0].sampled),
+            0.9);
+}
+
+}  // namespace
+}  // namespace omg::ecg

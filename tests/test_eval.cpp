@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "eval/detection_metrics.hpp"
+#include "eval/stats.hpp"
+
+namespace omg::eval {
+namespace {
+
+geometry::Box2D MakeBox(double x, double y, double w, double h) {
+  return geometry::Box2D{x, y, x + w, y + h};
+}
+
+FrameEval PerfectFrame() {
+  FrameEval frame;
+  frame.truths = {{MakeBox(0, 0, 10, 10), "car"},
+                  {MakeBox(30, 0, 10, 10), "car"}};
+  frame.detections = {{MakeBox(0, 0, 10, 10), "car", 0.9, 0},
+                      {MakeBox(30, 0, 10, 10), "car", 0.8, 1}};
+  return frame;
+}
+
+TEST(AveragePrecision, PerfectDetectorIsOne) {
+  const std::vector<FrameEval> frames = {PerfectFrame()};
+  EXPECT_DOUBLE_EQ(AveragePrecision(frames, "car"), 1.0);
+}
+
+TEST(AveragePrecision, NoDetectionsIsZero) {
+  FrameEval frame;
+  frame.truths = {{MakeBox(0, 0, 10, 10), "car"}};
+  const std::vector<FrameEval> frames = {frame};
+  EXPECT_DOUBLE_EQ(AveragePrecision(frames, "car"), 0.0);
+}
+
+TEST(AveragePrecision, UnknownClassIsZero) {
+  const std::vector<FrameEval> frames = {PerfectFrame()};
+  EXPECT_DOUBLE_EQ(AveragePrecision(frames, "bus"), 0.0);
+}
+
+TEST(AveragePrecision, HandComputedCase) {
+  // Two truths; three detections ranked: TP (0.9), FP (0.8), TP (0.7).
+  // PR points: (0.5, 1), (0.5, 0.5), (1.0, 2/3).
+  // Interpolated AP = 0.5 * 1 + 0.5 * (2/3) = 5/6.
+  FrameEval frame;
+  frame.truths = {{MakeBox(0, 0, 10, 10), "car"},
+                  {MakeBox(30, 0, 10, 10), "car"}};
+  frame.detections = {{MakeBox(0, 0, 10, 10), "car", 0.9, 0},
+                      {MakeBox(60, 0, 10, 10), "car", 0.8, -1},
+                      {MakeBox(30, 0, 10, 10), "car", 0.7, 1}};
+  const std::vector<FrameEval> frames = {frame};
+  EXPECT_NEAR(AveragePrecision(frames, "car"), 5.0 / 6.0, 1e-12);
+}
+
+TEST(AveragePrecision, DuplicateDetectionsCountAsFalsePositives) {
+  FrameEval frame;
+  frame.truths = {{MakeBox(0, 0, 10, 10), "car"}};
+  // Two detections on one truth: the higher-confidence one matches, the
+  // duplicate is a FP. PR: (1, 1), (1, 0.5) -> AP = 1.
+  frame.detections = {{MakeBox(0, 0, 10, 10), "car", 0.9, 0},
+                      {MakeBox(0.5, 0, 10, 10), "car", 0.5, 0}};
+  const std::vector<FrameEval> frames = {frame};
+  EXPECT_DOUBLE_EQ(AveragePrecision(frames, "car"), 1.0);
+}
+
+TEST(AveragePrecision, HighRankedFalsePositiveHurtsMore) {
+  FrameEval base;
+  base.truths = {{MakeBox(0, 0, 10, 10), "car"}};
+  base.detections = {{MakeBox(0, 0, 10, 10), "car", 0.5, 0}};
+
+  FrameEval fp_above = base;
+  fp_above.detections.push_back({MakeBox(50, 0, 10, 10), "car", 0.9, -1});
+  FrameEval fp_below = base;
+  fp_below.detections.push_back({MakeBox(50, 0, 10, 10), "car", 0.1, -1});
+
+  const std::vector<FrameEval> above = {fp_above};
+  const std::vector<FrameEval> below = {fp_below};
+  EXPECT_LT(AveragePrecision(above, "car"),
+            AveragePrecision(below, "car"));
+}
+
+TEST(AveragePrecision, InUnitInterval) {
+  common::Rng rng(4);
+  std::vector<FrameEval> frames;
+  for (int f = 0; f < 20; ++f) {
+    FrameEval frame;
+    for (int t = 0; t < 3; ++t) {
+      frame.truths.push_back(
+          {MakeBox(rng.Uniform(0, 80), rng.Uniform(0, 80), 10, 10), "car"});
+    }
+    for (int d = 0; d < 4; ++d) {
+      frame.detections.push_back(
+          {MakeBox(rng.Uniform(0, 80), rng.Uniform(0, 80), 10, 10), "car",
+           rng.Uniform(), -1});
+    }
+    frames.push_back(std::move(frame));
+  }
+  const double ap = AveragePrecision(frames, "car");
+  EXPECT_GE(ap, 0.0);
+  EXPECT_LE(ap, 1.0);
+}
+
+TEST(MeanAveragePrecision, AveragesOverClasses) {
+  FrameEval frame;
+  frame.truths = {{MakeBox(0, 0, 10, 10), "car"},
+                  {MakeBox(30, 0, 10, 10), "bus"}};
+  // Perfect on car, blind on bus -> mAP = 0.5.
+  frame.detections = {{MakeBox(0, 0, 10, 10), "car", 0.9, 0}};
+  const std::vector<FrameEval> frames = {frame};
+  EXPECT_DOUBLE_EQ(MeanAveragePrecision(frames), 0.5);
+}
+
+TEST(MeanAveragePrecision, EmptyGroundTruthIsZero) {
+  const std::vector<FrameEval> frames = {FrameEval{}};
+  EXPECT_DOUBLE_EQ(MeanAveragePrecision(frames), 0.0);
+}
+
+TEST(PrecisionRecallCurve, MonotoneRecall) {
+  common::Rng rng(5);
+  std::vector<FrameEval> frames;
+  for (int f = 0; f < 10; ++f) {
+    FrameEval frame;
+    frame.truths.push_back(
+        {MakeBox(rng.Uniform(0, 50), rng.Uniform(0, 50), 10, 10), "car"});
+    for (int d = 0; d < 3; ++d) {
+      frame.detections.push_back(
+          {MakeBox(rng.Uniform(0, 50), rng.Uniform(0, 50), 10, 10), "car",
+           rng.Uniform(), -1});
+    }
+    frames.push_back(std::move(frame));
+  }
+  const auto curve = PrecisionRecallCurve(frames, "car");
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].recall, curve[i - 1].recall);
+    EXPECT_LE(curve[i].confidence, curve[i - 1].confidence);
+  }
+}
+
+TEST(MatchFrame, MarksDuplicatesIncorrect) {
+  FrameEval frame;
+  frame.truths = {{MakeBox(0, 0, 10, 10), "car"}};
+  frame.detections = {{MakeBox(0, 0, 10, 10), "car", 0.9, 0},
+                      {MakeBox(0.5, 0, 10, 10), "car", 0.5, 0}};
+  const MatchResult match = MatchFrame(frame);
+  EXPECT_TRUE(match.detection_correct[0]);
+  EXPECT_FALSE(match.detection_correct[1]);
+  EXPECT_TRUE(match.truth_matched[0]);
+}
+
+TEST(MatchFrame, LabelMismatchNotMatched) {
+  FrameEval frame;
+  frame.truths = {{MakeBox(0, 0, 10, 10), "car"}};
+  frame.detections = {{MakeBox(0, 0, 10, 10), "bus", 0.9, 0}};
+  const MatchResult match = MatchFrame(frame);
+  EXPECT_FALSE(match.detection_correct[0]);
+  EXPECT_FALSE(match.truth_matched[0]);
+}
+
+TEST(MatchFrame, IouThresholdRespected) {
+  FrameEval frame;
+  frame.truths = {{MakeBox(0, 0, 10, 10), "car"}};
+  frame.detections = {{MakeBox(8, 0, 10, 10), "car", 0.9, 0}};
+  EXPECT_FALSE(MatchFrame(frame, 0.5).detection_correct[0]);
+  EXPECT_TRUE(MatchFrame(frame, 0.1).detection_correct[0]);
+}
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+  EXPECT_NEAR(SampleStddev(v), 1.2909944487, 1e-9);
+}
+
+TEST(Stats, MeanOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(Mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, PercentileEndpoints) {
+  const std::vector<double> v = {3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100.0), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50.0), 2.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 25.0), 2.5);
+}
+
+TEST(Stats, PercentileValidation) {
+  EXPECT_THROW(Percentile(std::vector<double>{}, 50.0), common::CheckError);
+  EXPECT_THROW(Percentile(std::vector<double>{1.0}, 101.0),
+               common::CheckError);
+}
+
+TEST(Stats, PercentileRankMidrank) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(PercentileRank(v, 2.0), 37.5);  // 1 below + 0.5 tie
+  EXPECT_DOUBLE_EQ(PercentileRank(v, 5.0), 100.0);
+  EXPECT_DOUBLE_EQ(PercentileRank(v, 0.0), 0.0);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> v = {3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(Min(v), 1.0);
+  EXPECT_DOUBLE_EQ(Max(v), 3.0);
+}
+
+TEST(Stats, SummarizeTrials) {
+  const std::vector<double> v = {1.0, 3.0};
+  const TrialSummary s = Summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_EQ(s.trials, 2u);
+  EXPECT_NEAR(s.stderr_mean, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace omg::eval

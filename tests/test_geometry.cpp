@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "geometry/box.hpp"
+#include "geometry/tracker.hpp"
+
+namespace omg::geometry {
+namespace {
+
+Box2D MakeBox(double x, double y, double w, double h) {
+  return Box2D{x, y, x + w, y + h};
+}
+
+TEST(Box2D, AreaAndValidity) {
+  EXPECT_DOUBLE_EQ(MakeBox(0, 0, 2, 3).Area(), 6.0);
+  EXPECT_FALSE(Box2D{}.Valid());
+  EXPECT_DOUBLE_EQ((Box2D{5, 5, 5, 5}).Area(), 0.0);
+  EXPECT_DOUBLE_EQ((Box2D{5, 5, 4, 6}).Area(), 0.0);  // inverted
+}
+
+TEST(Box2D, Center) {
+  const Box2D b = MakeBox(0, 0, 4, 2);
+  EXPECT_DOUBLE_EQ(b.CenterX(), 2.0);
+  EXPECT_DOUBLE_EQ(b.CenterY(), 1.0);
+}
+
+TEST(Box2D, Translated) {
+  const Box2D b = MakeBox(1, 1, 2, 2).Translated(3, -1);
+  EXPECT_DOUBLE_EQ(b.x_min, 4.0);
+  EXPECT_DOUBLE_EQ(b.y_min, 0.0);
+}
+
+TEST(Box2D, UnionContainsBoth) {
+  const Box2D u = MakeBox(0, 0, 1, 1).Union(MakeBox(5, 5, 1, 1));
+  EXPECT_DOUBLE_EQ(u.x_min, 0.0);
+  EXPECT_DOUBLE_EQ(u.x_max, 6.0);
+}
+
+TEST(Iou, IdenticalBoxesIsOne) {
+  const Box2D b = MakeBox(1, 2, 3, 4);
+  EXPECT_DOUBLE_EQ(Iou(b, b), 1.0);
+}
+
+TEST(Iou, DisjointBoxesIsZero) {
+  EXPECT_DOUBLE_EQ(Iou(MakeBox(0, 0, 1, 1), MakeBox(2, 2, 1, 1)), 0.0);
+}
+
+TEST(Iou, TouchingBoxesIsZero) {
+  EXPECT_DOUBLE_EQ(Iou(MakeBox(0, 0, 1, 1), MakeBox(1, 0, 1, 1)), 0.0);
+}
+
+TEST(Iou, HalfOverlapHandComputed) {
+  // Boxes of area 4, intersection 2 -> IoU = 2/6.
+  EXPECT_NEAR(Iou(MakeBox(0, 0, 2, 2), MakeBox(1, 0, 2, 2)), 2.0 / 6.0,
+              1e-12);
+}
+
+TEST(Iou, SymmetricAndBounded) {
+  common::Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const Box2D a = MakeBox(rng.Uniform(0, 10), rng.Uniform(0, 10),
+                            rng.Uniform(0.1, 5), rng.Uniform(0.1, 5));
+    const Box2D b = MakeBox(rng.Uniform(0, 10), rng.Uniform(0, 10),
+                            rng.Uniform(0.1, 5), rng.Uniform(0.1, 5));
+    const double iou = Iou(a, b);
+    EXPECT_DOUBLE_EQ(iou, Iou(b, a));
+    EXPECT_GE(iou, 0.0);
+    EXPECT_LE(iou, 1.0);
+  }
+}
+
+TEST(Coverage, ContainedBoxFullyCovered) {
+  EXPECT_DOUBLE_EQ(Coverage(MakeBox(1, 1, 1, 1), MakeBox(0, 0, 4, 4)), 1.0);
+  EXPECT_DOUBLE_EQ(Coverage(MakeBox(0, 0, 4, 4), MakeBox(1, 1, 1, 1)),
+                   1.0 / 16.0);
+}
+
+TEST(MeanBox, AveragesCoordinates) {
+  const std::vector<Box2D> boxes = {MakeBox(0, 0, 2, 2), MakeBox(2, 2, 2, 2)};
+  const Box2D mean = MeanBox(boxes);
+  EXPECT_DOUBLE_EQ(mean.x_min, 1.0);
+  EXPECT_DOUBLE_EQ(mean.x_max, 3.0);
+}
+
+TEST(Camera, CenterProjectsToImageCenter) {
+  Camera camera;
+  double u, v;
+  camera.Project(0.0, 0.0, 10.0, u, v);
+  EXPECT_DOUBLE_EQ(u, camera.image_width / 2.0);
+  EXPECT_DOUBLE_EQ(v, camera.image_height / 2.0);
+}
+
+TEST(Camera, FartherObjectsProjectSmaller) {
+  Camera camera;
+  Box3D near{0, 0, 10, 2, 2, 4};
+  Box3D far{0, 0, 40, 2, 2, 4};
+  const Box2D near2 = camera.ProjectBox(near);
+  const Box2D far2 = camera.ProjectBox(far);
+  EXPECT_GT(near2.Area(), far2.Area());
+  EXPECT_GT(far2.Area(), 0.0);
+}
+
+TEST(Camera, ObjectBehindCameraIsInvalid) {
+  Camera camera;
+  EXPECT_FALSE(camera.ProjectBox(Box3D{0, 0, -5, 2, 2, 4}).Valid());
+}
+
+TEST(Camera, OffscreenObjectIsInvalid) {
+  Camera camera;
+  EXPECT_FALSE(camera.ProjectBox(Box3D{1000, 0, 10, 2, 2, 4}).Valid());
+}
+
+TEST(Camera, LateralOffsetMovesProjection) {
+  Camera camera;
+  const Box2D left = camera.ProjectBox(Box3D{-3, 0, 15, 2, 2, 4});
+  const Box2D right = camera.ProjectBox(Box3D{3, 0, 15, 2, 2, 4});
+  EXPECT_LT(left.CenterX(), right.CenterX());
+}
+
+TEST(Camera, ProjectRequiresPositiveDepth) {
+  Camera camera;
+  double u, v;
+  EXPECT_THROW(camera.Project(0, 0, 0.0, u, v), common::CheckError);
+}
+
+TEST(Nms, KeepsHighestConfidence) {
+  std::vector<Detection> dets;
+  dets.push_back({MakeBox(0, 0, 2, 2), "car", 0.6, 0});
+  dets.push_back({MakeBox(0.1, 0, 2, 2), "car", 0.9, 1});
+  const auto kept = Nms(std::move(dets), 0.5);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_DOUBLE_EQ(kept[0].confidence, 0.9);
+}
+
+TEST(Nms, KeepsDisjointBoxes) {
+  std::vector<Detection> dets;
+  dets.push_back({MakeBox(0, 0, 2, 2), "car", 0.6, 0});
+  dets.push_back({MakeBox(10, 10, 2, 2), "car", 0.9, 1});
+  EXPECT_EQ(Nms(std::move(dets), 0.5).size(), 2u);
+}
+
+TEST(Nms, DifferentLabelsNotSuppressed) {
+  std::vector<Detection> dets;
+  dets.push_back({MakeBox(0, 0, 2, 2), "car", 0.6, 0});
+  dets.push_back({MakeBox(0, 0, 2, 2), "person", 0.9, 1});
+  EXPECT_EQ(Nms(std::move(dets), 0.5).size(), 2u);
+}
+
+TEST(Nms, OutputSortedByConfidence) {
+  std::vector<Detection> dets;
+  dets.push_back({MakeBox(0, 0, 2, 2), "car", 0.3, 0});
+  dets.push_back({MakeBox(10, 0, 2, 2), "car", 0.9, 1});
+  dets.push_back({MakeBox(20, 0, 2, 2), "car", 0.6, 2});
+  const auto kept = Nms(std::move(dets), 0.5);
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_GE(kept[0].confidence, kept[1].confidence);
+  EXPECT_GE(kept[1].confidence, kept[2].confidence);
+}
+
+TEST(Tracker, PersistsIdAcrossOverlappingFrames) {
+  IouTracker tracker;
+  std::vector<Detection> frame1 = {{MakeBox(0, 0, 10, 10), "car", 0.9, 0}};
+  std::vector<Detection> frame2 = {{MakeBox(1, 0, 10, 10), "car", 0.9, 0}};
+  const auto t1 = tracker.Update(frame1);
+  const auto t2 = tracker.Update(frame2);
+  ASSERT_EQ(t1.size(), 1u);
+  ASSERT_EQ(t2.size(), 1u);
+  EXPECT_EQ(t1[0].track_id, t2[0].track_id);
+}
+
+TEST(Tracker, NewObjectGetsNewId) {
+  IouTracker tracker;
+  std::vector<Detection> frame1 = {{MakeBox(0, 0, 10, 10), "car", 0.9, 0}};
+  std::vector<Detection> frame2 = {
+      {MakeBox(1, 0, 10, 10), "car", 0.9, 0},
+      {MakeBox(100, 100, 10, 10), "car", 0.9, 1}};
+  tracker.Update(frame1);
+  const auto t2 = tracker.Update(frame2);
+  ASSERT_EQ(t2.size(), 2u);
+  EXPECT_NE(t2[0].track_id, t2[1].track_id);
+}
+
+TEST(Tracker, CoastsThroughShortGap) {
+  IouTracker tracker(TrackerConfig{0.3, 2});
+  std::vector<Detection> present = {{MakeBox(0, 0, 10, 10), "car", 0.9, 0}};
+  std::vector<Detection> empty;
+  const auto t1 = tracker.Update(present);
+  tracker.Update(empty);  // one-frame gap
+  const auto t3 = tracker.Update(present);
+  EXPECT_EQ(t1[0].track_id, t3[0].track_id);
+}
+
+TEST(Tracker, RetiresAfterLongGap) {
+  IouTracker tracker(TrackerConfig{0.3, 1});
+  std::vector<Detection> present = {{MakeBox(0, 0, 10, 10), "car", 0.9, 0}};
+  std::vector<Detection> empty;
+  const auto t1 = tracker.Update(present);
+  tracker.Update(empty);
+  tracker.Update(empty);
+  tracker.Update(empty);
+  const auto t5 = tracker.Update(present);
+  EXPECT_NE(t1[0].track_id, t5[0].track_id);
+}
+
+TEST(Tracker, GreedyPrefersHigherIou) {
+  IouTracker tracker;
+  std::vector<Detection> frame1 = {{MakeBox(0, 0, 10, 10), "car", 0.9, 0},
+                                   {MakeBox(20, 0, 10, 10), "car", 0.9, 1}};
+  const auto t1 = tracker.Update(frame1);
+  // Both detections move slightly; association must follow geometry.
+  std::vector<Detection> frame2 = {{MakeBox(21, 0, 10, 10), "car", 0.9, 1},
+                                   {MakeBox(1, 0, 10, 10), "car", 0.9, 0}};
+  const auto t2 = tracker.Update(frame2);
+  EXPECT_EQ(t2[0].track_id, t1[1].track_id);
+  EXPECT_EQ(t2[1].track_id, t1[0].track_id);
+}
+
+TEST(Tracker, ResetClearsState) {
+  IouTracker tracker;
+  std::vector<Detection> present = {{MakeBox(0, 0, 10, 10), "car", 0.9, 0}};
+  tracker.Update(present);
+  tracker.Reset();
+  EXPECT_EQ(tracker.TrackCount(), 0);
+  const auto t = tracker.Update(present);
+  EXPECT_EQ(t[0].track_id, 0);
+}
+
+// Property sweep: NMS output never contains two same-label boxes above the
+// suppression threshold.
+class NmsProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(NmsProperty, NoResidualOverlap) {
+  const double threshold = GetParam();
+  common::Rng rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<Detection> dets;
+    for (int i = 0; i < 25; ++i) {
+      dets.push_back({MakeBox(rng.Uniform(0, 50), rng.Uniform(0, 50),
+                              rng.Uniform(5, 15), rng.Uniform(5, 15)),
+                      "car", rng.Uniform(), i});
+    }
+    const auto kept = Nms(std::move(dets), threshold);
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+      for (std::size_t j = i + 1; j < kept.size(); ++j) {
+        EXPECT_LE(Iou(kept[i].box, kept[j].box), threshold);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, NmsProperty,
+                         ::testing::Values(0.3, 0.5, 0.7));
+
+}  // namespace
+}  // namespace omg::geometry

@@ -1,0 +1,363 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "nn/matrix.hpp"
+#include "nn/mlp.hpp"
+#include "nn/trainer.hpp"
+
+namespace omg::nn {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  m.At(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 0.0);
+}
+
+TEST(Matrix, BoundsChecked) {
+  Matrix m(2, 3);
+  EXPECT_THROW(m.At(2, 0), common::CheckError);
+  EXPECT_THROW(m.At(0, 3), common::CheckError);
+}
+
+TEST(Matrix, DataSizeValidated) {
+  EXPECT_THROW(Matrix(2, 2, {1.0, 2.0, 3.0}), common::CheckError);
+}
+
+TEST(Matrix, MatMulHandComputed) {
+  Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  Matrix b(3, 2, {7, 8, 9, 10, 11, 12});
+  Matrix c = a.MatMul(b);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c.At(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 154.0);
+}
+
+TEST(Matrix, MatMulShapeChecked) {
+  Matrix a(2, 3), b(2, 3);
+  EXPECT_THROW(a.MatMul(b), common::CheckError);
+}
+
+TEST(Matrix, TransposedMatMulMatchesExplicit) {
+  common::Rng rng(1);
+  Matrix a(4, 3), b(4, 2);
+  for (double& v : a.Data()) v = rng.Normal();
+  for (double& v : b.Data()) v = rng.Normal();
+  Matrix at(3, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) at.At(j, i) = a.At(i, j);
+  }
+  const Matrix expected = at.MatMul(b);
+  const Matrix actual = a.TransposedMatMul(b);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_NEAR(actual.At(i, j), expected.At(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(Matrix, MatMulTransposedMatchesExplicit) {
+  common::Rng rng(2);
+  Matrix a(2, 3), b(4, 3);
+  for (double& v : a.Data()) v = rng.Normal();
+  for (double& v : b.Data()) v = rng.Normal();
+  Matrix bt(3, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) bt.At(j, i) = b.At(i, j);
+  }
+  const Matrix expected = a.MatMul(bt);
+  const Matrix actual = a.MatMulTransposed(b);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(actual.At(i, j), expected.At(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(Matrix, AddScaled) {
+  Matrix a(1, 2, {1.0, 2.0});
+  Matrix b(1, 2, {10.0, 20.0});
+  a.AddScaled(b, 0.5);
+  EXPECT_DOUBLE_EQ(a.At(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(a.At(0, 1), 12.0);
+}
+
+TEST(Matrix, SquaredNorm) {
+  Matrix a(1, 3, {1.0, 2.0, 2.0});
+  EXPECT_DOUBLE_EQ(a.SquaredNorm(), 9.0);
+}
+
+TEST(Matrix, StackRows) {
+  std::vector<std::vector<double>> rows = {{1, 2}, {3, 4}, {5, 6}};
+  const Matrix m = StackRows(rows);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_DOUBLE_EQ(m.At(2, 1), 6.0);
+}
+
+TEST(Matrix, StackRowsRejectsRagged) {
+  std::vector<std::vector<double>> rows = {{1, 2}, {3}};
+  EXPECT_THROW(StackRows(rows), common::CheckError);
+}
+
+TEST(Softmax, SumsToOneAndOrders) {
+  const auto p = Softmax(std::vector<double>{1.0, 2.0, 3.0});
+  EXPECT_NEAR(p[0] + p[1] + p[2], 1.0, 1e-12);
+  EXPECT_LT(p[0], p[1]);
+  EXPECT_LT(p[1], p[2]);
+}
+
+TEST(Softmax, StableUnderLargeLogits) {
+  const auto p = Softmax(std::vector<double>{1000.0, 1001.0});
+  EXPECT_NEAR(p[0] + p[1], 1.0, 1e-12);
+  EXPECT_GT(p[1], p[0]);
+  EXPECT_FALSE(std::isnan(p[0]));
+}
+
+TEST(Softmax, InvariantToShift) {
+  const auto a = Softmax(std::vector<double>{1.0, 2.0});
+  const auto b = Softmax(std::vector<double>{101.0, 102.0});
+  EXPECT_NEAR(a[0], b[0], 1e-12);
+}
+
+TEST(Mlp, PredictProbaIsDistribution) {
+  common::Rng rng(3);
+  Mlp mlp(MlpConfig{4, {8}, 3}, rng);
+  const std::vector<double> x = {0.1, -0.2, 0.3, 0.4};
+  const auto p = mlp.PredictProba(x);
+  ASSERT_EQ(p.size(), 3u);
+  double sum = 0.0;
+  for (const double v : p) {
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Mlp, ConfidenceIsMaxProba) {
+  common::Rng rng(3);
+  Mlp mlp(MlpConfig{4, {8}, 3}, rng);
+  const std::vector<double> x = {0.1, -0.2, 0.3, 0.4};
+  const auto p = mlp.PredictProba(x);
+  EXPECT_DOUBLE_EQ(mlp.Confidence(x),
+                   *std::max_element(p.begin(), p.end()));
+  EXPECT_EQ(mlp.Predict(x),
+            static_cast<std::size_t>(
+                std::max_element(p.begin(), p.end()) - p.begin()));
+}
+
+TEST(Mlp, ParameterCount) {
+  common::Rng rng(3);
+  Mlp mlp(MlpConfig{4, {8}, 3}, rng);
+  // 4*8 + 8 + 8*3 + 3 = 67
+  EXPECT_EQ(mlp.ParameterCount(), 67u);
+}
+
+TEST(Mlp, RejectsBadConfig) {
+  common::Rng rng(3);
+  EXPECT_THROW(Mlp(MlpConfig{0, {}, 2}, rng), common::CheckError);
+  EXPECT_THROW(Mlp(MlpConfig{4, {}, 1}, rng), common::CheckError);
+}
+
+TEST(Mlp, InputDimChecked) {
+  common::Rng rng(3);
+  Mlp mlp(MlpConfig{4, {}, 2}, rng);
+  EXPECT_THROW(mlp.PredictProba(std::vector<double>{1.0, 2.0}),
+               common::CheckError);
+}
+
+// Gradient check: compare the trainer's analytic gradient step against a
+// finite-difference estimate of the loss gradient.
+TEST(Trainer, GradientMatchesFiniteDifferences) {
+  common::Rng rng(5);
+  Mlp mlp(MlpConfig{3, {5}, 2}, rng);
+  Dataset data;
+  common::Rng data_rng(6);
+  for (int i = 0; i < 8; ++i) {
+    data.Add({data_rng.Normal(), data_rng.Normal(), data_rng.Normal()},
+             static_cast<std::size_t>(i % 2));
+  }
+  SgdConfig sgd;
+  sgd.learning_rate = 1.0;  // step = -gradient exactly (momentum 0, l2 0)
+  sgd.momentum = 0.0;
+  sgd.l2 = 0.0;
+  sgd.batch_size = data.size();
+  sgd.epochs = 1;
+
+  // Analytic gradient = (weights_before - weights_after) / lr.
+  Mlp stepped = mlp;
+  SoftmaxTrainer trainer(sgd);
+  common::Rng train_rng(7);
+  trainer.Train(stepped, data, train_rng);
+
+  SoftmaxTrainer loss_eval(sgd);
+  const double eps = 1e-6;
+  int checked = 0;
+  for (std::size_t l = 0; l < mlp.weights().size(); ++l) {
+    for (std::size_t idx = 0; idx < std::min<std::size_t>(
+                                  mlp.weights()[l].size(), 4);
+         ++idx) {
+      Mlp plus = mlp, minus = mlp;
+      plus.weights()[l].Data()[idx] += eps;
+      minus.weights()[l].Data()[idx] -= eps;
+      const double fd = (loss_eval.Loss(plus, data) -
+                         loss_eval.Loss(minus, data)) /
+                        (2.0 * eps);
+      const double analytic =
+          mlp.weights()[l].Data()[idx] - stepped.weights()[l].Data()[idx];
+      EXPECT_NEAR(analytic, fd, 1e-4)
+          << "layer " << l << " index " << idx;
+      ++checked;
+    }
+  }
+  EXPECT_GE(checked, 8);
+}
+
+TEST(Trainer, LearnsLinearlySeparableData) {
+  common::Rng rng(8);
+  Mlp mlp(MlpConfig{2, {}, 2}, rng);
+  Dataset data;
+  common::Rng data_rng(9);
+  for (int i = 0; i < 200; ++i) {
+    const double x = data_rng.Normal();
+    const double y = data_rng.Normal();
+    data.Add({x + (i % 2 ? 2.0 : -2.0), y}, static_cast<std::size_t>(i % 2));
+  }
+  SoftmaxTrainer trainer(SgdConfig{0.1, 0.9, 1e-4, 16, 30});
+  common::Rng train_rng(10);
+  trainer.Train(mlp, data, train_rng);
+  EXPECT_GT(Accuracy(mlp, data), 0.95);
+}
+
+TEST(Trainer, LearnsXorWithHiddenLayer) {
+  common::Rng rng(12);
+  Mlp mlp(MlpConfig{2, {12}, 2}, rng);
+  Dataset data;
+  common::Rng data_rng(13);
+  for (int i = 0; i < 400; ++i) {
+    const double x = data_rng.Uniform(-1.0, 1.0);
+    const double y = data_rng.Uniform(-1.0, 1.0);
+    data.Add({x, y}, (x > 0.0) == (y > 0.0) ? 1u : 0u);
+  }
+  SoftmaxTrainer trainer(SgdConfig{0.1, 0.9, 1e-5, 16, 120});
+  common::Rng train_rng(14);
+  trainer.Train(mlp, data, train_rng);
+  EXPECT_GT(Accuracy(mlp, data), 0.9);
+}
+
+TEST(Trainer, TrainingReducesLoss) {
+  common::Rng rng(15);
+  Mlp mlp(MlpConfig{3, {8}, 3}, rng);
+  Dataset data;
+  common::Rng data_rng(16);
+  for (int i = 0; i < 150; ++i) {
+    const auto label = static_cast<std::size_t>(i % 3);
+    data.Add({data_rng.Normal(label == 0 ? 2.0 : -1.0, 0.5),
+              data_rng.Normal(label == 1 ? 2.0 : -1.0, 0.5),
+              data_rng.Normal(label == 2 ? 2.0 : -1.0, 0.5)},
+             label);
+  }
+  SoftmaxTrainer trainer(SgdConfig{0.05, 0.9, 1e-4, 16, 20});
+  const double before = trainer.Loss(mlp, data);
+  common::Rng train_rng(17);
+  trainer.Train(mlp, data, train_rng);
+  const double after = trainer.Loss(mlp, data);
+  EXPECT_LT(after, before * 0.5);
+}
+
+TEST(Trainer, WeightedExamplesDominate) {
+  // Two contradictory labelings of the same point: the heavier one wins.
+  common::Rng rng(18);
+  Mlp mlp(MlpConfig{1, {}, 2}, rng);
+  Dataset data;
+  data.Add({1.0}, 0, 0.05);
+  data.Add({1.0}, 1, 1.0);
+  SoftmaxTrainer trainer(SgdConfig{0.2, 0.0, 0.0, 2, 200});
+  common::Rng train_rng(19);
+  trainer.Train(mlp, data, train_rng);
+  EXPECT_EQ(mlp.Predict(std::vector<double>{1.0}), 1u);
+}
+
+TEST(Trainer, EmptyDatasetIsNoOp) {
+  common::Rng rng(20);
+  Mlp mlp(MlpConfig{2, {}, 2}, rng);
+  SoftmaxTrainer trainer(SgdConfig{});
+  common::Rng train_rng(21);
+  EXPECT_DOUBLE_EQ(trainer.Train(mlp, Dataset{}, train_rng), 0.0);
+}
+
+TEST(Dataset, AppendPreservesWeights) {
+  Dataset a;
+  a.Add({1.0}, 0);
+  Dataset b;
+  b.Add({2.0}, 1, 0.5);
+  a.Append(b);
+  ASSERT_EQ(a.size(), 2u);
+  ASSERT_EQ(a.weights.size(), 2u);
+  EXPECT_DOUBLE_EQ(a.weights[0], 1.0);
+  EXPECT_DOUBLE_EQ(a.weights[1], 0.5);
+}
+
+TEST(Dataset, UnweightedStaysCompact) {
+  Dataset a;
+  a.Add({1.0}, 0);
+  a.Add({2.0}, 1);
+  EXPECT_TRUE(a.weights.empty());
+}
+
+TEST(Trainer, DeterministicGivenSeeds) {
+  auto run = [] {
+    common::Rng rng(22);
+    Mlp mlp(MlpConfig{2, {4}, 2}, rng);
+    Dataset data;
+    common::Rng data_rng(23);
+    for (int i = 0; i < 50; ++i) {
+      data.Add({data_rng.Normal(), data_rng.Normal()},
+               static_cast<std::size_t>(i % 2));
+    }
+    SoftmaxTrainer trainer(SgdConfig{0.05, 0.9, 1e-4, 8, 5});
+    common::Rng train_rng(24);
+    return trainer.Train(mlp, data, train_rng);
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+// Parameterized sweep: accuracy improves monotonically (statistically) with
+// more data on a fixed separable task.
+class TrainerDataScaling : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TrainerDataScaling, MoreDataNoWorse) {
+  const std::size_t n = GetParam();
+  common::Rng rng(30);
+  Mlp mlp(MlpConfig{2, {8}, 2}, rng);
+  Dataset train, test;
+  common::Rng data_rng(31);
+  auto sample = [&](Dataset& d, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto label = static_cast<std::size_t>(i % 2);
+      d.Add({data_rng.Normal(label ? 1.0 : -1.0, 1.0),
+             data_rng.Normal(label ? 1.0 : -1.0, 1.0)},
+            label);
+    }
+  };
+  sample(train, n);
+  sample(test, 400);
+  SoftmaxTrainer trainer(SgdConfig{0.05, 0.9, 1e-4, 16, 25});
+  common::Rng train_rng(32);
+  trainer.Train(mlp, train, train_rng);
+  // Even the smallest budget should beat chance clearly; larger budgets
+  // should approach the Bayes-ish rate on this task.
+  EXPECT_GT(Accuracy(mlp, test), n >= 200 ? 0.80 : 0.65);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TrainerDataScaling,
+                         ::testing::Values(50, 200, 800));
+
+}  // namespace
+}  // namespace omg::nn

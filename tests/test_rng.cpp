@@ -1,0 +1,208 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace omg::common {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkIsIndependentOfParentContinuation) {
+  Rng parent(7);
+  Rng child = parent.Fork(0);
+  const auto c1 = child();
+  // Re-deriving the same fork from the same parent state reproduces it.
+  Rng parent2(7);
+  Rng child2 = parent2.Fork(0);
+  EXPECT_EQ(c1, child2());
+}
+
+TEST(Rng, ForkStreamsDiffer) {
+  Rng parent(7);
+  Rng a = parent.Fork(1);
+  Rng parent2(7);
+  Rng b = parent2.Fork(2);
+  EXPECT_NE(a(), b());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(42);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusively) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(2, 5));
+  EXPECT_EQ(seen, (std::set<std::int64_t>{2, 3, 4, 5}));
+}
+
+TEST(Rng, UniformIntSinglePoint) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(3, 3), 3);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(5);
+  EXPECT_THROW(rng.UniformInt(2, 1), CheckError);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  const int n = 50000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaled) {
+  Rng rng(11);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Rng, NormalRejectsNegativeStddev) {
+  Rng rng(1);
+  EXPECT_THROW(rng.Normal(0.0, -1.0), CheckError);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(3);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRejectsOutOfRange) {
+  Rng rng(3);
+  EXPECT_THROW(rng.Bernoulli(1.5), CheckError);
+  EXPECT_THROW(rng.Bernoulli(-0.1), CheckError);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(9);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(13);
+  const std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.1, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.3, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[3]) / n, 0.6, 0.02);
+}
+
+TEST(Rng, CategoricalRejectsBadWeights) {
+  Rng rng(13);
+  EXPECT_THROW(rng.Categorical(std::vector<double>{}), CheckError);
+  EXPECT_THROW(rng.Categorical(std::vector<double>{0.0, 0.0}), CheckError);
+  EXPECT_THROW(rng.Categorical(std::vector<double>{1.0, -1.0}), CheckError);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(19);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto sample = rng.SampleWithoutReplacement(20, 10);
+    EXPECT_EQ(sample.size(), 10u);
+    std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 10u);
+    for (const auto s : sample) EXPECT_LT(s, 20u);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementFull) {
+  Rng rng(19);
+  const auto sample = rng.SampleWithoutReplacement(5, 5);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(Rng, SampleWithoutReplacementRejectsOverdraw) {
+  Rng rng(19);
+  EXPECT_THROW(rng.SampleWithoutReplacement(3, 4), CheckError);
+}
+
+// Property sweep: Uniform(lo, hi) stays within bounds for many ranges.
+class RngUniformRange
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(RngUniformRange, StaysInBounds) {
+  const auto [lo, hi] = GetParam();
+  Rng rng(23);
+  for (int i = 0; i < 2000; ++i) {
+    const double u = rng.Uniform(lo, hi);
+    EXPECT_GE(u, lo);
+    EXPECT_LE(u, hi);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranges, RngUniformRange,
+    ::testing::Values(std::pair{0.0, 1.0}, std::pair{-5.0, 5.0},
+                      std::pair{100.0, 100.5}, std::pair{-2.0, -1.0},
+                      std::pair{0.0, 0.0}));
+
+}  // namespace
+}  // namespace omg::common

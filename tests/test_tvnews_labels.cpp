@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "labels/labels.hpp"
+#include "tvnews/news.hpp"
+#include "video/world.hpp"
+
+namespace omg {
+namespace {
+
+// ---- TV news ----
+
+TEST(NewsGenerator, Deterministic) {
+  tvnews::NewsGenerator a(tvnews::NewsConfig{}, 3);
+  tvnews::NewsGenerator b(tvnews::NewsConfig{}, 3);
+  const auto fa = a.Generate(50);
+  const auto fb = b.Generate(50);
+  ASSERT_EQ(fa.size(), fb.size());
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    ASSERT_EQ(fa[i].faces.size(), fb[i].faces.size());
+    for (std::size_t f = 0; f < fa[i].faces.size(); ++f) {
+      EXPECT_EQ(fa[i].faces[f].identity, fb[i].faces[f].identity);
+    }
+  }
+}
+
+TEST(NewsGenerator, ScenesHaveStableCast) {
+  tvnews::NewsGenerator generator(tvnews::NewsConfig{}, 4);
+  const auto frames = generator.Generate(100);
+  std::map<std::int64_t, std::set<std::int64_t>> scene_people;
+  std::map<std::int64_t, std::size_t> scene_faces;
+  for (const auto& frame : frames) {
+    for (const auto& face : frame.faces) {
+      scene_people[frame.scene_id].insert(face.person_id);
+    }
+    scene_faces[frame.scene_id] = frame.faces.size();
+  }
+  for (const auto& [scene, people] : scene_people) {
+    EXPECT_EQ(people.size(), scene_faces[scene])
+        << "cast changed within scene " << scene;
+  }
+}
+
+TEST(NewsGenerator, ErrorRatesRoughlyRespected) {
+  tvnews::NewsConfig config;
+  config.gender_error_rate = 0.1;
+  tvnews::NewsGenerator generator(config, 5);
+  const auto frames = generator.Generate(800);
+  std::size_t total = 0, errors = 0;
+  for (const auto& frame : frames) {
+    for (const auto& face : frame.faces) {
+      ++total;
+      if (face.gender != face.true_gender) ++errors;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(errors) / static_cast<double>(total), 0.1,
+              0.03);
+}
+
+TEST(NewsSuiteTest, GeneratedColumns) {
+  tvnews::NewsSuite suite = tvnews::BuildNewsSuite();
+  EXPECT_EQ(suite.suite.Names(),
+            (std::vector<std::string>{"consistent:identity",
+                                      "consistent:gender",
+                                      "consistent:hair"}));
+}
+
+TEST(NewsSuiteTest, FiresOnInjectedGenderFlip) {
+  tvnews::NewsConfig config;
+  config.identity_error_rate = 0.0;
+  config.gender_error_rate = 0.0;
+  config.hair_error_rate = 0.0;
+  tvnews::NewsGenerator generator(config, 6);
+  auto frames = generator.Generate(12);
+  // Find a scene with >= 3 frames and flip one face's gender mid-scene.
+  std::map<std::int64_t, std::size_t> scene_count;
+  for (const auto& frame : frames) ++scene_count[frame.scene_id];
+  std::size_t victim = frames.size();
+  for (std::size_t i = 1; i < frames.size(); ++i) {
+    if (scene_count[frames[i].scene_id] >= 3 && !frames[i].faces.empty() &&
+        frames[i - 1].scene_id == frames[i].scene_id) {
+      victim = i;
+      break;
+    }
+  }
+  ASSERT_LT(victim, frames.size());
+  auto& face = frames[victim].faces.front();
+  face.gender = face.gender == "male" ? "female" : "male";
+
+  tvnews::NewsSuite suite = tvnews::BuildNewsSuite();
+  const core::SeverityMatrix m = suite.suite.CheckAll(frames);
+  EXPECT_TRUE(m.Fired(victim, suite.suite.IndexOf("consistent:gender")));
+  EXPECT_EQ(m.FireCounts()[suite.suite.IndexOf("consistent:identity")], 0u);
+}
+
+TEST(NewsSuiteTest, CleanStreamIsSilent) {
+  tvnews::NewsConfig config;
+  config.identity_error_rate = 0.0;
+  config.gender_error_rate = 0.0;
+  config.hair_error_rate = 0.0;
+  tvnews::NewsGenerator generator(config, 7);
+  const auto frames = generator.Generate(60);
+  tvnews::NewsSuite suite = tvnews::BuildNewsSuite();
+  const core::SeverityMatrix m = suite.suite.CheckAll(frames);
+  EXPECT_EQ(m.TotalFired(), 0u);
+}
+
+TEST(NewsSuiteTest, CorrectionsProposeMajorityValue) {
+  tvnews::NewsConfig config;
+  config.identity_error_rate = 0.0;
+  config.gender_error_rate = 0.0;
+  config.hair_error_rate = 0.0;
+  tvnews::NewsGenerator generator(config, 8);
+  auto frames = generator.Generate(12);
+  std::map<std::int64_t, std::size_t> scene_count;
+  for (const auto& frame : frames) ++scene_count[frame.scene_id];
+  std::size_t victim = frames.size();
+  for (std::size_t i = 1; i < frames.size(); ++i) {
+    if (scene_count[frames[i].scene_id] >= 3 && !frames[i].faces.empty() &&
+        frames[i - 1].scene_id == frames[i].scene_id) {
+      victim = i;
+      break;
+    }
+  }
+  ASSERT_LT(victim, frames.size());
+  auto& face = frames[victim].faces.front();
+  const std::string truth = face.hair;
+  face.hair = truth == "black" ? "blond" : "black";
+
+  tvnews::NewsSuite suite = tvnews::BuildNewsSuite();
+  (void)suite.suite.CheckAll(frames);
+  const auto& corrections = suite.consistency->Corrections(frames);
+  bool found = false;
+  for (const auto& correction : corrections) {
+    if (correction.attribute_key == "hair" &&
+        correction.example_index == victim) {
+      EXPECT_EQ(correction.proposed_value, truth);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(NewsPrecision, HighOnDefaultErrorRates) {
+  tvnews::NewsGenerator generator(tvnews::NewsConfig{}, 9);
+  const auto frames = generator.Generate(2000);
+  const auto samples =
+      tvnews::MeasureNewsAssertionPrecision(frames, 50, 10);
+  ASSERT_EQ(samples.size(), 3u);
+  for (const auto& sample : samples) {
+    if (sample.sampled == 0) continue;
+    const double precision =
+        static_cast<double>(sample.correct_model_output) /
+        static_cast<double>(sample.sampled);
+    EXPECT_GT(precision, 0.9) << sample.assertion;
+  }
+}
+
+// ---- Human-label validation ----
+
+video::WorldConfig LabelWorld() {
+  video::WorldConfig config;
+  return config;
+}
+
+TEST(AnnotatorSim, TrueClassStablePerObject) {
+  labels::AnnotatorSim annotator(labels::AnnotatorConfig{}, 1);
+  const std::string a = annotator.TrueClassOf(7);
+  EXPECT_EQ(annotator.TrueClassOf(7), a);
+}
+
+TEST(AnnotatorSim, LabelsEveryTruth) {
+  video::NightStreetWorld world(LabelWorld(), 2);
+  const auto frames = world.GenerateFrames(50);
+  labels::AnnotatorSim annotator(labels::AnnotatorConfig{}, 3);
+  const auto labeled = annotator.LabelFrames(frames);
+  ASSERT_EQ(labeled.size(), frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_EQ(labeled[i].labels.size(), frames[i].truths.size());
+  }
+}
+
+TEST(AnnotatorSim, ConsistentConfusionIsStable) {
+  labels::AnnotatorConfig config;
+  config.consistent_confusion_rate = 1.0;  // every object confused
+  config.random_error_rate = 0.0;
+  video::NightStreetWorld world(LabelWorld(), 4);
+  const auto frames = world.GenerateFrames(60);
+  labels::AnnotatorSim annotator(config, 5);
+  const auto labeled = annotator.LabelFrames(frames);
+  std::map<std::int64_t, std::set<std::string>> labels_per_object;
+  for (const auto& frame : labeled) {
+    for (const auto& label : frame.labels) {
+      labels_per_object[label.truth_id].insert(label.labeled_class);
+      EXPECT_NE(label.labeled_class, label.true_class);
+    }
+  }
+  for (const auto& [id, observed] : labels_per_object) {
+    EXPECT_EQ(observed.size(), 1u) << "object " << id;
+  }
+}
+
+TEST(ValidateLabels, PerfectLabelsReportNoErrors) {
+  labels::AnnotatorConfig config;
+  config.consistent_confusion_rate = 0.0;
+  config.random_error_rate = 0.0;
+  video::NightStreetWorld world(LabelWorld(), 6);
+  const auto frames = world.GenerateFrames(80);
+  labels::AnnotatorSim annotator(config, 7);
+  const auto labeled = annotator.LabelFrames(frames);
+  const auto report = labels::ValidateLabels(labeled);
+  EXPECT_GT(report.total_labels, 0u);
+  EXPECT_EQ(report.errors, 0u);
+  EXPECT_EQ(report.errors_caught, 0u);
+}
+
+TEST(ValidateLabels, RandomSlipsAreCaught) {
+  labels::AnnotatorConfig config;
+  config.consistent_confusion_rate = 0.0;
+  config.random_error_rate = 0.08;
+  video::NightStreetWorld world(LabelWorld(), 8);
+  const auto frames = world.GenerateFrames(150);
+  labels::AnnotatorSim annotator(config, 9);
+  const auto labeled = annotator.LabelFrames(frames);
+  const auto report = labels::ValidateLabels(labeled);
+  ASSERT_GT(report.errors, 0u);
+  // Random slips on multi-frame tracks are exactly what the consistency
+  // assertion catches: expect a solid majority caught.
+  EXPECT_GT(report.CatchRate(), 0.5);
+}
+
+TEST(ValidateLabels, ConsistentConfusionsAreNotCaught) {
+  labels::AnnotatorConfig config;
+  config.consistent_confusion_rate = 0.3;
+  config.random_error_rate = 0.0;
+  video::NightStreetWorld world(LabelWorld(), 10);
+  const auto frames = world.GenerateFrames(150);
+  labels::AnnotatorSim annotator(config, 11);
+  const auto labeled = annotator.LabelFrames(frames);
+  const auto report = labels::ValidateLabels(labeled);
+  ASSERT_GT(report.errors, 0u);
+  // Consistent confusions are invisible to a per-track consistency check;
+  // the rare catches come only from tracker identity switches that splice
+  // two objects into one track.
+  EXPECT_LT(report.CatchRate(), 0.05);
+}
+
+TEST(ValidateLabels, MixedErrorsPartiallyCaught) {
+  // The Table 6 regime: mostly consistent confusions, a few random slips.
+  // More frames than the other cases: the confused-object count is a
+  // small-sample binomial, and a run with zero confused objects would make
+  // the catch rate look spuriously high.
+  labels::AnnotatorConfig config;
+  video::NightStreetWorld world(LabelWorld(), 12);
+  const auto frames = world.GenerateFrames(1200);
+  labels::AnnotatorSim annotator(config, 13);
+  const auto labeled = annotator.LabelFrames(frames);
+  const auto report = labels::ValidateLabels(labeled);
+  ASSERT_GT(report.errors, 0u);
+  EXPECT_GT(report.errors_caught, 0u);
+  EXPECT_LT(report.CatchRate(), 0.6);
+}
+
+}  // namespace
+}  // namespace omg
