@@ -1,0 +1,292 @@
+// Serving-runtime throughput: examples/sec of the multi-stream assertion
+// runtime (runtime/service.hpp) vs. a per-example StreamingMonitor loop over
+// the same workload (ISSUE 1 acceptance: sharded runtime with 4 workers must
+// sustain >= 4x the baseline on an 8-stream workload).
+//
+// The workload is synthetic but shaped like the paper's deployments: two
+// pointwise assertions plus two bounded stream-level assertions (temporal
+// radii 6 and 8) over feature-vector examples. The baseline feeds monitors
+// one example at a time (what the seed runtime supported); the runtime
+// ingests batches, so bounded-radius suffix re-scoring amortizes across the
+// batch instead of being repeated per example.
+//
+// Prints a table and writes machine-readable results to --json (default
+// BENCH_runtime.json) so the perf trajectory is trackable across PRs.
+#include <array>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/flags.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/assertion.hpp"
+#include "core/monitor.hpp"
+#include "runtime/event_sink.hpp"
+#include "runtime/service.hpp"
+
+namespace {
+
+using namespace omg;
+
+/// One model invocation: a feature vector (e.g. pooled detector activations).
+struct Sample {
+  std::size_t index = 0;
+  std::array<double, 16> features{};
+};
+
+double Magnitude(const Sample& sample) {
+  double total = 0.0;
+  for (const double f : sample.features) total += std::abs(f);
+  return total;
+}
+
+/// The bench suite: two pointwise + two bounded stream-level assertions.
+void PopulateSuite(core::AssertionSuite<Sample>& suite) {
+  suite.AddPointwise("range", [](const Sample& s) {
+    double out_of_range = 0.0;
+    for (const double f : s.features) {
+      if (f < -4.0 || f > 4.0) out_of_range += 1.0;
+    }
+    return out_of_range;
+  });
+  suite.AddPointwise("energy", [](const Sample& s) {
+    const double magnitude = Magnitude(s);
+    return magnitude > 24.0 ? magnitude - 24.0 : 0.0;
+  });
+  // Severity of i: how far i's magnitude sits from the mean over
+  // [i - 6, i + 6] — a flicker-style local-outlier check, radius 6.
+  suite.AddFunction(
+      "spike",
+      [](std::span<const Sample> stream) {
+        constexpr std::size_t r = 6;
+        std::vector<double> severities(stream.size(), 0.0);
+        for (std::size_t i = 0; i < stream.size(); ++i) {
+          const std::size_t lo = i > r ? i - r : 0;
+          const std::size_t hi = std::min(stream.size(), i + r + 1);
+          double mean = 0.0;
+          for (std::size_t j = lo; j < hi; ++j) mean += Magnitude(stream[j]);
+          mean /= static_cast<double>(hi - lo);
+          const double deviation = std::abs(Magnitude(stream[i]) - mean);
+          if (deviation > 6.0) severities[i] = deviation;
+        }
+        return severities;
+      },
+      /*temporal_radius=*/6);
+  // Severity of i: drift between the mean magnitude of [i - 8, i) and
+  // (i, i + 8] — a sensor-drift check, radius 8.
+  suite.AddFunction(
+      "drift",
+      [](std::span<const Sample> stream) {
+        constexpr std::size_t r = 8;
+        std::vector<double> severities(stream.size(), 0.0);
+        for (std::size_t i = 0; i < stream.size(); ++i) {
+          const std::size_t lo = i > r ? i - r : 0;
+          const std::size_t hi = std::min(stream.size(), i + r + 1);
+          if (i == lo || i + 1 == hi) continue;
+          double before = 0.0;
+          for (std::size_t j = lo; j < i; ++j) before += Magnitude(stream[j]);
+          before /= static_cast<double>(i - lo);
+          double after = 0.0;
+          for (std::size_t j = i + 1; j < hi; ++j) after += Magnitude(stream[j]);
+          after /= static_cast<double>(hi - i - 1);
+          const double drift = std::abs(after - before);
+          if (drift > 4.0) severities[i] = drift;
+        }
+        return severities;
+      },
+      /*temporal_radius=*/8);
+}
+
+std::vector<Sample> MakeStream(std::uint64_t seed, std::size_t n) {
+  common::Rng rng(seed);
+  std::vector<Sample> stream;
+  stream.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Sample sample;
+    sample.index = i;
+    for (double& f : sample.features) f = rng.Normal(0.0, 1.2);
+    if (rng.Bernoulli(0.02)) {  // occasional anomaly burst
+      for (double& f : sample.features) f *= 3.5;
+    }
+    stream.push_back(sample);
+  }
+  return stream;
+}
+
+struct RunResult {
+  double seconds = 0.0;
+  double examples_per_sec = 0.0;
+  std::size_t events = 0;
+};
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point begin, Clock::time_point end) {
+  return std::chrono::duration<double>(end - begin).count();
+}
+
+/// Baseline: one StreamingMonitor per stream, fed one example at a time,
+/// round-robin across streams (the seed's only serving mode).
+RunResult RunBaseline(const std::vector<std::vector<Sample>>& streams,
+                      std::size_t window, std::size_t settle_lag) {
+  std::vector<core::AssertionSuite<Sample>> suites(streams.size());
+  std::vector<core::StreamingMonitor<Sample>> monitors;
+  monitors.reserve(streams.size());
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    PopulateSuite(suites[s]);
+    monitors.emplace_back(suites[s], window, settle_lag);
+  }
+  RunResult result;
+  const auto begin = Clock::now();
+  const std::size_t n = streams.front().size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t s = 0; s < streams.size(); ++s) {
+      result.events += monitors[s].Observe(streams[s][i]).size();
+    }
+  }
+  result.seconds = Seconds(begin, Clock::now());
+  result.examples_per_sec =
+      static_cast<double>(n * streams.size()) / result.seconds;
+  return result;
+}
+
+/// The serving runtime: streams sharded over `workers`, batched ingestion.
+RunResult RunService(const std::vector<std::vector<Sample>>& streams,
+                     std::size_t workers, std::size_t batch_size,
+                     std::size_t window, std::size_t settle_lag) {
+  runtime::RuntimeConfig config;
+  config.workers = workers;
+  config.window = window;
+  config.settle_lag = settle_lag;
+  runtime::MonitorService<Sample> service(config, [] {
+    auto suite = std::make_shared<core::AssertionSuite<Sample>>();
+    PopulateSuite(*suite);
+    return runtime::MonitorService<Sample>::SuiteBundle{suite, {}};
+  });
+  auto counting = std::make_shared<runtime::CountingSink>();
+  service.AddSink(counting);
+  std::vector<runtime::StreamId> ids;
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    ids.push_back(service.RegisterStream("stream-" + std::to_string(s)));
+  }
+
+  RunResult result;
+  const auto begin = Clock::now();
+  const std::size_t n = streams.front().size();
+  for (std::size_t offset = 0; offset < n; offset += batch_size) {
+    const std::size_t count = std::min(batch_size, n - offset);
+    for (std::size_t s = 0; s < streams.size(); ++s) {
+      service.ObserveBatch(
+          ids[s], std::vector<Sample>(streams[s].begin() + offset,
+                                      streams[s].begin() + offset + count));
+    }
+  }
+  service.Flush();
+  result.seconds = Seconds(begin, Clock::now());
+  common::Check(service.Errors().empty(), "runtime ingestion errors");
+  result.events = counting->count();
+  result.examples_per_sec =
+      static_cast<double>(n * streams.size()) / result.seconds;
+  return result;
+}
+
+void WriteJson(const std::string& path, std::size_t streams,
+               std::size_t examples, std::size_t window,
+               std::size_t settle_lag, std::size_t workers,
+               std::size_t batch_size, const RunResult& baseline,
+               const RunResult& sharded_1w, const RunResult& sharded) {
+  std::ofstream out(path);
+  common::Check(out.good(), "cannot open json output: " + path);
+  out << "{\n"
+      << "  \"bench\": \"runtime_throughput\",\n"
+      << "  \"streams\": " << streams << ",\n"
+      << "  \"examples_per_stream\": " << examples << ",\n"
+      << "  \"window\": " << window << ",\n"
+      << "  \"settle_lag\": " << settle_lag << ",\n"
+      << "  \"workers\": " << workers << ",\n"
+      << "  \"batch\": " << batch_size << ",\n"
+      << "  \"baseline\": {\"mode\": \"per_example_monitor\", \"seconds\": "
+      << baseline.seconds << ", \"examples_per_sec\": "
+      << baseline.examples_per_sec << ", \"events\": " << baseline.events
+      << "},\n"
+      << "  \"sharded_single_worker\": {\"seconds\": " << sharded_1w.seconds
+      << ", \"examples_per_sec\": " << sharded_1w.examples_per_sec
+      << ", \"events\": " << sharded_1w.events << "},\n"
+      << "  \"sharded\": {\"seconds\": " << sharded.seconds
+      << ", \"examples_per_sec\": " << sharded.examples_per_sec
+      << ", \"events\": " << sharded.events << "},\n"
+      << "  \"speedup_sharded_vs_baseline\": "
+      << sharded.examples_per_sec / baseline.examples_per_sec << "\n"
+      << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = common::Flags::Parse(argc, argv);
+  flags.CheckAllowed(
+      {"streams", "examples", "workers", "batch", "window", "settle",
+       "seed", "json"});
+  const auto n_streams = static_cast<std::size_t>(flags.GetInt("streams", 8));
+  const auto examples = static_cast<std::size_t>(flags.GetInt("examples", 20000));
+  const auto workers = static_cast<std::size_t>(flags.GetInt("workers", 4));
+  const auto batch_size = static_cast<std::size_t>(flags.GetInt("batch", 256));
+  const auto window = static_cast<std::size_t>(flags.GetInt("window", 128));
+  const auto settle_lag = static_cast<std::size_t>(flags.GetInt("settle", 16));
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  const std::string json_path = flags.GetString("json", "BENCH_runtime.json");
+  // The suite's largest temporal radius is 8 ("drift"). Equivalence across
+  // per-example and batched configurations needs settled verdicts to be
+  // final (settle >= radius) and suffix re-scoring to keep its 2r context
+  // (window > 2 * radius).
+  constexpr std::size_t kMaxRadius = 8;
+  common::Check(settle_lag >= kMaxRadius,
+                "--settle must be >= 8, the largest assertion radius");
+  common::Check(window > 2 * kMaxRadius && settle_lag < window,
+                "--window must be > 16 (2x the largest radius) and > settle");
+
+  std::vector<std::vector<Sample>> streams;
+  for (std::size_t s = 0; s < n_streams; ++s) {
+    streams.push_back(MakeStream(seed + s, examples));
+  }
+
+  const RunResult baseline = RunBaseline(streams, window, settle_lag);
+  const RunResult sharded_1w =
+      RunService(streams, 1, batch_size, window, settle_lag);
+  const RunResult sharded =
+      RunService(streams, workers, batch_size, window, settle_lag);
+  common::Check(baseline.events == sharded.events &&
+                    baseline.events == sharded_1w.events,
+                "configurations emitted different event counts");
+
+  std::cout << "=== runtime throughput (" << n_streams << " streams x "
+            << examples << " examples, window " << window << ", settle "
+            << settle_lag << ") ===\n\n";
+  common::TextTable table(
+      {"Configuration", "Seconds", "Examples/sec", "Events", "Speedup"});
+  const auto row = [&](const std::string& name, const RunResult& r) {
+    table.AddRow({name, common::FormatDouble(r.seconds, 3),
+                  common::FormatDouble(r.examples_per_sec, 0),
+                  std::to_string(r.events),
+                  common::FormatDouble(
+                      r.examples_per_sec / baseline.examples_per_sec, 2) +
+                      "x"});
+  };
+  row("per-example monitor loop", baseline);
+  row("sharded runtime, 1 worker, batch " + std::to_string(batch_size),
+      sharded_1w);
+  row("sharded runtime, " + std::to_string(workers) + " workers, batch " +
+          std::to_string(batch_size),
+      sharded);
+  table.Print(std::cout);
+
+  WriteJson(json_path, n_streams, examples, window, settle_lag, workers,
+            batch_size, baseline, sharded_1w, sharded);
+  std::cout << "\nwrote " << json_path << "\n";
+  return 0;
+}

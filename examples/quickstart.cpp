@@ -104,10 +104,13 @@ int main() {
               << correction.identifier << "\n";
   }
 
-  // Runtime monitoring: the same suite, streaming, with a callback.
+  // Runtime monitoring: the same suite, streaming, with a callback. The
+  // consistency analyzer memoises per window buffer, so the monitor gets
+  // its Invalidate as the invalidation hook.
   std::cout << "\nStreaming monitor replay:\n";
-  core::StreamingMonitor<Reading> monitor(suite, /*window=*/8,
-                                          /*settle_lag=*/2);
+  core::StreamingMonitor<Reading> monitor(
+      suite, /*window=*/8, /*settle_lag=*/2,
+      [&analyzer] { analyzer->Invalidate(); });
   monitor.OnEvent([](const core::MonitorEvent& event) {
     std::cout << "  [runtime] example " << event.example_index << ": "
               << event.assertion << " severity " << event.severity << "\n";

@@ -1,0 +1,215 @@
+// Serving all four paper deployments through the multi-stream assertion
+// runtime (§2.3 at serving scale; see src/runtime/).
+//
+// Each domain gets a MonitorService<Example> instance (the runtime is typed
+// by the domain's example struct); every service monitors several concurrent
+// streams — two camera feeds, two AV logs, two ECG patient cohorts, two TV
+// channels — through per-stream assertion suites sharded over a worker pool.
+// Events flow to pluggable sinks (counting + JSON-lines here) and the
+// MetricsRegistry renders the per-stream dashboard the paper sketches.
+//
+// Build & run:  ./examples/runtime_serving [--frames N] [--workers N]
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "av/pipeline.hpp"
+#include "common/flags.hpp"
+#include "common/table.hpp"
+#include "ecg/ecg.hpp"
+#include "runtime/event_sink.hpp"
+#include "runtime/service.hpp"
+#include "tvnews/news.hpp"
+#include "video/assertions.hpp"
+#include "video/detector.hpp"
+#include "video/world.hpp"
+
+namespace {
+
+using namespace omg;
+
+/// Prints one domain's dashboard snapshot: per stream, per assertion.
+void PrintDashboard(const std::string& domain,
+                    const runtime::MetricsSnapshot& snapshot,
+                    std::size_t sample_events,
+                    const std::string& sample_json) {
+  std::cout << "--- " << domain << ": " << snapshot.examples_seen
+            << " examples, " << snapshot.events << " events ---\n";
+  common::TextTable table(
+      {"Stream", "Assertion", "Fires", "Max sev", "Mean sev"});
+  for (const auto& stream : snapshot.streams) {
+    for (const auto& [assertion, cell] : stream.assertions) {
+      table.AddRow({stream.stream, assertion, std::to_string(cell.fires),
+                    common::FormatDouble(cell.max_severity, 2),
+                    common::FormatDouble(cell.MeanSeverity(), 2)});
+    }
+  }
+  table.Print(std::cout);
+  if (sample_events > 0) {
+    std::cout << "first of " << sample_events
+              << " JSON-lines events: " << sample_json;
+  }
+  std::cout << "\n";
+}
+
+/// Runs `streams` through a service built by `make_bundle`, batched.
+template <typename Example, typename BundleFactory>
+void Serve(const std::string& domain,
+           const std::vector<std::pair<std::string, std::vector<Example>>>&
+               streams,
+           BundleFactory make_bundle, std::size_t workers) {
+  runtime::RuntimeConfig config;
+  config.workers = workers;
+  config.window = 48;
+  config.settle_lag = 8;
+  runtime::MonitorService<Example> service(config, make_bundle);
+  std::ostringstream json;
+  service.AddSink(std::make_shared<runtime::JsonLinesSink>(json));
+
+  std::vector<runtime::StreamId> ids;
+  for (const auto& [name, examples] : streams) {
+    ids.push_back(service.RegisterStream(name));
+  }
+  constexpr std::size_t kBatch = 64;
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    const auto& examples = streams[s].second;
+    for (std::size_t begin = 0; begin < examples.size(); begin += kBatch) {
+      const std::size_t count = std::min(kBatch, examples.size() - begin);
+      service.ObserveBatch(
+          ids[s], std::vector<Example>(examples.begin() + begin,
+                                       examples.begin() + begin + count));
+    }
+  }
+  service.Flush();
+  for (const auto& error : service.Errors()) {
+    std::cout << "ingest error: " << error << "\n";
+  }
+
+  const std::string lines = json.str();
+  const runtime::MetricsSnapshot snapshot = service.Metrics();
+  PrintDashboard(domain, snapshot, snapshot.events,
+                 lines.substr(0, lines.find('\n') + 1));
+}
+
+/// Video: two night-street camera feeds through one pretrained detector.
+void ServeVideo(std::size_t frames, std::size_t workers, std::uint64_t seed) {
+  video::NightStreetWorld world(video::WorldConfig{}, seed);
+  video::SsdDetector detector(video::DetectorConfig{},
+                              world.config().feature_dim, seed);
+  detector.Pretrain(world.PretrainingSet(500, 700));
+
+  std::vector<std::pair<std::string, std::vector<video::VideoExample>>>
+      streams;
+  for (const std::string& camera : {"cam-north", "cam-south"}) {
+    video::NightStreetWorld feed(video::WorldConfig{}, seed + streams.size());
+    std::vector<video::VideoExample> examples;
+    for (const auto& frame : feed.GenerateFrames(frames)) {
+      examples.push_back(
+          {frame.index, frame.timestamp, detector.Detect(frame)});
+    }
+    streams.emplace_back(camera, std::move(examples));
+  }
+  Serve<video::VideoExample>(
+      "video (night-street)", streams,
+      [] {
+        auto built = std::make_shared<video::VideoSuite>(
+            video::BuildVideoSuite());
+        return runtime::MonitorService<video::VideoExample>::SuiteBundle{
+            // Aliasing share: the bundle keeps the whole VideoSuite (and its
+            // consistency analyzer) alive through the suite pointer.
+            std::shared_ptr<core::AssertionSuite<video::VideoExample>>(
+                built, &built->suite),
+            [built] { built->consistency->Invalidate(); }};
+      },
+      workers);
+}
+
+/// AV: two drive logs; camera + LIDAR outputs from the AV pipeline.
+void ServeAv(std::size_t workers, std::uint64_t seed) {
+  std::vector<std::pair<std::string, std::vector<av::AvExample>>> streams;
+  for (const std::string& log : {"drive-a", "drive-b"}) {
+    av::AvPipelineConfig config;
+    config.pool_scenes = 8;
+    config.test_scenes = 2;
+    config.world_seed = seed + streams.size();
+    av::AvPipeline pipeline(config);
+    streams.emplace_back(log, pipeline.MakeExamples(pipeline.pool()));
+  }
+  Serve<av::AvExample>(
+      "av (camera vs lidar)", streams,
+      [] {
+        auto built = std::make_shared<av::AvSuite>(av::BuildAvSuite());
+        return runtime::MonitorService<av::AvExample>::SuiteBundle{
+            std::shared_ptr<core::AssertionSuite<av::AvExample>>(
+                built, &built->suite),
+            {}};  // both AV assertions are pointwise; nothing to invalidate
+      },
+      workers);
+}
+
+/// ECG: two patient cohorts classified by one pretrained model.
+void ServeEcg(std::size_t workers, std::uint64_t seed) {
+  ecg::EcgGenerator generator(ecg::EcgConfig{}, seed);
+  ecg::EcgClassifier classifier(ecg::EcgClassifierConfig{},
+                                generator.config().feature_dim, seed);
+  classifier.Pretrain(generator.PretrainingSet(600));
+
+  std::vector<std::pair<std::string, std::vector<ecg::EcgExample>>> streams;
+  for (const std::string& cohort : {"ward-1", "ward-2"}) {
+    std::vector<ecg::EcgExample> examples;
+    for (const auto& window : generator.GenerateRecords(12)) {
+      examples.push_back(
+          {window.record, window.timestamp, classifier.Predict(window)});
+    }
+    streams.emplace_back(cohort, std::move(examples));
+  }
+  Serve<ecg::EcgExample>(
+      "ecg (30s consistency)", streams,
+      [] {
+        auto built = std::make_shared<ecg::EcgSuite>(ecg::BuildEcgSuite());
+        return runtime::MonitorService<ecg::EcgExample>::SuiteBundle{
+            std::shared_ptr<core::AssertionSuite<ecg::EcgExample>>(
+                built, &built->suite),
+            [built] { built->consistency->Invalidate(); }};
+      },
+      workers);
+}
+
+/// TV news: two channels' face-attribute model outputs.
+void ServeNews(std::size_t frames, std::size_t workers, std::uint64_t seed) {
+  std::vector<std::pair<std::string, std::vector<tvnews::NewsFrame>>> streams;
+  for (const std::string& channel : {"channel-4", "channel-7"}) {
+    tvnews::NewsGenerator generator(tvnews::NewsConfig{},
+                                    seed + streams.size());
+    streams.emplace_back(channel, generator.Generate(frames));
+  }
+  Serve<tvnews::NewsFrame>(
+      "tvnews (face attributes)", streams,
+      [] {
+        auto built =
+            std::make_shared<tvnews::NewsSuite>(tvnews::BuildNewsSuite());
+        return runtime::MonitorService<tvnews::NewsFrame>::SuiteBundle{
+            std::shared_ptr<core::AssertionSuite<tvnews::NewsFrame>>(
+                built, &built->suite),
+            [built] { built->consistency->Invalidate(); }};
+      },
+      workers);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = common::Flags::Parse(argc, argv);
+  flags.CheckAllowed({"frames", "workers", "seed"});
+  const auto frames = static_cast<std::size_t>(flags.GetInt("frames", 240));
+  const auto workers = static_cast<std::size_t>(flags.GetInt("workers", 4));
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+
+  std::cout << "=== assertion-serving runtime: all four deployments ===\n\n";
+  ServeVideo(frames, workers, seed);
+  ServeAv(workers, seed);
+  ServeEcg(workers, seed);
+  ServeNews(frames, workers, seed);
+  return 0;
+}

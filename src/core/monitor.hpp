@@ -2,24 +2,30 @@
 // monitoring and validating all parts of the ML deployment pipeline").
 //
 // The monitor adapts batch assertions to a live stream: it keeps a sliding
-// window of recent examples, re-runs the suite as examples arrive, and emits
-// each (example, assertion) firing exactly once — but only after the example
-// is `settle_lag` steps behind the stream head, so retroactive assertions
-// (flicker needs the *next* frame to fire on the previous one) have settled.
-// Callbacks can log, populate a dashboard, or trigger corrective action such
-// as disengaging an autopilot.
+// window of recent examples and emits each (example, assertion) firing
+// exactly once — when the example is `settle_lag` steps behind the stream
+// head, so retroactive assertions (flicker needs the *next* frame to fire on
+// the previous one) have settled. Callbacks can log, populate a dashboard,
+// or trigger corrective action such as disengaging an autopilot.
+//
+// Scoring is delegated to core/incremental.hpp: assertions declaring a
+// `temporal_radius` are re-scored only over the window suffix a new example
+// can affect (pointwise assertions cost O(1) amortized per example);
+// assertions without a declared radius — e.g. consistency-generated ones —
+// re-score the whole window as the seed monitor did. For the multi-stream,
+// multi-threaded serving runtime built on the same evaluator, see
+// runtime/service.hpp.
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <map>
-#include <set>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/check.hpp"
 #include "core/assertion.hpp"
+#include "core/incremental.hpp"
 
 namespace omg::core {
 
@@ -48,67 +54,65 @@ class StreamingMonitor {
 
   /// `window` is the number of recent examples assertions see; `settle_lag`
   /// is how far behind the head an example must be before its verdict is
-  /// emitted (settle_lag < window).
+  /// emitted (settle_lag < window). When the suite contains
+  /// consistency-generated assertions, pass their analyzer's Invalidate as
+  /// `before_window_eval`: the analyzer memoises on (data pointer, size)
+  /// and the monitor's reused window buffer can alias that key across
+  /// steps (the alternative, as in the seed, is calling Invalidate by hand
+  /// before every Observe).
   StreamingMonitor(AssertionSuite<Example>& suite, std::size_t window,
-                   std::size_t settle_lag)
-      : suite_(suite), window_(window), settle_lag_(settle_lag) {
-    common::Check(window_ >= 1, "window must be >= 1");
-    common::Check(settle_lag_ < window_, "settle_lag must be < window");
-  }
+                   std::size_t settle_lag,
+                   std::function<void()> before_window_eval = {})
+      : suite_(suite),
+        evaluator_(suite,
+                   {window, settle_lag, std::move(before_window_eval)}) {}
 
   /// Registers a callback invoked once per emitted event.
   void OnEvent(Callback callback) {
     callbacks_.push_back(std::move(callback));
   }
 
-  /// Feeds one example; runs the suite over the window and emits settled
-  /// verdicts. Returns events emitted by this step.
+  /// Feeds one example and emits newly settled verdicts. Returns events
+  /// emitted by this step.
   std::vector<MonitorEvent> Observe(Example example) {
-    window_buffer_.push_back(std::move(example));
-    if (window_buffer_.size() > window_) window_buffer_.pop_front();
-    ++stats_.examples_seen;
-    const std::size_t head = stats_.examples_seen - 1;  // global index
-
-    // Run the suite over the current window (contiguous copy for span).
-    scratch_.assign(window_buffer_.begin(), window_buffer_.end());
-    SeverityMatrix matrix = suite_.CheckAll(scratch_);
-    const std::size_t window_start = head + 1 - scratch_.size();
-
     std::vector<MonitorEvent> emitted;
-    const auto names = suite_.Names();
-    for (std::size_t local = 0; local < scratch_.size(); ++local) {
-      const std::size_t global = window_start + local;
-      if (global + settle_lag_ > head) continue;  // not settled yet
-      for (std::size_t a = 0; a < names.size(); ++a) {
-        const double severity = matrix.At(local, a);
-        if (severity <= 0.0) continue;
-        if (!emitted_.insert({global, a}).second) continue;  // once only
-        MonitorEvent event{global, names[a], severity};
-        ++stats_.events_emitted;
-        ++stats_.fire_counts[names[a]];
-        auto& max_severity = stats_.max_severity[names[a]];
-        if (severity > max_severity) max_severity = severity;
-        for (const auto& callback : callbacks_) callback(event);
-        emitted.push_back(std::move(event));
-      }
-    }
-    // Garbage-collect emission dedup state that fell out of the window.
-    while (!emitted_.empty() &&
-           emitted_.begin()->first + window_ < stats_.examples_seen) {
-      emitted_.erase(emitted_.begin());
-    }
+    evaluator_.Observe(std::move(example),
+                       [&](std::size_t global, std::size_t a,
+                           double severity) { Emit(global, a, severity,
+                                                   emitted); });
+    stats_.examples_seen = evaluator_.examples_seen();
+    return emitted;
+  }
+
+  /// Feeds a batch of examples at once (amortizes suffix re-scoring for
+  /// stream-level assertions). Returns events emitted by the batch.
+  std::vector<MonitorEvent> ObserveBatch(std::vector<Example> batch) {
+    std::vector<MonitorEvent> emitted;
+    evaluator_.ObserveBatch(std::move(batch),
+                            [&](std::size_t global, std::size_t a,
+                                double severity) { Emit(global, a, severity,
+                                                        emitted); });
+    stats_.examples_seen = evaluator_.examples_seen();
     return emitted;
   }
 
   const MonitorStats& stats() const { return stats_; }
 
  private:
+  void Emit(std::size_t global, std::size_t assertion_index, double severity,
+            std::vector<MonitorEvent>& emitted) {
+    const std::string& name = suite_.at(assertion_index).name();
+    MonitorEvent event{global, name, severity};
+    ++stats_.events_emitted;
+    ++stats_.fire_counts[name];
+    auto& max_severity = stats_.max_severity[name];
+    if (severity > max_severity) max_severity = severity;
+    for (const auto& callback : callbacks_) callback(event);
+    emitted.push_back(std::move(event));
+  }
+
   AssertionSuite<Example>& suite_;
-  std::size_t window_;
-  std::size_t settle_lag_;
-  std::deque<Example> window_buffer_;
-  std::vector<Example> scratch_;
-  std::set<std::pair<std::size_t, std::size_t>> emitted_;
+  IncrementalWindowEvaluator<Example> evaluator_;
   std::vector<Callback> callbacks_;
   MonitorStats stats_;
 };

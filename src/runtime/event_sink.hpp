@@ -1,0 +1,114 @@
+// Pluggable event sinks for the assertion-serving runtime.
+//
+// The seed's `StreamingMonitor` exposed raw callbacks; at serving scale the
+// runtime instead fans every assertion firing out to `EventSink` objects —
+// counting for alerting thresholds, logging for operators, JSON-lines for
+// downstream ingestion (dashboards, weak-supervision pipelines). One sink
+// set serves every registered stream, so events carry the stream identity.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace omg::runtime {
+
+/// Identifier assigned by the StreamRegistry at registration.
+using StreamId = std::uint64_t;
+
+/// One assertion firing on one stream.
+///
+/// The string_views point at storage owned by the service (stream names by
+/// its registry, assertion names by the stream's suite) and stay valid for
+/// the service's lifetime; sinks that outlive the service must copy.
+struct StreamEvent {
+  StreamId stream_id = 0;
+  std::string_view stream;     ///< stream name
+  std::size_t example_index = 0;  ///< per-stream position
+  std::string_view assertion;
+  double severity = 0.0;
+};
+
+/// Consumer of runtime events.
+///
+/// `Consume` may be called concurrently from different shard workers (events
+/// of one stream arrive in order from a single worker; distinct streams may
+/// interleave from distinct threads) — implementations must be thread-safe.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void Consume(const StreamEvent& event) = 0;
+  /// Called by MonitorService::Flush after the queues drain.
+  virtual void Flush() {}
+};
+
+/// Counts events and tracks the maximum severity seen (atomic dashboard
+/// primitives for alerting).
+class CountingSink final : public EventSink {
+ public:
+  void Consume(const StreamEvent& event) override;
+
+  std::size_t count() const;
+  double max_severity() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t count_ = 0;
+  double max_severity_ = 0.0;
+};
+
+/// Writes one human-readable line per event.
+class LoggingSink final : public EventSink {
+ public:
+  explicit LoggingSink(std::ostream& out);
+
+  void Consume(const StreamEvent& event) override;
+  void Flush() override;
+
+ private:
+  std::mutex mutex_;
+  std::ostream& out_;
+};
+
+/// Writes one JSON object per line per event:
+///   {"stream":"cam-0","example":17,"assertion":"flicker","severity":1.0}
+class JsonLinesSink final : public EventSink {
+ public:
+  explicit JsonLinesSink(std::ostream& out);
+
+  void Consume(const StreamEvent& event) override;
+  void Flush() override;
+
+ private:
+  std::mutex mutex_;
+  std::ostream& out_;
+};
+
+/// Appends every event to an in-memory vector (tests, small replays).
+class CollectingSink final : public EventSink {
+ public:
+  /// A copy of the events seen so far, with the name views materialised.
+  struct OwnedEvent {
+    StreamId stream_id = 0;
+    std::string stream;
+    std::size_t example_index = 0;
+    std::string assertion;
+    double severity = 0.0;
+  };
+
+  void Consume(const StreamEvent& event) override;
+  std::vector<OwnedEvent> Events() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<OwnedEvent> events_;
+};
+
+/// Escapes `text` for inclusion in a JSON string literal (no quotes added).
+std::string JsonEscape(std::string_view text);
+
+}  // namespace omg::runtime

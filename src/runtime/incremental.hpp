@@ -1,0 +1,15 @@
+// The serving runtime's incremental window evaluator.
+//
+// The implementation lives in core (core/incremental.hpp) so that
+// core/monitor.hpp can build on it without inverting the core <- runtime
+// layering; this header re-exports it as part of the runtime subsystem's
+// surface, next to the service that drives one evaluator per stream.
+#pragma once
+
+#include "core/incremental.hpp"
+
+namespace omg::runtime {
+
+using core::IncrementalWindowEvaluator;
+
+}  // namespace omg::runtime

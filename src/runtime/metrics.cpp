@@ -1,0 +1,56 @@
+#include "runtime/metrics.hpp"
+
+#include "common/check.hpp"
+
+namespace omg::runtime {
+
+void MetricsRegistry::RegisterStream(StreamId id, std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id >= streams_.size()) streams_.resize(id + 1);
+  StreamMetrics& stream = streams_[id];
+  if (stream.stream.empty()) {
+    stream.stream_id = id;
+    stream.stream = std::string(name);
+  } else {
+    common::Check(stream.stream == name,
+                  "stream id registered twice with different names");
+  }
+}
+
+void MetricsRegistry::RecordBatch(StreamId id, std::size_t examples,
+                                  std::span<const StreamEvent> events) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  common::CheckIndex(static_cast<std::ptrdiff_t>(id), 0,
+                     static_cast<std::ptrdiff_t>(streams_.size()),
+                     "metrics stream id");
+  StreamMetrics& stream = streams_[id];
+  stream.examples_seen += examples;
+  stream.events += events.size();
+  for (const StreamEvent& event : events) {
+    AssertionMetrics& cell = stream.assertions[std::string(event.assertion)];
+    ++cell.fires;
+    cell.sum_severity += event.severity;
+    if (event.severity > cell.max_severity) cell.max_severity = event.severity;
+  }
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snapshot;
+  snapshot.streams = streams_;
+  for (const StreamMetrics& stream : snapshot.streams) {
+    snapshot.examples_seen += stream.examples_seen;
+    snapshot.events += stream.events;
+    for (const auto& [name, cell] : stream.assertions) {
+      AssertionMetrics& total = snapshot.assertions[name];
+      total.fires += cell.fires;
+      total.sum_severity += cell.sum_severity;
+      if (cell.max_severity > total.max_severity) {
+        total.max_severity = cell.max_severity;
+      }
+    }
+  }
+  return snapshot;
+}
+
+}  // namespace omg::runtime

@@ -1,0 +1,66 @@
+// Aggregated serving metrics: the dashboard feed of §2.3.
+//
+// Workers report per-batch deltas (examples ingested, events emitted); the
+// registry folds them into per-stream / per-assertion aggregates and renders
+// point-in-time snapshots. Updates are batched — one registry call per
+// ingested batch, not per event — so the shared mutex stays off the per-
+// example hot path.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "runtime/event_sink.hpp"
+
+namespace omg::runtime {
+
+/// Aggregate over one (stream, assertion) or (all streams, assertion) cell.
+struct AssertionMetrics {
+  std::size_t fires = 0;
+  double max_severity = 0.0;
+  double sum_severity = 0.0;
+
+  double MeanSeverity() const {
+    return fires > 0 ? sum_severity / static_cast<double>(fires) : 0.0;
+  }
+};
+
+/// One stream's aggregates.
+struct StreamMetrics {
+  StreamId stream_id = 0;
+  std::string stream;
+  std::size_t examples_seen = 0;
+  std::size_t events = 0;
+  std::map<std::string, AssertionMetrics> assertions;
+};
+
+/// Point-in-time aggregate across the whole service.
+struct MetricsSnapshot {
+  std::size_t examples_seen = 0;
+  std::size_t events = 0;
+  std::vector<StreamMetrics> streams;                  // id order
+  std::map<std::string, AssertionMetrics> assertions;  // across streams
+};
+
+/// Thread-safe metrics accumulator shared by all shards.
+class MetricsRegistry {
+ public:
+  /// Allocates the slot for `id` (idempotent per id, names must agree).
+  void RegisterStream(StreamId id, std::string_view name);
+
+  /// Folds one ingested batch into stream `id`'s aggregates.
+  void RecordBatch(StreamId id, std::size_t examples,
+                   std::span<const StreamEvent> events);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<StreamMetrics> streams_;
+};
+
+}  // namespace omg::runtime

@@ -1,0 +1,214 @@
+// The assertion-serving runtime (§2.3 at production scale): many concurrent
+// streams monitored by one engine.
+//
+// Architecture:
+//
+//   producers ──ObserveBatch──► per-shard FIFO queues ──► ThreadPool workers
+//                                                              │
+//                              IncrementalWindowEvaluator (one per stream)
+//                                                              │
+//                                        events ──► EventSinks + MetricsRegistry
+//
+// Each registered stream is pinned to shard `id % workers`, so all of its
+// window state is touched by exactly one worker thread and its events are
+// emitted in stream order without locks. Sinks and the metrics registry are
+// shared across shards and must be (and are) thread-safe.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "core/assertion.hpp"
+#include "runtime/event_sink.hpp"
+#include "runtime/incremental.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/stream_registry.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace omg::runtime {
+
+/// Serving-runtime parameters, shared by every stream.
+struct RuntimeConfig {
+  std::size_t workers = 4;
+  /// Sliding-window length per stream (examples assertions can see).
+  std::size_t window = 64;
+  /// How far behind the stream head an example must be before its verdict
+  /// is emitted; must exceed every bounded assertion's temporal radius for
+  /// verdicts to be final (settle_lag < window).
+  std::size_t settle_lag = 8;
+};
+
+/// Serves an assertion suite over many concurrent example streams.
+///
+/// Suites are stateful (consistency assertions memoise analyses), so every
+/// stream gets its own instance from the factory. Ingestion is asynchronous:
+/// Observe/ObserveBatch enqueue and return; call Flush() to wait for
+/// quiescence. All public methods are thread-safe.
+template <typename Example>
+class MonitorService {
+ public:
+  /// One stream's private suite plus an optional invalidation hook, invoked
+  /// before unbounded assertions re-evaluate the window (wire the
+  /// consistency analyzer's Invalidate here — see IncrementalWindowEvaluator).
+  struct SuiteBundle {
+    std::shared_ptr<core::AssertionSuite<Example>> suite;
+    std::function<void()> invalidate;
+  };
+  using SuiteFactory = std::function<SuiteBundle()>;
+
+  MonitorService(RuntimeConfig config, SuiteFactory factory)
+      : config_(config),
+        factory_(std::move(factory)),
+        pool_(std::make_unique<ThreadPool>(config.workers)) {
+    common::Check(static_cast<bool>(factory_), "suite factory must be set");
+  }
+
+  ~MonitorService() { pool_.reset(); }  // drain before stream states die
+
+  MonitorService(const MonitorService&) = delete;
+  MonitorService& operator=(const MonitorService&) = delete;
+
+  const RuntimeConfig& config() const { return config_; }
+  const StreamRegistry& registry() const { return registry_; }
+
+  /// Registers a stream and pins it to shard `id % workers`.
+  StreamId RegisterStream(std::string name) {
+    const StreamId id = registry_.Register(std::move(name));
+    metrics_.RegisterStream(id, registry_.Name(id));
+    SuiteBundle bundle = factory_();
+    common::Check(bundle.suite != nullptr, "suite factory returned null");
+    auto state = std::make_unique<StreamState>(id, registry_.Name(id),
+                                               std::move(bundle), config_);
+    std::lock_guard<std::mutex> lock(streams_mutex_);
+    if (id >= streams_.size()) streams_.resize(id + 1);
+    streams_[id] = std::move(state);
+    return id;
+  }
+
+  /// Fans `sink` every event from every stream. Thread-safe; events already
+  /// in flight on the workers may miss a sink added concurrently.
+  void AddSink(std::shared_ptr<EventSink> sink) {
+    common::Check(sink != nullptr, "null sink");
+    std::lock_guard<std::mutex> lock(sinks_mutex_);
+    sinks_.push_back(std::move(sink));
+  }
+
+  /// Enqueues one example for `id` (convenience wrapper; prefer
+  /// ObserveBatch under load — batching is where the throughput comes from).
+  void Observe(StreamId id, Example example) {
+    std::vector<Example> batch;
+    batch.push_back(std::move(example));
+    ObserveBatch(id, std::move(batch));
+  }
+
+  /// Enqueues a batch for `id` and returns immediately. Batches from one
+  /// producer are processed in submission order.
+  void ObserveBatch(StreamId id, std::vector<Example> batch) {
+    if (batch.empty()) return;
+    StreamState* state = State(id);
+    pool_->Submit(ShardOf(id),
+                  [this, state, batch = std::move(batch)]() mutable {
+                    Ingest(*state, std::move(batch));
+                  });
+  }
+
+  /// Blocks until every batch enqueued before this call has been scored and
+  /// its events delivered, then flushes the sinks.
+  void Flush() {
+    pool_->Drain();
+    for (const auto& sink : SnapshotSinks()) sink->Flush();
+  }
+
+  /// Aggregated dashboard snapshot (does not flush; pair with Flush() for
+  /// read-your-writes).
+  MetricsSnapshot Metrics() const { return metrics_.Snapshot(); }
+
+  /// Messages from ingestion tasks that threw (a throwing assertion poisons
+  /// its batch, not the service).
+  std::vector<std::string> Errors() const {
+    std::lock_guard<std::mutex> lock(errors_mutex_);
+    return errors_;
+  }
+
+ private:
+  struct StreamState {
+    StreamState(StreamId id, std::string_view name, SuiteBundle bundle,
+                const RuntimeConfig& config)
+        : id(id),
+          name(name),
+          bundle(std::move(bundle)),
+          evaluator(*this->bundle.suite,
+                    {config.window, config.settle_lag,
+                     this->bundle.invalidate}) {}
+
+    StreamId id;
+    std::string_view name;  // owned by the registry
+    SuiteBundle bundle;
+    IncrementalWindowEvaluator<Example> evaluator;
+  };
+
+  std::size_t ShardOf(StreamId id) const { return id % config_.workers; }
+
+  StreamState* State(StreamId id) {
+    std::lock_guard<std::mutex> lock(streams_mutex_);
+    common::CheckIndex(static_cast<std::ptrdiff_t>(id), 0,
+                       static_cast<std::ptrdiff_t>(streams_.size()),
+                       "stream id");
+    common::Check(streams_[id] != nullptr, "stream still registering");
+    return streams_[id].get();
+  }
+
+  std::vector<std::shared_ptr<EventSink>> SnapshotSinks() const {
+    std::lock_guard<std::mutex> lock(sinks_mutex_);
+    return sinks_;
+  }
+
+  /// Worker-side scoring: runs on `state`'s shard, exclusively.
+  void Ingest(StreamState& state, std::vector<Example> batch) {
+    const std::size_t count = batch.size();
+    std::vector<StreamEvent> events;
+    try {
+      state.evaluator.ObserveBatch(
+          std::move(batch),
+          [&](std::size_t global, std::size_t a, double severity) {
+            events.push_back({state.id, state.name, global,
+                              state.bundle.suite->at(a).name(), severity});
+          });
+    } catch (const std::exception& error) {
+      std::lock_guard<std::mutex> lock(errors_mutex_);
+      errors_.push_back(std::string(state.name) + ": " + error.what());
+      return;
+    }
+    metrics_.RecordBatch(state.id, count, events);
+    for (const auto& sink : SnapshotSinks()) {
+      for (const StreamEvent& event : events) sink->Consume(event);
+    }
+  }
+
+  RuntimeConfig config_;
+  SuiteFactory factory_;
+  StreamRegistry registry_;
+  MetricsRegistry metrics_;
+
+  mutable std::mutex streams_mutex_;
+  std::deque<std::unique_ptr<StreamState>> streams_;  // index == StreamId
+
+  mutable std::mutex sinks_mutex_;
+  std::vector<std::shared_ptr<EventSink>> sinks_;
+
+  mutable std::mutex errors_mutex_;
+  std::vector<std::string> errors_;
+
+  // Declared last: destroyed (drained + joined) before the state above.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace omg::runtime

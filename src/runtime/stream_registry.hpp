@@ -1,0 +1,45 @@
+// Stream identity for the serving runtime: name <-> dense StreamId.
+//
+// The registry owns the canonical stream-name storage — `StreamEvent::stream`
+// string_views point into it, so names must stay at stable addresses for the
+// registry's lifetime (hence the deque). Registration is thread-safe;
+// lookups may run concurrently with registration.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/event_sink.hpp"
+
+namespace omg::runtime {
+
+/// Assigns dense ids (0, 1, ...) to unique stream names.
+class StreamRegistry {
+ public:
+  /// Registers a new stream; throws on duplicate or empty name.
+  StreamId Register(std::string name);
+
+  /// Name of `id`; the view stays valid for the registry's lifetime.
+  std::string_view Name(StreamId id) const;
+
+  /// Id of `name`; throws if unknown.
+  StreamId Id(std::string_view name) const;
+
+  bool Contains(std::string_view name) const;
+  std::size_t size() const;
+
+  /// All registered names in id order (copies; safe to hold).
+  std::vector<std::string> Names() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<std::string> names_;  // index == StreamId; stable addresses
+  std::unordered_map<std::string_view, StreamId> ids_;  // keys view names_
+};
+
+}  // namespace omg::runtime

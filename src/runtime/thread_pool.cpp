@@ -1,0 +1,70 @@
+#include "runtime/thread_pool.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace omg::runtime {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  common::Check(workers >= 1, "thread pool needs at least one worker");
+  shards_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(*shards_[i]); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  Drain();
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    stop_ = true;
+    shard->ready.notify_all();
+  }
+  for (auto& thread : threads_) thread.join();
+}
+
+void ThreadPool::Submit(std::size_t shard_index, Task task) {
+  common::Check(static_cast<bool>(task), "null task");
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    ++pending_;
+  }
+  Shard& shard = *shards_[shard_index % shards_.size()];
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.queue.push_back(std::move(task));
+  }
+  shard.ready.notify_one();
+}
+
+void ThreadPool::Drain() {
+  std::unique_lock<std::mutex> lock(pending_mutex_);
+  idle_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::WorkerLoop(Shard& shard) {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(shard.mutex);
+      shard.ready.wait(lock,
+                       [&] { return stop_ || !shard.queue.empty(); });
+      if (shard.queue.empty()) return;  // stop requested and queue drained
+      task = std::move(shard.queue.front());
+      shard.queue.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> pending_lock(pending_mutex_);
+      --pending_;
+      if (pending_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace omg::runtime

@@ -1,0 +1,65 @@
+// Fixed worker pool with per-shard FIFO queues.
+//
+// The assertion-serving runtime (`runtime/service.hpp`) pins every stream to
+// one shard, so all tasks touching a stream's window state run on a single
+// worker thread in submission order — per-stream state needs no locking, and
+// events for one stream are emitted in stream order. Shards are the unit of
+// parallelism: distinct shards run concurrently on distinct workers.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace omg::runtime {
+
+/// N worker threads, each draining its own task queue (shard i -> worker i).
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// Spawns `workers` threads (>= 1).
+  explicit ThreadPool(std::size_t workers);
+
+  /// Drains all queues, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t workers() const { return shards_.size(); }
+
+  /// Enqueues `task` on shard `shard % workers()`. Tasks submitted to the
+  /// same shard execute sequentially in FIFO order; tasks on different
+  /// shards may run concurrently. Thread-safe.
+  void Submit(std::size_t shard, Task task);
+
+  /// Blocks until every task submitted before this call has completed.
+  /// Tasks submitted concurrently with Drain may or may not be waited for.
+  void Drain();
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    std::condition_variable ready;
+    std::deque<Task> queue;
+  };
+
+  void WorkerLoop(Shard& shard);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stop_{false};
+
+  std::mutex pending_mutex_;
+  std::condition_variable idle_;
+  std::size_t pending_ = 0;  // submitted but not yet finished
+};
+
+}  // namespace omg::runtime

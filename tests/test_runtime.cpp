@@ -1,0 +1,559 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "core/assertion.hpp"
+#include "core/monitor.hpp"
+#include "runtime/event_sink.hpp"
+#include "runtime/incremental.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/service.hpp"
+#include "runtime/stream_registry.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace omg::runtime {
+namespace {
+
+struct Tick {
+  double value = 0.0;
+};
+
+/// A deterministic per-stream signal (streams differ by seed).
+std::vector<Tick> MakeStream(std::uint64_t seed, std::size_t n) {
+  common::Rng rng(seed);
+  std::vector<Tick> stream;
+  stream.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    stream.push_back(Tick{rng.Uniform(-2.0, 2.0)});
+  }
+  return stream;
+}
+
+/// A suite mixing all three assertion classes the evaluator handles:
+/// pointwise (radius 0), bounded stream-level (radius 1 and 2), and — when
+/// `with_unbounded` — a whole-window assertion with no declared radius.
+void PopulateSuite(core::AssertionSuite<Tick>& suite, bool with_unbounded) {
+  suite.AddPointwise("positive",
+                     [](const Tick& t) { return t.value > 1.0 ? t.value : 0.0; });
+  suite.AddFunction(
+      "rising",
+      [](std::span<const Tick> stream) {
+        std::vector<double> severities(stream.size(), 0.0);
+        for (std::size_t i = 0; i + 1 < stream.size(); ++i) {
+          if (stream[i + 1].value > stream[i].value + 1.5) severities[i] = 1.0;
+        }
+        return severities;
+      },
+      /*temporal_radius=*/1);
+  suite.AddFunction(
+      "local-jump",
+      [](std::span<const Tick> stream) {
+        std::vector<double> severities(stream.size(), 0.0);
+        for (std::size_t i = 2; i < stream.size(); ++i) {
+          const double jump = std::abs(stream[i].value - stream[i - 2].value);
+          if (jump > 3.0) severities[i] = jump;
+        }
+        return severities;
+      },
+      /*temporal_radius=*/2);
+  if (with_unbounded) {
+    // Unbounded (no declared radius) but *append-stable*: example i's score
+    // depends on the whole prefix [0, i] and never changes as later
+    // examples arrive, so settled streaming verdicts match batch scores.
+    suite.AddFunction("above-prefix-mean", [](std::span<const Tick> stream) {
+      std::vector<double> severities(stream.size(), 0.0);
+      double sum = 0.0;
+      for (std::size_t i = 0; i < stream.size(); ++i) {
+        sum += stream[i].value;
+        const double mean = sum / static_cast<double>(i + 1);
+        if (stream[i].value > mean + 1.0) severities[i] = 1.0;
+      }
+      return severities;
+    });
+  }
+}
+
+using Firing = std::tuple<std::size_t, std::string, double>;
+
+/// Ground truth: run the suite in batch over the whole stream and keep the
+/// firings for examples old enough to have settled.
+std::vector<Firing> SettledBatchFirings(std::span<const Tick> stream,
+                                        std::size_t settle_lag,
+                                        bool with_unbounded) {
+  core::AssertionSuite<Tick> suite;
+  PopulateSuite(suite, with_unbounded);
+  const core::SeverityMatrix matrix = suite.CheckAll(stream);
+  const auto names = suite.Names();
+  std::vector<Firing> firings;
+  if (stream.size() <= settle_lag) return firings;
+  for (std::size_t e = 0; e + settle_lag < stream.size(); ++e) {
+    for (std::size_t a = 0; a < names.size(); ++a) {
+      if (matrix.Fired(e, a)) firings.emplace_back(e, names[a], matrix.At(e, a));
+    }
+  }
+  return firings;
+}
+
+// ------------------------------------------------------------ ThreadPool ---
+
+TEST(ThreadPool, ExecutesEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit(static_cast<std::size_t>(i), [&] { ++done; });
+  }
+  pool.Drain();
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPool, SameShardRunsInFifoOrder) {
+  ThreadPool pool(3);
+  std::vector<int> order;  // only shard 1 writes, single worker => no race
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit(1, [&order, i] { order.push_back(i); });
+  }
+  pool.Drain();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, DistinctShardsRunConcurrently) {
+  // Two tasks that each wait for the other's side-effect would deadlock if
+  // the pool serialized shards; give them a shared rendezvous instead.
+  ThreadPool pool(2);
+  std::atomic<int> arrived{0};
+  for (int shard = 0; shard < 2; ++shard) {
+    pool.Submit(static_cast<std::size_t>(shard), [&] {
+      ++arrived;
+      while (arrived.load() < 2) std::this_thread::yield();
+    });
+  }
+  pool.Drain();
+  EXPECT_EQ(arrived.load(), 2);
+}
+
+TEST(ThreadPool, RejectsZeroWorkersAndNullTasks) {
+  EXPECT_THROW(ThreadPool(0), common::CheckError);
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.Submit(0, ThreadPool::Task{}), common::CheckError);
+}
+
+// ------------------------------------------- IncrementalWindowEvaluator ---
+
+TEST(IncrementalEvaluator, MatchesBatchForAnyChunking) {
+  const std::size_t n = 200;
+  const std::size_t settle_lag = 4;
+  const auto stream = MakeStream(17, n);
+  // Window covers the whole stream so even the unbounded assertion sees
+  // exactly what batch CheckAll sees.
+  const auto expected = SettledBatchFirings(stream, settle_lag, true);
+  ASSERT_FALSE(expected.empty());
+
+  for (const std::size_t batch_size : {1ul, 3ul, 7ul, 50ul, n}) {
+    core::AssertionSuite<Tick> suite;
+    PopulateSuite(suite, true);
+    IncrementalWindowEvaluator<Tick> evaluator(
+        suite, {/*window=*/n + 8, settle_lag, {}});
+    const auto names = suite.Names();
+    std::vector<Firing> got;
+    for (std::size_t begin = 0; begin < n; begin += batch_size) {
+      const std::size_t count = std::min(batch_size, n - begin);
+      std::vector<Tick> batch(stream.begin() + begin,
+                              stream.begin() + begin + count);
+      evaluator.ObserveBatch(std::move(batch),
+                             [&](std::size_t g, std::size_t a, double s) {
+                               got.emplace_back(g, names[a], s);
+                             });
+    }
+    EXPECT_EQ(got, expected) << "batch_size=" << batch_size;
+  }
+}
+
+TEST(IncrementalEvaluator, SlidingWindowExactForBoundedAssertions) {
+  // With only radius-bounded assertions, a small window must still
+  // reproduce full-stream batch scores: the suffix re-scoring always keeps
+  // the 2r context each score needs.
+  const std::size_t n = 300;
+  const std::size_t settle_lag = 4;
+  const auto stream = MakeStream(23, n);
+  const auto expected = SettledBatchFirings(stream, settle_lag, false);
+  ASSERT_FALSE(expected.empty());
+
+  for (const std::size_t batch_size : {1ul, 5ul, 64ul}) {
+    core::AssertionSuite<Tick> suite;
+    PopulateSuite(suite, false);
+    IncrementalWindowEvaluator<Tick> evaluator(suite,
+                                               {/*window=*/16, settle_lag, {}});
+    const auto names = suite.Names();
+    std::vector<Firing> got;
+    for (std::size_t begin = 0; begin < n; begin += batch_size) {
+      const std::size_t count = std::min(batch_size, n - begin);
+      std::vector<Tick> batch(stream.begin() + begin,
+                              stream.begin() + begin + count);
+      evaluator.ObserveBatch(std::move(batch),
+                             [&](std::size_t g, std::size_t a, double s) {
+                               got.emplace_back(g, names[a], s);
+                             });
+    }
+    EXPECT_EQ(got, expected) << "batch_size=" << batch_size;
+  }
+}
+
+TEST(IncrementalEvaluator, InvokesInvalidationHookForUnboundedOnly) {
+  core::AssertionSuite<Tick> bounded_suite;
+  PopulateSuite(bounded_suite, false);
+  std::size_t hook_calls = 0;
+  IncrementalWindowEvaluator<Tick> bounded_eval(
+      bounded_suite, {8, 2, [&] { ++hook_calls; }});
+  for (int i = 0; i < 5; ++i) bounded_eval.Observe(Tick{0.0}, [](auto...) {});
+  // The first chunk primes the bounded columns with one full-window pass.
+  EXPECT_EQ(hook_calls, 0u);
+
+  core::AssertionSuite<Tick> unbounded_suite;
+  PopulateSuite(unbounded_suite, true);
+  IncrementalWindowEvaluator<Tick> unbounded_eval(
+      unbounded_suite, {8, 2, [&] { ++hook_calls; }});
+  for (int i = 0; i < 5; ++i) {
+    unbounded_eval.Observe(Tick{0.0}, [](auto...) {});
+  }
+  EXPECT_EQ(hook_calls, 5u);  // once per ingested chunk
+}
+
+TEST(IncrementalEvaluator, EmitsLateFiringsDiscoveredAfterSettling) {
+  // An unbounded assertion can turn positive on an example only after that
+  // example has already passed the settle boundary (the paper's ECG blip:
+  // an A -> B -> A oscillation is only detectable when A reappears). Such
+  // firings must still be emitted — late, once — as the seed monitor did.
+  core::AssertionSuite<Tick> suite;
+  suite.AddFunction("echo", [](std::span<const Tick> stream) {
+    std::vector<double> severities(stream.size(), 0.0);
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      for (std::size_t j = i + 1; j < stream.size(); ++j) {
+        if (stream[j].value == stream[i].value) severities[i] = 1.0;
+      }
+    }
+    return severities;
+  });
+  IncrementalWindowEvaluator<Tick> evaluator(suite,
+                                             {/*window=*/16,
+                                              /*settle_lag=*/1, {}});
+  std::vector<Firing> got;
+  for (const double value : {5.0, 1.0, 2.0, 5.0}) {
+    evaluator.Observe(Tick{value}, [&](std::size_t g, std::size_t a, double s) {
+      got.emplace_back(g, suite.Names()[a], s);
+    });
+  }
+  // Example 0 settled at head 1 scoring 0; the echo at example 3 flips it
+  // positive afterwards — emitted late, exactly once.
+  EXPECT_EQ(got, (std::vector<Firing>{{0, "echo", 1.0}}));
+}
+
+TEST(IncrementalEvaluator, RejectsNonFiniteSeverity) {
+  core::AssertionSuite<Tick> suite;
+  suite.AddFunction("inf", [](std::span<const Tick> stream) {
+    return std::vector<double>(stream.size(),
+                               std::numeric_limits<double>::infinity());
+  });
+  IncrementalWindowEvaluator<Tick> evaluator(suite, {8, 1, {}});
+  EXPECT_THROW(evaluator.Observe(Tick{1.0}, [](auto...) {}),
+               common::CheckError);
+}
+
+TEST(IncrementalEvaluator, ValidatesConfig) {
+  core::AssertionSuite<Tick> suite;
+  EXPECT_THROW(IncrementalWindowEvaluator<Tick>(suite, {2, 2, {}}),
+               common::CheckError);
+  EXPECT_THROW(IncrementalWindowEvaluator<Tick>(suite, {0, 0, {}}),
+               common::CheckError);
+}
+
+TEST(TemporalRadius, DeclaredPerAssertionClass) {
+  core::AssertionSuite<Tick> suite;
+  suite.AddPointwise("p", [](const Tick&) { return 0.0; });
+  suite.AddFunction("default-unbounded",
+                    [](std::span<const Tick> s) {
+                      return std::vector<double>(s.size(), 0.0);
+                    });
+  suite.AddFunction(
+      "radius-3",
+      [](std::span<const Tick> s) {
+        return std::vector<double>(s.size(), 0.0);
+      },
+      3);
+  EXPECT_EQ(suite.at(0).temporal_radius(), 0u);
+  EXPECT_EQ(suite.at(1).temporal_radius(), core::kUnboundedRadius);
+  EXPECT_EQ(suite.at(2).temporal_radius(), 3u);
+}
+
+// -------------------------------------------------------- StreamingMonitor ---
+
+TEST(StreamingMonitor, ObserveBatchMatchesPerExampleObserve) {
+  const auto stream = MakeStream(31, 120);
+
+  core::AssertionSuite<Tick> suite_a;
+  PopulateSuite(suite_a, false);
+  core::StreamingMonitor<Tick> one_by_one(suite_a, 16, 4);
+  std::vector<Firing> a;
+  for (const Tick& tick : stream) {
+    for (const auto& event : one_by_one.Observe(tick)) {
+      a.emplace_back(event.example_index, event.assertion, event.severity);
+    }
+  }
+
+  core::AssertionSuite<Tick> suite_b;
+  PopulateSuite(suite_b, false);
+  core::StreamingMonitor<Tick> batched(suite_b, 16, 4);
+  std::vector<Firing> b;
+  for (const auto& event : batched.ObserveBatch(stream)) {
+    b.emplace_back(event.example_index, event.assertion, event.severity);
+  }
+
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(one_by_one.stats().examples_seen, batched.stats().examples_seen);
+}
+
+// ---------------------------------------------------------- StreamRegistry ---
+
+TEST(StreamRegistry, AssignsDenseIdsAndRejectsDuplicates) {
+  StreamRegistry registry;
+  EXPECT_EQ(registry.Register("cam-0"), 0u);
+  EXPECT_EQ(registry.Register("cam-1"), 1u);
+  EXPECT_THROW(registry.Register("cam-0"), common::CheckError);
+  EXPECT_THROW(registry.Register(""), common::CheckError);
+  EXPECT_EQ(registry.Name(1), "cam-1");
+  EXPECT_EQ(registry.Id("cam-0"), 0u);
+  EXPECT_THROW(registry.Id("nope"), common::CheckError);
+  EXPECT_TRUE(registry.Contains("cam-1"));
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_EQ(registry.Names(), (std::vector<std::string>{"cam-0", "cam-1"}));
+}
+
+// --------------------------------------------------------- MetricsRegistry ---
+
+TEST(MetricsRegistry, AggregatesAcrossStreams) {
+  MetricsRegistry metrics;
+  metrics.RegisterStream(0, "a");
+  metrics.RegisterStream(1, "b");
+  const std::vector<StreamEvent> events_a = {{0, "a", 3, "x", 2.0},
+                                             {0, "a", 4, "y", 1.0}};
+  const std::vector<StreamEvent> events_b = {{1, "b", 0, "x", 5.0}};
+  metrics.RecordBatch(0, 10, events_a);
+  metrics.RecordBatch(1, 7, events_b);
+  metrics.RecordBatch(0, 5, {});
+
+  const MetricsSnapshot snapshot = metrics.Snapshot();
+  EXPECT_EQ(snapshot.examples_seen, 22u);
+  EXPECT_EQ(snapshot.events, 3u);
+  ASSERT_EQ(snapshot.streams.size(), 2u);
+  EXPECT_EQ(snapshot.streams[0].examples_seen, 15u);
+  EXPECT_EQ(snapshot.streams[0].events, 2u);
+  EXPECT_EQ(snapshot.streams[1].assertions.at("x").max_severity, 5.0);
+  EXPECT_EQ(snapshot.assertions.at("x").fires, 2u);
+  EXPECT_DOUBLE_EQ(snapshot.assertions.at("x").sum_severity, 7.0);
+  EXPECT_DOUBLE_EQ(snapshot.assertions.at("x").MeanSeverity(), 3.5);
+}
+
+// ------------------------------------------------------------------ sinks ---
+
+TEST(Sinks, JsonLinesEscapesAndCounts) {
+  std::ostringstream out;
+  JsonLinesSink sink(out);
+  sink.Consume({0, "cam \"0\"", 7, "multi\nbox", 1.5});
+  sink.Flush();
+  EXPECT_EQ(out.str(),
+            "{\"stream\":\"cam \\\"0\\\"\",\"example\":7,"
+            "\"assertion\":\"multi\\nbox\",\"severity\":1.5}\n");
+  EXPECT_EQ(JsonEscape(std::string_view("\x01", 1)), "\\u0001");
+  EXPECT_EQ(JsonEscape("a\\b\t"), "a\\\\b\\t");
+}
+
+TEST(Sinks, CountingAndCollectingAgree) {
+  CountingSink counting;
+  CollectingSink collecting;
+  const StreamEvent event{2, "s", 1, "a", 4.0};
+  counting.Consume(event);
+  counting.Consume({2, "s", 2, "a", 1.0});
+  collecting.Consume(event);
+  EXPECT_EQ(counting.count(), 2u);
+  EXPECT_DOUBLE_EQ(counting.max_severity(), 4.0);
+  const auto events = collecting.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].stream, "s");
+  EXPECT_EQ(events[0].assertion, "a");
+}
+
+// ---------------------------------------------------------- MonitorService ---
+
+MonitorService<Tick>::SuiteBundle MakeBundle(bool with_unbounded) {
+  auto suite = std::make_shared<core::AssertionSuite<Tick>>();
+  PopulateSuite(*suite, with_unbounded);
+  return {suite, {}};
+}
+
+/// Events of one stream as (index, assertion, severity), in arrival order.
+std::vector<Firing> StreamFirings(
+    const std::vector<CollectingSink::OwnedEvent>& events,
+    std::string_view stream) {
+  std::vector<Firing> firings;
+  for (const auto& event : events) {
+    if (event.stream == stream) {
+      firings.emplace_back(event.example_index, event.assertion,
+                           event.severity);
+    }
+  }
+  return firings;
+}
+
+TEST(MonitorService, StreamingEqualsBatchAcrossShardCountsAndBatchSizes) {
+  // The ISSUE's equivalence criterion: per stream, runtime events must
+  // equal AssertionSuite::CheckAll over the concatenated stream, for any
+  // shard count and any ingestion batch size.
+  const std::size_t n = 160;
+  const std::size_t kStreams = 5;
+  const std::size_t settle_lag = 4;
+
+  std::vector<std::vector<Tick>> streams;
+  std::vector<std::vector<Firing>> expected;
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    streams.push_back(MakeStream(100 + s, n));
+    expected.push_back(SettledBatchFirings(streams[s], settle_lag, true));
+  }
+
+  for (const std::size_t workers : {1ul, 2ul, 4ul}) {
+    for (const std::size_t batch_size : {1ul, 17ul, 64ul}) {
+      RuntimeConfig config;
+      config.workers = workers;
+      config.window = n + 8;  // unbounded column must see the whole stream
+      config.settle_lag = settle_lag;
+      MonitorService<Tick> service(config, [] { return MakeBundle(true); });
+      auto sink = std::make_shared<CollectingSink>();
+      service.AddSink(sink);
+
+      std::vector<StreamId> ids;
+      for (std::size_t s = 0; s < kStreams; ++s) {
+        ids.push_back(service.RegisterStream("stream-" + std::to_string(s)));
+      }
+      // Interleave batches across streams, as concurrent producers would.
+      for (std::size_t begin = 0; begin < n; begin += batch_size) {
+        const std::size_t count = std::min(batch_size, n - begin);
+        for (std::size_t s = 0; s < kStreams; ++s) {
+          service.ObserveBatch(
+              ids[s], std::vector<Tick>(streams[s].begin() + begin,
+                                        streams[s].begin() + begin + count));
+        }
+      }
+      service.Flush();
+      EXPECT_TRUE(service.Errors().empty());
+
+      const auto events = sink->Events();
+      for (std::size_t s = 0; s < kStreams; ++s) {
+        EXPECT_EQ(StreamFirings(events, "stream-" + std::to_string(s)),
+                  expected[s])
+            << "workers=" << workers << " batch=" << batch_size
+            << " stream=" << s;
+      }
+      const MetricsSnapshot snapshot = service.Metrics();
+      EXPECT_EQ(snapshot.examples_seen, n * kStreams);
+      EXPECT_EQ(snapshot.events, events.size());
+    }
+  }
+}
+
+TEST(MonitorService, ConcurrentProducersIngestSafely) {
+  const std::size_t n = 400;
+  const std::size_t kStreams = 8;
+  const std::size_t settle_lag = 4;
+
+  RuntimeConfig config;
+  config.workers = 4;
+  config.window = 32;
+  config.settle_lag = settle_lag;
+  MonitorService<Tick> service(config, [] { return MakeBundle(false); });
+  auto counting = std::make_shared<CountingSink>();
+  auto collecting = std::make_shared<CollectingSink>();
+  service.AddSink(counting);
+  service.AddSink(collecting);
+
+  std::vector<StreamId> ids;
+  std::vector<std::vector<Tick>> streams;
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    ids.push_back(service.RegisterStream("p-" + std::to_string(s)));
+    streams.push_back(MakeStream(500 + s, n));
+  }
+
+  // Four producer threads, two streams each, batching 25 examples a call.
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < 4; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::size_t begin = 0; begin < n; begin += 25) {
+        for (const std::size_t s : {2 * p, 2 * p + 1}) {
+          service.ObserveBatch(
+              ids[s], std::vector<Tick>(streams[s].begin() + begin,
+                                        streams[s].begin() + begin + 25));
+        }
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  service.Flush();
+  EXPECT_TRUE(service.Errors().empty());
+
+  const MetricsSnapshot snapshot = service.Metrics();
+  EXPECT_EQ(snapshot.examples_seen, n * kStreams);
+  EXPECT_EQ(counting->count(), snapshot.events);
+
+  const auto events = collecting->Events();
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    const auto got = StreamFirings(events, "p-" + std::to_string(s));
+    EXPECT_EQ(got, SettledBatchFirings(streams[s], settle_lag, false))
+        << "stream " << s;
+    total += got.size();
+  }
+  EXPECT_EQ(total, snapshot.events);
+}
+
+TEST(MonitorService, ThrowingAssertionPoisonsBatchNotService) {
+  RuntimeConfig config;
+  config.workers = 2;
+  config.window = 8;
+  config.settle_lag = 1;
+  MonitorService<Tick> service(config, [] {
+    auto suite = std::make_shared<core::AssertionSuite<Tick>>();
+    suite->AddPointwise("explode", [](const Tick& t) {
+      common::Check(t.value < 9.0, "boom");
+      return 0.0;
+    });
+    return MonitorService<Tick>::SuiteBundle{suite, {}};
+  });
+  const StreamId bad = service.RegisterStream("bad");
+  const StreamId good = service.RegisterStream("good");
+  service.ObserveBatch(bad, {Tick{1.0}, Tick{10.0}});
+  service.ObserveBatch(good, {Tick{1.0}, Tick{2.0}, Tick{3.0}});
+  service.Flush();
+
+  const auto errors = service.Errors();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("bad"), std::string::npos);
+  EXPECT_EQ(service.Metrics().streams.at(good).examples_seen, 3u);
+}
+
+TEST(MonitorService, RejectsUnknownStreamAndNullSink) {
+  RuntimeConfig config;
+  config.workers = 1;
+  MonitorService<Tick> service(config, [] { return MakeBundle(false); });
+  EXPECT_THROW(service.Observe(0, Tick{}), common::CheckError);
+  EXPECT_THROW(service.AddSink(nullptr), common::CheckError);
+}
+
+}  // namespace
+}  // namespace omg::runtime
