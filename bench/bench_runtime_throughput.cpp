@@ -12,12 +12,14 @@
 //
 // Prints a table and writes machine-readable results to --json (default
 // BENCH_runtime.json) so the perf trajectory is trackable across PRs.
+#include <algorithm>
 #include <array>
 #include <chrono>
 #include <cmath>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/check.hpp"
@@ -199,7 +201,8 @@ void WriteJson(const std::string& path, std::size_t streams,
                std::size_t examples, std::size_t window,
                std::size_t settle_lag, std::size_t workers,
                std::size_t batch_size, const RunResult& baseline,
-               const RunResult& sharded_1w, const RunResult& sharded) {
+               const RunResult& sharded_1w, const RunResult& sharded,
+               const std::vector<std::pair<std::size_t, RunResult>>& sweep) {
   std::ofstream out(path);
   common::Check(out.good(), "cannot open json output: " + path);
   out << "{\n"
@@ -221,8 +224,17 @@ void WriteJson(const std::string& path, std::size_t streams,
       << ", \"examples_per_sec\": " << sharded.examples_per_sec
       << ", \"events\": " << sharded.events << "},\n"
       << "  \"speedup_sharded_vs_baseline\": "
-      << sharded.examples_per_sec / baseline.examples_per_sec << "\n"
-      << "}\n";
+      << sharded.examples_per_sec / baseline.examples_per_sec << ",\n"
+      << "  \"worker_sweep\": [\n";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    out << "    {\"workers\": " << sweep[i].first
+        << ", \"seconds\": " << sweep[i].second.seconds
+        << ", \"examples_per_sec\": " << sweep[i].second.examples_per_sec
+        << ", \"speedup_vs_baseline\": "
+        << sweep[i].second.examples_per_sec / baseline.examples_per_sec
+        << "}" << (i + 1 < sweep.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
 }
 
 }  // namespace
@@ -234,7 +246,15 @@ int main(int argc, char** argv) {
        "seed", "json"});
   const auto n_streams = static_cast<std::size_t>(flags.GetInt("streams", 8));
   const auto examples = static_cast<std::size_t>(flags.GetInt("examples", 20000));
-  const auto workers = static_cast<std::size_t>(flags.GetInt("workers", 4));
+  // `--workers` accepts a comma-separated sweep (e.g. `--workers 1,2,4,8`);
+  // the headline "sharded" row/JSON entry is the last (largest) setting.
+  const std::vector<std::int64_t> worker_sweep =
+      flags.GetIntList("workers", {4});
+  common::Check(!worker_sweep.empty() &&
+                    std::all_of(worker_sweep.begin(), worker_sweep.end(),
+                                [](std::int64_t w) { return w >= 1; }),
+                "--workers entries must be >= 1");
+  const auto workers = static_cast<std::size_t>(worker_sweep.back());
   const auto batch_size = static_cast<std::size_t>(flags.GetInt("batch", 256));
   const auto window = static_cast<std::size_t>(flags.GetInt("window", 128));
   const auto settle_lag = static_cast<std::size_t>(flags.GetInt("settle", 16));
@@ -256,13 +276,29 @@ int main(int argc, char** argv) {
   }
 
   const RunResult baseline = RunBaseline(streams, window, settle_lag);
+  std::vector<std::pair<std::size_t, RunResult>> sweep;
+  for (const std::int64_t w : worker_sweep) {
+    sweep.emplace_back(
+        static_cast<std::size_t>(w),
+        RunService(streams, static_cast<std::size_t>(w), batch_size, window,
+                   settle_lag));
+  }
+  // The 1-worker reference (per-stream batching win without parallelism):
+  // reuse the sweep's run when the sweep already covers it.
+  const auto one_worker =
+      std::find_if(sweep.begin(), sweep.end(),
+                   [](const auto& entry) { return entry.first == 1; });
   const RunResult sharded_1w =
-      RunService(streams, 1, batch_size, window, settle_lag);
-  const RunResult sharded =
-      RunService(streams, workers, batch_size, window, settle_lag);
-  common::Check(baseline.events == sharded.events &&
-                    baseline.events == sharded_1w.events,
+      one_worker != sweep.end()
+          ? one_worker->second
+          : RunService(streams, 1, batch_size, window, settle_lag);
+  const RunResult& sharded = sweep.back().second;
+  common::Check(baseline.events == sharded_1w.events,
                 "configurations emitted different event counts");
+  for (const auto& [w, run] : sweep) {
+    common::Check(baseline.events == run.events,
+                  "configurations emitted different event counts");
+  }
 
   std::cout << "=== runtime throughput (" << n_streams << " streams x "
             << examples << " examples, window " << window << ", settle "
@@ -278,15 +314,20 @@ int main(int argc, char** argv) {
                       "x"});
   };
   row("per-example monitor loop", baseline);
-  row("sharded runtime, 1 worker, batch " + std::to_string(batch_size),
-      sharded_1w);
-  row("sharded runtime, " + std::to_string(workers) + " workers, batch " +
-          std::to_string(batch_size),
-      sharded);
+  if (one_worker == sweep.end()) {
+    row("sharded runtime, 1 worker, batch " + std::to_string(batch_size),
+        sharded_1w);
+  }
+  for (const auto& [w, run] : sweep) {
+    row("sharded runtime, " + std::to_string(w) +
+            (w == 1 ? " worker, batch " : " workers, batch ") +
+            std::to_string(batch_size),
+        run);
+  }
   table.Print(std::cout);
 
   WriteJson(json_path, n_streams, examples, window, settle_lag, workers,
-            batch_size, baseline, sharded_1w, sharded);
+            batch_size, baseline, sharded_1w, sharded, sweep);
   std::cout << "\nwrote " << json_path << "\n";
   return 0;
 }

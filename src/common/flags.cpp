@@ -59,6 +59,29 @@ double Flags::GetDouble(const std::string& name, double fallback) const {
   }
 }
 
+std::vector<std::int64_t> Flags::GetIntList(
+    const std::string& name, std::vector<std::int64_t> fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  std::vector<std::int64_t> values;
+  const std::string& text = it->second;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    const std::size_t comma = std::min(text.find(',', begin), text.size());
+    const std::string item = text.substr(begin, comma - begin);
+    try {
+      std::size_t used = 0;
+      values.push_back(std::stoll(item, &used));
+      if (used != item.size()) throw std::invalid_argument(item);
+    } catch (const std::exception&) {
+      throw CheckError("flag --" + name +
+                       " is not a comma-separated integer list: " + text);
+    }
+    begin = comma + 1;
+  }
+  return values;
+}
+
 bool Flags::GetBool(const std::string& name, bool fallback) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;

@@ -25,6 +25,11 @@ class Flags {
   double GetDouble(const std::string& name, double fallback) const;
   bool GetBool(const std::string& name, bool fallback) const;
 
+  /// Comma-separated integer list (`--workers 1,2,4`); a single integer is
+  /// a one-element list. Benches use this to sweep configurations.
+  std::vector<std::int64_t> GetIntList(
+      const std::string& name, std::vector<std::int64_t> fallback) const;
+
   /// True if the flag was present on the command line.
   bool Has(const std::string& name) const;
 

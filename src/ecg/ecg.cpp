@@ -177,6 +177,13 @@ void EcgClassifier::FineTune(const nn::Dataset& data,
   trainer.Train(model_, data, train_rng_);
 }
 
+void EcgClassifier::SetModel(nn::Mlp model) {
+  common::Check(model.config().input_dim == model_.config().input_dim &&
+                    model.config().num_classes == model_.config().num_classes,
+                "swapped-in model shape mismatch");
+  model_ = std::move(model);
+}
+
 Rhythm EcgClassifier::Predict(const EcgWindow& window) const {
   return static_cast<Rhythm>(model_.Predict(window.features));
 }

@@ -108,6 +108,11 @@ class EcgClassifier {
   Rhythm Predict(const EcgWindow& window) const;
   double Confidence(const EcgWindow& window) const;
 
+  /// Replaces the scoring model (hot-swap pickup from a loop::ModelRegistry;
+  /// the architecture must match the current one).
+  void SetModel(nn::Mlp model);
+  const nn::Mlp& model() const { return model_; }
+
  private:
   EcgClassifierConfig config_;
   common::Rng train_rng_;

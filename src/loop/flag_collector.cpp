@@ -1,0 +1,39 @@
+#include "loop/flag_collector.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace omg::loop {
+
+using common::Check;
+
+FlagCollectorSink::FlagCollectorSink(std::shared_ptr<FlagStore> store,
+                                     std::vector<std::string> assertion_names)
+    : store_(std::move(store)), names_(std::move(assertion_names)) {
+  Check(store_ != nullptr, "flag collector needs a store");
+  Check(names_.size() == store_->config().num_assertions,
+        "assertion name count must match the store's column count");
+  for (std::size_t column = 0; column < names_.size(); ++column) {
+    const auto [it, inserted] = columns_.emplace(names_[column], column);
+    Check(inserted, "duplicate assertion name: " + names_[column]);
+  }
+}
+
+void FlagCollectorSink::Consume(const runtime::StreamEvent& event) {
+  const auto it = columns_.find(event.assertion);
+  if (it == columns_.end()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++unknown_events_;
+    return;
+  }
+  store_->Record({event.stream_id, event.example_index}, it->second,
+                 event.severity);
+}
+
+std::size_t FlagCollectorSink::unknown_events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return unknown_events_;
+}
+
+}  // namespace omg::loop

@@ -1,0 +1,48 @@
+// EventSink bridging the serving runtime into the improvement loop.
+//
+// Plugged into a MonitorService via AddSink, the collector turns every
+// assertion firing into a FlagStore record: the event's (stream, example)
+// identity becomes the candidate key and the assertion name is mapped to its
+// severity-matrix column. This is the arrow from "monitoring" to
+// "improvement" in the paper's Figure 1, realised as a runtime component
+// instead of an offline export.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "loop/flag_store.hpp"
+#include "runtime/event_sink.hpp"
+
+namespace omg::loop {
+
+/// Feeds runtime events into a FlagStore. Thread-safe (Consume is called
+/// from shard workers concurrently; the store serialises internally).
+class FlagCollectorSink final : public runtime::EventSink {
+ public:
+  /// `assertion_names` fixes the store's column order; events whose
+  /// assertion is not listed are counted but not recorded (a service can
+  /// host assertions the loop does not act on).
+  FlagCollectorSink(std::shared_ptr<FlagStore> store,
+                    std::vector<std::string> assertion_names);
+
+  void Consume(const runtime::StreamEvent& event) override;
+
+  /// Events whose assertion name had no registered column.
+  std::size_t unknown_events() const;
+
+  const std::vector<std::string>& assertion_names() const { return names_; }
+
+ private:
+  std::shared_ptr<FlagStore> store_;
+  std::vector<std::string> names_;
+  std::map<std::string, std::size_t, std::less<>> columns_;
+  mutable std::mutex mutex_;
+  std::size_t unknown_events_ = 0;
+};
+
+}  // namespace omg::loop

@@ -1,0 +1,106 @@
+#include "loop/flag_store.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace omg::loop {
+
+using common::Check;
+
+FlagStore::FlagStore(FlagStoreConfig config) : config_(config) {
+  Check(config_.capacity >= 1, "flag store capacity must be >= 1");
+  Check(config_.num_assertions >= 1,
+        "flag store needs at least one assertion column");
+}
+
+double FlagStore::RankOf(const std::vector<double>& severities) {
+  return *std::max_element(severities.begin(), severities.end());
+}
+
+void FlagStore::Record(const CandidateKey& key, std::size_t column,
+                       double severity) {
+  common::CheckIndex(static_cast<std::ptrdiff_t>(column), 0,
+                     static_cast<std::ptrdiff_t>(config_.num_assertions),
+                     "flag store assertion column");
+  common::CheckNonNegative(severity, "flag severity");
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = candidates_.find(key);
+  if (it != candidates_.end()) {
+    const double old_rank = RankOf(it->second);
+    it->second[column] = std::max(it->second[column], severity);
+    const double new_rank = RankOf(it->second);
+    if (new_rank != old_rank) {
+      ranks_.erase({old_rank, key});
+      ranks_.emplace(new_rank, key);
+    }
+    return;
+  }
+  if (candidates_.size() >= config_.capacity) {
+    // Severity-rank eviction: the lowest-ranked incumbent makes room, unless
+    // the newcomer itself ranks lowest, in which case it is dropped.
+    const auto lowest = ranks_.begin();
+    ++evictions_;
+    if (severity <= lowest->first) return;
+    candidates_.erase(lowest->second);
+    ranks_.erase(lowest);
+  }
+  std::vector<double> severities(config_.num_assertions, core::kAbstain);
+  severities[column] = severity;
+  candidates_.emplace(key, std::move(severities));
+  ranks_.emplace(severity, key);
+  ++total_admitted_;
+}
+
+std::size_t FlagStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return candidates_.size();
+}
+
+std::size_t FlagStore::total_admitted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_admitted_;
+}
+
+std::size_t FlagStore::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+FlagStore::Snapshot FlagStore::TakeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snapshot;
+  snapshot.keys.reserve(candidates_.size());
+  snapshot.severities =
+      core::SeverityMatrix(candidates_.size(), config_.num_assertions);
+  std::size_t row = 0;
+  for (const auto& [key, severities] : candidates_) {
+    snapshot.keys.push_back(key);
+    for (std::size_t a = 0; a < config_.num_assertions; ++a) {
+      snapshot.severities.Set(row, a, severities[a]);
+    }
+    ++row;
+  }
+  return snapshot;
+}
+
+std::size_t FlagStore::Remove(std::span<const CandidateKey> keys) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t removed = 0;
+  for (const CandidateKey& key : keys) {
+    const auto it = candidates_.find(key);
+    if (it == candidates_.end()) continue;
+    ranks_.erase({RankOf(it->second), key});
+    candidates_.erase(it);
+    ++removed;
+  }
+  return removed;
+}
+
+void FlagStore::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  candidates_.clear();
+  ranks_.clear();
+}
+
+}  // namespace omg::loop

@@ -1,0 +1,33 @@
+#include "loop/improvement_loop.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace omg::loop {
+
+using common::Check;
+
+ImprovementLoop::ImprovementLoop(
+    ImprovementLoopConfig config,
+    std::unique_ptr<bandit::SelectionStrategy> strategy,
+    std::shared_ptr<LabelOracle> oracle, nn::Mlp initial_model,
+    nn::Dataset replay, RoundScheduler::ConfidenceFn confidences) {
+  Check(!config.assertion_names.empty(),
+        "improvement loop needs at least one assertion name");
+  FlagStoreConfig store_config = config.store;
+  store_config.num_assertions = config.assertion_names.size();
+
+  registry_ = std::make_shared<ModelRegistry>();
+  registry_->Publish(std::move(initial_model));
+  store_ = std::make_shared<FlagStore>(store_config);
+  sink_ = std::make_shared<FlagCollectorSink>(store_,
+                                              config.assertion_names);
+  retrain_ = std::make_unique<RetrainWorker>(config.retrain, registry_,
+                                             std::move(replay));
+  scheduler_ = std::make_unique<RoundScheduler>(
+      config.round, store_, std::move(strategy), std::move(oracle),
+      retrain_.get(), config.seed, std::move(confidences));
+}
+
+}  // namespace omg::loop

@@ -1,0 +1,25 @@
+#include "loop/model_registry.hpp"
+
+#include <utility>
+
+namespace omg::loop {
+
+std::uint64_t ModelRegistry::Publish(nn::Mlp model) {
+  auto shared = std::make_shared<const nn::Mlp>(std::move(model));
+  std::lock_guard<std::mutex> lock(mutex_);
+  current_.version += 1;
+  current_.model = std::move(shared);
+  return current_.version;
+}
+
+ModelHandle ModelRegistry::Current() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_;
+}
+
+std::uint64_t ModelRegistry::version() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_.version;
+}
+
+}  // namespace omg::loop

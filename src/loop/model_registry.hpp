@@ -1,0 +1,45 @@
+// Versioned, hot-swappable model handles.
+//
+// The retraining side of the loop publishes fine-tuned models here; the
+// serving side reads the current handle between batches and keeps scoring —
+// no pause, no flush. Handles are shared_ptr<const Mlp>, so a worker that
+// picked up version v keeps a consistent model for the whole batch even if
+// v+1 is published mid-batch, and old versions die when their last reader
+// drops them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "nn/mlp.hpp"
+
+namespace omg::loop {
+
+/// One published model version. `version` starts at 1 for the first publish;
+/// a default-constructed handle (version 0, null model) means "none yet".
+struct ModelHandle {
+  std::uint64_t version = 0;
+  std::shared_ptr<const nn::Mlp> model;
+};
+
+/// Thread-safe registry of the currently served model.
+class ModelRegistry {
+ public:
+  /// Publishes `model` as the new current version and returns its number.
+  /// Atomic with respect to Current(): readers see either the old or the
+  /// new handle, never a torn state.
+  std::uint64_t Publish(nn::Mlp model);
+
+  /// The latest published handle (version 0 / null before any publish).
+  ModelHandle Current() const;
+
+  /// Version of the latest publish (0 before any).
+  std::uint64_t version() const;
+
+ private:
+  mutable std::mutex mutex_;
+  ModelHandle current_;
+};
+
+}  // namespace omg::loop

@@ -1,0 +1,65 @@
+#include "loop/oracle.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace omg::loop {
+
+using common::Check;
+
+GroundTruthOracle::GroundTruthOracle(LabelFn label)
+    : label_(std::move(label)) {
+  Check(static_cast<bool>(label_), "ground-truth oracle needs a label fn");
+}
+
+LabelBatch GroundTruthOracle::Label(std::span<const CandidateKey> keys) {
+  LabelBatch batch;
+  for (const CandidateKey& key : keys) {
+    batch.data.Append(label_(key));
+  }
+  batch.human_labels = batch.data.size();
+  return batch;
+}
+
+WeakLabelOracle::WeakLabelOracle(ProposeFn propose, double weak_weight)
+    : propose_(std::move(propose)), weak_weight_(weak_weight) {
+  Check(static_cast<bool>(propose_), "weak oracle needs a propose fn");
+  Check(weak_weight_ > 0.0 && weak_weight_ <= 1.0,
+        "weak_weight must be in (0, 1]");
+}
+
+LabelBatch WeakLabelOracle::Label(std::span<const CandidateKey> keys) {
+  LabelBatch batch;
+  const nn::Dataset proposed = propose_(keys);
+  for (std::size_t i = 0; i < proposed.size(); ++i) {
+    const double weight =
+        proposed.weights.empty() ? 1.0 : proposed.weights[i];
+    batch.data.Add(proposed.features[i], proposed.labels[i],
+                   weight * weak_weight_);
+  }
+  batch.weak_labels = batch.data.size();
+  return batch;
+}
+
+MixedOracle::MixedOracle(std::shared_ptr<LabelOracle> primary,
+                         std::shared_ptr<LabelOracle> secondary)
+    : primary_(std::move(primary)), secondary_(std::move(secondary)) {
+  Check(primary_ != nullptr && secondary_ != nullptr,
+        "mixed oracle needs both oracles");
+}
+
+std::string MixedOracle::Name() const {
+  return primary_->Name() + "+" + secondary_->Name();
+}
+
+LabelBatch MixedOracle::Label(std::span<const CandidateKey> keys) {
+  LabelBatch batch = primary_->Label(keys);
+  LabelBatch extra = secondary_->Label(keys);
+  batch.data.Append(extra.data);
+  batch.human_labels += extra.human_labels;
+  batch.weak_labels += extra.weak_labels;
+  return batch;
+}
+
+}  // namespace omg::loop

@@ -1,0 +1,106 @@
+#include "loop/retrain_worker.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace omg::loop {
+
+using common::Check;
+
+RetrainWorker::RetrainWorker(RetrainConfig config,
+                             std::shared_ptr<ModelRegistry> registry,
+                             nn::Dataset replay)
+    : config_(std::move(config)), registry_(std::move(registry)) {
+  Check(registry_ != nullptr, "retrain worker needs a registry");
+  Check(registry_->version() >= 1,
+        "registry must hold the pretrained model before retraining starts");
+  if (config_.replay_weight > 0.0) {
+    for (std::size_t i = 0; i < replay.size(); ++i) {
+      const double weight =
+          replay.weights.empty() ? 1.0 : replay.weights[i];
+      replay_.Add(replay.features[i], replay.labels[i],
+                  weight * config_.replay_weight);
+    }
+  }
+  worker_ = std::thread([this] { Run(); });
+}
+
+RetrainWorker::~RetrainWorker() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  worker_.join();
+}
+
+void RetrainWorker::Submit(nn::Dataset labeled) {
+  Check(!labeled.empty(), "submitted label batch is empty");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_.push_back(std::move(labeled));
+  }
+  work_cv_.notify_one();
+}
+
+void RetrainWorker::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return pending_.empty() && !training_; });
+}
+
+std::size_t RetrainWorker::retrains() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return retrains_;
+}
+
+std::size_t RetrainWorker::accumulated_rows() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return accumulated_.size();
+}
+
+std::vector<std::string> RetrainWorker::Errors() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return errors_;
+}
+
+void RetrainWorker::Run() {
+  common::Rng rng(config_.seed);
+  for (;;) {
+    nn::Dataset snapshot;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
+      if (pending_.empty()) break;  // stop_ with nothing left to train
+      for (nn::Dataset& batch : pending_) accumulated_.Append(batch);
+      pending_.clear();
+      training_ = true;
+      snapshot = accumulated_;  // train outside the lock on a copy
+    }
+    if (config_.on_retrain_start) config_.on_retrain_start();
+
+    // Clone the currently served model and fine-tune the clone; serving
+    // keeps reading the old handle until the publish below. A throwing
+    // fine-tune (e.g. a feature-dimension mismatch in a labeled row) must
+    // not escape the thread: record it and keep the worker alive.
+    try {
+      nn::Mlp model = *registry_->Current().model;
+      nn::Dataset combined = replay_;
+      combined.Append(snapshot);
+      nn::SoftmaxTrainer trainer(config_.sgd);
+      trainer.Train(model, combined, rng);
+      registry_->Publish(std::move(model));
+      std::lock_guard<std::mutex> lock(mutex_);
+      training_ = false;
+      ++retrains_;
+    } catch (const std::exception& error) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      training_ = false;
+      errors_.push_back(error.what());
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+}  // namespace omg::loop

@@ -1,0 +1,95 @@
+// Background fine-tuning with hot-swapped publishes.
+//
+// Labeled batches from the RoundScheduler accumulate into one weighted
+// dataset (weak labels keep their down-weights next to full-weight human
+// labels, as §5.5 prescribes); a dedicated worker thread clones the
+// registry's current model, fine-tunes the clone on replay + accumulated
+// labels, and publishes the result as a new version. Serving never blocks:
+// streams keep scoring with the old handle until they pick up the new one
+// between batches.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "loop/model_registry.hpp"
+#include "nn/trainer.hpp"
+
+namespace omg::loop {
+
+/// RetrainWorker parameters.
+struct RetrainConfig {
+  /// Fine-tune hyper-parameters (domains pass their finetune_sgd here).
+  nn::SgdConfig sgd{0.02, 0.9, 1e-4, 32, 8};
+  /// Weight at which the replay dataset (typically the pretraining set) is
+  /// mixed into every fine-tune so new labels shift the model without
+  /// erasing it; <= 0 disables replay even when a replay set was given.
+  double replay_weight = 0.5;
+  std::uint64_t seed = 42;
+  /// Invoked on the worker thread when a fine-tune begins (instrumentation;
+  /// tests use it to pin down hot-swap interleavings).
+  std::function<void()> on_retrain_start;
+};
+
+/// Accumulates labeled data and retrains on a background thread.
+///
+/// Submit() never blocks on training. Consecutive submissions arriving while
+/// a fine-tune is in flight coalesce into the next one. All public methods
+/// are thread-safe.
+class RetrainWorker {
+ public:
+  /// `registry` must already hold a published model (the pretrained one);
+  /// every fine-tune starts from the registry's current version.
+  RetrainWorker(RetrainConfig config, std::shared_ptr<ModelRegistry> registry,
+                nn::Dataset replay = {});
+
+  /// Drains pending work (finishing any in-flight fine-tune) and joins.
+  ~RetrainWorker();
+
+  RetrainWorker(const RetrainWorker&) = delete;
+  RetrainWorker& operator=(const RetrainWorker&) = delete;
+
+  /// Enqueues one round's labeled rows; wakes the worker.
+  void Submit(nn::Dataset labeled);
+
+  /// Blocks until every submitted batch has been trained and published.
+  void WaitIdle();
+
+  /// Completed fine-tune/publish cycles.
+  std::size_t retrains() const;
+
+  /// Rows in the accumulated labeled dataset (excludes replay).
+  std::size_t accumulated_rows() const;
+
+  /// Messages from fine-tunes that threw (a bad labeled row poisons its
+  /// retrain, not the worker thread or the process).
+  std::vector<std::string> Errors() const;
+
+ private:
+  void Run();
+
+  RetrainConfig config_;
+  std::shared_ptr<ModelRegistry> registry_;
+  nn::Dataset replay_;  ///< already scaled by replay_weight
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::vector<nn::Dataset> pending_;
+  nn::Dataset accumulated_;
+  bool training_ = false;
+  bool stop_ = false;
+  std::size_t retrains_ = 0;
+  std::vector<std::string> errors_;
+
+  std::thread worker_;  // declared last: joined before state dies
+};
+
+}  // namespace omg::loop

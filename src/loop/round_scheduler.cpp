@@ -1,0 +1,135 @@
+#include "loop/round_scheduler.hpp"
+
+#include <utility>
+
+#include "bandit/bal.hpp"
+#include "common/check.hpp"
+
+namespace omg::loop {
+
+using common::Check;
+
+RoundScheduler::RoundScheduler(RoundConfig config,
+                               std::shared_ptr<FlagStore> store,
+                               std::unique_ptr<bandit::SelectionStrategy>
+                                   strategy,
+                               std::shared_ptr<LabelOracle> oracle,
+                               RetrainWorker* retrain, std::uint64_t seed,
+                               ConfidenceFn confidences)
+    : config_(config),
+      store_(std::move(store)),
+      strategy_(std::move(strategy)),
+      oracle_(std::move(oracle)),
+      retrain_(retrain),
+      confidences_(std::move(confidences)),
+      rng_(seed) {
+  Check(config_.budget >= 1, "round budget must be >= 1");
+  Check(store_ != nullptr, "scheduler needs a flag store");
+  Check(strategy_ != nullptr, "scheduler needs a selection strategy");
+  Check(oracle_ != nullptr, "scheduler needs a label oracle");
+}
+
+RoundScheduler::~RoundScheduler() { Stop(); }
+
+std::optional<RoundStats> RoundScheduler::RunRound() {
+  std::lock_guard<std::mutex> round_lock(round_mutex_);
+
+  const FlagStore::Snapshot snapshot = store_->TakeSnapshot();
+  if (snapshot.keys.size() < config_.min_candidates) return std::nullopt;
+
+  std::vector<double> confidences;
+  if (confidences_) {
+    confidences = confidences_(snapshot.keys);
+    Check(confidences.size() == snapshot.keys.size(),
+          "confidence provider returned wrong size");
+  } else {
+    confidences.assign(snapshot.keys.size(), 0.0);
+  }
+
+  bandit::RoundContext context;
+  context.severities = &snapshot.severities;
+  context.confidences = confidences;
+  context.round = next_round_;
+  // already_labeled stays empty: labeled candidates leave the store.
+
+  RoundStats stats;
+  stats.round = next_round_;
+  stats.candidates = snapshot.keys.size();
+
+  const std::vector<std::size_t> picked =
+      strategy_->Select(context, config_.budget, rng_);
+  ++next_round_;
+  if (auto* bal = dynamic_cast<bandit::BalStrategy*>(strategy_.get())) {
+    stats.used_fallback = bal->UsedFallback();
+  }
+
+  std::vector<CandidateKey> keys;
+  keys.reserve(picked.size());
+  for (const std::size_t index : picked) {
+    common::CheckIndex(static_cast<std::ptrdiff_t>(index), 0,
+                       static_cast<std::ptrdiff_t>(snapshot.keys.size()),
+                       "strategy selected out-of-snapshot index");
+    keys.push_back(snapshot.keys[index]);
+  }
+  stats.selected = keys.size();
+
+  if (!keys.empty()) {
+    LabelBatch batch = oracle_->Label(keys);
+    stats.human_labels = batch.human_labels;
+    stats.weak_labels = batch.weak_labels;
+    stats.labeled_rows = batch.data.size();
+    store_->Remove(keys);
+    if (retrain_ != nullptr && !batch.data.empty()) {
+      retrain_->Submit(std::move(batch.data));
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> history_lock(history_mutex_);
+    history_.push_back(stats);
+  }
+  return stats;
+}
+
+void RoundScheduler::Start(std::chrono::milliseconds interval) {
+  Check(interval.count() > 0, "round interval must be positive");
+  Check(!timer_.joinable(), "scheduler timer already running");
+  timer_stop_ = false;
+  timer_ = std::thread([this, interval] {
+    std::unique_lock<std::mutex> lock(timer_mutex_);
+    while (!timer_cv_.wait_for(lock, interval,
+                               [this] { return timer_stop_; })) {
+      lock.unlock();
+      // A throwing oracle/strategy/confidence-fn must not escape the
+      // thread (std::terminate); record it and keep the loop alive.
+      try {
+        RunRound();
+      } catch (const std::exception& error) {
+        std::lock_guard<std::mutex> history_lock(history_mutex_);
+        errors_.push_back(error.what());
+      }
+      lock.lock();
+    }
+  });
+}
+
+void RoundScheduler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(timer_mutex_);
+    timer_stop_ = true;
+  }
+  timer_cv_.notify_all();
+  if (timer_.joinable()) timer_.join();
+}
+
+std::vector<RoundStats> RoundScheduler::History() const {
+  std::lock_guard<std::mutex> lock(history_mutex_);
+  return history_;
+}
+
+std::vector<std::string> RoundScheduler::Errors() const {
+  std::lock_guard<std::mutex> lock(history_mutex_);
+  return errors_;
+}
+
+}  // namespace omg::loop

@@ -10,6 +10,18 @@ void CountingSink::Consume(const StreamEvent& event) {
   std::lock_guard<std::mutex> lock(mutex_);
   ++count_;
   if (event.severity > max_severity_) max_severity_ = event.severity;
+  const auto it = by_assertion_.find(event.assertion);
+  if (it != by_assertion_.end()) {
+    ++it->second;
+  } else {
+    by_assertion_.emplace(std::string(event.assertion), 1);
+  }
+}
+
+std::map<std::string, std::size_t, std::less<>>
+CountingSink::counts_by_assertion() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return by_assertion_;
 }
 
 std::size_t CountingSink::count() const {

@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -55,10 +56,18 @@ class CountingSink final : public EventSink {
   std::size_t count() const;
   double max_severity() const;
 
+  /// Event counts broken down by assertion name. Divide by the observed
+  /// example count (MetricsSnapshot::examples_seen) for per-assertion
+  /// flagged rates when no registry is attached.
+  std::map<std::string, std::size_t, std::less<>> counts_by_assertion() const;
+
  private:
   mutable std::mutex mutex_;
   std::size_t count_ = 0;
   double max_severity_ = 0.0;
+  /// Transparent comparator: Consume looks names up by string_view without
+  /// materialising a std::string per event on the hot path.
+  std::map<std::string, std::size_t, std::less<>> by_assertion_;
 };
 
 /// Writes one human-readable line per event.

@@ -4,6 +4,26 @@
 
 namespace omg::runtime {
 
+namespace {
+
+double RateOf(const std::map<std::string, AssertionMetrics>& assertions,
+              const std::string& assertion, std::size_t examples) {
+  const auto it = assertions.find(assertion);
+  if (it == assertions.end() || examples == 0) return 0.0;
+  return static_cast<double>(it->second.fires) /
+         static_cast<double>(examples);
+}
+
+}  // namespace
+
+double StreamMetrics::FlaggedRate(const std::string& assertion) const {
+  return RateOf(assertions, assertion, examples_seen);
+}
+
+double MetricsSnapshot::FlaggedRate(const std::string& assertion) const {
+  return RateOf(assertions, assertion, examples_seen);
+}
+
 void MetricsRegistry::RegisterStream(StreamId id, std::string_view name) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (id >= streams_.size()) streams_.resize(id + 1);

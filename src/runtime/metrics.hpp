@@ -36,6 +36,11 @@ struct StreamMetrics {
   std::size_t examples_seen = 0;
   std::size_t events = 0;
   std::map<std::string, AssertionMetrics> assertions;
+
+  /// Flags per observed example for one assertion on this stream (0 when
+  /// the assertion never fired or nothing was observed). The improvement
+  /// loop reads its progress off this number.
+  double FlaggedRate(const std::string& assertion) const;
 };
 
 /// Point-in-time aggregate across the whole service.
@@ -44,6 +49,9 @@ struct MetricsSnapshot {
   std::size_t events = 0;
   std::vector<StreamMetrics> streams;                  // id order
   std::map<std::string, AssertionMetrics> assertions;  // across streams
+
+  /// Service-wide flags per observed example for one assertion.
+  double FlaggedRate(const std::string& assertion) const;
 };
 
 /// Thread-safe metrics accumulator shared by all shards.

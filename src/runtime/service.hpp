@@ -69,6 +69,12 @@ class MonitorService {
         factory_(std::move(factory)),
         pool_(std::make_unique<ThreadPool>(config.workers)) {
     common::Check(static_cast<bool>(factory_), "suite factory must be set");
+    // workers >= 1 is enforced by the ThreadPool's own precondition.
+    common::Check(config_.window >= 1, "runtime config: window must be >= 1");
+    common::Check(config_.settle_lag < config_.window,
+                  "runtime config: settle_lag must be < window (a verdict "
+                  "settles settle_lag examples behind the stream head, so it "
+                  "must fit inside the window)");
   }
 
   ~MonitorService() { pool_.reset(); }  // drain before stream states die

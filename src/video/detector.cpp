@@ -35,6 +35,13 @@ void SsdDetector::FineTune(const nn::Dataset& data) {
   trainer.Train(model_, data, train_rng_);
 }
 
+void SsdDetector::SetModel(nn::Mlp model) {
+  common::Check(model.config().input_dim == model_.config().input_dim &&
+                    model.config().num_classes == model_.config().num_classes,
+                "swapped-in model shape mismatch");
+  model_ = std::move(model);
+}
+
 double SsdDetector::Score(const Proposal& proposal) const {
   return model_.PredictProba(proposal.features)[1];
 }

@@ -54,6 +54,10 @@ class SsdDetector {
   /// confidence used by least-confident uncertainty sampling.
   double FrameConfidence(const Frame& frame) const;
 
+  /// Replaces the scoring model (hot-swap pickup from a loop::ModelRegistry;
+  /// the architecture must match the current one).
+  void SetModel(nn::Mlp model);
+
   const nn::Mlp& model() const { return model_; }
   const DetectorConfig& config() const { return config_; }
 

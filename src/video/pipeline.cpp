@@ -131,43 +131,21 @@ std::int64_t FindProposal(const Frame& frame, const geometry::Box2D& box) {
 
 }  // namespace
 
-WeakSupervisionResult RunVideoWeakSupervision(VideoPipeline& pipeline,
-                                              std::size_t flicker_frames,
-                                              std::size_t random_frames,
-                                              std::uint64_t seed) {
-  common::Rng rng(seed);
-  pipeline.Reset(seed);
-  WeakSupervisionResult result;
-  result.pretrained_metric = pipeline.Evaluate();
-
-  VideoSuite& suite = pipeline.suite();
-  suite.consistency->Invalidate();
-  const std::vector<VideoExample> examples =
-      pipeline.MakeExamples(pipeline.pool());
-  const core::SeverityMatrix severities = suite.suite.CheckAll(examples);
+nn::Dataset MakeWeakLabelDataset(VideoSuite& suite,
+                                 std::span<const Frame> frames,
+                                 std::span<const VideoExample> examples,
+                                 const std::set<std::size_t>& chosen,
+                                 WeakLabelCounts* counts) {
+  Check(frames.size() == examples.size(),
+        "frames and deployed examples must be index-aligned");
   const auto& corrections = suite.consistency->Corrections(examples);
   const auto& records = suite.consistency->LatestRecords();
 
-  // Pick the frame subset: flicker-flagged frames plus random fillers.
-  std::vector<std::size_t> flagged =
-      severities.ExamplesFiring(suite.flicker_index);
-  rng.Shuffle(flagged);
-  if (flagged.size() > flicker_frames) flagged.resize(flicker_frames);
-  std::set<std::size_t> chosen(flagged.begin(), flagged.end());
-  result.flagged_frames_used = chosen.size();
-  std::vector<std::size_t> everyone(pipeline.pool().size());
-  for (std::size_t i = 0; i < everyone.size(); ++i) everyone[i] = i;
-  rng.Shuffle(everyone);
-  for (const std::size_t i : everyone) {
-    if (result.random_frames_used == random_frames) break;
-    if (chosen.insert(i).second) ++result.random_frames_used;
-  }
-
-  // Corrections -> weak labels.
   nn::Dataset weak;
+  WeakLabelCounts local;
   for (const auto& correction : corrections) {
     if (!chosen.contains(correction.example_index)) continue;
-    const Frame& frame = pipeline.pool()[correction.example_index];
+    const Frame& frame = frames[correction.example_index];
     if (correction.kind == core::CorrectionKind::kAddOutput) {
       // The WeakLabel rule: impute the box by averaging the identifier's
       // adjacent occurrences, then mark the matching proposal positive.
@@ -188,7 +166,7 @@ WeakSupervisionResult RunVideoWeakSupervision(VideoPipeline& pipeline,
       if (p < 0) continue;
       weak.Add(frame.proposals[static_cast<std::size_t>(p)].features, 1,
                1.0);
-      ++result.weak_positives;
+      ++local.positives;
     } else if (correction.kind == core::CorrectionKind::kRemoveOutput) {
       const auto& example = examples[correction.example_index];
       if (correction.output_index < 0 ||
@@ -201,9 +179,48 @@ WeakSupervisionResult RunVideoWeakSupervision(VideoPipeline& pipeline,
       if (p < 0) continue;
       weak.Add(frame.proposals[static_cast<std::size_t>(p)].features, 0,
                1.0);
-      ++result.weak_negatives;
+      ++local.negatives;
     }
   }
+  if (counts != nullptr) *counts = local;
+  return weak;
+}
+
+WeakSupervisionResult RunVideoWeakSupervision(VideoPipeline& pipeline,
+                                              std::size_t flicker_frames,
+                                              std::size_t random_frames,
+                                              std::uint64_t seed) {
+  common::Rng rng(seed);
+  pipeline.Reset(seed);
+  WeakSupervisionResult result;
+  result.pretrained_metric = pipeline.Evaluate();
+
+  VideoSuite& suite = pipeline.suite();
+  suite.consistency->Invalidate();
+  const std::vector<VideoExample> examples =
+      pipeline.MakeExamples(pipeline.pool());
+  const core::SeverityMatrix severities = suite.suite.CheckAll(examples);
+
+  // Pick the frame subset: flicker-flagged frames plus random fillers.
+  std::vector<std::size_t> flagged =
+      severities.ExamplesFiring(suite.flicker_index);
+  rng.Shuffle(flagged);
+  if (flagged.size() > flicker_frames) flagged.resize(flicker_frames);
+  std::set<std::size_t> chosen(flagged.begin(), flagged.end());
+  result.flagged_frames_used = chosen.size();
+  std::vector<std::size_t> everyone(pipeline.pool().size());
+  for (std::size_t i = 0; i < everyone.size(); ++i) everyone[i] = i;
+  rng.Shuffle(everyone);
+  for (const std::size_t i : everyone) {
+    if (result.random_frames_used == random_frames) break;
+    if (chosen.insert(i).second) ++result.random_frames_used;
+  }
+
+  WeakLabelCounts counts;
+  nn::Dataset weak = MakeWeakLabelDataset(suite, pipeline.pool(), examples,
+                                          chosen, &counts);
+  result.weak_positives = counts.positives;
+  result.weak_negatives = counts.negatives;
 
   // Fine-tune on the weak labels with the original training data replayed
   // at reduced weight — the paper fine-tunes the pretrained SSD at a tiny

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <set>
 #include <span>
 #include <string>
 #include <vector>
@@ -87,6 +88,25 @@ struct WeakSupervisionResult {
                : 0.0;
   }
 };
+
+/// Counts of weak labels materialised by MakeWeakLabelDataset.
+struct WeakLabelCounts {
+  std::size_t positives = 0;
+  std::size_t negatives = 0;
+};
+
+/// Materialises the §5.5 WeakLabel rules over one scored stream: every
+/// consistency correction touching a `chosen` frame becomes a training row —
+/// a flicker gap imputes a positive by averaging the track's adjacent boxes
+/// and marking the best-IoU proposal; a brief appearance marks the removed
+/// detection's proposal negative. `examples` must be `frames`' deployed
+/// outputs, index-aligned. Shared by the offline weak-supervision
+/// experiment and the online loop's WeakLabelOracle.
+nn::Dataset MakeWeakLabelDataset(VideoSuite& suite,
+                                 std::span<const Frame> frames,
+                                 std::span<const VideoExample> examples,
+                                 const std::set<std::size_t>& chosen,
+                                 WeakLabelCounts* counts = nullptr);
 
 /// §5.5 video protocol: starting from the pretrained model, take
 /// `flicker_frames` frames that triggered flicker plus `random_frames`

@@ -206,6 +206,35 @@ TEST(Bal, ResetClearsHistory) {
   EXPECT_TRUE(bal.LastMarginalReductions().empty());  // round-0 behaviour
 }
 
+TEST(Bal, ResetMidStreamReentersRoundZeroSampling) {
+  // A live loop can reset BAL between rounds (model rollback, store wipe).
+  // After two rounds with *flat* fire counts — a state whose next Select
+  // would take the fallback path — a reset must restore round-0 uniform
+  // sampling: no fallback, no stale marginal reductions.
+  const std::vector<double> conf(10, 0.5);
+  common::Rng rng(7);
+  auto bal = MakeBal();
+  std::vector<std::tuple<std::size_t, std::size_t, double>> entries;
+  for (std::size_t i = 0; i < 8; ++i) entries.push_back({i, 0, 1.0});
+  auto m = MakeSeverities(10, 1, entries);
+
+  (void)bal.Select(MakeContext(m, conf, {}, 0), 2, rng);
+  (void)bal.Select(MakeContext(m, conf, {}, 1), 2, rng);
+  EXPECT_TRUE(bal.UsedFallback());  // flat counts: 0% marginal reduction
+  EXPECT_FALSE(bal.LastMarginalReductions().empty());
+
+  bal.Reset();
+  EXPECT_TRUE(bal.LastMarginalReductions().empty());
+
+  // Same flat counts again, but with no history this is round 0: uniform
+  // sampling over assertion-flagged data, not the fallback baseline.
+  const auto picked = bal.Select(MakeContext(m, conf, {}, 2), 2, rng);
+  EXPECT_FALSE(bal.UsedFallback());
+  EXPECT_TRUE(bal.LastMarginalReductions().empty());
+  EXPECT_EQ(picked.size(), 2u);
+  for (const std::size_t p : picked) EXPECT_LT(p, 8u);  // flagged pool only
+}
+
 TEST(Bal, ValidatesConfig) {
   EXPECT_THROW(BalStrategy(BalConfig{1.5, 0.01, 1.0},
                            std::make_unique<RandomStrategy>()),

@@ -50,6 +50,22 @@ TEST(Flags, IntRejectsGarbage) {
   EXPECT_THROW(ParseArgs({"--n=abc"}).GetInt("n", 0), CheckError);
 }
 
+TEST(Flags, IntListParsing) {
+  EXPECT_EQ(ParseArgs({"--workers=1,2,4"}).GetIntList("workers", {}),
+            (std::vector<std::int64_t>{1, 2, 4}));
+  // A single integer is a one-element list (sweep of one configuration).
+  EXPECT_EQ(ParseArgs({"--workers=8"}).GetIntList("workers", {}),
+            (std::vector<std::int64_t>{8}));
+  EXPECT_EQ(ParseArgs({}).GetIntList("workers", {4}),
+            (std::vector<std::int64_t>{4}));
+  EXPECT_THROW(ParseArgs({"--workers=1,x"}).GetIntList("workers", {}),
+               CheckError);
+  EXPECT_THROW(ParseArgs({"--workers=1,,2"}).GetIntList("workers", {}),
+               CheckError);
+  EXPECT_THROW(ParseArgs({"--workers=1,2,"}).GetIntList("workers", {}),
+               CheckError);
+}
+
 TEST(Flags, PositionalArguments) {
   const Flags flags = ParseArgs({"pos1", "--a=1", "pos2"});
   EXPECT_EQ(flags.Positional(),

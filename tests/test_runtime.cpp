@@ -339,6 +339,28 @@ TEST(StreamRegistry, AssignsDenseIdsAndRejectsDuplicates) {
 
 // --------------------------------------------------------- MetricsRegistry ---
 
+TEST(MetricsRegistry, ExposesPerAssertionFlaggedRate) {
+  MetricsRegistry metrics;
+  metrics.RegisterStream(0, "a");
+  metrics.RegisterStream(1, "b");
+  const std::vector<StreamEvent> events_a = {{0, "a", 1, "x", 1.0},
+                                             {0, "a", 2, "x", 1.0},
+                                             {0, "a", 3, "y", 2.0}};
+  metrics.RecordBatch(0, 10, events_a);
+  metrics.RecordBatch(1, 10, {});
+
+  const MetricsSnapshot snapshot = metrics.Snapshot();
+  // Stream "a": x fired twice over 10 examples.
+  EXPECT_DOUBLE_EQ(snapshot.streams[0].FlaggedRate("x"), 0.2);
+  EXPECT_DOUBLE_EQ(snapshot.streams[0].FlaggedRate("y"), 0.1);
+  // Service-wide: same fires over 20 observed examples.
+  EXPECT_DOUBLE_EQ(snapshot.FlaggedRate("x"), 0.1);
+  // Unknown assertion / empty stream: rate 0, not a throw.
+  EXPECT_DOUBLE_EQ(snapshot.FlaggedRate("nope"), 0.0);
+  EXPECT_DOUBLE_EQ(snapshot.streams[1].FlaggedRate("x"), 0.0);
+  EXPECT_DOUBLE_EQ(StreamMetrics{}.FlaggedRate("x"), 0.0);
+}
+
 TEST(MetricsRegistry, AggregatesAcrossStreams) {
   MetricsRegistry metrics;
   metrics.RegisterStream(0, "a");
@@ -382,9 +404,13 @@ TEST(Sinks, CountingAndCollectingAgree) {
   const StreamEvent event{2, "s", 1, "a", 4.0};
   counting.Consume(event);
   counting.Consume({2, "s", 2, "a", 1.0});
+  counting.Consume({2, "s", 3, "b", 2.0});
   collecting.Consume(event);
-  EXPECT_EQ(counting.count(), 2u);
+  EXPECT_EQ(counting.count(), 3u);
   EXPECT_DOUBLE_EQ(counting.max_severity(), 4.0);
+  const auto by_assertion = counting.counts_by_assertion();
+  EXPECT_EQ(by_assertion.at("a"), 2u);
+  EXPECT_EQ(by_assertion.at("b"), 1u);
   const auto events = collecting.Events();
   ASSERT_EQ(events.size(), 1u);
   EXPECT_EQ(events[0].stream, "s");
@@ -553,6 +579,80 @@ TEST(MonitorService, RejectsUnknownStreamAndNullSink) {
   MonitorService<Tick> service(config, [] { return MakeBundle(false); });
   EXPECT_THROW(service.Observe(0, Tick{}), common::CheckError);
   EXPECT_THROW(service.AddSink(nullptr), common::CheckError);
+}
+
+TEST(MonitorService, ValidatesRuntimeConfig) {
+  const auto make = [] { return MakeBundle(false); };
+  RuntimeConfig bad;
+  bad.window = 16;
+  bad.settle_lag = 16;  // == window: verdicts could never settle
+  try {
+    MonitorService<Tick> service(bad, make);
+    FAIL() << "settle_lag >= window must be rejected";
+  } catch (const common::CheckError& error) {
+    EXPECT_NE(std::string(error.what()).find("settle_lag must be < window"),
+              std::string::npos);
+  }
+  bad.settle_lag = 32;  // > window
+  EXPECT_THROW(MonitorService<Tick>(bad, make), common::CheckError);
+  bad.settle_lag = 8;
+  bad.window = 0;
+  EXPECT_THROW(MonitorService<Tick>(bad, make), common::CheckError);
+  bad.window = 16;
+  bad.workers = 0;
+  EXPECT_THROW(MonitorService<Tick>(bad, make), common::CheckError);
+}
+
+TEST(MonitorService, RejectsReRegisteringAStreamName) {
+  RuntimeConfig config;
+  config.workers = 2;
+  MonitorService<Tick> service(config, [] { return MakeBundle(false); });
+  const StreamId id = service.RegisterStream("cam-0");
+  EXPECT_THROW(service.RegisterStream("cam-0"), common::CheckError);
+  // The failed registration must not corrupt the service: the original
+  // stream still ingests, and new names still register.
+  const StreamId other = service.RegisterStream("cam-1");
+  EXPECT_NE(id, other);
+  service.ObserveBatch(id, {Tick{0.1}, Tick{0.2}});
+  service.ObserveBatch(other, {Tick{0.3}});
+  service.Flush();
+  EXPECT_TRUE(service.Errors().empty());
+  EXPECT_EQ(service.Metrics().streams.at(id).examples_seen, 2u);
+  EXPECT_EQ(service.Metrics().streams.at(other).examples_seen, 1u);
+}
+
+TEST(MonitorService, ConcurrentObserveDuringFlushIsSafe) {
+  // Flush must tolerate producers that keep observing concurrently: every
+  // batch enqueued *before* a Flush call is accounted for, and the service
+  // ends consistent (examples counted once, no errors, no lost events).
+  const std::size_t kBatches = 60;
+  const std::size_t kBatchSize = 20;
+  RuntimeConfig config;
+  config.workers = 4;
+  config.window = 16;
+  config.settle_lag = 2;
+  MonitorService<Tick> service(config, [] { return MakeBundle(false); });
+  auto counting = std::make_shared<CountingSink>();
+  service.AddSink(counting);
+  const StreamId id = service.RegisterStream("hot");
+
+  const auto stream = MakeStream(77, kBatches * kBatchSize);
+  std::thread producer([&] {
+    for (std::size_t b = 0; b < kBatches; ++b) {
+      service.ObserveBatch(
+          id, std::vector<Tick>(stream.begin() + b * kBatchSize,
+                                stream.begin() + (b + 1) * kBatchSize));
+    }
+  });
+  // Flush repeatedly while the producer races.
+  for (int i = 0; i < 20; ++i) service.Flush();
+  producer.join();
+  service.Flush();  // all batches are enqueued now: full accounting
+
+  EXPECT_TRUE(service.Errors().empty());
+  const MetricsSnapshot snapshot = service.Metrics();
+  EXPECT_EQ(snapshot.examples_seen, kBatches * kBatchSize);
+  EXPECT_EQ(snapshot.events, counting->count());
 }
 
 }  // namespace
