@@ -1,7 +1,16 @@
 // Serving-runtime throughput: examples/sec of the multi-stream assertion
 // runtime (runtime/service.hpp) vs. a per-example StreamingMonitor loop over
 // the same workload (ISSUE 1 acceptance: sharded runtime with 4 workers must
-// sustain >= 4x the baseline on an 8-stream workload).
+// sustain >= 4x the baseline on an 8-stream workload), plus the sharded
+// backpressure-aware fast path (runtime/sharded_service.hpp):
+//
+//   * a `--shards` sweep over ShardedMonitorService reporting throughput
+//     and the p50/p95/p99 observe-to-flag latency per shard count, and
+//   * a saturation bench that paces offered load past capacity against a
+//     small bounded queue under ShedBelowSeverity, recording the
+//     throughput/latency knee — achieved eps tracks offered until the
+//     knee, then plateaus while p99 hits the queue bound and the shed
+//     counters (not the queue depth) absorb the overload.
 //
 // The workload is synthetic but shaped like the paper's deployments: two
 // pointwise assertions plus two bounded stream-level assertions (temporal
@@ -10,7 +19,7 @@
 // ingests batches, so bounded-radius suffix re-scoring amortizes across the
 // batch instead of being repeated per example.
 //
-// Prints a table and writes machine-readable results to --json (default
+// Prints tables and writes machine-readable results to --json (default
 // BENCH_runtime.json) so the perf trajectory is trackable across PRs.
 #include <algorithm>
 #include <array>
@@ -18,7 +27,9 @@
 #include <cmath>
 #include <fstream>
 #include <iostream>
+#include <span>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -28,8 +39,10 @@
 #include "common/table.hpp"
 #include "core/assertion.hpp"
 #include "core/monitor.hpp"
+#include "runtime/admission.hpp"
 #include "runtime/event_sink.hpp"
 #include "runtime/service.hpp"
+#include "runtime/sharded_service.hpp"
 
 namespace {
 
@@ -126,6 +139,27 @@ struct RunResult {
   std::size_t events = 0;
 };
 
+/// A sharded-service run: throughput plus the observe-to-flag latency
+/// envelope aggregated across the shards.
+struct ShardedRunResult {
+  RunResult run;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+/// One offered-load point of the saturation sweep.
+struct SaturationPoint {
+  double offered_frac = 0.0;    ///< target rate / reference rate
+  double offered_eps = 0.0;     ///< examples/sec actually submitted
+  double achieved_eps = 0.0;    ///< examples/sec actually scored
+  double p99_ms = 0.0;
+  std::size_t scored = 0;
+  std::size_t shed_examples = 0;
+  std::size_t dropped_examples = 0;
+  std::size_t queue_depth_peak = 0;
+};
+
 using Clock = std::chrono::steady_clock;
 
 double Seconds(Clock::time_point begin, Clock::time_point end) {
@@ -197,12 +231,149 @@ RunResult RunService(const std::vector<std::vector<Sample>>& streams,
   return result;
 }
 
-void WriteJson(const std::string& path, std::size_t streams,
-               std::size_t examples, std::size_t window,
-               std::size_t settle_lag, std::size_t workers,
-               std::size_t batch_size, const RunResult& baseline,
-               const RunResult& sharded_1w, const RunResult& sharded,
-               const std::vector<std::pair<std::size_t, RunResult>>& sweep) {
+/// The backpressure-aware fast path, unsaturated: bounded queues sized so
+/// the kBlock policy never engages, every batch admitted and scored.
+ShardedRunResult RunSharded(const std::vector<std::vector<Sample>>& streams,
+                            std::size_t shards, std::size_t batch_size,
+                            std::size_t window, std::size_t settle_lag) {
+  runtime::ShardedRuntimeConfig config;
+  config.shards = shards;
+  config.window = window;
+  config.settle_lag = settle_lag;
+  config.queue_capacity = std::max<std::size_t>(batch_size * 16, 4096);
+  config.admission = runtime::AdmissionPolicy::kBlock;
+  runtime::ShardedMonitorService<Sample> service(config, [] {
+    auto suite = std::make_shared<core::AssertionSuite<Sample>>();
+    PopulateSuite(*suite);
+    return runtime::ShardedMonitorService<Sample>::SuiteBundle{suite, {}};
+  });
+  auto counting = std::make_shared<runtime::CountingSink>();
+  service.AddSink(counting);
+  std::vector<runtime::StreamId> ids;
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    ids.push_back(service.RegisterStream("stream-" + std::to_string(s)));
+  }
+
+  ShardedRunResult result;
+  const auto begin = Clock::now();
+  const std::size_t n = streams.front().size();
+  for (std::size_t offset = 0; offset < n; offset += batch_size) {
+    const std::size_t count = std::min(batch_size, n - offset);
+    for (std::size_t s = 0; s < streams.size(); ++s) {
+      service.ObserveBatch(
+          ids[s], std::vector<Sample>(streams[s].begin() + offset,
+                                      streams[s].begin() + offset + count));
+    }
+  }
+  service.Flush();
+  result.run.seconds = Seconds(begin, Clock::now());
+  common::Check(service.Errors().empty(), "sharded ingestion errors");
+  result.run.events = counting->count();
+  result.run.examples_per_sec =
+      static_cast<double>(n * streams.size()) / result.run.seconds;
+  const runtime::LatencyHistogram latency =
+      service.Metrics().MergedLatency();
+  result.p50_ms = latency.Quantile(0.50) * 1e3;
+  result.p95_ms = latency.Quantile(0.95) * 1e3;
+  result.p99_ms = latency.Quantile(0.99) * 1e3;
+  return result;
+}
+
+/// Per-batch severity hint for the saturation bench: the number of
+/// anomaly-burst examples the batch carries (what an upstream cheap filter
+/// would estimate). Shedding keeps burst-heavy batches under overload.
+double BatchHint(std::span<const Sample> batch) {
+  double bursts = 0.0;
+  for (const Sample& sample : batch) {
+    if (Magnitude(sample) > 30.0) bursts += 1.0;
+  }
+  return bursts;
+}
+
+/// Drives the sharded service at `offered_frac * reference_eps` against a
+/// deliberately small queue under ShedBelowSeverity. Offered load is paced
+/// by sleeping between submission rounds; past saturation the sleeps
+/// vanish and the producer simply offers as fast as it can.
+SaturationPoint RunSaturationPoint(
+    const std::vector<std::vector<Sample>>& streams,
+    const std::vector<std::vector<double>>& hints, double shed_floor,
+    double offered_frac, double reference_eps, std::size_t shards,
+    std::size_t batch_size, std::size_t window, std::size_t settle_lag,
+    std::size_t queue_capacity) {
+  runtime::ShardedRuntimeConfig config;
+  config.shards = shards;
+  config.window = window;
+  config.settle_lag = settle_lag;
+  config.queue_capacity = queue_capacity;
+  config.admission = runtime::AdmissionPolicy::kShedBelowSeverity;
+  config.shed_floor = shed_floor;
+  runtime::ShardedMonitorService<Sample> service(config, [] {
+    auto suite = std::make_shared<core::AssertionSuite<Sample>>();
+    PopulateSuite(*suite);
+    return runtime::ShardedMonitorService<Sample>::SuiteBundle{suite, {}};
+  });
+  std::vector<runtime::StreamId> ids;
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    ids.push_back(service.RegisterStream("sat-" + std::to_string(s)));
+  }
+
+  SaturationPoint point;
+  point.offered_frac = offered_frac;
+  const double target_eps = offered_frac * reference_eps;
+  const std::size_t n = streams.front().size();
+  std::size_t submitted = 0;
+  const auto begin = Clock::now();
+  auto next_deadline = begin;
+  for (std::size_t offset = 0; offset < n; offset += batch_size) {
+    const std::size_t count = std::min(batch_size, n - offset);
+    for (std::size_t s = 0; s < streams.size(); ++s) {
+      service.ObserveBatch(
+          ids[s],
+          std::vector<Sample>(streams[s].begin() + offset,
+                              streams[s].begin() + offset + count),
+          hints[s][offset / batch_size]);
+    }
+    submitted += count * streams.size();
+    next_deadline += std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(
+            static_cast<double>(count * streams.size()) / target_eps));
+    std::this_thread::sleep_until(next_deadline);  // no-op once saturated
+  }
+  const double offer_seconds = Seconds(begin, Clock::now());
+  service.Flush();
+  const double total_seconds = Seconds(begin, Clock::now());
+  common::Check(service.Errors().empty(), "saturation ingestion errors");
+
+  const runtime::MetricsSnapshot snapshot = service.Metrics();
+  point.offered_eps = static_cast<double>(submitted) / offer_seconds;
+  point.scored = snapshot.examples_seen;
+  point.achieved_eps = static_cast<double>(point.scored) / total_seconds;
+  point.shed_examples = snapshot.TotalShedExamples();
+  point.dropped_examples = snapshot.TotalDroppedExamples();
+  for (const runtime::ShardMetrics& shard : snapshot.shards) {
+    point.queue_depth_peak =
+        std::max(point.queue_depth_peak, shard.queue_depth_peak);
+  }
+  point.p99_ms = snapshot.MergedLatency().Quantile(0.99) * 1e3;
+  // The whole point of bounded queues: memory stays bounded and losses are
+  // explicit, counted shedding rather than unbounded growth.
+  common::Check(point.queue_depth_peak <= queue_capacity,
+                "saturation bench: queue depth exceeded its bound");
+  common::Check(point.scored + point.shed_examples + point.dropped_examples ==
+                    submitted,
+                "saturation bench: offered examples not fully accounted for");
+  return point;
+}
+
+void WriteJson(
+    const std::string& path, std::size_t streams, std::size_t examples,
+    std::size_t window, std::size_t settle_lag, std::size_t workers,
+    std::size_t batch_size, const RunResult& baseline,
+    const RunResult& sharded_1w, const RunResult& sharded,
+    const std::vector<std::pair<std::size_t, RunResult>>& sweep,
+    const std::vector<std::pair<std::size_t, ShardedRunResult>>& shard_sweep,
+    std::size_t saturation_shards, std::size_t saturation_capacity,
+    double shed_floor, const std::vector<SaturationPoint>& saturation) {
   std::ofstream out(path);
   common::Check(out.good(), "cannot open json output: " + path);
   out << "{\n"
@@ -234,7 +405,40 @@ void WriteJson(const std::string& path, std::size_t streams,
         << sweep[i].second.examples_per_sec / baseline.examples_per_sec
         << "}" << (i + 1 < sweep.size() ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
+  out << "  ],\n"
+      << "  \"shard_sweep\": [\n";
+  for (std::size_t i = 0; i < shard_sweep.size(); ++i) {
+    const ShardedRunResult& r = shard_sweep[i].second;
+    out << "    {\"shards\": " << shard_sweep[i].first
+        << ", \"seconds\": " << r.run.seconds
+        << ", \"examples_per_sec\": " << r.run.examples_per_sec
+        << ", \"events\": " << r.run.events
+        << ", \"speedup_vs_baseline\": "
+        << r.run.examples_per_sec / baseline.examples_per_sec
+        << ", \"observe_to_flag_ms\": {\"p50\": " << r.p50_ms
+        << ", \"p95\": " << r.p95_ms << ", \"p99\": " << r.p99_ms << "}}"
+        << (i + 1 < shard_sweep.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"saturation\": {\n"
+      << "    \"policy\": \"shed_below_severity\",\n"
+      << "    \"shards\": " << saturation_shards << ",\n"
+      << "    \"queue_capacity_examples\": " << saturation_capacity << ",\n"
+      << "    \"shed_floor\": " << shed_floor << ",\n"
+      << "    \"points\": [\n";
+  for (std::size_t i = 0; i < saturation.size(); ++i) {
+    const SaturationPoint& p = saturation[i];
+    out << "      {\"offered_frac\": " << p.offered_frac
+        << ", \"offered_examples_per_sec\": " << p.offered_eps
+        << ", \"achieved_examples_per_sec\": " << p.achieved_eps
+        << ", \"p99_observe_to_flag_ms\": " << p.p99_ms
+        << ", \"scored\": " << p.scored
+        << ", \"shed_examples\": " << p.shed_examples
+        << ", \"dropped_examples\": " << p.dropped_examples
+        << ", \"queue_depth_peak\": " << p.queue_depth_peak << "}"
+        << (i + 1 < saturation.size() ? "," : "") << "\n";
+  }
+  out << "    ]\n  }\n}\n";
 }
 
 }  // namespace
@@ -242,8 +446,8 @@ void WriteJson(const std::string& path, std::size_t streams,
 int main(int argc, char** argv) {
   const auto flags = common::Flags::Parse(argc, argv);
   flags.CheckAllowed(
-      {"streams", "examples", "workers", "batch", "window", "settle",
-       "seed", "json"});
+      {"streams", "examples", "workers", "shards", "capacity", "batch",
+       "window", "settle", "seed", "json"});
   const auto n_streams = static_cast<std::size_t>(flags.GetInt("streams", 8));
   const auto examples = static_cast<std::size_t>(flags.GetInt("examples", 20000));
   // `--workers` accepts a comma-separated sweep (e.g. `--workers 1,2,4,8`);
@@ -255,6 +459,14 @@ int main(int argc, char** argv) {
                                 [](std::int64_t w) { return w >= 1; }),
                 "--workers entries must be >= 1");
   const auto workers = static_cast<std::size_t>(worker_sweep.back());
+  // `--shards` sweeps the backpressure-aware fast path
+  // (ShardedMonitorService), e.g. `--shards 1,2,4,8`.
+  const std::vector<std::int64_t> shard_counts =
+      flags.GetIntList("shards", {1, 2, 4, 8});
+  common::Check(!shard_counts.empty() &&
+                    std::all_of(shard_counts.begin(), shard_counts.end(),
+                                [](std::int64_t s) { return s >= 1; }),
+                "--shards entries must be >= 1");
   const auto batch_size = static_cast<std::size_t>(flags.GetInt("batch", 256));
   const auto window = static_cast<std::size_t>(flags.GetInt("window", 128));
   const auto settle_lag = static_cast<std::size_t>(flags.GetInt("settle", 16));
@@ -283,6 +495,62 @@ int main(int argc, char** argv) {
         RunService(streams, static_cast<std::size_t>(w), batch_size, window,
                    settle_lag));
   }
+  std::vector<std::pair<std::size_t, ShardedRunResult>> shard_sweep;
+  for (const std::int64_t s : shard_counts) {
+    shard_sweep.emplace_back(
+        static_cast<std::size_t>(s),
+        RunSharded(streams, static_cast<std::size_t>(s), batch_size, window,
+                   settle_lag));
+    common::Check(baseline.events == shard_sweep.back().second.run.events,
+                  "sharded fast path emitted a different event count");
+  }
+
+  // Saturation: a small bounded queue under ShedBelowSeverity, offered
+  // load paced at fractions of the unsaturated 2-shard (or closest) rate.
+  const auto reference = std::min_element(
+      shard_sweep.begin(), shard_sweep.end(), [](const auto& a, const auto& b) {
+        // Prefer the entry closest to 2 shards as the pacing reference.
+        const auto distance = [](std::size_t s) {
+          return s > 2 ? s - 2 : 2 - s;
+        };
+        return distance(a.first) < distance(b.first);
+      });
+  const std::size_t saturation_shards = reference->first;
+  const double reference_eps = reference->second.run.examples_per_sec;
+  // Default per-shard queue bound: two submission rounds' worth of the
+  // streams one shard owns, so a paced producer below the knee never sheds
+  // (submission arrives in per-round bursts, not smoothly).
+  const auto saturation_capacity = static_cast<std::size_t>(flags.GetInt(
+      "capacity", static_cast<std::int64_t>(std::max<std::size_t>(
+                      2 * batch_size *
+                          (n_streams + saturation_shards - 1) /
+                          saturation_shards,
+                      2048))));
+  // Per-batch severity hints (anomaly-burst counts); the shed floor is
+  // their 75th percentile, so ~a quarter of the offered batches count as
+  // important and survive overload.
+  std::vector<std::vector<double>> hints(n_streams);
+  std::vector<double> all_hints;
+  for (std::size_t s = 0; s < n_streams; ++s) {
+    for (std::size_t offset = 0; offset < examples; offset += batch_size) {
+      const std::size_t count = std::min(batch_size, examples - offset);
+      hints[s].push_back(BatchHint(
+          std::span<const Sample>(streams[s].data() + offset, count)));
+      all_hints.push_back(hints[s].back());
+    }
+  }
+  std::sort(all_hints.begin(), all_hints.end());
+  const double shed_floor =
+      std::max(1.0, all_hints[all_hints.size() * 3 / 4] + 0.5);
+  std::vector<SaturationPoint> saturation;
+  for (const double frac : {0.5, 1.0, 2.0, 4.0}) {
+    saturation.push_back(RunSaturationPoint(
+        streams, hints, shed_floor, frac, reference_eps, saturation_shards,
+        batch_size, window, settle_lag, saturation_capacity));
+  }
+  common::Check(saturation.back().shed_examples > 0,
+                "saturation bench: overload must shed under "
+                "ShedBelowSeverity, not grow the queue");
   // The 1-worker reference (per-stream batching win without parallelism):
   // reuse the sweep's run when the sweep already covers it.
   const auto one_worker =
@@ -326,8 +594,42 @@ int main(int argc, char** argv) {
   }
   table.Print(std::cout);
 
+  std::cout << "\n=== backpressure-aware fast path (--shards sweep) ===\n\n";
+  common::TextTable fast_table({"Shards", "Seconds", "Examples/sec",
+                                "Speedup", "p50 ms", "p95 ms", "p99 ms"});
+  for (const auto& [s, result] : shard_sweep) {
+    fast_table.AddRow(
+        {std::to_string(s), common::FormatDouble(result.run.seconds, 3),
+         common::FormatDouble(result.run.examples_per_sec, 0),
+         common::FormatDouble(
+             result.run.examples_per_sec / baseline.examples_per_sec, 2) +
+             "x",
+         common::FormatDouble(result.p50_ms, 3),
+         common::FormatDouble(result.p95_ms, 3),
+         common::FormatDouble(result.p99_ms, 3)});
+  }
+  fast_table.Print(std::cout);
+
+  std::cout << "\n=== saturation (shed_below_severity, "
+            << saturation_shards << " shards, queue "
+            << saturation_capacity << " examples, floor "
+            << common::FormatDouble(shed_floor, 1) << ") ===\n\n";
+  common::TextTable sat_table({"Offered", "Offered ex/s", "Achieved ex/s",
+                               "p99 ms", "Shed", "Dropped", "Peak depth"});
+  for (const SaturationPoint& p : saturation) {
+    sat_table.AddRow({common::FormatDouble(p.offered_frac, 2) + "x",
+                      common::FormatDouble(p.offered_eps, 0),
+                      common::FormatDouble(p.achieved_eps, 0),
+                      common::FormatDouble(p.p99_ms, 3),
+                      std::to_string(p.shed_examples),
+                      std::to_string(p.dropped_examples),
+                      std::to_string(p.queue_depth_peak)});
+  }
+  sat_table.Print(std::cout);
+
   WriteJson(json_path, n_streams, examples, window, settle_lag, workers,
-            batch_size, baseline, sharded_1w, sharded, sweep);
+            batch_size, baseline, sharded_1w, sharded, sweep, shard_sweep,
+            saturation_shards, saturation_capacity, shed_floor, saturation);
   std::cout << "\nwrote " << json_path << "\n";
   return 0;
 }

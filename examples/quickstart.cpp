@@ -6,6 +6,11 @@
 //   3. Run the suite in batch over collected data, or stream examples
 //      through a StreamingMonitor at runtime.
 //
+// This file is the runnable companion of docs/ASSERTIONS.md — the guide's
+// snippets mirror the code below. For serving many streams through the
+// sharded runtime, see examples/runtime_serving.cpp and
+// docs/ARCHITECTURE.md.
+//
 // Build & run:  ./examples/quickstart
 #include <iostream>
 

@@ -1,14 +1,18 @@
-// Serving all four paper deployments through the multi-stream assertion
-// runtime (§2.3 at serving scale; see src/runtime/).
+// Serving all four paper deployments through the sharded backpressure-aware
+// assertion runtime (§2.3 at serving scale; see src/runtime/ and
+// docs/ARCHITECTURE.md).
 //
-// Each domain gets a MonitorService<Example> instance (the runtime is typed
-// by the domain's example struct); every service monitors several concurrent
-// streams — two camera feeds, two AV logs, two ECG patient cohorts, two TV
-// channels — through per-stream assertion suites sharded over a worker pool.
-// Events flow to pluggable sinks (counting + JSON-lines here) and the
-// MetricsRegistry renders the per-stream dashboard the paper sketches.
+// Each domain gets a ShardedMonitorService<Example> instance (the runtime is
+// typed by the domain's example struct); every service monitors several
+// concurrent streams — two camera feeds, two AV logs, two ECG patient
+// cohorts, two TV channels — through per-stream assertion suites, each
+// stream pinned to one shard worker, ingested through bounded queues under
+// a selectable admission policy. Events flow to pluggable sinks (counting +
+// JSON-lines here) and the MetricsRegistry renders the per-stream dashboard
+// plus the per-shard capacity/latency envelope the paper sketches.
 //
-// Build & run:  ./examples/runtime_serving [--frames N] [--workers N]
+// Build & run:  ./examples/runtime_serving [--frames N] [--shards N]
+//               [--policy block|drop_oldest|shed_below_severity]
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -18,8 +22,9 @@
 #include "common/flags.hpp"
 #include "common/table.hpp"
 #include "ecg/ecg.hpp"
+#include "runtime/admission.hpp"
 #include "runtime/event_sink.hpp"
-#include "runtime/service.hpp"
+#include "runtime/sharded_service.hpp"
 #include "tvnews/news.hpp"
 #include "video/assertions.hpp"
 #include "video/detector.hpp"
@@ -46,6 +51,16 @@ void PrintDashboard(const std::string& domain,
     }
   }
   table.Print(std::cout);
+  common::TextTable shard_table({"Shard", "Batches", "Examples", "Events",
+                                 "Peak depth", "p99 ms"});
+  for (const auto& shard : snapshot.shards) {
+    shard_table.AddRow(
+        {std::to_string(shard.shard), std::to_string(shard.batches),
+         std::to_string(shard.examples), std::to_string(shard.events),
+         std::to_string(shard.queue_depth_peak),
+         common::FormatDouble(shard.latency.Quantile(0.99) * 1e3, 3)});
+  }
+  shard_table.Print(std::cout);
   if (sample_events > 0) {
     std::cout << "first of " << sample_events
               << " JSON-lines events: " << sample_json;
@@ -53,17 +68,25 @@ void PrintDashboard(const std::string& domain,
   std::cout << "\n";
 }
 
-/// Runs `streams` through a service built by `make_bundle`, batched.
+/// Serving parameters shared by the four domains.
+struct ServeOptions {
+  std::size_t shards = 4;
+  runtime::AdmissionPolicy policy = runtime::AdmissionPolicy::kBlock;
+};
+
+/// Runs `streams` through a sharded service built by `make_bundle`, batched.
 template <typename Example, typename BundleFactory>
 void Serve(const std::string& domain,
            const std::vector<std::pair<std::string, std::vector<Example>>>&
                streams,
-           BundleFactory make_bundle, std::size_t workers) {
-  runtime::RuntimeConfig config;
-  config.workers = workers;
+           BundleFactory make_bundle, const ServeOptions& options) {
+  runtime::ShardedRuntimeConfig config;
+  config.shards = options.shards;
   config.window = 48;
   config.settle_lag = 8;
-  runtime::MonitorService<Example> service(config, make_bundle);
+  config.queue_capacity = 512;
+  config.admission = options.policy;
+  runtime::ShardedMonitorService<Example> service(config, make_bundle);
   std::ostringstream json;
   service.AddSink(std::make_shared<runtime::JsonLinesSink>(json));
 
@@ -93,7 +116,8 @@ void Serve(const std::string& domain,
 }
 
 /// Video: two night-street camera feeds through one pretrained detector.
-void ServeVideo(std::size_t frames, std::size_t workers, std::uint64_t seed) {
+void ServeVideo(std::size_t frames, const ServeOptions& options,
+                std::uint64_t seed) {
   video::NightStreetWorld world(video::WorldConfig{}, seed);
   video::SsdDetector detector(video::DetectorConfig{},
                               world.config().feature_dim, seed);
@@ -115,18 +139,18 @@ void ServeVideo(std::size_t frames, std::size_t workers, std::uint64_t seed) {
       [] {
         auto built = std::make_shared<video::VideoSuite>(
             video::BuildVideoSuite());
-        return runtime::MonitorService<video::VideoExample>::SuiteBundle{
+        return runtime::ShardedMonitorService<video::VideoExample>::SuiteBundle{
             // Aliasing share: the bundle keeps the whole VideoSuite (and its
             // consistency analyzer) alive through the suite pointer.
             std::shared_ptr<core::AssertionSuite<video::VideoExample>>(
                 built, &built->suite),
             [built] { built->consistency->Invalidate(); }};
       },
-      workers);
+      options);
 }
 
 /// AV: two drive logs; camera + LIDAR outputs from the AV pipeline.
-void ServeAv(std::size_t workers, std::uint64_t seed) {
+void ServeAv(const ServeOptions& options, std::uint64_t seed) {
   std::vector<std::pair<std::string, std::vector<av::AvExample>>> streams;
   for (const std::string& log : {"drive-a", "drive-b"}) {
     av::AvPipelineConfig config;
@@ -140,16 +164,16 @@ void ServeAv(std::size_t workers, std::uint64_t seed) {
       "av (camera vs lidar)", streams,
       [] {
         auto built = std::make_shared<av::AvSuite>(av::BuildAvSuite());
-        return runtime::MonitorService<av::AvExample>::SuiteBundle{
+        return runtime::ShardedMonitorService<av::AvExample>::SuiteBundle{
             std::shared_ptr<core::AssertionSuite<av::AvExample>>(
                 built, &built->suite),
             {}};  // both AV assertions are pointwise; nothing to invalidate
       },
-      workers);
+      options);
 }
 
 /// ECG: two patient cohorts classified by one pretrained model.
-void ServeEcg(std::size_t workers, std::uint64_t seed) {
+void ServeEcg(const ServeOptions& options, std::uint64_t seed) {
   ecg::EcgGenerator generator(ecg::EcgConfig{}, seed);
   ecg::EcgClassifier classifier(ecg::EcgClassifierConfig{},
                                 generator.config().feature_dim, seed);
@@ -168,16 +192,17 @@ void ServeEcg(std::size_t workers, std::uint64_t seed) {
       "ecg (30s consistency)", streams,
       [] {
         auto built = std::make_shared<ecg::EcgSuite>(ecg::BuildEcgSuite());
-        return runtime::MonitorService<ecg::EcgExample>::SuiteBundle{
+        return runtime::ShardedMonitorService<ecg::EcgExample>::SuiteBundle{
             std::shared_ptr<core::AssertionSuite<ecg::EcgExample>>(
                 built, &built->suite),
             [built] { built->consistency->Invalidate(); }};
       },
-      workers);
+      options);
 }
 
 /// TV news: two channels' face-attribute model outputs.
-void ServeNews(std::size_t frames, std::size_t workers, std::uint64_t seed) {
+void ServeNews(std::size_t frames, const ServeOptions& options,
+               std::uint64_t seed) {
   std::vector<std::pair<std::string, std::vector<tvnews::NewsFrame>>> streams;
   for (const std::string& channel : {"channel-4", "channel-7"}) {
     tvnews::NewsGenerator generator(tvnews::NewsConfig{},
@@ -189,27 +214,33 @@ void ServeNews(std::size_t frames, std::size_t workers, std::uint64_t seed) {
       [] {
         auto built =
             std::make_shared<tvnews::NewsSuite>(tvnews::BuildNewsSuite());
-        return runtime::MonitorService<tvnews::NewsFrame>::SuiteBundle{
+        return runtime::ShardedMonitorService<tvnews::NewsFrame>::SuiteBundle{
             std::shared_ptr<core::AssertionSuite<tvnews::NewsFrame>>(
                 built, &built->suite),
             [built] { built->consistency->Invalidate(); }};
       },
-      workers);
+      options);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const auto flags = common::Flags::Parse(argc, argv);
-  flags.CheckAllowed({"frames", "workers", "seed"});
+  flags.CheckAllowed({"frames", "shards", "policy", "seed"});
   const auto frames = static_cast<std::size_t>(flags.GetInt("frames", 240));
-  const auto workers = static_cast<std::size_t>(flags.GetInt("workers", 4));
+  ServeOptions options;
+  options.shards = static_cast<std::size_t>(flags.GetInt("shards", 4));
+  options.policy =
+      runtime::ParseAdmissionPolicy(flags.GetString("policy", "block"));
   const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
 
-  std::cout << "=== assertion-serving runtime: all four deployments ===\n\n";
-  ServeVideo(frames, workers, seed);
-  ServeAv(workers, seed);
-  ServeEcg(workers, seed);
-  ServeNews(frames, workers, seed);
+  std::cout << "=== assertion-serving runtime: all four deployments ("
+            << options.shards << " shards, "
+            << runtime::AdmissionPolicyName(options.policy)
+            << " admission) ===\n\n";
+  ServeVideo(frames, options, seed);
+  ServeAv(options, seed);
+  ServeEcg(options, seed);
+  ServeNews(frames, options, seed);
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "loop/flag_collector.hpp"
 
+#include <cmath>
 #include <utility>
 
 #include "common/check.hpp"
@@ -9,11 +10,16 @@ namespace omg::loop {
 using common::Check;
 
 FlagCollectorSink::FlagCollectorSink(std::shared_ptr<FlagStore> store,
-                                     std::vector<std::string> assertion_names)
-    : store_(std::move(store)), names_(std::move(assertion_names)) {
+                                     std::vector<std::string> assertion_names,
+                                     FlagCollectorConfig config)
+    : store_(std::move(store)),
+      names_(std::move(assertion_names)),
+      config_(config) {
   Check(store_ != nullptr, "flag collector needs a store");
   Check(names_.size() == store_->config().num_assertions,
         "assertion name count must match the store's column count");
+  Check(std::isfinite(config_.min_severity) && config_.min_severity >= 0.0,
+        "flag collector min_severity must be finite and >= 0");
   for (std::size_t column = 0; column < names_.size(); ++column) {
     const auto [it, inserted] = columns_.emplace(names_[column], column);
     Check(inserted, "duplicate assertion name: " + names_[column]);
@@ -21,19 +27,35 @@ FlagCollectorSink::FlagCollectorSink(std::shared_ptr<FlagStore> store,
 }
 
 void FlagCollectorSink::Consume(const runtime::StreamEvent& event) {
+  consumed_.fetch_add(1, std::memory_order_relaxed);
   const auto it = columns_.find(event.assertion);
   if (it == columns_.end()) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++unknown_events_;
+    unknown_events_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (event.severity < config_.min_severity) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   store_->Record({event.stream_id, event.example_index}, it->second,
                  event.severity);
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t FlagCollectorSink::consumed() const {
+  return consumed_.load(std::memory_order_relaxed);
+}
+
+std::size_t FlagCollectorSink::recorded() const {
+  return recorded_.load(std::memory_order_relaxed);
+}
+
+std::size_t FlagCollectorSink::shed_low_severity() const {
+  return shed_.load(std::memory_order_relaxed);
 }
 
 std::size_t FlagCollectorSink::unknown_events() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return unknown_events_;
+  return unknown_events_.load(std::memory_order_relaxed);
 }
 
 }  // namespace omg::loop

@@ -76,7 +76,7 @@ class FlagStore {
   /// restricted to the flagged live traffic.
   struct Snapshot {
     std::vector<CandidateKey> keys;  ///< ascending key order
-    core::SeverityMatrix severities;
+    core::SeverityMatrix severities;  ///< row i is keys[i]'s severity vector
   };
   Snapshot TakeSnapshot() const;
 

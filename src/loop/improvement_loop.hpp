@@ -42,10 +42,10 @@ struct ImprovementLoopConfig {
   /// Assertion names in store-column order; must match the names the
   /// monitored suite emits (events with other names are ignored).
   std::vector<std::string> assertion_names;
-  FlagStoreConfig store;  ///< num_assertions is derived from the names
-  RoundConfig round;
-  RetrainConfig retrain;
-  std::uint64_t seed = 42;
+  FlagStoreConfig store;   ///< num_assertions is derived from the names
+  RoundConfig round;       ///< per-round budget and minimum pool size
+  RetrainConfig retrain;   ///< fine-tune hyper-parameters
+  std::uint64_t seed = 42; ///< seeds the scheduler's tie-breaking RNG
 };
 
 /// Facade wiring FlagStore + collector + scheduler + retrainer + registry.
@@ -62,9 +62,13 @@ class ImprovementLoop {
   /// The EventSink to AddSink into the MonitorService serving the traffic.
   std::shared_ptr<runtime::EventSink> sink() const { return sink_; }
 
+  /// The hot-swap registry serving reads its model handles from.
   ModelRegistry& registry() { return *registry_; }
+  /// The live candidate pool the collector fills.
   FlagStore& store() { return *store_; }
+  /// The round driver (manual RunRound or timer Start/Stop).
   RoundScheduler& scheduler() { return *scheduler_; }
+  /// The background fine-tuner publishing new versions.
   RetrainWorker& retrainer() { return *retrain_; }
 
   /// One synchronous select -> label -> submit-for-retrain round.

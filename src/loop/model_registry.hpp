@@ -19,7 +19,9 @@ namespace omg::loop {
 /// One published model version. `version` starts at 1 for the first publish;
 /// a default-constructed handle (version 0, null model) means "none yet".
 struct ModelHandle {
+  /// Monotonically increasing publish number (0 = none yet).
   std::uint64_t version = 0;
+  /// The published model; null while version is 0.
   std::shared_ptr<const nn::Mlp> model;
 };
 

@@ -20,6 +20,7 @@ namespace omg::loop {
 
 /// Training rows produced by labeling one round's selections.
 struct LabelBatch {
+  /// The labeled rows (weights already applied).
   nn::Dataset data;
   /// Rows carrying full-weight (human / ground-truth) labels.
   std::size_t human_labels = 0;
@@ -47,8 +48,10 @@ class LabelOracle {
 /// on the retained frame the key points at).
 class GroundTruthOracle final : public LabelOracle {
  public:
+  /// Resolves one candidate to its ground-truth training rows.
   using LabelFn = std::function<nn::Dataset(const CandidateKey&)>;
 
+  /// `label` must be non-null.
   explicit GroundTruthOracle(LabelFn label);
 
   std::string Name() const override { return "ground-truth"; }
@@ -67,13 +70,16 @@ class GroundTruthOracle final : public LabelOracle {
 /// paper keeps weak labels from overpowering human ones.
 class WeakLabelOracle final : public LabelOracle {
  public:
+  /// Materialises the corrections touching the given candidates into rows.
   using ProposeFn = std::function<nn::Dataset(std::span<const CandidateKey>)>;
 
+  /// `propose` must be non-null; `weak_weight` in (0, 1].
   WeakLabelOracle(ProposeFn propose, double weak_weight);
 
   std::string Name() const override { return "weak-consistency"; }
   LabelBatch Label(std::span<const CandidateKey> keys) override;
 
+  /// The weight every proposed row is scaled by.
   double weak_weight() const { return weak_weight_; }
 
  private:
@@ -85,6 +91,7 @@ class WeakLabelOracle final : public LabelOracle {
 /// oracle's rows and the secondary's are concatenated into one batch.
 class MixedOracle final : public LabelOracle {
  public:
+  /// Both oracles must be non-null; each round labels through both.
   MixedOracle(std::shared_ptr<LabelOracle> primary,
               std::shared_ptr<LabelOracle> secondary);
 

@@ -89,7 +89,9 @@ class RoundScheduler {
   /// strategy poisons its round, not the process).
   std::vector<std::string> Errors() const;
 
+  /// The strategy rounds run (exposed for per-round inspection in benches).
   bandit::SelectionStrategy& strategy() { return *strategy_; }
+  /// The round parameters this scheduler was built with.
   const RoundConfig& config() const { return config_; }
 
  private:

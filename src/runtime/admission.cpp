@@ -1,0 +1,48 @@
+#include "runtime/admission.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace omg::runtime {
+
+std::string_view AdmissionPolicyName(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::kBlock:
+      return "block";
+    case AdmissionPolicy::kDropOldest:
+      return "drop_oldest";
+    case AdmissionPolicy::kShedBelowSeverity:
+      return "shed_below_severity";
+  }
+  common::Check(false, "unknown admission policy");
+  return "";  // unreachable
+}
+
+AdmissionPolicy ParseAdmissionPolicy(std::string_view name) {
+  if (name == "block") return AdmissionPolicy::kBlock;
+  if (name == "drop_oldest") return AdmissionPolicy::kDropOldest;
+  if (name == "shed_below_severity") return AdmissionPolicy::kShedBelowSeverity;
+  common::Check(false, "unknown admission policy: " + std::string(name) +
+                           " (expected block, drop_oldest, or "
+                           "shed_below_severity)");
+  return AdmissionPolicy::kBlock;  // unreachable
+}
+
+void ShardedRuntimeConfig::Validate() const {
+  common::Check(shards >= 1,
+                "sharded runtime config: shards must be >= 1 (a 0-shard "
+                "service has no workers to drain its queues, so Flush would "
+                "deadlock)");
+  common::Check(window >= 1, "sharded runtime config: window must be >= 1");
+  common::Check(settle_lag < window,
+                "sharded runtime config: settle_lag must be < window (a "
+                "verdict settles settle_lag examples behind the stream head, "
+                "so it must fit inside the window)");
+  common::Check(queue_capacity >= 1,
+                "sharded runtime config: queue_capacity must be >= 1");
+  common::Check(std::isfinite(shed_floor) && shed_floor >= 0.0,
+                "sharded runtime config: shed_floor must be finite and >= 0");
+}
+
+}  // namespace omg::runtime

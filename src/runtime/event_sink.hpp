@@ -42,8 +42,9 @@ struct StreamEvent {
 class EventSink {
  public:
   virtual ~EventSink() = default;
+  /// Handles one assertion firing; must be thread-safe (see class comment).
   virtual void Consume(const StreamEvent& event) = 0;
-  /// Called by MonitorService::Flush after the queues drain.
+  /// Called by the service's Flush after the queues drain.
   virtual void Flush() {}
 };
 
@@ -53,7 +54,9 @@ class CountingSink final : public EventSink {
  public:
   void Consume(const StreamEvent& event) override;
 
+  /// Total events consumed.
   std::size_t count() const;
+  /// Largest severity seen (0 before the first event).
   double max_severity() const;
 
   /// Event counts broken down by assertion name. Divide by the observed
@@ -73,6 +76,7 @@ class CountingSink final : public EventSink {
 /// Writes one human-readable line per event.
 class LoggingSink final : public EventSink {
  public:
+  /// Writes to `out`, which must outlive the sink.
   explicit LoggingSink(std::ostream& out);
 
   void Consume(const StreamEvent& event) override;
@@ -87,6 +91,7 @@ class LoggingSink final : public EventSink {
 ///   {"stream":"cam-0","example":17,"assertion":"flicker","severity":1.0}
 class JsonLinesSink final : public EventSink {
  public:
+  /// Writes to `out`, which must outlive the sink.
   explicit JsonLinesSink(std::ostream& out);
 
   void Consume(const StreamEvent& event) override;
@@ -110,6 +115,7 @@ class CollectingSink final : public EventSink {
   };
 
   void Consume(const StreamEvent& event) override;
+  /// The events seen so far, in arrival order.
   std::vector<OwnedEvent> Events() const;
 
  private:

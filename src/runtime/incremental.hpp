@@ -10,6 +10,8 @@
 
 namespace omg::runtime {
 
+/// The per-stream sliding-window evaluator both serving services drive
+/// (one instance per registered stream; see core::IncrementalWindowEvaluator).
 using core::IncrementalWindowEvaluator;
 
 }  // namespace omg::runtime

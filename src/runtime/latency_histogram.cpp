@@ -1,0 +1,66 @@
+#include "runtime/latency_histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace omg::runtime {
+
+std::size_t LatencyHistogram::BucketOf(double seconds) {
+  if (!(seconds > kBaseSeconds)) return 0;
+  const double octave = std::log2(seconds / kBaseSeconds);
+  if (octave >= static_cast<double>(kBuckets - 1)) return kBuckets - 1;
+  return static_cast<std::size_t>(octave);
+}
+
+double LatencyHistogram::LowerBound(std::size_t index) {
+  return kBaseSeconds * std::exp2(static_cast<double>(index));
+}
+
+void LatencyHistogram::Record(double seconds) {
+  if (!std::isfinite(seconds) || seconds < 0.0) seconds = 0.0;
+  ++buckets_[BucketOf(seconds)];
+  if (count_ == 0) {
+    min_ = max_ = seconds;
+  } else {
+    min_ = std::min(min_, seconds);
+    max_ = std::max(max_, seconds);
+  }
+  ++count_;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the sample the quantile falls on (1-based, ceil).
+  const auto target = static_cast<std::uint64_t>(
+      std::max(1.0, std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    if (cumulative + buckets_[i] >= target) {
+      // Interpolate linearly inside the bucket by the rank position.
+      const double within = static_cast<double>(target - cumulative) /
+                            static_cast<double>(buckets_[i]);
+      const double lo = LowerBound(i);
+      const double estimate = lo + within * lo;  // bucket width == lo
+      return std::clamp(estimate, min_, max_);
+    }
+    cumulative += buckets_[i];
+  }
+  return max_;
+}
+
+}  // namespace omg::runtime

@@ -1,0 +1,63 @@
+// Fixed-footprint latency histogram for the serving runtime's dashboards.
+//
+// Shard workers record one observe-to-flag latency sample per processed
+// batch; the dashboard asks for p50/p95/p99. An exact reservoir would grow
+// with traffic, so the histogram buckets samples on a base-2 log scale
+// (0.1 us granularity at the bottom, ~week-scale headroom at the top) and
+// answers quantile queries by interpolating inside the hit bucket. The
+// relative error is bounded by one octave, which is far below the
+// shard-to-shard variance the dashboards care about.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace omg::runtime {
+
+/// Log-bucketed histogram of latency samples (seconds).
+///
+/// Not thread-safe on its own: the MetricsRegistry guards each shard's
+/// histogram with that shard's metrics mutex. Copyable, so snapshots carry
+/// a point-in-time view out of the registry.
+class LatencyHistogram {
+ public:
+  /// Number of base-2 buckets: bucket i spans
+  /// [kBaseSeconds * 2^i, kBaseSeconds * 2^(i+1)).
+  static constexpr std::size_t kBuckets = 48;
+  /// Lower bound of bucket 0 (0.1 microseconds); samples below it land in
+  /// bucket 0, samples beyond the last bucket land in the last bucket.
+  static constexpr double kBaseSeconds = 1e-7;
+
+  /// Records one latency sample; negative or non-finite samples count as 0.
+  void Record(double seconds);
+
+  /// Folds `other`'s samples into this histogram (dashboard aggregation
+  /// across shards).
+  void Merge(const LatencyHistogram& other);
+
+  /// Number of recorded samples.
+  std::size_t count() const { return count_; }
+
+  /// Smallest / largest sample seen (0 when empty). Quantiles are clamped
+  /// into this range, so p0/p100 are exact.
+  double min_seconds() const { return count_ > 0 ? min_ : 0.0; }
+  double max_seconds() const { return count_ > 0 ? max_ : 0.0; }
+
+  /// The q-quantile (q in [0, 1]) in seconds, interpolated inside the hit
+  /// bucket and clamped to [min_seconds, max_seconds]. 0 when empty.
+  double Quantile(double q) const;
+
+ private:
+  /// Bucket index covering `seconds`.
+  static std::size_t BucketOf(double seconds);
+  /// Lower bound of bucket `index` in seconds.
+  static double LowerBound(std::size_t index);
+
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace omg::runtime

@@ -1,5 +1,7 @@
 #include "runtime/metrics.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 
 namespace omg::runtime {
@@ -24,10 +26,59 @@ double MetricsSnapshot::FlaggedRate(const std::string& assertion) const {
   return RateOf(assertions, assertion, examples_seen);
 }
 
+std::size_t MetricsSnapshot::TotalDroppedExamples() const {
+  std::size_t total = 0;
+  for (const ShardMetrics& shard : shards) total += shard.dropped_examples;
+  return total;
+}
+
+std::size_t MetricsSnapshot::TotalShedExamples() const {
+  std::size_t total = 0;
+  for (const ShardMetrics& shard : shards) total += shard.shed_examples;
+  return total;
+}
+
+std::size_t MetricsSnapshot::TotalErroredExamples() const {
+  std::size_t total = 0;
+  for (const ShardMetrics& shard : shards) total += shard.errored_examples;
+  return total;
+}
+
+LatencyHistogram MetricsSnapshot::MergedLatency() const {
+  LatencyHistogram merged;
+  for (const ShardMetrics& shard : shards) merged.Merge(shard.latency);
+  return merged;
+}
+
+MetricsRegistry::MetricsRegistry() : sharded_(false) {
+  cells_.push_back(std::make_unique<Cell>());
+}
+
+MetricsRegistry::MetricsRegistry(std::size_t shards) : sharded_(true) {
+  common::Check(shards >= 1, "metrics registry needs at least one shard");
+  cells_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    cells_.push_back(std::make_unique<Cell>());
+    cells_.back()->shard.shard = i;
+  }
+}
+
+MetricsRegistry::Cell& MetricsRegistry::CellOf(StreamId id) {
+  return *cells_[id % cells_.size()];
+}
+
+MetricsRegistry::Cell& MetricsRegistry::ShardCell(std::size_t shard) {
+  common::Check(sharded_, "shard counters need a sharded MetricsRegistry");
+  common::CheckIndex(static_cast<std::ptrdiff_t>(shard), 0,
+                     static_cast<std::ptrdiff_t>(cells_.size()),
+                     "metrics shard index");
+  return *cells_[shard];
+}
+
 void MetricsRegistry::RegisterStream(StreamId id, std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (id >= streams_.size()) streams_.resize(id + 1);
-  StreamMetrics& stream = streams_[id];
+  Cell& cell = CellOf(id);
+  std::lock_guard<std::mutex> lock(cell.mutex);
+  StreamMetrics& stream = cell.streams[id];
   if (stream.stream.empty()) {
     stream.stream_id = id;
     stream.stream = std::string(name);
@@ -37,36 +88,116 @@ void MetricsRegistry::RegisterStream(StreamId id, std::string_view name) {
   }
 }
 
-void MetricsRegistry::RecordBatch(StreamId id, std::size_t examples,
-                                  std::span<const StreamEvent> events) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  common::CheckIndex(static_cast<std::ptrdiff_t>(id), 0,
-                     static_cast<std::ptrdiff_t>(streams_.size()),
-                     "metrics stream id");
-  StreamMetrics& stream = streams_[id];
+namespace {
+
+/// Folds one batch into a stream's aggregates; caller holds the cell lock.
+void FoldBatch(StreamMetrics& stream, std::size_t examples,
+               std::span<const StreamEvent> events) {
   stream.examples_seen += examples;
   stream.events += events.size();
   for (const StreamEvent& event : events) {
-    AssertionMetrics& cell = stream.assertions[std::string(event.assertion)];
-    ++cell.fires;
-    cell.sum_severity += event.severity;
-    if (event.severity > cell.max_severity) cell.max_severity = event.severity;
+    AssertionMetrics& slot = stream.assertions[std::string(event.assertion)];
+    ++slot.fires;
+    slot.sum_severity += event.severity;
+    if (event.severity > slot.max_severity) slot.max_severity = event.severity;
   }
 }
 
+}  // namespace
+
+void MetricsRegistry::RecordBatch(StreamId id, std::size_t examples,
+                                  std::span<const StreamEvent> events) {
+  Cell& cell = CellOf(id);
+  std::lock_guard<std::mutex> lock(cell.mutex);
+  const auto it = cell.streams.find(id);
+  common::Check(it != cell.streams.end(), "metrics stream id not registered");
+  FoldBatch(it->second, examples, events);
+}
+
+void MetricsRegistry::RecordScoredBatch(StreamId id, std::size_t shard,
+                                        std::size_t examples,
+                                        std::span<const StreamEvent> events,
+                                        double latency_seconds) {
+  Cell& cell = ShardCell(shard);
+  common::Check(&cell == &CellOf(id),
+                "stream is not pinned to the given metrics shard");
+  std::lock_guard<std::mutex> lock(cell.mutex);
+  const auto it = cell.streams.find(id);
+  common::Check(it != cell.streams.end(), "metrics stream id not registered");
+  FoldBatch(it->second, examples, events);
+  ++cell.shard.batches;
+  cell.shard.examples += examples;
+  cell.shard.events += events.size();
+  cell.shard.latency.Record(latency_seconds);
+}
+
+void MetricsRegistry::RecordError(std::size_t shard, std::size_t batches,
+                                  std::size_t examples) {
+  Cell& cell = ShardCell(shard);
+  std::lock_guard<std::mutex> lock(cell.mutex);
+  cell.shard.errored_batches += batches;
+  cell.shard.errored_examples += examples;
+}
+
+void MetricsRegistry::RecordShardBatch(std::size_t shard, std::size_t examples,
+                                       std::size_t events,
+                                       double latency_seconds) {
+  Cell& cell = ShardCell(shard);
+  std::lock_guard<std::mutex> lock(cell.mutex);
+  ++cell.shard.batches;
+  cell.shard.examples += examples;
+  cell.shard.events += events;
+  cell.shard.latency.Record(latency_seconds);
+}
+
+void MetricsRegistry::RecordLoss(std::size_t shard, std::size_t batches,
+                                 std::size_t examples, LossKind kind) {
+  Cell& cell = ShardCell(shard);
+  std::lock_guard<std::mutex> lock(cell.mutex);
+  if (kind == LossKind::kDropped) {
+    cell.shard.dropped_batches += batches;
+    cell.shard.dropped_examples += examples;
+  } else {
+    cell.shard.shed_batches += batches;
+    cell.shard.shed_examples += examples;
+  }
+}
+
+void MetricsRegistry::RecordQueueDepth(std::size_t shard, std::size_t depth) {
+  Cell& cell = ShardCell(shard);
+  std::lock_guard<std::mutex> lock(cell.mutex);
+  cell.shard.queue_depth = depth;
+  cell.shard.queue_depth_peak = std::max(cell.shard.queue_depth_peak, depth);
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
   MetricsSnapshot snapshot;
-  snapshot.streams = streams_;
+  StreamId max_id = 0;
+  bool any_stream = false;
+  std::vector<StreamMetrics> collected;
+  for (const auto& cell : cells_) {
+    std::lock_guard<std::mutex> lock(cell->mutex);
+    for (const auto& [id, stream] : cell->streams) {
+      collected.push_back(stream);
+      max_id = std::max(max_id, id);
+      any_stream = true;
+    }
+    if (sharded_) snapshot.shards.push_back(cell->shard);
+  }
+  if (any_stream) snapshot.streams.resize(max_id + 1);
+  for (StreamMetrics& stream : collected) {
+    const StreamId id = stream.stream_id;
+    snapshot.streams[id] = std::move(stream);
+  }
   for (const StreamMetrics& stream : snapshot.streams) {
     snapshot.examples_seen += stream.examples_seen;
     snapshot.events += stream.events;
-    for (const auto& [name, cell] : stream.assertions) {
+    for (const auto& [name, slot] : stream.assertions) {
       AssertionMetrics& total = snapshot.assertions[name];
-      total.fires += cell.fires;
-      total.sum_severity += cell.sum_severity;
-      if (cell.max_severity > total.max_severity) {
-        total.max_severity = cell.max_severity;
+      total.fires += slot.fires;
+      total.sum_severity += slot.sum_severity;
+      if (slot.max_severity > total.max_severity) {
+        total.max_severity = slot.max_severity;
       }
     }
   }

@@ -3,27 +3,42 @@
 // Workers report per-batch deltas (examples ingested, events emitted); the
 // registry folds them into per-stream / per-assertion aggregates and renders
 // point-in-time snapshots. Updates are batched — one registry call per
-// ingested batch, not per event — so the shared mutex stays off the per-
-// example hot path.
+// ingested batch, not per event — so mutexes stay off the per-example hot
+// path.
+//
+// The registry is internally sharded: construct it with a shard count and
+// each shard gets its own cell (mutex + its streams' aggregates + a
+// ShardMetrics block with the queue-depth/drop counters and observe-to-flag
+// latency histogram of the serving shard it mirrors). Stream id `i` lives in
+// cell `i % shards` — the same partition the ShardedMonitorService uses — so
+// recording from distinct serving shards never contends on a shared lock.
+// Default construction keeps the legacy single-cell behavior MonitorService
+// relies on.
 #pragma once
 
 #include <cstddef>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "runtime/event_sink.hpp"
+#include "runtime/latency_histogram.hpp"
 
 namespace omg::runtime {
 
 /// Aggregate over one (stream, assertion) or (all streams, assertion) cell.
 struct AssertionMetrics {
+  /// Number of events this assertion emitted.
   std::size_t fires = 0;
+  /// Largest severity among those events.
   double max_severity = 0.0;
+  /// Sum of severities (for MeanSeverity).
   double sum_severity = 0.0;
 
+  /// Mean severity across fires (0 when the assertion never fired).
   double MeanSeverity() const {
     return fires > 0 ? sum_severity / static_cast<double>(fires) : 0.0;
   }
@@ -31,10 +46,15 @@ struct AssertionMetrics {
 
 /// One stream's aggregates.
 struct StreamMetrics {
+  /// Registry-assigned stream id.
   StreamId stream_id = 0;
+  /// Stream name (empty for ids never registered).
   std::string stream;
+  /// Examples scored on this stream.
   std::size_t examples_seen = 0;
+  /// Events emitted on this stream.
   std::size_t events = 0;
+  /// Per-assertion aggregates, keyed by assertion name.
   std::map<std::string, AssertionMetrics> assertions;
 
   /// Flags per observed example for one assertion on this stream (0 when
@@ -43,20 +63,75 @@ struct StreamMetrics {
   double FlaggedRate(const std::string& assertion) const;
 };
 
+/// One serving shard's counters: the capacity/latency envelope of that
+/// shard's bounded ingestion queue and worker.
+struct ShardMetrics {
+  /// Shard index (== worker index).
+  std::size_t shard = 0;
+  /// Batches scored by this shard's worker.
+  std::size_t batches = 0;
+  /// Examples scored (sums over batches).
+  std::size_t examples = 0;
+  /// Events emitted by this shard's streams.
+  std::size_t events = 0;
+  /// Batches / examples dropped from the queue head under kDropOldest (and
+  /// below-floor queue evictions under kShedBelowSeverity).
+  std::size_t dropped_batches = 0;
+  std::size_t dropped_examples = 0;
+  /// Incoming batches / examples shed at admission under
+  /// kShedBelowSeverity (hint below the floor while the queue was full).
+  std::size_t shed_batches = 0;
+  std::size_t shed_examples = 0;
+  /// Batches / examples whose scoring threw (the batch is poisoned, not
+  /// the service; messages surface via the service's Errors()).
+  std::size_t errored_batches = 0;
+  std::size_t errored_examples = 0;
+  /// Examples queued right now (gauge; snapshot-time value).
+  std::size_t queue_depth = 0;
+  /// Largest queue depth ever observed — the bounded-memory witness.
+  std::size_t queue_depth_peak = 0;
+  /// Observe-to-flag latency: ObserveBatch admission to events delivered to
+  /// the sinks, one sample per scored batch.
+  LatencyHistogram latency;
+};
+
 /// Point-in-time aggregate across the whole service.
 struct MetricsSnapshot {
+  /// Examples scored across all streams.
   std::size_t examples_seen = 0;
+  /// Events emitted across all streams.
   std::size_t events = 0;
-  std::vector<StreamMetrics> streams;                  // id order
-  std::map<std::string, AssertionMetrics> assertions;  // across streams
+  /// Per-stream aggregates, dense in id order (gaps are default entries).
+  std::vector<StreamMetrics> streams;
+  /// Per-assertion aggregates across all streams.
+  std::map<std::string, AssertionMetrics> assertions;
+  /// Per-serving-shard counters; empty for registries constructed in legacy
+  /// (unsharded) mode.
+  std::vector<ShardMetrics> shards;
 
   /// Service-wide flags per observed example for one assertion.
   double FlaggedRate(const std::string& assertion) const;
+
+  /// Sums over `shards` (0 when unsharded).
+  std::size_t TotalDroppedExamples() const;
+  std::size_t TotalShedExamples() const;
+  std::size_t TotalErroredExamples() const;
+
+  /// All shards' latency histograms merged (empty histogram when unsharded).
+  LatencyHistogram MergedLatency() const;
 };
 
 /// Thread-safe metrics accumulator shared by all shards.
 class MetricsRegistry {
  public:
+  /// Legacy mode: one internal cell, no shard counters (what MonitorService
+  /// uses; Snapshot().shards stays empty).
+  MetricsRegistry();
+
+  /// Sharded mode: `shards` cells, stream id i recorded under cell
+  /// i % shards, Snapshot().shards carries one ShardMetrics per shard.
+  explicit MetricsRegistry(std::size_t shards);
+
   /// Allocates the slot for `id` (idempotent per id, names must agree).
   void RegisterStream(StreamId id, std::string_view name);
 
@@ -64,11 +139,53 @@ class MetricsRegistry {
   void RecordBatch(StreamId id, std::size_t examples,
                    std::span<const StreamEvent> events);
 
+  /// Folds one scored batch into shard `shard`'s counters (sharded mode
+  /// only): examples/events processed and the batch's observe-to-flag
+  /// latency sample.
+  void RecordShardBatch(std::size_t shard, std::size_t examples,
+                        std::size_t events, double latency_seconds);
+
+  /// RecordBatch + RecordShardBatch fused: stream `id` lives in shard
+  /// `shard`'s cell (the service pins id % shards == shard), so one lock
+  /// acquisition updates both the stream and the shard aggregates — the
+  /// per-scored-batch fast path of the sharded service.
+  void RecordScoredBatch(StreamId id, std::size_t shard, std::size_t examples,
+                         std::span<const StreamEvent> events,
+                         double latency_seconds);
+
+  /// Counts a batch whose scoring threw (sharded mode only).
+  void RecordError(std::size_t shard, std::size_t batches,
+                   std::size_t examples);
+
+  /// What kind of loss a RecordLoss call reports.
+  enum class LossKind {
+    kDropped,  ///< removed from the queue (kDropOldest / floor eviction)
+    kShed,     ///< refused at admission (kShedBelowSeverity)
+  };
+
+  /// Counts `batches`/`examples` lost on shard `shard` (sharded mode only).
+  void RecordLoss(std::size_t shard, std::size_t batches, std::size_t examples,
+                  LossKind kind);
+
+  /// Updates shard `shard`'s queue-depth gauge and peak (sharded mode only).
+  void RecordQueueDepth(std::size_t shard, std::size_t depth);
+
+  /// Point-in-time copy of every aggregate.
   MetricsSnapshot Snapshot() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<StreamMetrics> streams_;
+  /// One lock domain: the streams of one serving shard plus its counters.
+  struct Cell {
+    mutable std::mutex mutex;
+    std::map<StreamId, StreamMetrics> streams;
+    ShardMetrics shard;
+  };
+
+  Cell& CellOf(StreamId id);
+  Cell& ShardCell(std::size_t shard);
+
+  bool sharded_;
+  std::vector<std::unique_ptr<Cell>> cells_;
 };
 
 }  // namespace omg::runtime

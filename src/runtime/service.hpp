@@ -31,12 +31,15 @@
 #include "runtime/incremental.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/stream_registry.hpp"
+#include "runtime/suite_bundle.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace omg::runtime {
 
 /// Serving-runtime parameters, shared by every stream.
 struct RuntimeConfig {
+  /// Worker threads in the service's ThreadPool; streams are pinned to
+  /// shard `id % workers`.
   std::size_t workers = 4;
   /// Sliding-window length per stream (examples assertions can see).
   std::size_t window = 64;
@@ -44,6 +47,21 @@ struct RuntimeConfig {
   /// is emitted; must exceed every bounded assertion's temporal radius for
   /// verdicts to be final (settle_lag < window).
   std::size_t settle_lag = 8;
+
+  /// Throws CheckError on invalid combinations. In particular a 0-worker
+  /// config must be rejected here, before any queue exists: a service with
+  /// no workers would accept Observe calls into queues nothing drains and
+  /// deadlock silently on Flush.
+  void Validate() const {
+    common::Check(workers >= 1,
+                  "runtime config: workers must be >= 1 (a 0-worker service "
+                  "would never drain its queues and Flush would deadlock)");
+    common::Check(window >= 1, "runtime config: window must be >= 1");
+    common::Check(settle_lag < window,
+                  "runtime config: settle_lag must be < window (a verdict "
+                  "settles settle_lag examples behind the stream head, so it "
+                  "must fit inside the window)");
+  }
 };
 
 /// Serves an assertion suite over many concurrent example streams.
@@ -55,26 +73,19 @@ struct RuntimeConfig {
 template <typename Example>
 class MonitorService {
  public:
-  /// One stream's private suite plus an optional invalidation hook, invoked
-  /// before unbounded assertions re-evaluate the window (wire the
-  /// consistency analyzer's Invalidate here — see IncrementalWindowEvaluator).
-  struct SuiteBundle {
-    std::shared_ptr<core::AssertionSuite<Example>> suite;
-    std::function<void()> invalidate;
-  };
-  using SuiteFactory = std::function<SuiteBundle()>;
+  /// One stream's private suite plus its invalidation hook (shared with
+  /// ShardedMonitorService — see runtime/suite_bundle.hpp).
+  using SuiteBundle = runtime::SuiteBundle<Example>;
+  /// Builds one stream's SuiteBundle; called once per RegisterStream.
+  using SuiteFactory = runtime::SuiteFactory<Example>;
 
+  /// Validates `config` (RuntimeConfig::Validate runs before the worker
+  /// pool is built) and spawns the workers.
   MonitorService(RuntimeConfig config, SuiteFactory factory)
-      : config_(config),
-        factory_(std::move(factory)),
-        pool_(std::make_unique<ThreadPool>(config.workers)) {
+      : config_(config), factory_(std::move(factory)) {
+    config_.Validate();
     common::Check(static_cast<bool>(factory_), "suite factory must be set");
-    // workers >= 1 is enforced by the ThreadPool's own precondition.
-    common::Check(config_.window >= 1, "runtime config: window must be >= 1");
-    common::Check(config_.settle_lag < config_.window,
-                  "runtime config: settle_lag must be < window (a verdict "
-                  "settles settle_lag examples behind the stream head, so it "
-                  "must fit inside the window)");
+    pool_ = std::make_unique<ThreadPool>(config_.workers);
   }
 
   ~MonitorService() { pool_.reset(); }  // drain before stream states die
@@ -82,7 +93,9 @@ class MonitorService {
   MonitorService(const MonitorService&) = delete;
   MonitorService& operator=(const MonitorService&) = delete;
 
+  /// The validated configuration this service runs with.
   const RuntimeConfig& config() const { return config_; }
+  /// Stream name <-> id mapping.
   const StreamRegistry& registry() const { return registry_; }
 
   /// Registers a stream and pins it to shard `id % workers`.

@@ -1,0 +1,393 @@
+// The sharded, backpressure-aware serving fast path.
+//
+// MonitorService (service.hpp) funnels every stream through one ThreadPool
+// with unbounded FIFO queues and a shared stream table — fine for
+// benchmarks, fatal under sustained overload: memory grows without bound
+// and every Observe crosses a service-wide mutex. ShardedMonitorService
+// rebuilds the hot path for that regime:
+//
+//   producers ──ObserveBatch──► bounded MPSC queue ─► shard worker 0
+//              (admission policy:  bounded MPSC queue ─► shard worker 1
+//               Block / DropOldest,       ...
+//               ShedBelowSeverity) bounded MPSC queue ─► shard worker N-1
+//                                          │
+//                     evaluators + metrics cell owned by that shard
+//                                          │
+//                          events ──► EventSinks (atomic snapshot)
+//
+// Ownership and threading:
+//
+//   * Stream id % shards picks the shard. Each shard owns a dedicated
+//     worker thread, the IncrementalWindowEvaluators of its streams, and
+//     its cell of the MetricsRegistry — nothing on the observe/score path
+//     takes a lock shared between shards.
+//   * The stream table and the sink list are read through atomic
+//     shared_ptr snapshots: producers never contend with registration.
+//   * Ingestion queues are bounded (`queue_capacity` examples per shard).
+//     A full queue invokes the configured AdmissionPolicy, so overload
+//     degrades by an explicit, counted policy instead of OOMing.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "core/assertion.hpp"
+#include "runtime/admission.hpp"
+#include "runtime/event_sink.hpp"
+#include "runtime/incremental.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/stream_registry.hpp"
+#include "runtime/suite_bundle.hpp"
+
+namespace omg::runtime {
+
+/// Serves an assertion suite over many concurrent example streams through
+/// per-shard worker threads fed by bounded, admission-controlled queues.
+///
+/// Suites are stateful (consistency assertions memoise analyses), so every
+/// stream gets its own instance from the factory. Ingestion is asynchronous:
+/// Observe/ObserveBatch enqueue (subject to admission) and return; call
+/// Flush() to wait for quiescence. All public methods are thread-safe.
+template <typename Example>
+class ShardedMonitorService {
+ public:
+  /// One stream's private suite plus its invalidation hook (shared with
+  /// MonitorService — see runtime/suite_bundle.hpp).
+  using SuiteBundle = runtime::SuiteBundle<Example>;
+  /// Builds one stream's SuiteBundle; called once per RegisterStream.
+  using SuiteFactory = runtime::SuiteFactory<Example>;
+
+  /// Validates `config`, spawns one worker thread per shard.
+  ShardedMonitorService(ShardedRuntimeConfig config, SuiteFactory factory)
+      : config_(config), factory_(std::move(factory)) {
+    config_.Validate();
+    common::Check(static_cast<bool>(factory_), "suite factory must be set");
+    metrics_ = std::make_unique<MetricsRegistry>(config_.shards);
+    shards_.reserve(config_.shards);
+    for (std::size_t i = 0; i < config_.shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+    }
+    for (std::size_t i = 0; i < config_.shards; ++i) {
+      shards_[i]->worker = std::thread([this, i] { WorkerLoop(i); });
+    }
+  }
+
+  /// Drains every queue (already-admitted batches are still scored), then
+  /// joins the workers.
+  ~ShardedMonitorService() {
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      shard->stop = true;
+      shard->ready.notify_all();
+      shard->space.notify_all();
+    }
+    for (const auto& shard : shards_) shard->worker.join();
+  }
+
+  ShardedMonitorService(const ShardedMonitorService&) = delete;
+  ShardedMonitorService& operator=(const ShardedMonitorService&) = delete;
+
+  /// The validated configuration this service runs with.
+  const ShardedRuntimeConfig& config() const { return config_; }
+
+  /// Stream name <-> id mapping.
+  const StreamRegistry& registry() const { return registry_; }
+
+  /// Registers a stream and pins it to shard `id % shards`.
+  StreamId RegisterStream(std::string name) {
+    // Registration is serialised end to end: id assignment and the table
+    // append must be atomic together, or two concurrent registrations
+    // could append out of id order.
+    std::lock_guard<std::mutex> lock(registration_mutex_);
+    const StreamId id = registry_.Register(std::move(name));
+    metrics_->RegisterStream(id, registry_.Name(id));
+    SuiteBundle bundle = factory_();
+    common::Check(bundle.suite != nullptr, "suite factory returned null");
+    auto state = std::make_unique<StreamState>(id, registry_.Name(id),
+                                               std::move(bundle), config_);
+    auto table = std::make_shared<std::vector<StreamState*>>(
+        streams_.load() ? *streams_.load() : std::vector<StreamState*>{});
+    common::Check(table->size() == id, "stream table out of sync");
+    table->push_back(state.get());
+    owned_streams_.push_back(std::move(state));
+    streams_.store(std::shared_ptr<const std::vector<StreamState*>>(
+        std::move(table)));
+    return id;
+  }
+
+  /// Fans `sink` every event from every stream. Thread-safe; events already
+  /// in flight on the workers may miss a sink added concurrently.
+  void AddSink(std::shared_ptr<EventSink> sink) {
+    common::Check(sink != nullptr, "null sink");
+    std::lock_guard<std::mutex> lock(registration_mutex_);
+    auto sinks = std::make_shared<std::vector<std::shared_ptr<EventSink>>>(
+        sinks_.load() ? *sinks_.load()
+                      : std::vector<std::shared_ptr<EventSink>>{});
+    sinks->push_back(std::move(sink));
+    sinks_.store(std::shared_ptr<const std::vector<std::shared_ptr<EventSink>>>(
+        std::move(sinks)));
+  }
+
+  /// Enqueues one example (convenience wrapper; prefer ObserveBatch under
+  /// load — batching is where the throughput comes from). Returns false if
+  /// the example was shed by the admission policy.
+  bool Observe(StreamId id, Example example, double severity_hint = 0.0) {
+    std::vector<Example> batch;
+    batch.push_back(std::move(example));
+    return ObserveBatch(id, std::move(batch), severity_hint);
+  }
+
+  /// Enqueues a batch for `id` and returns. Batches from one producer are
+  /// scored in submission order (minus any the admission policy removed).
+  ///
+  /// `severity_hint` is the producer's estimate of how important the batch
+  /// is (e.g. an upstream filter's confidence that it contains anomalies);
+  /// kShedBelowSeverity sheds below-floor batches when the queue is full.
+  /// Returns true when the batch was admitted, false when it was shed —
+  /// kBlock and kDropOldest always admit (kBlock by waiting for space,
+  /// kDropOldest by evicting queued batches).
+  bool ObserveBatch(StreamId id, std::vector<Example> batch,
+                    double severity_hint = 0.0) {
+    if (batch.empty()) return true;
+    common::Check(batch.size() <= config_.queue_capacity,
+                  "batch exceeds the shard queue capacity; split it");
+    StreamState* state = State(id);
+    Shard& shard = *shards_[state->shard];
+    const std::size_t cost = batch.size();
+    std::size_t dropped_batches = 0;
+    std::size_t dropped_examples = 0;
+    std::size_t depth;
+    {
+      std::unique_lock<std::mutex> lock(shard.mutex);
+      if (shard.queued + cost > config_.queue_capacity) {
+        switch (config_.admission) {
+          case AdmissionPolicy::kBlock:
+            shard.space.wait(lock, [&] {
+              return shard.stop ||
+                     shard.queued + cost <= config_.queue_capacity;
+            });
+            break;
+          case AdmissionPolicy::kDropOldest:
+            while (shard.queued + cost > config_.queue_capacity &&
+                   !shard.queue.empty()) {
+              shard.queued -= shard.queue.front().batch.size();
+              dropped_examples += shard.queue.front().batch.size();
+              ++dropped_batches;
+              shard.queue.pop_front();
+            }
+            break;
+          case AdmissionPolicy::kShedBelowSeverity:
+            if (severity_hint < config_.shed_floor) {
+              lock.unlock();
+              metrics_->RecordLoss(state->shard, 1, cost,
+                                   MetricsRegistry::LossKind::kShed);
+              return false;
+            }
+            // The incoming batch is important: make room by evicting
+            // below-floor queued work (oldest first), then block if the
+            // whole queue is important too.
+            for (auto it = shard.queue.begin();
+                 it != shard.queue.end() &&
+                 shard.queued + cost > config_.queue_capacity;) {
+              if (it->severity_hint < config_.shed_floor) {
+                shard.queued -= it->batch.size();
+                dropped_examples += it->batch.size();
+                ++dropped_batches;
+                it = shard.queue.erase(it);
+              } else {
+                ++it;
+              }
+            }
+            if (shard.queued + cost > config_.queue_capacity) {
+              shard.space.wait(lock, [&] {
+                return shard.stop ||
+                       shard.queued + cost <= config_.queue_capacity;
+              });
+            }
+            break;
+        }
+      }
+      shard.queue.push_back(
+          {state, std::move(batch), severity_hint, Clock::now()});
+      shard.queued += cost;
+      depth = shard.queued;
+      shard.ready.notify_one();
+    }
+    metrics_->RecordQueueDepth(state->shard, depth);
+    if (dropped_batches > 0) {
+      metrics_->RecordLoss(state->shard, dropped_batches, dropped_examples,
+                           MetricsRegistry::LossKind::kDropped);
+    }
+    return true;
+  }
+
+  /// Blocks until every shard is quiescent (queue empty, worker idle), then
+  /// flushes the sinks. With producers still running this waits for them to
+  /// pause; under kBlock a producer blocked on admission makes progress as
+  /// the workers drain, so Flush still terminates.
+  void Flush() {
+    for (const auto& shard : shards_) {
+      std::unique_lock<std::mutex> lock(shard->mutex);
+      shard->idle.wait(lock,
+                       [&] { return shard->queue.empty() && !shard->busy; });
+    }
+    if (const auto sinks = sinks_.load()) {
+      for (const auto& sink : *sinks) sink->Flush();
+    }
+  }
+
+  /// Aggregated dashboard snapshot — per-stream aggregates plus the
+  /// per-shard queue/drop counters and observe-to-flag latency histograms
+  /// (does not flush; pair with Flush() for read-your-writes).
+  MetricsSnapshot Metrics() const { return metrics_->Snapshot(); }
+
+  /// Messages from ingestion tasks that threw (a throwing assertion poisons
+  /// its batch, not the service).
+  std::vector<std::string> Errors() const {
+    std::lock_guard<std::mutex> lock(errors_mutex_);
+    return errors_;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// One registered stream: its private suite and window evaluator, owned
+  /// (touched on the scoring path) by exactly one shard worker.
+  struct StreamState {
+    StreamState(StreamId id, std::string_view name, SuiteBundle bundle,
+                const ShardedRuntimeConfig& config)
+        : id(id),
+          name(name),
+          shard(id % config.shards),
+          bundle(std::move(bundle)),
+          evaluator(*this->bundle.suite,
+                    {config.window, config.settle_lag,
+                     this->bundle.invalidate}) {}
+
+    StreamId id;
+    std::string_view name;  // owned by the registry
+    std::size_t shard;
+    SuiteBundle bundle;
+    IncrementalWindowEvaluator<Example> evaluator;
+  };
+
+  /// One queued ingestion batch.
+  struct QueueItem {
+    StreamState* state;
+    std::vector<Example> batch;
+    double severity_hint;
+    Clock::time_point enqueued;
+  };
+
+  /// One shard: a bounded MPSC queue plus the dedicated worker draining it.
+  struct Shard {
+    std::mutex mutex;
+    std::condition_variable ready;  ///< worker waits for work
+    std::condition_variable space;  ///< kBlock producers wait for capacity
+    std::condition_variable idle;   ///< Flush waits for quiescence
+    std::deque<QueueItem> queue;
+    std::size_t queued = 0;  ///< examples summed over `queue`
+    bool busy = false;       ///< worker is scoring a popped batch
+    bool stop = false;
+    std::thread worker;
+  };
+
+  StreamState* State(StreamId id) {
+    const auto table = streams_.load();
+    common::Check(table != nullptr && id < table->size(), "unknown stream id");
+    return (*table)[id];
+  }
+
+  void WorkerLoop(std::size_t shard_index) {
+    Shard& shard = *shards_[shard_index];
+    for (;;) {
+      QueueItem item;
+      std::size_t depth;
+      {
+        std::unique_lock<std::mutex> lock(shard.mutex);
+        shard.ready.wait(lock,
+                         [&] { return shard.stop || !shard.queue.empty(); });
+        if (shard.queue.empty()) return;  // stop requested and queue drained
+        item = std::move(shard.queue.front());
+        shard.queue.pop_front();
+        shard.queued -= item.batch.size();
+        depth = shard.queued;
+        shard.busy = true;
+        shard.space.notify_all();
+      }
+      metrics_->RecordQueueDepth(shard_index, depth);
+      Score(shard_index, item);
+      {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.busy = false;
+        if (shard.queue.empty()) shard.idle.notify_all();
+      }
+    }
+  }
+
+  /// Worker-side scoring: runs on `item.state`'s shard, exclusively.
+  void Score(std::size_t shard_index, QueueItem& item) {
+    StreamState& state = *item.state;
+    const std::size_t count = item.batch.size();
+    std::vector<StreamEvent> events;
+    try {
+      state.evaluator.ObserveBatch(
+          std::move(item.batch),
+          [&](std::size_t global, std::size_t a, double severity) {
+            events.push_back({state.id, state.name, global,
+                              state.bundle.suite->at(a).name(), severity});
+          });
+    } catch (const std::exception& error) {
+      {
+        std::lock_guard<std::mutex> lock(errors_mutex_);
+        errors_.push_back(std::string(state.name) + ": " + error.what());
+      }
+      // Keep the loss accounting exact: a poisoned batch's examples must
+      // land in a counter (offered == scored + shed + dropped + errored).
+      metrics_->RecordError(shard_index, 1, count);
+      return;
+    }
+    if (const auto sinks = sinks_.load()) {
+      for (const auto& sink : *sinks) {
+        for (const StreamEvent& event : events) sink->Consume(event);
+      }
+    }
+    const double latency =
+        std::chrono::duration<double>(Clock::now() - item.enqueued).count();
+    metrics_->RecordScoredBatch(state.id, shard_index, count, events, latency);
+  }
+
+  ShardedRuntimeConfig config_;
+  SuiteFactory factory_;
+  StreamRegistry registry_;
+  std::unique_ptr<MetricsRegistry> metrics_;
+
+  /// Guards registration (stream table + sink list writers); readers go
+  /// through the atomic snapshots below and never take it.
+  std::mutex registration_mutex_;
+  std::vector<std::unique_ptr<StreamState>> owned_streams_;
+  std::atomic<std::shared_ptr<const std::vector<StreamState*>>> streams_;
+  std::atomic<std::shared_ptr<const std::vector<std::shared_ptr<EventSink>>>>
+      sinks_;
+
+  mutable std::mutex errors_mutex_;
+  std::vector<std::string> errors_;
+
+  // Declared last: workers joined (in ~ShardedMonitorService) before the
+  // state above dies.
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace omg::runtime

@@ -1,0 +1,32 @@
+// The per-stream suite handle shared by both serving services.
+//
+// Suites are stateful (consistency assertions memoise analyses), so every
+// registered stream gets its own instance from a factory; the bundle pairs
+// the suite with the invalidation hook its unbounded assertions need. Both
+// MonitorService and ShardedMonitorService alias these types, so factories
+// written for one service plug into the other unchanged.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/assertion.hpp"
+
+namespace omg::runtime {
+
+/// One stream's private suite plus an optional invalidation hook, invoked
+/// before unbounded assertions re-evaluate the window (wire the
+/// consistency analyzer's Invalidate here — see IncrementalWindowEvaluator).
+template <typename Example>
+struct SuiteBundle {
+  /// The stream's private assertion suite (must be non-null).
+  std::shared_ptr<core::AssertionSuite<Example>> suite;
+  /// Optional hook run before unbounded assertions re-score the window.
+  std::function<void()> invalidate;
+};
+
+/// Builds one stream's SuiteBundle; called once per RegisterStream.
+template <typename Example>
+using SuiteFactory = std::function<SuiteBundle<Example>()>;
+
+}  // namespace omg::runtime

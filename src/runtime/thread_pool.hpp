@@ -22,6 +22,7 @@ namespace omg::runtime {
 /// N worker threads, each draining its own task queue (shard i -> worker i).
 class ThreadPool {
  public:
+  /// A unit of work; must be non-null when submitted.
   using Task = std::function<void()>;
 
   /// Spawns `workers` threads (>= 1).
@@ -33,6 +34,7 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  /// Number of worker threads (== number of shards).
   std::size_t workers() const { return shards_.size(); }
 
   /// Enqueues `task` on shard `shard % workers()`. Tasks submitted to the

@@ -117,6 +117,59 @@ TEST(FlagCollectorSink, RejectsMismatchedNames) {
   EXPECT_THROW(FlagCollectorSink(store, {"only-one"}), common::CheckError);
   EXPECT_THROW(FlagCollectorSink(store, {"dup", "dup"}), common::CheckError);
   EXPECT_THROW(FlagCollectorSink(nullptr, {"a", "b"}), common::CheckError);
+  EXPECT_THROW(FlagCollectorSink(store, {"a", "b"}, {-0.5}),
+               common::CheckError);
+}
+
+TEST(FlagCollectorSink, ShedsBelowSeverityFloorAndCountersReconcile) {
+  // Under an event storm the collector must keep the loop fed with the
+  // high-severity evidence only, never block, and account for every event:
+  // consumed == recorded + shed + unknown always.
+  auto store = std::make_shared<FlagStore>(FlagStoreConfig{4, 1});
+  FlagCollectorSink sink(store, {"flicker"}, {/*min_severity=*/2.0});
+  for (std::size_t i = 0; i < 100; ++i) {
+    // High-severity events get ever-higher severities so each one outranks
+    // the store's current minimum and exercises eviction.
+    const double severity = i % 10 == 0 ? 3.0 + 0.01 * static_cast<double>(i)
+                                        : 0.5;
+    sink.Consume({0, "cam", i, "flicker", severity});
+  }
+  sink.Consume({0, "cam", 100, "unrelated", 9.0});
+  EXPECT_EQ(sink.consumed(), 101u);
+  EXPECT_EQ(sink.recorded(), 10u);  // the i % 10 == 0 high-severity events
+  EXPECT_EQ(sink.shed_low_severity(), 90u);
+  EXPECT_EQ(sink.unknown_events(), 1u);
+  EXPECT_EQ(sink.consumed(), sink.recorded() + sink.shed_low_severity() +
+                                 sink.unknown_events());
+  // The store stayed inside its capacity bound (severity-rank eviction),
+  // and everything it holds cleared the floor.
+  EXPECT_EQ(store->size(), 4u);
+  EXPECT_EQ(store->total_admitted(), 10u);
+  EXPECT_EQ(store->evictions(), 6u);
+  const FlagStore::Snapshot snapshot = store->TakeSnapshot();
+  for (std::size_t row = 0; row < snapshot.keys.size(); ++row) {
+    EXPECT_GE(snapshot.severities.At(row, 0), 2.0);
+  }
+}
+
+TEST(FlagCollectorSink, ConcurrentConsumersKeepCountsConsistent) {
+  auto store = std::make_shared<FlagStore>(FlagStoreConfig{64, 1});
+  FlagCollectorSink sink(store, {"flicker"}, {/*min_severity=*/1.0});
+  std::vector<std::thread> shards;
+  for (std::size_t shard = 0; shard < 4; ++shard) {
+    shards.emplace_back([&sink, shard] {
+      for (std::size_t i = 0; i < 500; ++i) {
+        sink.Consume({shard, "s", i, "flicker", i % 2 == 0 ? 2.0 : 0.1});
+      }
+    });
+  }
+  for (auto& thread : shards) thread.join();
+  EXPECT_EQ(sink.consumed(), 2000u);
+  EXPECT_EQ(sink.recorded(), 1000u);
+  EXPECT_EQ(sink.shed_low_severity(), 1000u);
+  // All recorded severities tie at 2.0, so once the store fills, tied
+  // newcomers are dropped: exactly `capacity` candidates were admitted.
+  EXPECT_EQ(store->total_admitted(), 64u);
 }
 
 // --------------------------------------------------------- ModelRegistry ---

@@ -598,9 +598,32 @@ TEST(MonitorService, ValidatesRuntimeConfig) {
   bad.settle_lag = 8;
   bad.window = 0;
   EXPECT_THROW(MonitorService<Tick>(bad, make), common::CheckError);
-  bad.window = 16;
+}
+
+TEST(MonitorService, RejectsZeroWorkersBeforeBuildingThePool) {
+  // A 0-worker service used to reach the ThreadPool precondition; it must
+  // be caught by RuntimeConfig::Validate with a message explaining the
+  // Flush deadlock a 0-worker config would cause (nothing drains the
+  // queues), and a minimal 1-worker service must drain fine.
+  RuntimeConfig bad;
   bad.workers = 0;
-  EXPECT_THROW(MonitorService<Tick>(bad, make), common::CheckError);
+  try {
+    MonitorService<Tick> service(bad, [] { return MakeBundle(false); });
+    FAIL() << "workers == 0 must be rejected";
+  } catch (const common::CheckError& error) {
+    EXPECT_NE(std::string(error.what()).find("workers must be >= 1"),
+              std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("deadlock"), std::string::npos);
+  }
+  EXPECT_THROW(bad.Validate(), common::CheckError);
+
+  RuntimeConfig minimal;
+  minimal.workers = 1;
+  MonitorService<Tick> service(minimal, [] { return MakeBundle(false); });
+  const StreamId id = service.RegisterStream("solo");
+  service.ObserveBatch(id, MakeStream(3, 32));
+  service.Flush();  // must not deadlock
+  EXPECT_EQ(service.Metrics().streams.at(id).examples_seen, 32u);
 }
 
 TEST(MonitorService, RejectsReRegisteringAStreamName) {
