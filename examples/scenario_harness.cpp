@@ -1,0 +1,579 @@
+// One binary, N workloads: loads declarative scenario files (configs/*.conf,
+// format in docs/CONFIGURATION.md), instantiates each one against the
+// sharded assertion-serving runtime through the config layer, and emits a
+// per-scenario metrics/latency report. Adding a workload is editing a
+// config file, not writing a main().
+//
+//   * every suite comes from the AssertionFactory registries the four
+//     domains populate (src/*/factory.cpp) — names like `video.multibox`
+//     with parameters from [assertion ...] sections;
+//   * runtime geometry and admission come from [runtime] / [admission];
+//   * scenarios with `[loop] enabled = true` run the improvement loop on
+//     their video streams: traffic is served in waves, each followed by a
+//     select -> label -> retrain round and a hot-swap pickup.
+//
+// Build & run:
+//   ./examples/scenario_harness ../configs/*.conf     # explicit files
+//   ./examples/scenario_harness --configs ../configs  # every *.conf in DIR
+//   ./examples/scenario_harness --describe            # registered assertions
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "av/factory.hpp"
+#include "av/pipeline.hpp"
+#include "common/flags.hpp"
+#include "common/table.hpp"
+#include "config/scenario.hpp"
+#include "ecg/factory.hpp"
+#include "loop/improvement_loop.hpp"
+#include "runtime/sharded_service.hpp"
+#include "tvnews/factory.hpp"
+#include "video/detector.hpp"
+#include "video/factory.hpp"
+#include "video/pipeline.hpp"
+#include "video/world.hpp"
+
+namespace {
+
+using namespace omg;
+
+/// The per-domain assertion registries, populated once at startup.
+struct Factories {
+  config::AssertionFactory<video::VideoExample> video;
+  config::AssertionFactory<av::AvExample> av;
+  config::AssertionFactory<ecg::EcgExample> ecg;
+  config::AssertionFactory<tvnews::NewsFrame> tvnews;
+
+  Factories() {
+    video::RegisterVideoAssertions(video);
+    av::RegisterAvAssertions(av);
+    ecg::RegisterEcgAssertions(ecg);
+    tvnews::RegisterNewsAssertions(tvnews);
+  }
+};
+
+/// One line of the end-of-run summary table.
+struct SummaryRow {
+  std::string scenario;
+  std::string domain;
+  std::size_t streams = 0;
+  std::size_t examples = 0;
+  std::size_t events = 0;
+  std::size_t shed = 0;
+  std::size_t dropped = 0;
+  double p99_ms = 0.0;
+  double wall_seconds = 0.0;
+};
+
+void PrintDomainReport(const std::string& domain,
+                       const runtime::MetricsSnapshot& snapshot,
+                       const std::vector<std::string>& errors) {
+  common::TextTable table(
+      {"Stream", "Assertion", "Fires", "Max sev", "Flag/ex"});
+  for (const auto& stream : snapshot.streams) {
+    for (const auto& [assertion, cell] : stream.assertions) {
+      table.AddRow({stream.stream, assertion, std::to_string(cell.fires),
+                    common::FormatDouble(cell.max_severity, 2),
+                    common::FormatDouble(stream.FlaggedRate(assertion), 3)});
+    }
+  }
+  table.Print(std::cout);
+  common::TextTable shard_table({"Shard", "Examples", "Shed", "Dropped",
+                                 "Peak depth", "p50 ms", "p95 ms", "p99 ms"});
+  for (const auto& shard : snapshot.shards) {
+    shard_table.AddRow(
+        {std::to_string(shard.shard), std::to_string(shard.examples),
+         std::to_string(shard.shed_examples),
+         std::to_string(shard.dropped_examples),
+         std::to_string(shard.queue_depth_peak),
+         common::FormatDouble(shard.latency.Quantile(0.50) * 1e3, 3),
+         common::FormatDouble(shard.latency.Quantile(0.95) * 1e3, 3),
+         common::FormatDouble(shard.latency.Quantile(0.99) * 1e3, 3)});
+  }
+  shard_table.Print(std::cout);
+  for (const auto& error : errors) {
+    std::cout << domain << " ingest error: " << error << "\n";
+  }
+}
+
+SummaryRow Summarise(const std::string& scenario, const std::string& domain,
+                     std::size_t streams,
+                     const runtime::MetricsSnapshot& snapshot,
+                     double wall_seconds) {
+  SummaryRow row;
+  row.scenario = scenario;
+  row.domain = domain;
+  row.streams = streams;
+  row.examples = snapshot.examples_seen;
+  row.events = snapshot.events;
+  row.shed = snapshot.TotalShedExamples();
+  row.dropped = snapshot.TotalDroppedExamples();
+  row.p99_ms = snapshot.MergedLatency().Quantile(0.99) * 1e3;
+  row.wall_seconds = wall_seconds;
+  return row;
+}
+
+/// Serves pre-generated traffic for one domain through a sharded service
+/// configured by the scenario, and prints the dashboard.
+template <typename Example>
+SummaryRow ServeStreams(
+    const config::ScenarioSpec& scenario,
+    const config::AssertionFactory<Example>& factory,
+    const std::string& domain,
+    const std::vector<std::pair<config::StreamSpec, std::vector<Example>>>&
+        traffic) {
+  const config::SuiteSpec* suite_spec = scenario.SuiteFor(domain);
+  const auto start = std::chrono::steady_clock::now();
+  runtime::ShardedMonitorService<Example> service(
+      config::ConfigLoader::MakeRuntimeConfig(scenario),
+      config::MakeSuiteFactory(factory, *suite_spec));
+  std::vector<runtime::StreamId> ids;
+  for (const auto& [spec, examples] : traffic) {
+    ids.push_back(service.RegisterStream(spec.name));
+  }
+  for (std::size_t s = 0; s < traffic.size(); ++s) {
+    const auto& [spec, examples] = traffic[s];
+    for (std::size_t begin = 0; begin < examples.size();
+         begin += spec.batch) {
+      const std::size_t count =
+          std::min(spec.batch, examples.size() - begin);
+      service.ObserveBatch(ids[s],
+                           std::vector<Example>(examples.begin() + begin,
+                                                examples.begin() + begin +
+                                                    count),
+                           spec.severity_hint);
+    }
+  }
+  service.Flush();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const runtime::MetricsSnapshot snapshot = service.Metrics();
+  PrintDomainReport(domain, snapshot, service.Errors());
+  return Summarise(scenario.name, domain, traffic.size(), snapshot, wall);
+}
+
+// ----------------------------------------------------------- traffic gen ---
+
+std::vector<std::pair<config::StreamSpec, std::vector<video::VideoExample>>>
+MakeVideoTraffic(const std::vector<config::StreamSpec>& specs) {
+  // One detector serves every stream (the deployment has one model); its
+  // pretraining seed comes from the first stream so scenarios reproduce.
+  video::NightStreetWorld seed_world(video::WorldConfig{},
+                                     specs.front().seed);
+  video::SsdDetector detector(video::DetectorConfig{},
+                              seed_world.config().feature_dim,
+                              specs.front().seed);
+  detector.Pretrain(seed_world.PretrainingSet(500, 700));
+
+  std::vector<std::pair<config::StreamSpec, std::vector<video::VideoExample>>>
+      traffic;
+  for (const config::StreamSpec& spec : specs) {
+    video::NightStreetWorld world(video::WorldConfig{}, spec.seed);
+    std::vector<video::VideoExample> examples;
+    examples.reserve(spec.examples);
+    for (const auto& frame : world.GenerateFrames(spec.examples)) {
+      examples.push_back({frame.index, frame.timestamp,
+                          detector.Detect(frame)});
+    }
+    traffic.emplace_back(spec, std::move(examples));
+  }
+  return traffic;
+}
+
+std::vector<std::pair<config::StreamSpec, std::vector<av::AvExample>>>
+MakeAvTraffic(const std::vector<config::StreamSpec>& specs) {
+  std::vector<std::pair<config::StreamSpec, std::vector<av::AvExample>>>
+      traffic;
+  for (const config::StreamSpec& spec : specs) {
+    av::AvPipelineConfig config;
+    config.pool_scenes =
+        spec.examples / config.world.samples_per_scene + 1;
+    config.test_scenes = 1;
+    config.world_seed = spec.seed;
+    av::AvPipeline pipeline(config);
+    std::vector<av::AvExample> examples =
+        pipeline.MakeExamples(pipeline.pool());
+    if (examples.size() > spec.examples) examples.resize(spec.examples);
+    traffic.emplace_back(spec, std::move(examples));
+  }
+  return traffic;
+}
+
+std::vector<std::pair<config::StreamSpec, std::vector<ecg::EcgExample>>>
+MakeEcgTraffic(const std::vector<config::StreamSpec>& specs) {
+  ecg::EcgGenerator seed_generator(ecg::EcgConfig{}, specs.front().seed);
+  ecg::EcgClassifier classifier(ecg::EcgClassifierConfig{},
+                                seed_generator.config().feature_dim,
+                                specs.front().seed);
+  classifier.Pretrain(seed_generator.PretrainingSet(600));
+
+  std::vector<std::pair<config::StreamSpec, std::vector<ecg::EcgExample>>>
+      traffic;
+  for (const config::StreamSpec& spec : specs) {
+    ecg::EcgGenerator generator(ecg::EcgConfig{}, spec.seed);
+    const std::size_t records =
+        spec.examples / generator.config().windows_per_record + 1;
+    std::vector<ecg::EcgExample> examples;
+    for (const auto& window : generator.GenerateRecords(records)) {
+      if (examples.size() == spec.examples) break;
+      examples.push_back({window.record, window.timestamp,
+                          classifier.Predict(window)});
+    }
+    traffic.emplace_back(spec, std::move(examples));
+  }
+  return traffic;
+}
+
+std::vector<std::pair<config::StreamSpec, std::vector<tvnews::NewsFrame>>>
+MakeNewsTraffic(const std::vector<config::StreamSpec>& specs) {
+  std::vector<std::pair<config::StreamSpec, std::vector<tvnews::NewsFrame>>>
+      traffic;
+  for (const config::StreamSpec& spec : specs) {
+    tvnews::NewsGenerator generator(tvnews::NewsConfig{}, spec.seed);
+    traffic.emplace_back(spec, generator.Generate(spec.examples));
+  }
+  return traffic;
+}
+
+// ------------------------------------------------------------- loop mode ---
+
+/// The VideoAssertionConfig a scenario's video suite parameters describe —
+/// the mixed oracle's correction suite must score with the *same*
+/// parameters as the deployed factory-built suite, or corrections would be
+/// derived under a different configuration than the flags that selected
+/// the candidates.
+video::VideoAssertionConfig VideoConfigFromSpec(
+    const config::SuiteSpec& spec) {
+  video::VideoAssertionConfig config;
+  for (const config::AssertionSpec& assertion : spec.assertions) {
+    if (assertion.name == "video.multibox") {
+      config.multibox_iou =
+          assertion.params.GetDouble("iou", config.multibox_iou);
+    } else if (assertion.name == "video.consistency") {
+      config.temporal_threshold = assertion.params.GetDouble(
+          "temporal_threshold", config.temporal_threshold);
+      config.tracker.min_iou =
+          assertion.params.GetDouble("tracker_iou", config.tracker.min_iou);
+      config.tracker.max_coast_frames = assertion.params.GetSize(
+          "tracker_max_misses", config.tracker.max_coast_frames);
+    }
+  }
+  return config;
+}
+
+/// Video streams with the improvement loop live: traffic is served in
+/// `loop.rounds` waves; after each wave the scheduler runs one
+/// select -> label -> retrain round and serving picks up the new model
+/// version before the next wave.
+SummaryRow ServeVideoLoop(const config::ScenarioSpec& scenario,
+                          const config::AssertionFactory<video::VideoExample>&
+                              factory,
+                          const std::vector<config::StreamSpec>& specs) {
+  const config::SuiteSpec* suite_spec = scenario.SuiteFor("video");
+  const config::LoopSpec& loop_spec = scenario.loop;
+  const auto start = std::chrono::steady_clock::now();
+
+  video::NightStreetWorld seed_world(video::WorldConfig{},
+                                     specs.front().seed);
+  nn::Dataset pretrain = seed_world.PretrainingSet(500, 700);
+  video::SsdDetector detector(video::DetectorConfig{},
+                              seed_world.config().feature_dim,
+                              specs.front().seed);
+  detector.Pretrain(pretrain);
+
+  // Retained live traffic, indexed by [stream id][example index] — what the
+  // oracles resolve CandidateKeys against.
+  std::vector<std::unique_ptr<video::NightStreetWorld>> worlds;
+  std::vector<std::vector<video::Frame>> frames;
+  std::vector<std::vector<video::VideoExample>> deployed;
+  for (const config::StreamSpec& spec : specs) {
+    worlds.push_back(std::make_unique<video::NightStreetWorld>(
+        video::WorldConfig{}, spec.seed));
+    frames.emplace_back();
+    deployed.emplace_back();
+  }
+
+  auto human = std::make_shared<loop::GroundTruthOracle>(
+      [&frames](const loop::CandidateKey& key) {
+        return video::NightStreetWorld::LabelFrame(
+            frames.at(key.stream_id).at(key.example_index));
+      });
+  std::shared_ptr<loop::LabelOracle> oracle = human;
+  if (loop_spec.oracle == "mixed") {
+    auto correction_suite = std::make_shared<video::VideoSuite>(
+        video::BuildVideoSuite(VideoConfigFromSpec(*suite_spec)));
+    auto weak = std::make_shared<loop::WeakLabelOracle>(
+        [&frames, &deployed, correction_suite](
+            std::span<const loop::CandidateKey> keys) {
+          nn::Dataset rows;
+          for (std::size_t s = 0; s < frames.size(); ++s) {
+            std::set<std::size_t> chosen;
+            for (const auto& key : keys) {
+              if (key.stream_id == s) chosen.insert(key.example_index);
+            }
+            if (chosen.empty()) continue;
+            correction_suite->consistency->Invalidate();
+            rows.Append(video::MakeWeakLabelDataset(
+                *correction_suite, frames[s], deployed[s], chosen));
+          }
+          return rows;
+        },
+        loop_spec.weak_weight);
+    oracle = std::make_shared<loop::MixedOracle>(human, weak);
+  }
+
+  // The suite the service will emit events from decides the store columns.
+  const runtime::SuiteBundle<video::VideoExample> probe =
+      config::BuildSuiteBundle(factory, *suite_spec);
+  loop::ImprovementLoopConfig loop_config =
+      config::ConfigLoader::MakeLoopConfig(
+          loop_spec, probe.suite->Names(),
+          video::DetectorConfig{}.finetune_sgd);
+  loop_config.retrain.replay_weight = 1.0;
+  loop::ImprovementLoop improvement(
+      loop_config, config::ConfigLoader::MakeStrategy(loop_spec.strategy),
+      oracle, detector.model(), pretrain);
+
+  runtime::ShardedMonitorService<video::VideoExample> service(
+      config::ConfigLoader::MakeRuntimeConfig(scenario),
+      config::MakeSuiteFactory(factory, *suite_spec));
+  service.AddSink(improvement.sink());
+  std::vector<runtime::StreamId> ids;
+  for (const config::StreamSpec& spec : specs) {
+    ids.push_back(service.RegisterStream(spec.name));
+  }
+
+  std::uint64_t served_version = 0;
+  std::size_t events_before = 0;
+  std::size_t examples_before = 0;
+  common::TextTable rounds_table({"Wave", "Candidates", "Selected", "Human",
+                                  "Weak", "Fallback", "Flagged/ex"});
+  for (std::size_t wave = 0; wave < loop_spec.rounds; ++wave) {
+    // Hot-swap pickup point: between waves, never mid-batch.
+    const loop::ModelHandle handle = improvement.registry().Current();
+    if (handle.version != served_version) {
+      detector.SetModel(*handle.model);
+      served_version = handle.version;
+    }
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+      const std::size_t wave_frames =
+          std::max<std::size_t>(1, specs[s].examples / loop_spec.rounds);
+      std::vector<video::VideoExample> batch;
+      for (const video::Frame& frame :
+           worlds[s]->GenerateFrames(wave_frames)) {
+        video::VideoExample example{frame.index, frame.timestamp,
+                                    detector.Detect(frame)};
+        frames[s].push_back(frame);
+        deployed[s].push_back(example);
+        batch.push_back(std::move(example));
+        if (batch.size() == specs[s].batch) {
+          service.ObserveBatch(ids[s], std::move(batch),
+                               specs[s].severity_hint);
+          batch.clear();
+        }
+      }
+      if (!batch.empty()) {
+        service.ObserveBatch(ids[s], std::move(batch),
+                             specs[s].severity_hint);
+      }
+    }
+    service.Flush();
+
+    const runtime::MetricsSnapshot snapshot = service.Metrics();
+    const double flagged_rate =
+        static_cast<double>(snapshot.events - events_before) /
+        static_cast<double>(snapshot.examples_seen - examples_before);
+    events_before = snapshot.events;
+    examples_before = snapshot.examples_seen;
+
+    const std::optional<loop::RoundStats> stats = improvement.RunRound();
+    improvement.WaitForRetrains();
+    rounds_table.AddRow(
+        {std::to_string(wave),
+         stats ? std::to_string(stats->candidates) : "-",
+         stats ? std::to_string(stats->selected) : "-",
+         stats ? std::to_string(stats->human_labels) : "-",
+         stats ? std::to_string(stats->weak_labels) : "-",
+         stats ? (stats->used_fallback ? "yes" : "no") : "-",
+         common::FormatDouble(flagged_rate, 3)});
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::cout << "improvement loop (" << loop_spec.strategy << " strategy, "
+            << oracle->Name() << " oracle, budget " << loop_spec.budget
+            << "/round, final model v" << served_version << "):\n";
+  rounds_table.Print(std::cout);
+  const runtime::MetricsSnapshot snapshot = service.Metrics();
+  PrintDomainReport("video", snapshot, service.Errors());
+  return Summarise(scenario.name, "video+loop", specs.size(), snapshot,
+                   wall);
+}
+
+// ------------------------------------------------------------- scenarios ---
+
+std::vector<config::StreamSpec> StreamsOf(
+    const config::ScenarioSpec& scenario, const std::string& domain) {
+  std::vector<config::StreamSpec> streams;
+  for (const config::StreamSpec& stream : scenario.streams) {
+    if (stream.domain == domain) streams.push_back(stream);
+  }
+  return streams;
+}
+
+void RunScenario(const std::string& path, const Factories& factories,
+                 std::vector<SummaryRow>& summary) {
+  const config::ScenarioSpec scenario = config::ConfigLoader::LoadFile(path);
+  std::cout << "=== scenario '" << scenario.name << "' (" << path << ")\n";
+  if (!scenario.description.empty()) {
+    std::cout << "    " << scenario.description << "\n";
+  }
+  std::cout << "    runtime: " << scenario.runtime.shards << " shards, "
+            << "window " << scenario.runtime.window << ", queue cap "
+            << scenario.runtime.queue_capacity << ", "
+            << runtime::AdmissionPolicyName(scenario.admission.policy)
+            << " admission\n\n";
+
+  for (const std::string& domain : scenario.Domains()) {
+    const std::vector<config::StreamSpec> specs =
+        StreamsOf(scenario, domain);
+    std::cout << "--- " << domain << " (" << specs.size() << " stream"
+              << (specs.size() == 1 ? "" : "s") << ") ---\n";
+    if (domain == "video") {
+      if (scenario.loop.enabled) {
+        summary.push_back(ServeVideoLoop(scenario, factories.video, specs));
+      } else {
+        summary.push_back(ServeStreams(scenario, factories.video, "video",
+                                       MakeVideoTraffic(specs)));
+      }
+    } else if (domain == "av") {
+      summary.push_back(
+          ServeStreams(scenario, factories.av, "av", MakeAvTraffic(specs)));
+    } else if (domain == "ecg") {
+      summary.push_back(ServeStreams(scenario, factories.ecg, "ecg",
+                                     MakeEcgTraffic(specs)));
+    } else if (domain == "tvnews") {
+      summary.push_back(ServeStreams(scenario, factories.tvnews, "tvnews",
+                                     MakeNewsTraffic(specs)));
+    } else {
+      throw config::SpecError(
+          path, 0, 0,
+          "unknown domain '" + domain +
+              "' (the harness serves video, av, ecg, tvnews)");
+    }
+    std::cout << "\n";
+  }
+  if (scenario.loop.enabled && StreamsOf(scenario, "video").empty()) {
+    std::cout << "note: [loop] enabled but the harness only loops video "
+                 "streams; monitoring ran without rounds\n\n";
+  }
+}
+
+void Describe(const Factories& factories) {
+  const auto print = [](const std::string& domain, const auto& factory) {
+    std::cout << "--- " << domain << " ---\n";
+    for (const std::string& name : factory.Names()) {
+      const auto& registration = factory.At(name);
+      std::cout << name << " — " << registration.description << "\n";
+      for (const auto& param : registration.params) {
+        std::cout << "    " << param.key << " ("
+                  << config::ParamTypeName(param.type) << ", default "
+                  << param.default_text << ") — " << param.description
+                  << "\n";
+      }
+    }
+    std::cout << "\n";
+  };
+  std::cout << "registered assertions (use in a [suite <domain>] "
+               "assertions list;\nparameters go in an [assertion <name>] "
+               "section):\n\n";
+  print("video", factories.video);
+  print("av", factories.av);
+  print("ecg", factories.ecg);
+  print("tvnews", factories.tvnews);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = common::Flags::Parse(argc, argv);
+  flags.CheckAllowed({"configs", "describe"});
+
+  Factories factories;
+  if (flags.GetBool("describe", false)) {
+    Describe(factories);
+    return 0;
+  }
+
+  std::vector<std::string> paths = flags.Positional();
+  if (const std::string dir = flags.GetString("configs", "");
+      !dir.empty()) {
+    std::error_code list_error;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(dir, list_error)) {
+      if (entry.path().extension() == ".conf") {
+        paths.push_back(entry.path().string());
+      }
+    }
+    if (list_error) {
+      std::cerr << "--configs " << dir << ": " << list_error.message()
+                << "\n";
+      return 1;
+    }
+  }
+  if (paths.empty()) {
+    // Default: the repo's shipped scenarios, found from either the repo
+    // root or a build/ subdirectory.
+    for (const char* candidate : {"configs", "../configs"}) {
+      if (std::filesystem::is_directory(candidate)) {
+        for (const auto& entry :
+             std::filesystem::directory_iterator(candidate)) {
+          if (entry.path().extension() == ".conf") {
+            paths.push_back(entry.path().string());
+          }
+        }
+        break;
+      }
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "no scenario files: pass paths, --configs DIR, or run "
+                 "next to the repo's configs/ directory\n";
+    return 1;
+  }
+  std::sort(paths.begin(), paths.end());
+
+  std::vector<SummaryRow> summary;
+  try {
+    for (const std::string& path : paths) {
+      RunScenario(path, factories, summary);
+    }
+  } catch (const config::SpecError& error) {
+    std::cerr << "config error: " << error.what() << "\n";
+    return 1;
+  }
+
+  std::cout << "=== summary (" << summary.size() << " domain runs over "
+            << paths.size() << " scenarios) ===\n";
+  common::TextTable table({"Scenario", "Domain", "Streams", "Examples",
+                           "Events", "Shed", "Dropped", "p99 ms", "Wall s"});
+  for (const SummaryRow& row : summary) {
+    table.AddRow({row.scenario, row.domain, std::to_string(row.streams),
+                  std::to_string(row.examples), std::to_string(row.events),
+                  std::to_string(row.shed), std::to_string(row.dropped),
+                  common::FormatDouble(row.p99_ms, 3),
+                  common::FormatDouble(row.wall_seconds, 2)});
+  }
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,40 @@
+#include "av/factory.hpp"
+
+#include "video/assertions.hpp"
+
+namespace omg::av {
+
+void RegisterAvAssertions(config::AssertionFactory<AvExample>& factory) {
+  const AvAssertionConfig defaults;
+
+  factory.Register(
+      "av.agree",
+      "camera detections with no overlapping projected LIDAR box (and vice "
+      "versa) count as disagreements",
+      {{"iou", config::ParamType::kDouble, "0.20",
+        "minimum IoU for a camera box and a projected LIDAR box to agree"}},
+      [defaults](const config::SpecSection& params,
+                 config::AssertionFactory<AvExample>::BuildContext& context) {
+        const double iou = params.GetDouble("iou", defaults.agree_iou);
+        context.suite.AddPointwise("agree", [iou](const AvExample& example) {
+          return AgreeSeverity(example, iou);
+        });
+      });
+
+  factory.Register(
+      "av.multibox",
+      "triple-overlap over the camera detections (same check as "
+      "video.multibox)",
+      {{"iou", config::ParamType::kDouble, "0.30",
+        "pairwise IoU above which camera boxes count as highly overlapping"}},
+      [defaults](const config::SpecSection& params,
+                 config::AssertionFactory<AvExample>::BuildContext& context) {
+        const double iou = params.GetDouble("iou", defaults.multibox_iou);
+        context.suite.AddPointwise(
+            "multibox", [iou](const AvExample& example) {
+              return video::MultiboxSeverity(example.camera, iou);
+            });
+      });
+}
+
+}  // namespace omg::av

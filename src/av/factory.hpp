@@ -1,0 +1,17 @@
+// Declarative-config registration of the AV assertions.
+//
+// `[av.agree, av.multibox]` in that order reproduces BuildAvSuite exactly.
+#pragma once
+
+#include "av/assertions.hpp"
+#include "config/assertion_factory.hpp"
+
+namespace omg::av {
+
+/// Registers the AV assertions:
+///   * `av.agree`    { iou } — camera detections and projected LIDAR boxes
+///     must agree (§2.1's sensor_agreement, counted in both directions)
+///   * `av.multibox` { iou } — triple-overlap over camera detections
+void RegisterAvAssertions(config::AssertionFactory<AvExample>& factory);
+
+}  // namespace omg::av

@@ -1,0 +1,173 @@
+// The assertion name -> builder registry behind declarative suites.
+//
+// Each domain registers its assertions under dotted names
+// ("video.multibox", "ecg.oscillation", ...) together with a parameter
+// schema; a [suite] section of a scenario file then instantiates them by
+// name, with parameters supplied in matching [assertion <name>] sections.
+// A registered *builder* may add one assertion or several — consistency
+// sources (§4 of the paper) register one name that expands to their whole
+// generated family (flicker + appear, one "consistent:<key>" per
+// attribute) and contribute the invalidation hook the runtime's unbounded
+// re-evaluation needs.
+//
+// The factory validates parameters against the schema *before* building:
+// unknown parameter keys, wrong types, and unknown assertion names all
+// fail with a SpecError positioned in the config file. Schemas double as
+// documentation — the scenario harness's --describe and
+// docs/CONFIGURATION.md are generated from / checked against them.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "config/spec.hpp"
+#include "core/assertion.hpp"
+#include "runtime/suite_bundle.hpp"
+
+namespace omg::config {
+
+/// Declared type of one assertion parameter.
+enum class ParamType { kInt, kDouble, kString, kBool, kStringList };
+
+/// Human-readable ParamType name ("int", "double", ...).
+std::string_view ParamTypeName(ParamType type);
+
+/// One parameter a registered assertion accepts: its key, type, default
+/// (rendered as text, for listings) and one-line description.
+struct ParamSpec {
+  std::string key;
+  ParamType type = ParamType::kDouble;
+  std::string default_text;
+  std::string description;
+};
+
+/// Registry of named assertion builders for one Example type.
+///
+/// Builders receive the validated parameter section (empty when the
+/// scenario supplied none) and a BuildContext to register into. The suite
+/// under construction is shared: builders that allocate stateful helpers
+/// (trackers, consistency analyzers) keep them alive by capturing
+/// shared_ptrs in the closures they register.
+template <typename Example>
+class AssertionFactory {
+ public:
+  /// What a builder appends to: the suite plus the invalidation hooks that
+  /// will be folded into the stream's SuiteBundle::invalidate.
+  struct BuildContext {
+    core::AssertionSuite<Example>& suite;
+    std::vector<std::function<void()>>& invalidators;
+  };
+
+  /// Appends assertions configured by `params` to the context.
+  using Builder =
+      std::function<void(const SpecSection& params, BuildContext& context)>;
+
+  /// One registry row (exposed for listings / documentation checks).
+  struct Registration {
+    std::string name;
+    std::string description;
+    std::vector<ParamSpec> params;
+    Builder builder;
+  };
+
+  /// Registers `builder` under `name`. Names must be unique; the
+  /// convention is "<domain>.<assertion>".
+  void Register(std::string name, std::string description,
+                std::vector<ParamSpec> params, Builder builder) {
+    common::Check(static_cast<bool>(builder), "null assertion builder");
+    common::Check(registry_.find(name) == registry_.end(),
+                  "duplicate assertion registration: " + name);
+    std::string key = name;
+    registry_.emplace(std::move(key),
+                      Registration{std::move(name), std::move(description),
+                                   std::move(params), std::move(builder)});
+  }
+
+  /// True when `name` is registered.
+  bool Has(const std::string& name) const {
+    return registry_.find(name) != registry_.end();
+  }
+
+  /// Registered names, sorted.
+  std::vector<std::string> Names() const {
+    std::vector<std::string> names;
+    names.reserve(registry_.size());
+    for (const auto& [name, registration] : registry_) names.push_back(name);
+    return names;
+  }
+
+  /// The registry row for `name`; throws CheckError when absent.
+  const Registration& At(const std::string& name) const {
+    const auto it = registry_.find(name);
+    if (it == registry_.end()) {
+      throw common::CheckError("unknown assertion: " + name);
+    }
+    return it->second;
+  }
+
+  /// "a, b, c" over the registered names (for error messages/listings).
+  std::string JoinedNames() const {
+    std::string joined;
+    for (const auto& [name, registration] : registry_) {
+      if (!joined.empty()) joined += ", ";
+      joined += name;
+    }
+    return joined;
+  }
+
+  /// Validates `params` against `name`'s schema (unknown keys and type
+  /// mismatches throw SpecError at the offending entry), then invokes the
+  /// builder. Unknown names throw CheckError — callers holding a config
+  /// position (scenario.hpp's BuildSuiteBundle) check Has() first to
+  /// produce a positioned SpecError instead.
+  void Build(const std::string& name, const SpecSection& params,
+             BuildContext& context) const {
+    const auto it = registry_.find(name);
+    if (it == registry_.end()) {
+      throw common::CheckError("unknown assertion '" + name +
+                               "' (registered: " + JoinedNames() + ")");
+    }
+    const Registration& registration = it->second;
+    for (const SpecEntry& entry : params.entries()) {
+      const ParamSpec* spec = nullptr;
+      for (const ParamSpec& candidate : registration.params) {
+        if (candidate.key == entry.key) {
+          spec = &candidate;
+          break;
+        }
+      }
+      if (spec == nullptr) {
+        throw SpecError(params.source(), entry.line, entry.col,
+                        "assertion '" + name + "' has no parameter '" +
+                            entry.key + "'");
+      }
+      CheckType(name, params, entry, spec->type);
+    }
+    // Every present key is now schema-checked (and consumed); the builder
+    // only ever sees validated parameters.
+    registration.builder(params, context);
+  }
+
+ private:
+  /// Reads `entry` through the matching typed getter so a mismatch throws
+  /// a positioned SpecError (and the key is marked consumed).
+  static void CheckType(const std::string& name, const SpecSection& params,
+                        const SpecEntry& entry, ParamType type) {
+    switch (type) {
+      case ParamType::kInt: params.GetInt(entry.key, 0); break;
+      case ParamType::kDouble: params.GetDouble(entry.key, 0.0); break;
+      case ParamType::kString: params.GetString(entry.key, ""); break;
+      case ParamType::kBool: params.GetBool(entry.key, false); break;
+      case ParamType::kStringList: params.GetStringList(entry.key, {}); break;
+    }
+  }
+
+  std::map<std::string, Registration> registry_;
+};
+
+}  // namespace omg::config

@@ -1,0 +1,371 @@
+#include "config/scenario.hpp"
+
+#include <algorithm>
+
+#include "bandit/bal.hpp"
+#include "common/check.hpp"
+
+namespace omg::config {
+namespace {
+
+/// Section kinds a scenario document may contain.
+const char* const kKnownKinds[] = {"scenario", "runtime", "admission",
+                                   "suite",    "assertion", "stream", "loop"};
+
+RuntimeSpec ReadRuntime(const SpecSection& section) {
+  RuntimeSpec spec;
+  spec.shards = section.GetSize("shards", spec.shards);
+  spec.window = section.GetSize("window", spec.window);
+  spec.settle_lag = section.GetSize("settle_lag", spec.settle_lag);
+  spec.queue_capacity =
+      section.GetSize("queue_capacity", spec.queue_capacity);
+  section.RejectUnknownKeys();
+  return spec;
+}
+
+AdmissionSpec ReadAdmission(const SpecSection& section) {
+  AdmissionSpec spec;
+  const std::string policy =
+      section.GetString("policy", std::string(runtime::AdmissionPolicyName(
+                                      spec.policy)));
+  try {
+    spec.policy = runtime::ParseAdmissionPolicy(policy);
+  } catch (const common::CheckError& error) {
+    throw section.ErrorAt("policy", error.what());
+  }
+  spec.shed_floor = section.GetDouble("shed_floor", spec.shed_floor);
+  section.RejectUnknownKeys();
+  return spec;
+}
+
+LoopSpec ReadLoop(const SpecSection& section) {
+  LoopSpec spec;
+  spec.enabled = section.GetBool("enabled", spec.enabled);
+  spec.strategy = section.GetString("strategy", spec.strategy);
+  if (spec.strategy != "bal" && spec.strategy != "bal-uncertainty" &&
+      spec.strategy != "uncertainty" && spec.strategy != "random") {
+    throw section.ErrorAt(
+        "strategy", "unknown strategy '" + spec.strategy +
+                        "' (bal, bal-uncertainty, uncertainty, random)");
+  }
+  spec.oracle = section.GetString("oracle", spec.oracle);
+  if (spec.oracle != "human" && spec.oracle != "mixed") {
+    throw section.ErrorAt("oracle", "unknown oracle '" + spec.oracle +
+                                        "' (human, mixed)");
+  }
+  spec.budget = section.GetSize("budget", spec.budget);
+  spec.min_candidates =
+      section.GetSize("min_candidates", spec.min_candidates);
+  spec.rounds = section.GetSize("rounds", spec.rounds);
+  spec.store_capacity =
+      section.GetSize("store_capacity", spec.store_capacity);
+  spec.weak_weight = section.GetDouble("weak_weight", spec.weak_weight);
+  if (spec.weak_weight <= 0.0 || spec.weak_weight > 1.0) {
+    throw section.ErrorAt("weak_weight", "weak_weight must be in (0, 1]");
+  }
+  spec.retrain_epochs =
+      section.GetSize("retrain_epochs", spec.retrain_epochs);
+  spec.seed = static_cast<std::uint64_t>(
+      section.GetInt("seed", static_cast<std::int64_t>(spec.seed)));
+  section.RejectUnknownKeys();
+  return spec;
+}
+
+StreamSpec ReadStream(const SpecSection& section) {
+  if (section.label().empty()) {
+    throw section.ErrorHere("[stream] needs a name: [stream <name>]");
+  }
+  StreamSpec spec;
+  spec.name = section.label();
+  spec.domain = section.RequireString("domain");
+  spec.examples = section.GetSize("examples", spec.examples);
+  if (spec.examples == 0) {
+    throw section.ErrorAt("examples", "stream needs examples >= 1");
+  }
+  spec.batch = section.GetSize("batch", spec.batch);
+  if (spec.batch == 0) {
+    throw section.ErrorAt("batch", "stream needs batch >= 1");
+  }
+  spec.seed = static_cast<std::uint64_t>(
+      section.GetInt("seed", static_cast<std::int64_t>(spec.seed)));
+  spec.severity_hint =
+      section.GetDouble("severity_hint", spec.severity_hint);
+  section.RejectUnknownKeys();
+  return spec;
+}
+
+}  // namespace
+
+const SuiteSpec* ScenarioSpec::SuiteFor(const std::string& domain) const {
+  for (const SuiteSpec& suite : suites) {
+    if (suite.domain == domain) return &suite;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> ScenarioSpec::Domains() const {
+  std::vector<std::string> domains;
+  for (const StreamSpec& stream : streams) {
+    if (std::find(domains.begin(), domains.end(), stream.domain) ==
+        domains.end()) {
+      domains.push_back(stream.domain);
+    }
+  }
+  return domains;
+}
+
+ScenarioSpec ConfigLoader::Load(const SpecDocument& doc) {
+  ScenarioSpec scenario;
+  scenario.source = doc.source();
+
+  // Reject unknown section kinds up front, with the header position; the
+  // singleton kinds must be unlabeled, or `[runtime main]` would silently
+  // shadow `[runtime]` and bypass every key below it.
+  for (const SpecSection& section : doc.sections()) {
+    const bool known =
+        std::any_of(std::begin(kKnownKinds), std::end(kKnownKinds),
+                    [&](const char* kind) { return section.kind() == kind; });
+    if (!known) {
+      throw section.ErrorHere("unknown section kind [" + section.kind() +
+                              "] (scenario, runtime, admission, suite, "
+                              "assertion, stream, loop)");
+    }
+    const bool singleton = section.kind() == "scenario" ||
+                           section.kind() == "runtime" ||
+                           section.kind() == "admission" ||
+                           section.kind() == "loop";
+    if (singleton && !section.label().empty()) {
+      throw section.ErrorHere("[" + section.kind() +
+                              "] does not take a label");
+    }
+    if (section.kind() == "assertion" && section.label().empty()) {
+      throw section.ErrorHere(
+          "[assertion] needs a name: [assertion <name>]");
+    }
+  }
+
+  const SpecSection& header = doc.Require("scenario");
+  scenario.name = header.GetString("name", "");
+  if (scenario.name.empty()) {
+    throw header.ErrorHere("[scenario] needs a non-empty name");
+  }
+  scenario.description = header.GetString("description", "");
+  header.RejectUnknownKeys();
+
+  if (const SpecSection* runtime = doc.Find("runtime")) {
+    scenario.runtime = ReadRuntime(*runtime);
+  }
+  if (const SpecSection* admission = doc.Find("admission")) {
+    scenario.admission = ReadAdmission(*admission);
+  }
+  if (const SpecSection* loop = doc.Find("loop")) {
+    scenario.loop = ReadLoop(*loop);
+  }
+
+  // Suites: [suite <domain>] with an assertions list; parameters come from
+  // matching [assertion <name>] sections.
+  std::vector<const SpecSection*> assertion_sections = doc.OfKind("assertion");
+  std::vector<bool> assertion_referenced(assertion_sections.size(), false);
+  for (const SpecSection* section : doc.OfKind("suite")) {
+    if (section->label().empty()) {
+      throw section->ErrorHere("[suite] needs a domain: [suite <domain>]");
+    }
+    SuiteSpec suite;
+    suite.domain = section->label();
+    const SpecValue* names = section->Find("assertions");
+    if (names == nullptr) {
+      throw section->ErrorHere("[suite " + suite.domain +
+                               "] needs an assertions = [...] list");
+    }
+    section->MarkConsumed("assertions");
+    const std::vector<SpecValue> listed =
+        names->type == SpecValue::Type::kList ? names->list
+                                              : std::vector<SpecValue>{*names};
+    if (listed.empty()) {
+      throw section->ErrorAt("assertions",
+                             "assertions list must not be empty");
+    }
+    for (const SpecValue& value : listed) {
+      if (value.type != SpecValue::Type::kString) {
+        throw SpecError(doc.source(), value.line, value.col,
+                        "assertion names must be bare names or strings");
+      }
+      const bool duplicate =
+          std::any_of(suite.assertions.begin(), suite.assertions.end(),
+                      [&](const AssertionSpec& a) {
+                        return a.name == value.string_value;
+                      });
+      if (duplicate) {
+        throw SpecError(doc.source(), value.line, value.col,
+                        "assertion '" + value.string_value +
+                            "' listed twice in [suite " + suite.domain + "]");
+      }
+      AssertionSpec assertion;
+      assertion.name = value.string_value;
+      assertion.source = doc.source();
+      assertion.line = value.line;
+      assertion.col = value.col;
+      for (std::size_t i = 0; i < assertion_sections.size(); ++i) {
+        if (assertion_sections[i]->label() == assertion.name) {
+          assertion.params = *assertion_sections[i];
+          assertion_referenced[i] = true;
+          break;
+        }
+      }
+      suite.assertions.push_back(std::move(assertion));
+    }
+    section->RejectUnknownKeys();
+    scenario.suites.push_back(std::move(suite));
+  }
+  for (std::size_t i = 0; i < assertion_sections.size(); ++i) {
+    if (!assertion_referenced[i]) {
+      throw assertion_sections[i]->ErrorHere(
+          "[assertion " + assertion_sections[i]->label() +
+          "] is not referenced by any suite");
+    }
+  }
+
+  // Duplicate [stream <name>] sections are already a parser-level
+  // "duplicate section" error, so names are unique here by construction.
+  for (const SpecSection* section : doc.OfKind("stream")) {
+    StreamSpec stream = ReadStream(*section);
+    // ObserveBatch rejects batches larger than a shard's whole queue; catch
+    // the mismatch here, positioned, instead of at serving time.
+    if (stream.batch > scenario.runtime.queue_capacity) {
+      throw section->ErrorAt(
+          "batch", "stream '" + stream.name + "' batch (" +
+                       std::to_string(stream.batch) +
+                       ") exceeds [runtime] queue_capacity (" +
+                       std::to_string(scenario.runtime.queue_capacity) +
+                       ")");
+    }
+    if (scenario.SuiteFor(stream.domain) == nullptr) {
+      throw section->ErrorAt("domain",
+                             "stream '" + stream.name + "' names domain '" +
+                                 stream.domain + "' but there is no [suite " +
+                                 stream.domain + "]");
+    }
+    scenario.streams.push_back(std::move(stream));
+  }
+  if (scenario.streams.empty()) {
+    throw SpecError(doc.source(), 0, 0,
+                    "scenario declares no [stream ...] sections");
+  }
+
+  // Every declared suite must be exercised by a stream: an orphaned suite
+  // would never be built, so its assertion names and parameters would
+  // never be validated — a misspelled domain would go silently dead.
+  for (const SpecSection* section : doc.OfKind("suite")) {
+    const bool served = std::any_of(
+        scenario.streams.begin(), scenario.streams.end(),
+        [&](const StreamSpec& s) { return s.domain == section->label(); });
+    if (!served) {
+      throw section->ErrorHere("[suite " + section->label() +
+                               "] has no [stream ...] with domain = " +
+                               section->label());
+    }
+  }
+
+  // The loop resolves CandidateKeys against traffic retained in ingestion
+  // order; any lossy admission policy would shift the runtime's example
+  // indices relative to that record and the oracle would label the wrong
+  // examples. Lossless backpressure is the only safe pairing.
+  if (scenario.loop.enabled &&
+      scenario.admission.policy != runtime::AdmissionPolicy::kBlock) {
+    throw doc.Require("loop").ErrorAt(
+        "enabled",
+        "[loop] requires block admission: a lossy policy desynchronises "
+        "candidate keys from the retained traffic the oracle labels");
+  }
+
+  // Shed-below-severity only does something when some producer's hint can
+  // clear the floor; a scenario violating that would silently never shed.
+  // (Admitting everything is still legal — hints default to 0.0 — so this
+  // is only checked when the policy is shed_below_severity.)
+  if (scenario.admission.policy ==
+      runtime::AdmissionPolicy::kShedBelowSeverity) {
+    const bool any_above = std::any_of(
+        scenario.streams.begin(), scenario.streams.end(),
+        [&](const StreamSpec& s) {
+          return s.severity_hint >= scenario.admission.shed_floor;
+        });
+    if (!any_above) {
+      throw doc.Require("admission")
+          .ErrorAt("shed_floor",
+                   "shed_below_severity admission with every stream's "
+                   "severity_hint below shed_floor would shed all overload "
+                   "traffic; raise a stream's severity_hint or lower the "
+                   "floor");
+    }
+  }
+
+  // Surface invalid runtime geometry here, positioned at [runtime].
+  try {
+    MakeRuntimeConfig(scenario).Validate();
+  } catch (const common::CheckError& error) {
+    const SpecSection* runtime = doc.Find("runtime");
+    if (runtime != nullptr) throw runtime->ErrorHere(error.what());
+    throw SpecError(doc.source(), 0, 0, error.what());
+  }
+  return scenario;
+}
+
+ScenarioSpec ConfigLoader::LoadFile(const std::string& path) {
+  return Load(SpecDocument::ParseFile(path));
+}
+
+runtime::ShardedRuntimeConfig ConfigLoader::MakeRuntimeConfig(
+    const ScenarioSpec& scenario) {
+  runtime::ShardedRuntimeConfig config;
+  config.shards = scenario.runtime.shards;
+  config.window = scenario.runtime.window;
+  config.settle_lag = scenario.runtime.settle_lag;
+  config.queue_capacity = scenario.runtime.queue_capacity;
+  config.admission = scenario.admission.policy;
+  config.shed_floor = scenario.admission.shed_floor;
+  return config;
+}
+
+loop::ImprovementLoopConfig ConfigLoader::MakeLoopConfig(
+    const LoopSpec& loop, std::vector<std::string> assertion_names,
+    nn::SgdConfig finetune_sgd) {
+  loop::ImprovementLoopConfig config;
+  config.assertion_names = std::move(assertion_names);
+  config.store.capacity = loop.store_capacity;
+  config.round.budget = loop.budget;
+  config.round.min_candidates = loop.min_candidates;
+  if (loop.retrain_epochs > 0) finetune_sgd.epochs = loop.retrain_epochs;
+  config.retrain.sgd = finetune_sgd;
+  config.seed = loop.seed;
+  return config;
+}
+
+std::unique_ptr<bandit::SelectionStrategy> ConfigLoader::MakeStrategy(
+    const std::string& name) {
+  if (name == "random") return std::make_unique<bandit::RandomStrategy>();
+  if (name == "uncertainty") {
+    return std::make_unique<bandit::UncertaintyStrategy>();
+  }
+  if (name == "bal") {
+    return std::make_unique<bandit::BalStrategy>(
+        bandit::BalConfig{}, std::make_unique<bandit::RandomStrategy>());
+  }
+  if (name == "bal-uncertainty") {
+    return std::make_unique<bandit::BalStrategy>(
+        bandit::BalConfig{}, std::make_unique<bandit::UncertaintyStrategy>());
+  }
+  throw common::CheckError("unknown selection strategy: " + name);
+}
+
+std::string_view ParamTypeName(ParamType type) {
+  switch (type) {
+    case ParamType::kInt: return "int";
+    case ParamType::kDouble: return "double";
+    case ParamType::kString: return "string";
+    case ParamType::kBool: return "bool";
+    case ParamType::kStringList: return "string list";
+  }
+  return "?";
+}
+
+}  // namespace omg::config

@@ -1,0 +1,187 @@
+// Typed scenario specs + the loader that turns them into real objects.
+//
+// A *scenario* file (configs/*.conf, format in spec.hpp and
+// docs/CONFIGURATION.md) declares a complete serving workload:
+//
+//   [scenario]            name / description
+//   [runtime]             ShardedMonitorService geometry
+//   [admission]           full-queue policy + shed floor
+//   [suite <domain>]      assertions = [<factory names>]   (one per domain)
+//   [assertion <name>]    parameters for one factory-registered assertion
+//   [stream <name>]       one traffic stream (domain, examples, seed, ...)
+//   [loop]                the improvement loop's round/oracle settings
+//
+// ConfigLoader::Load validates the whole document — unknown sections,
+// unknown keys, type mismatches, streams without a matching suite,
+// unreferenced [assertion] sections — into a ScenarioSpec of plain typed
+// structs, then the Make* helpers and BuildSuiteBundle instantiate the
+// corresponding runtime/loop/suite objects. Everything throws SpecError
+// positioned in the config text.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bandit/strategy.hpp"
+#include "config/assertion_factory.hpp"
+#include "config/spec.hpp"
+#include "loop/improvement_loop.hpp"
+#include "runtime/admission.hpp"
+#include "runtime/suite_bundle.hpp"
+
+namespace omg::config {
+
+/// One assertion a suite instantiates: its factory name, the (possibly
+/// empty) parameter section, and the name's position for error reporting.
+struct AssertionSpec {
+  std::string name;
+  SpecSection params;  ///< copy of [assertion <name>]; empty when absent
+  std::string source;
+  std::size_t line = 0;
+  std::size_t col = 0;
+};
+
+/// One domain's declarative suite: the ordered assertion list.
+struct SuiteSpec {
+  std::string domain;  ///< the [suite <domain>] label
+  std::vector<AssertionSpec> assertions;
+};
+
+/// [runtime] — ShardedMonitorService geometry (see ShardedRuntimeConfig).
+struct RuntimeSpec {
+  std::size_t shards = 2;
+  std::size_t window = 48;
+  std::size_t settle_lag = 8;
+  std::size_t queue_capacity = 1024;
+};
+
+/// [admission] — what a full shard queue does with an incoming batch.
+struct AdmissionSpec {
+  runtime::AdmissionPolicy policy = runtime::AdmissionPolicy::kBlock;
+  double shed_floor = 1.0;
+};
+
+/// [loop] — the improvement loop's round/oracle settings. `enabled`
+/// defaults to false: most scenarios only monitor.
+struct LoopSpec {
+  bool enabled = false;
+  /// Selection strategy: "bal", "bal-uncertainty", "uncertainty", "random".
+  std::string strategy = "bal";
+  /// Label source: "human" (ground truth) or "mixed" (human + consistency
+  /// weak labels at `weak_weight`).
+  std::string oracle = "human";
+  std::size_t budget = 16;
+  std::size_t min_candidates = 1;
+  /// Traffic waves the harness serves, one loop round after each.
+  std::size_t rounds = 4;
+  std::size_t store_capacity = 512;
+  double weak_weight = 0.25;
+  /// Fine-tune epochs; 0 keeps the domain's default.
+  std::size_t retrain_epochs = 0;
+  std::uint64_t seed = 42;
+};
+
+/// [stream <name>] — one traffic stream of a scenario.
+struct StreamSpec {
+  std::string name;
+  std::string domain;
+  std::size_t examples = 240;
+  std::size_t batch = 32;
+  std::uint64_t seed = 42;
+  /// Producer-side severity hint passed with every batch (what
+  /// shed_below_severity admission compares against the shed floor).
+  double severity_hint = 0.0;
+};
+
+/// A fully validated scenario.
+struct ScenarioSpec {
+  std::string name;
+  std::string description;
+  std::string source;  ///< file/source the scenario was parsed from
+  RuntimeSpec runtime;
+  AdmissionSpec admission;
+  LoopSpec loop;
+  std::vector<SuiteSpec> suites;    ///< one per domain, file order
+  std::vector<StreamSpec> streams;  ///< file order
+
+  /// The suite declared for `domain`; nullptr when absent.
+  const SuiteSpec* SuiteFor(const std::string& domain) const;
+  /// Distinct stream domains, in first-appearance order.
+  std::vector<std::string> Domains() const;
+};
+
+/// Parses + validates scenario documents and instantiates the runtime and
+/// loop objects they describe.
+class ConfigLoader {
+ public:
+  /// Validates `doc` into a ScenarioSpec (see the file comment for what is
+  /// checked). Throws SpecError positioned in the document.
+  static ScenarioSpec Load(const SpecDocument& doc);
+
+  /// Convenience: ParseFile + Load.
+  static ScenarioSpec LoadFile(const std::string& path);
+
+  /// The ShardedRuntimeConfig a scenario's [runtime]+[admission] describe
+  /// (already Validate()d by Load).
+  static runtime::ShardedRuntimeConfig MakeRuntimeConfig(
+      const ScenarioSpec& scenario);
+
+  /// The ImprovementLoopConfig a scenario's [loop] describes.
+  /// `assertion_names` must be the monitored suite's emitted names (store
+  /// column order); `finetune_sgd` is the domain's fine-tune recipe, whose
+  /// epoch count `loop.retrain_epochs` overrides when nonzero.
+  static loop::ImprovementLoopConfig MakeLoopConfig(
+      const LoopSpec& loop, std::vector<std::string> assertion_names,
+      nn::SgdConfig finetune_sgd);
+
+  /// Builds the selection strategy `LoopSpec::strategy` names; throws
+  /// CheckError on an unknown name (Load already rejects those).
+  static std::unique_ptr<bandit::SelectionStrategy> MakeStrategy(
+      const std::string& name);
+};
+
+/// Instantiates one stream's SuiteBundle from a declarative suite: builds
+/// every listed assertion through the factory (schema-validated) and folds
+/// the builders' invalidation hooks into the bundle.
+template <typename Example>
+runtime::SuiteBundle<Example> BuildSuiteBundle(
+    const AssertionFactory<Example>& factory, const SuiteSpec& spec) {
+  auto suite = std::make_shared<core::AssertionSuite<Example>>();
+  auto invalidators = std::make_shared<std::vector<std::function<void()>>>();
+  typename AssertionFactory<Example>::BuildContext context{*suite,
+                                                           *invalidators};
+  for (const AssertionSpec& assertion : spec.assertions) {
+    if (!factory.Has(assertion.name)) {
+      throw SpecError(assertion.source, assertion.line, assertion.col,
+                      "unknown assertion '" + assertion.name +
+                          "' for domain '" + spec.domain +
+                          "' (registered: " + factory.JoinedNames() + ")");
+    }
+    factory.Build(assertion.name, assertion.params, context);
+  }
+  runtime::SuiteBundle<Example> bundle;
+  bundle.suite = std::move(suite);
+  if (!invalidators->empty()) {
+    bundle.invalidate = [invalidators] {
+      for (const auto& invalidate : *invalidators) invalidate();
+    };
+  }
+  return bundle;
+}
+
+/// A SuiteFactory (one bundle per registered stream) over a declarative
+/// suite. The factory object must outlive the returned closure.
+template <typename Example>
+runtime::SuiteFactory<Example> MakeSuiteFactory(
+    const AssertionFactory<Example>& factory, SuiteSpec spec) {
+  return [&factory, spec = std::move(spec)] {
+    return BuildSuiteBundle(factory, spec);
+  };
+}
+
+}  // namespace omg::config

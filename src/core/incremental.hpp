@@ -45,8 +45,12 @@ namespace omg::core {
 template <typename Example>
 class IncrementalWindowEvaluator {
  public:
+  /// Evaluator parameters.
   struct Config {
+    /// Number of recent examples assertions can see.
     std::size_t window = 64;
+    /// How far behind the stream head an example must be before its
+    /// verdict is emitted; must stay below `window`.
     std::size_t settle_lag = 8;
     /// Invoked once per ingested chunk before unbounded assertions
     /// re-evaluate the window. Wire consistency-analyzer invalidation here:

@@ -13,10 +13,10 @@ namespace omg::core {
 
 /// Per-assertion aggregate over a batch run.
 struct AssertionSummary {
-  std::string assertion;
-  std::size_t examples_fired = 0;
+  std::string assertion;       ///< assertion name (column label)
+  std::size_t examples_fired = 0;  ///< examples with severity > 0
   double fire_rate = 0.0;      ///< examples fired / examples checked
-  double max_severity = 0.0;
+  double max_severity = 0.0;   ///< largest severity seen
   double mean_severity = 0.0;  ///< over firing examples only
 };
 

@@ -1,0 +1,36 @@
+#include "ecg/factory.hpp"
+
+#include <memory>
+#include <span>
+
+#include "core/consistency.hpp"
+#include "core/consistency_adapter.hpp"
+
+namespace omg::ecg {
+
+void RegisterEcgAssertions(config::AssertionFactory<EcgExample>& factory) {
+  factory.Register(
+      "ecg.oscillation",
+      "the 30-second consistency assertion (named \"ECG\"): fires when the "
+      "predicted class changes A -> B -> A within T seconds",
+      {{"temporal_threshold", config::ParamType::kDouble, "30.0",
+        "T in seconds (the ESC guideline's 30 s)"}},
+      [](const config::SpecSection& params,
+         config::AssertionFactory<EcgExample>::BuildContext& context) {
+        core::ConsistencyConfig consistency;
+        consistency.temporal_threshold =
+            params.GetDouble("temporal_threshold", 30.0);
+        auto analyzer = std::make_shared<core::ConsistencyAnalyzer<EcgExample>>(
+            consistency, [](std::span<const EcgExample> examples) {
+              return ExtractEcgRecords(examples);
+            });
+        // As in BuildEcgSuite: the deployed assertion is the `appear`
+        // column (index 1) of the generated {flicker, appear} pair.
+        context.suite.Add(
+            std::make_unique<core::GeneratedConsistencyAssertion<EcgExample>>(
+                "ECG", analyzer, 1));
+        context.invalidators.push_back([analyzer] { analyzer->Invalidate(); });
+      });
+}
+
+}  // namespace omg::ecg

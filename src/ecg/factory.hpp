@@ -1,0 +1,18 @@
+// Declarative-config registration of the ECG assertion.
+//
+// `[ecg.oscillation]` reproduces BuildEcgSuite exactly.
+#pragma once
+
+#include "config/assertion_factory.hpp"
+#include "ecg/ecg.hpp"
+
+namespace omg::ecg {
+
+/// Registers the deployed ECG assertion:
+///   * `ecg.oscillation` { temporal_threshold } — the consistency-generated
+///     "ECG" assertion (Id = predicted class, T = 30 s by default): a class
+///     present for < T seconds between absences is an A -> B -> A
+///     oscillation, which the ESC guideline forbids calling.
+void RegisterEcgAssertions(config::AssertionFactory<EcgExample>& factory);
+
+}  // namespace omg::ecg

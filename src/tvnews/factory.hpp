@@ -1,0 +1,19 @@
+// Declarative-config registration of the TV-news assertions.
+//
+// `[tvnews.consistency]` with default parameters reproduces BuildNewsSuite
+// exactly.
+#pragma once
+
+#include "config/assertion_factory.hpp"
+#include "tvnews/news.hpp"
+
+namespace omg::tvnews {
+
+/// Registers the TV-news consistency source:
+///   * `tvnews.consistency` { attributes, temporal_threshold } — one
+///     "consistent:<key>" assertion per listed face attribute (Id = scene +
+///     desk slot); the default temporal_threshold of 0 disables
+///     flicker/appear because scene cuts are hard boundaries.
+void RegisterNewsAssertions(config::AssertionFactory<NewsFrame>& factory);
+
+}  // namespace omg::tvnews

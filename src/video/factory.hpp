@@ -1,0 +1,21 @@
+// Declarative-config registration of the night-street assertions.
+//
+// Registers the video suite's building blocks with an
+// config::AssertionFactory so scenario files (configs/*.conf) can
+// instantiate them by name; `[video.multibox, video.consistency]` in that
+// order reproduces BuildVideoSuite exactly (tested in tests/test_config.cpp).
+#pragma once
+
+#include "config/assertion_factory.hpp"
+#include "video/assertions.hpp"
+
+namespace omg::video {
+
+/// Registers the night-street assertions:
+///   * `video.multibox`    { iou }  — the custom triple-overlap assertion
+///   * `video.consistency` { temporal_threshold, tracker_iou,
+///                           tracker_max_misses } — the consistency source
+///     generating `flicker` and `appear` (§4), with its invalidation hook
+void RegisterVideoAssertions(config::AssertionFactory<VideoExample>& factory);
+
+}  // namespace omg::video

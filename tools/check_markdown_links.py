@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Checks relative links and anchors in the repo's markdown documentation.
+
+Scans the given markdown files (default: README.md and docs/*.md) for
+inline links `[text](target)` and verifies:
+
+  * relative file targets exist (external http(s)/mailto links are skipped);
+  * `#anchor` fragments — both in-file and cross-file — match a heading in
+    the target file, using GitHub's slugification rules.
+
+Exits nonzero listing every broken link, so CI fails on documentation
+drift. No dependencies beyond the standard library.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+# Inline markdown links. Deliberately simple: no nested parentheses in
+# targets (none of our docs need them).
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading -> anchor slug: lowercase, drop punctuation,
+    spaces to hyphens. Inline code/emphasis markers are stripped first."""
+    text = re.sub(r"[`*_]", "", heading.strip())
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: pathlib.Path) -> set:
+    """All anchor slugs of a markdown file (with GitHub's -1, -2 suffixes
+    for duplicate headings)."""
+    slugs: dict = {}
+    out = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(2))
+        count = slugs.get(slug, 0)
+        slugs[slug] = count + 1
+        out.add(slug if count == 0 else f"{slug}-{count}")
+    return out
+
+
+def check_file(path: pathlib.Path, repo_root: pathlib.Path) -> list:
+    errors = []
+    in_fence = False
+    for number, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            file_part, _, anchor = target.partition("#")
+            if file_part:
+                resolved = (path.parent / file_part).resolve()
+                try:
+                    resolved.relative_to(repo_root.resolve())
+                except ValueError:
+                    errors.append(
+                        f"{path}:{number}: link escapes the repo: {target}"
+                    )
+                    continue
+                if not resolved.exists():
+                    errors.append(
+                        f"{path}:{number}: broken link target: {target}"
+                    )
+                    continue
+                anchor_file = resolved
+            else:
+                anchor_file = path
+            if anchor:
+                if anchor_file.suffix.lower() != ".md":
+                    continue
+                if github_slug(anchor) not in heading_slugs(anchor_file):
+                    errors.append(
+                        f"{path}:{number}: broken anchor: {target}"
+                    )
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "files",
+        nargs="*",
+        help="markdown files to check (default: README.md, docs/*.md, "
+        "EXPERIMENTS.md, ROADMAP.md)",
+    )
+    parser.add_argument(
+        "--repo-root",
+        default=".",
+        help="repository root used to reject links escaping the repo",
+    )
+    args = parser.parse_args()
+
+    repo_root = pathlib.Path(args.repo_root)
+    if args.files:
+        files = [pathlib.Path(f) for f in args.files]
+    else:
+        files = [repo_root / "README.md", repo_root / "EXPERIMENTS.md",
+                 repo_root / "ROADMAP.md"]
+        files += sorted((repo_root / "docs").glob("*.md"))
+    files = [f for f in files if f.exists()]
+    if not files:
+        print("no markdown files found", file=sys.stderr)
+        return 2
+
+    errors = []
+    for path in files:
+        errors.extend(check_file(path, repo_root))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {len(files)} files: "
+          f"{'FAIL' if errors else 'ok'} ({len(errors)} broken)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
