@@ -5,12 +5,17 @@
 // backpressure-aware fast path (runtime/sharded_service.hpp):
 //
 //   * a `--shards` sweep over ShardedMonitorService reporting throughput
-//     and the p50/p95/p99 observe-to-flag latency per shard count, and
+//     and the p50/p95/p99 observe-to-flag latency per shard count,
 //   * a saturation bench that paces offered load past capacity against a
 //     small bounded queue under ShedBelowSeverity, recording the
 //     throughput/latency knee — achieved eps tracks offered until the
 //     knee, then plateaus while p99 hits the queue bound and the shed
-//     counters (not the queue depth) absorb the overload.
+//     counters (not the queue depth) absorb the overload, and
+//   * a `--facade` comparison (on by default): the same workload through
+//     the type-erased serve::Monitor (AnyExample wrapping + erased
+//     dispatch + typed-scratch materialisation) vs. the directly templated
+//     ShardedMonitorService at the same shard count — the erasure tax of
+//     hosting heterogeneous domains in one runtime (target: <= 10%).
 //
 // The workload is synthetic but shaped like the paper's deployments: two
 // pointwise assertions plus two bounded stream-level assertions (temporal
@@ -43,16 +48,34 @@
 #include "runtime/event_sink.hpp"
 #include "runtime/service.hpp"
 #include "runtime/sharded_service.hpp"
-
-namespace {
-
-using namespace omg;
+#include "serve/monitor.hpp"
 
 /// One model invocation: a feature vector (e.g. pooled detector activations).
+/// At namespace scope (unlike the rest of the bench) so the facade's
+/// DomainTraits can be specialized for it — the bench doubles as the "any
+/// type can be a domain" demonstration.
 struct Sample {
   std::size_t index = 0;
   std::array<double, 16> features{};
 };
+
+namespace omg::serve {
+
+/// Facade identity of the bench workload: domain "bench".
+template <>
+struct DomainTraits<Sample> {
+  static constexpr std::string_view kDomain = "bench";
+  static double SeverityHint(const Sample&) { return 0.0; }
+  static std::string DebugString(const Sample& sample) {
+    return "bench sample " + std::to_string(sample.index);
+  }
+};
+
+}  // namespace omg::serve
+
+namespace {
+
+using namespace omg;
 
 double Magnitude(const Sample& sample) {
   double total = 0.0;
@@ -279,6 +302,72 @@ ShardedRunResult RunSharded(const std::vector<std::vector<Sample>>& streams,
   return result;
 }
 
+/// The same unsaturated workload as RunSharded, but through the type-erased
+/// serve::Monitor facade: examples wrapped into AnyExample, the suite
+/// erased under the "bench" domain, the counting sink attached via an
+/// unfiltered subscription. The throughput delta against RunSharded at the
+/// same shard count is the facade's dispatch overhead.
+ShardedRunResult RunFacade(const std::vector<std::vector<Sample>>& streams,
+                           std::size_t shards, std::size_t batch_size,
+                           std::size_t window, std::size_t settle_lag) {
+  runtime::ShardedRuntimeConfig config;
+  config.shards = shards;
+  config.window = window;
+  config.settle_lag = settle_lag;
+  config.queue_capacity = std::max<std::size_t>(batch_size * 16, 4096);
+  config.admission = runtime::AdmissionPolicy::kBlock;
+  serve::Result<std::unique_ptr<serve::Monitor>> built =
+      serve::Monitor::Builder().Runtime(config).Build();
+  common::Check(built.ok(), "facade monitor build failed");
+  const std::unique_ptr<serve::Monitor> monitor = std::move(built.value());
+  auto counting = std::make_shared<runtime::CountingSink>();
+  const serve::Subscription subscription =
+      monitor->Subscribe(serve::EventFilter{}, counting);
+  const serve::AnySuiteFactory factory =
+      serve::EraseSuiteFactory<Sample>("bench", [] {
+        auto suite = std::make_shared<core::AssertionSuite<Sample>>();
+        PopulateSuite(*suite);
+        return runtime::SuiteBundle<Sample>{suite, {}};
+      });
+  std::vector<serve::StreamHandle> handles;
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    serve::StreamOptions options;
+    options.name = "facade-" + std::to_string(s);
+    serve::Result<serve::StreamHandle> handle =
+        monitor->RegisterStream("bench", factory, options);
+    common::Check(handle.ok(), "facade stream registration failed");
+    handles.push_back(handle.value());
+  }
+
+  ShardedRunResult result;
+  const auto begin = Clock::now();
+  const std::size_t n = streams.front().size();
+  for (std::size_t offset = 0; offset < n; offset += batch_size) {
+    const std::size_t count = std::min(batch_size, n - offset);
+    for (std::size_t s = 0; s < streams.size(); ++s) {
+      common::Check(
+          monitor
+              ->ObserveBatch(handles[s],
+                             serve::WrapBatch(std::span<const Sample>(
+                                 streams[s].data() + offset, count)))
+              .ok(),
+          "facade ObserveBatch failed");
+    }
+  }
+  monitor->Flush();
+  result.run.seconds = Seconds(begin, Clock::now());
+  common::Check(monitor->Errors().empty(), "facade ingestion errors");
+  result.run.events = counting->count();
+  result.run.examples_per_sec =
+      static_cast<double>(n * streams.size()) / result.run.seconds;
+  const runtime::LatencyHistogram latency =
+      monitor->Metrics().MergedLatency();
+  result.p50_ms = latency.Quantile(0.50) * 1e3;
+  result.p95_ms = latency.Quantile(0.95) * 1e3;
+  result.p99_ms = latency.Quantile(0.99) * 1e3;
+  return result;
+}
+
 /// Per-batch severity hint for the saturation bench: the number of
 /// anomaly-burst examples the batch carries (what an upstream cheap filter
 /// would estimate). Shedding keeps burst-heavy batches under overload.
@@ -372,6 +461,8 @@ void WriteJson(
     const RunResult& sharded_1w, const RunResult& sharded,
     const std::vector<std::pair<std::size_t, RunResult>>& sweep,
     const std::vector<std::pair<std::size_t, ShardedRunResult>>& shard_sweep,
+    const ShardedRunResult* facade, std::size_t facade_shards,
+    double facade_templated_eps, double facade_overhead,
     std::size_t saturation_shards, std::size_t saturation_capacity,
     double shed_floor, const std::vector<SaturationPoint>& saturation) {
   std::ofstream out(path);
@@ -419,8 +510,18 @@ void WriteJson(
         << ", \"p95\": " << r.p95_ms << ", \"p99\": " << r.p99_ms << "}}"
         << (i + 1 < shard_sweep.size() ? "," : "") << "\n";
   }
-  out << "  ],\n"
-      << "  \"saturation\": {\n"
+  out << "  ],\n";
+  if (facade != nullptr) {
+    out << "  \"facade\": {\"shards\": " << facade_shards
+        << ", \"templated_examples_per_sec\": " << facade_templated_eps
+        << ", \"facade_examples_per_sec\": "
+        << facade->run.examples_per_sec
+        << ", \"overhead_frac\": " << facade_overhead
+        << ", \"observe_to_flag_ms\": {\"p50\": " << facade->p50_ms
+        << ", \"p95\": " << facade->p95_ms << ", \"p99\": " << facade->p99_ms
+        << "}},\n";
+  }
+  out << "  \"saturation\": {\n"
       << "    \"policy\": \"shed_below_severity\",\n"
       << "    \"shards\": " << saturation_shards << ",\n"
       << "    \"queue_capacity_examples\": " << saturation_capacity << ",\n"
@@ -447,7 +548,7 @@ int main(int argc, char** argv) {
   const auto flags = common::Flags::Parse(argc, argv);
   flags.CheckAllowed(
       {"streams", "examples", "workers", "shards", "capacity", "batch",
-       "window", "settle", "seed", "json"});
+       "window", "settle", "seed", "json", "facade"});
   const auto n_streams = static_cast<std::size_t>(flags.GetInt("streams", 8));
   const auto examples = static_cast<std::size_t>(flags.GetInt("examples", 20000));
   // `--workers` accepts a comma-separated sweep (e.g. `--workers 1,2,4,8`);
@@ -505,16 +606,57 @@ int main(int argc, char** argv) {
                   "sharded fast path emitted a different event count");
   }
 
-  // Saturation: a small bounded queue under ShedBelowSeverity, offered
-  // load paced at fractions of the unsaturated 2-shard (or closest) rate.
+  // The sweep entry closest to 2 shards anchors both the facade
+  // comparison and the saturation pacing: past ~4 shards a single-core
+  // box is oversubscribed and run-to-run scheduler noise swamps the
+  // few-percent effects being measured.
   const auto reference = std::min_element(
       shard_sweep.begin(), shard_sweep.end(), [](const auto& a, const auto& b) {
-        // Prefer the entry closest to 2 shards as the pacing reference.
         const auto distance = [](std::size_t s) {
           return s > 2 ? s - 2 : 2 - s;
         };
         return distance(a.first) < distance(b.first);
       });
+
+  // Facade-vs-templated: the same workload through serve::Monitor at the
+  // reference shard count; the throughput delta is the erasure tax. Both
+  // sides run interleaved, median-of-5 (same noise reasoning: run-to-run
+  // scheduler variance on this box exceeds the effect being measured, and
+  // a median is robust where a best-of amplifies one side's lucky run).
+  const bool facade_enabled = flags.GetBool("facade", true);
+  const std::size_t facade_shards = reference->first;
+  ShardedRunResult facade_templated;
+  ShardedRunResult facade_result;
+  double facade_overhead = 0.0;
+  if (facade_enabled) {
+    constexpr int kReps = 5;
+    std::vector<ShardedRunResult> templated_runs;
+    std::vector<ShardedRunResult> facade_runs;
+    for (int rep = 0; rep < kReps; ++rep) {
+      templated_runs.push_back(RunSharded(streams, facade_shards,
+                                          batch_size, window, settle_lag));
+      common::Check(baseline.events == templated_runs.back().run.events,
+                    "templated rerun emitted a different event count");
+      facade_runs.push_back(RunFacade(streams, facade_shards, batch_size,
+                                      window, settle_lag));
+      common::Check(baseline.events == facade_runs.back().run.events,
+                    "facade emitted a different event count");
+    }
+    const auto median = [](std::vector<ShardedRunResult>& runs) {
+      std::sort(runs.begin(), runs.end(),
+                [](const ShardedRunResult& a, const ShardedRunResult& b) {
+                  return a.run.examples_per_sec < b.run.examples_per_sec;
+                });
+      return runs[runs.size() / 2];
+    };
+    facade_templated = median(templated_runs);
+    facade_result = median(facade_runs);
+    facade_overhead = 1.0 - facade_result.run.examples_per_sec /
+                                facade_templated.run.examples_per_sec;
+  }
+
+  // Saturation: a small bounded queue under ShedBelowSeverity, offered
+  // load paced at fractions of the unsaturated 2-shard (or closest) rate.
   const std::size_t saturation_shards = reference->first;
   const double reference_eps = reference->second.run.examples_per_sec;
   // Default per-shard queue bound: two submission rounds' worth of the
@@ -610,6 +752,26 @@ int main(int argc, char** argv) {
   }
   fast_table.Print(std::cout);
 
+  if (facade_enabled) {
+    std::cout << "\n=== type-erased facade vs templated ("
+              << facade_shards << " shards) ===\n\n";
+    common::TextTable facade_table(
+        {"Configuration", "Examples/sec", "p99 ms", "Overhead"});
+    facade_table.AddRow(
+        {"templated ShardedMonitorService",
+         common::FormatDouble(facade_templated.run.examples_per_sec, 0),
+         common::FormatDouble(facade_templated.p99_ms, 3), "-"});
+    facade_table.AddRow(
+        {"serve::Monitor (AnyExample dispatch)",
+         common::FormatDouble(facade_result.run.examples_per_sec, 0),
+         common::FormatDouble(facade_result.p99_ms, 3),
+         common::FormatDouble(facade_overhead * 100.0, 1) + "%"});
+    facade_table.Print(std::cout);
+    if (facade_overhead > 0.10) {
+      std::cout << "WARNING: facade overhead above the 10% target\n";
+    }
+  }
+
   std::cout << "\n=== saturation (shed_below_severity, "
             << saturation_shards << " shards, queue "
             << saturation_capacity << " examples, floor "
@@ -629,6 +791,8 @@ int main(int argc, char** argv) {
 
   WriteJson(json_path, n_streams, examples, window, settle_lag, workers,
             batch_size, baseline, sharded_1w, sharded, sweep, shard_sweep,
+            facade_enabled ? &facade_result : nullptr, facade_shards,
+            facade_templated.run.examples_per_sec, facade_overhead,
             saturation_shards, saturation_capacity, shed_floor, saturation);
   std::cout << "\nwrote " << json_path << "\n";
   return 0;

@@ -1,46 +1,234 @@
-// Serving all four paper deployments through the sharded backpressure-aware
-// assertion runtime (§2.3 at serving scale; see src/runtime/ and
-// docs/ARCHITECTURE.md).
+// Serving all four paper deployments through ONE type-erased facade
+// monitor (§2.3 at serving scale; see src/serve/ and docs/API.md).
 //
-// Each domain gets a ShardedMonitorService<Example> instance (the runtime is
-// typed by the domain's example struct); every service monitors several
-// concurrent streams — two camera feeds, two AV logs, two ECG patient
-// cohorts, two TV channels — through per-stream assertion suites, each
-// stream pinned to one shard worker, ingested through bounded queues under
-// a selectable admission policy. Events flow to pluggable sinks (counting +
-// JSON-lines here) and the MetricsRegistry renders the per-stream dashboard
-// plus the per-shard capacity/latency envelope the paper sketches.
+// PR 3's version of this example instantiated one templated
+// ShardedMonitorService<Example> per domain — four runtimes, four thread
+// pools, four metrics namespaces. The serve::Monitor facade collapses them:
+// eight streams across video / av / ecg / tvnews register against a single
+// sharded runtime, so every domain shares the same worker threads, bounded
+// queues, admission policy, and dashboard. Suites are erased per domain
+// with serve::EraseSuiteFactory (assertion names come out qualified, e.g.
+// "video/flicker"), examples are wrapped with serve::AnyExample::Make, and
+// sinks attach through filtered subscriptions.
 //
 // Build & run:  ./examples/runtime_serving [--frames N] [--shards N]
 //               [--policy block|drop_oldest|shed_below_severity]
+#include <algorithm>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "av/pipeline.hpp"
+#include "common/check.hpp"
 #include "common/flags.hpp"
 #include "common/table.hpp"
 #include "ecg/ecg.hpp"
 #include "runtime/admission.hpp"
 #include "runtime/event_sink.hpp"
-#include "runtime/sharded_service.hpp"
-#include "tvnews/news.hpp"
+// The domain factory headers carry the DomainTraits specializations that
+// let AnyExample::Make wrap each domain's example type.
+#include "av/factory.hpp"
+#include "ecg/factory.hpp"
+#include "serve/monitor.hpp"
+#include "tvnews/factory.hpp"
 #include "video/assertions.hpp"
 #include "video/detector.hpp"
+#include "video/factory.hpp"
 #include "video/world.hpp"
 
 namespace {
 
 using namespace omg;
 
-/// Prints one domain's dashboard snapshot: per stream, per assertion.
-void PrintDashboard(const std::string& domain,
-                    const runtime::MetricsSnapshot& snapshot,
-                    std::size_t sample_events,
-                    const std::string& sample_json) {
-  std::cout << "--- " << domain << ": " << snapshot.examples_seen
-            << " examples, " << snapshot.events << " events ---\n";
+/// Unwraps a facade Result or dies with its message (example-quality error
+/// handling; a real service would branch on result.code()).
+template <typename T>
+T Expect(serve::Result<T> result, const std::string& what) {
+  common::Check(result.ok(),
+                result.ok() ? "" : what + ": " + result.error().message);
+  return std::move(result.value());
+}
+
+/// Registers one stream and serves its pregenerated examples in batches.
+template <typename Example>
+void ServeStream(serve::Monitor& monitor, const std::string& domain,
+                 serve::AnySuiteFactory suite_factory,
+                 const std::string& name, std::vector<Example> examples) {
+  serve::StreamOptions options;
+  options.name = name;
+  const serve::StreamHandle handle = Expect(
+      monitor.RegisterStream(domain, std::move(suite_factory), options),
+      "RegisterStream " + name);
+  constexpr std::size_t kBatch = 64;
+  std::vector<serve::AnyExample> batch;
+  batch.reserve(kBatch);
+  for (Example& example : examples) {
+    batch.push_back(serve::AnyExample::Make(std::move(example)));
+    if (batch.size() == kBatch) {
+      Expect(monitor.ObserveBatch(handle, std::move(batch)),
+             "ObserveBatch " + name);
+      batch.clear();
+    }
+  }
+  if (!batch.empty()) {
+    Expect(monitor.ObserveBatch(handle, std::move(batch)),
+           "ObserveBatch " + name);
+  }
+}
+
+/// Video: two night-street camera feeds through one pretrained detector.
+void ServeVideo(serve::Monitor& monitor, std::size_t frames,
+                std::uint64_t seed) {
+  video::NightStreetWorld world(video::WorldConfig{}, seed);
+  video::SsdDetector detector(video::DetectorConfig{},
+                              world.config().feature_dim, seed);
+  detector.Pretrain(world.PretrainingSet(500, 700));
+
+  const auto suite_factory = serve::EraseSuiteFactory<video::VideoExample>(
+      "video", [] {
+        auto built = std::make_shared<video::VideoSuite>(
+            video::BuildVideoSuite());
+        return runtime::SuiteBundle<video::VideoExample>{
+            // Aliasing share: the bundle keeps the whole VideoSuite (and
+            // its consistency analyzer) alive through the suite pointer.
+            std::shared_ptr<core::AssertionSuite<video::VideoExample>>(
+                built, &built->suite),
+            [built] { built->consistency->Invalidate(); }};
+      });
+  std::uint64_t feed_seed = seed;
+  for (const char* camera : {"cam-north", "cam-south"}) {
+    video::NightStreetWorld feed(video::WorldConfig{}, feed_seed++);
+    std::vector<video::VideoExample> examples;
+    for (const auto& frame : feed.GenerateFrames(frames)) {
+      examples.push_back(
+          {frame.index, frame.timestamp, detector.Detect(frame)});
+    }
+    ServeStream(monitor, "video", suite_factory, camera,
+                std::move(examples));
+  }
+}
+
+/// AV: two drive logs; camera + LIDAR outputs from the AV pipeline.
+void ServeAv(serve::Monitor& monitor, std::uint64_t seed) {
+  const auto suite_factory = serve::EraseSuiteFactory<av::AvExample>(
+      "av", [] {
+        auto built = std::make_shared<av::AvSuite>(av::BuildAvSuite());
+        return runtime::SuiteBundle<av::AvExample>{
+            std::shared_ptr<core::AssertionSuite<av::AvExample>>(
+                built, &built->suite),
+            {}};  // both AV assertions are pointwise; nothing to invalidate
+      });
+  std::uint64_t log_seed = seed;
+  for (const char* log : {"drive-a", "drive-b"}) {
+    av::AvPipelineConfig config;
+    config.pool_scenes = 8;
+    config.test_scenes = 2;
+    config.world_seed = log_seed++;
+    av::AvPipeline pipeline(config);
+    ServeStream(monitor, "av", suite_factory, log,
+                pipeline.MakeExamples(pipeline.pool()));
+  }
+}
+
+/// ECG: two patient cohorts classified by one pretrained model.
+void ServeEcg(serve::Monitor& monitor, std::uint64_t seed) {
+  ecg::EcgGenerator generator(ecg::EcgConfig{}, seed);
+  ecg::EcgClassifier classifier(ecg::EcgClassifierConfig{},
+                                generator.config().feature_dim, seed);
+  classifier.Pretrain(generator.PretrainingSet(600));
+
+  const auto suite_factory = serve::EraseSuiteFactory<ecg::EcgExample>(
+      "ecg", [] {
+        auto built = std::make_shared<ecg::EcgSuite>(ecg::BuildEcgSuite());
+        return runtime::SuiteBundle<ecg::EcgExample>{
+            std::shared_ptr<core::AssertionSuite<ecg::EcgExample>>(
+                built, &built->suite),
+            [built] { built->consistency->Invalidate(); }};
+      });
+  for (const char* cohort : {"ward-1", "ward-2"}) {
+    std::vector<ecg::EcgExample> examples;
+    for (const auto& window : generator.GenerateRecords(12)) {
+      examples.push_back(
+          {window.record, window.timestamp, classifier.Predict(window)});
+    }
+    ServeStream(monitor, "ecg", suite_factory, cohort, std::move(examples));
+  }
+}
+
+/// TV news: two channels' face-attribute model outputs.
+void ServeNews(serve::Monitor& monitor, std::size_t frames,
+               std::uint64_t seed) {
+  const auto suite_factory = serve::EraseSuiteFactory<tvnews::NewsFrame>(
+      "tvnews", [] {
+        auto built =
+            std::make_shared<tvnews::NewsSuite>(tvnews::BuildNewsSuite());
+        return runtime::SuiteBundle<tvnews::NewsFrame>{
+            std::shared_ptr<core::AssertionSuite<tvnews::NewsFrame>>(
+                built, &built->suite),
+            [built] { built->consistency->Invalidate(); }};
+      });
+  std::uint64_t channel_seed = seed;
+  for (const char* channel : {"channel-4", "channel-7"}) {
+    tvnews::NewsGenerator generator(tvnews::NewsConfig{}, channel_seed++);
+    ServeStream(monitor, "tvnews", suite_factory, channel,
+                generator.Generate(frames));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = common::Flags::Parse(argc, argv);
+  flags.CheckAllowed({"frames", "shards", "policy", "seed"});
+  const auto frames = static_cast<std::size_t>(flags.GetInt("frames", 240));
+  const auto shards = static_cast<std::size_t>(flags.GetInt("shards", 4));
+  const runtime::AdmissionPolicy policy =
+      runtime::ParseAdmissionPolicy(flags.GetString("policy", "block"));
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+
+  std::cout << "=== one serve::Monitor, all four deployments (" << shards
+            << " shards, " << runtime::AdmissionPolicyName(policy)
+            << " admission) ===\n\n";
+
+  auto monitor = Expect(serve::Monitor::Builder()
+                            .Shards(shards)
+                            .Window(48)
+                            .SettleLag(8)
+                            .QueueCapacity(512)
+                            .Admission(policy)
+                            .Build(),
+                        "Monitor::Build");
+
+  // Subscriptions: a high-severity alert feed across *all* domains (what a
+  // pager would watch) plus a JSON-lines export of video events only.
+  auto alerts = std::make_shared<runtime::CountingSink>();
+  serve::EventFilter alert_filter;
+  alert_filter.min_severity = 2.0;
+  const serve::Subscription alert_subscription =
+      monitor->Subscribe(alert_filter, alerts);
+  std::ostringstream video_json;
+  auto video_sink = std::make_shared<runtime::JsonLinesSink>(video_json);
+  serve::EventFilter video_filter;
+  video_filter.domain = "video";
+  const serve::Subscription video_subscription =
+      monitor->Subscribe(video_filter, video_sink);
+
+  ServeVideo(*monitor, frames, seed);
+  ServeAv(*monitor, seed);
+  ServeEcg(*monitor, seed);
+  ServeNews(*monitor, frames, seed);
+  monitor->Flush();
+  for (const auto& error : monitor->Errors()) {
+    std::cout << "ingest error: " << error << "\n";
+  }
+
+  const runtime::MetricsSnapshot snapshot = monitor->Metrics();
+  std::cout << "--- shared dashboard: " << snapshot.examples_seen
+            << " examples, " << snapshot.events
+            << " events across 4 domains ---\n";
   common::TextTable table(
       {"Stream", "Assertion", "Fires", "Max sev", "Mean sev"});
   for (const auto& stream : snapshot.streams) {
@@ -61,186 +249,13 @@ void PrintDashboard(const std::string& domain,
          common::FormatDouble(shard.latency.Quantile(0.99) * 1e3, 3)});
   }
   shard_table.Print(std::cout);
-  if (sample_events > 0) {
-    std::cout << "first of " << sample_events
-              << " JSON-lines events: " << sample_json;
-  }
-  std::cout << "\n";
-}
 
-/// Serving parameters shared by the four domains.
-struct ServeOptions {
-  std::size_t shards = 4;
-  runtime::AdmissionPolicy policy = runtime::AdmissionPolicy::kBlock;
-};
-
-/// Runs `streams` through a sharded service built by `make_bundle`, batched.
-template <typename Example, typename BundleFactory>
-void Serve(const std::string& domain,
-           const std::vector<std::pair<std::string, std::vector<Example>>>&
-               streams,
-           BundleFactory make_bundle, const ServeOptions& options) {
-  runtime::ShardedRuntimeConfig config;
-  config.shards = options.shards;
-  config.window = 48;
-  config.settle_lag = 8;
-  config.queue_capacity = 512;
-  config.admission = options.policy;
-  runtime::ShardedMonitorService<Example> service(config, make_bundle);
-  std::ostringstream json;
-  service.AddSink(std::make_shared<runtime::JsonLinesSink>(json));
-
-  std::vector<runtime::StreamId> ids;
-  for (const auto& [name, examples] : streams) {
-    ids.push_back(service.RegisterStream(name));
-  }
-  constexpr std::size_t kBatch = 64;
-  for (std::size_t s = 0; s < streams.size(); ++s) {
-    const auto& examples = streams[s].second;
-    for (std::size_t begin = 0; begin < examples.size(); begin += kBatch) {
-      const std::size_t count = std::min(kBatch, examples.size() - begin);
-      service.ObserveBatch(
-          ids[s], std::vector<Example>(examples.begin() + begin,
-                                       examples.begin() + begin + count));
-    }
-  }
-  service.Flush();
-  for (const auto& error : service.Errors()) {
-    std::cout << "ingest error: " << error << "\n";
-  }
-
-  const std::string lines = json.str();
-  const runtime::MetricsSnapshot snapshot = service.Metrics();
-  PrintDashboard(domain, snapshot, snapshot.events,
-                 lines.substr(0, lines.find('\n') + 1));
-}
-
-/// Video: two night-street camera feeds through one pretrained detector.
-void ServeVideo(std::size_t frames, const ServeOptions& options,
-                std::uint64_t seed) {
-  video::NightStreetWorld world(video::WorldConfig{}, seed);
-  video::SsdDetector detector(video::DetectorConfig{},
-                              world.config().feature_dim, seed);
-  detector.Pretrain(world.PretrainingSet(500, 700));
-
-  std::vector<std::pair<std::string, std::vector<video::VideoExample>>>
-      streams;
-  for (const std::string& camera : {"cam-north", "cam-south"}) {
-    video::NightStreetWorld feed(video::WorldConfig{}, seed + streams.size());
-    std::vector<video::VideoExample> examples;
-    for (const auto& frame : feed.GenerateFrames(frames)) {
-      examples.push_back(
-          {frame.index, frame.timestamp, detector.Detect(frame)});
-    }
-    streams.emplace_back(camera, std::move(examples));
-  }
-  Serve<video::VideoExample>(
-      "video (night-street)", streams,
-      [] {
-        auto built = std::make_shared<video::VideoSuite>(
-            video::BuildVideoSuite());
-        return runtime::ShardedMonitorService<video::VideoExample>::SuiteBundle{
-            // Aliasing share: the bundle keeps the whole VideoSuite (and its
-            // consistency analyzer) alive through the suite pointer.
-            std::shared_ptr<core::AssertionSuite<video::VideoExample>>(
-                built, &built->suite),
-            [built] { built->consistency->Invalidate(); }};
-      },
-      options);
-}
-
-/// AV: two drive logs; camera + LIDAR outputs from the AV pipeline.
-void ServeAv(const ServeOptions& options, std::uint64_t seed) {
-  std::vector<std::pair<std::string, std::vector<av::AvExample>>> streams;
-  for (const std::string& log : {"drive-a", "drive-b"}) {
-    av::AvPipelineConfig config;
-    config.pool_scenes = 8;
-    config.test_scenes = 2;
-    config.world_seed = seed + streams.size();
-    av::AvPipeline pipeline(config);
-    streams.emplace_back(log, pipeline.MakeExamples(pipeline.pool()));
-  }
-  Serve<av::AvExample>(
-      "av (camera vs lidar)", streams,
-      [] {
-        auto built = std::make_shared<av::AvSuite>(av::BuildAvSuite());
-        return runtime::ShardedMonitorService<av::AvExample>::SuiteBundle{
-            std::shared_ptr<core::AssertionSuite<av::AvExample>>(
-                built, &built->suite),
-            {}};  // both AV assertions are pointwise; nothing to invalidate
-      },
-      options);
-}
-
-/// ECG: two patient cohorts classified by one pretrained model.
-void ServeEcg(const ServeOptions& options, std::uint64_t seed) {
-  ecg::EcgGenerator generator(ecg::EcgConfig{}, seed);
-  ecg::EcgClassifier classifier(ecg::EcgClassifierConfig{},
-                                generator.config().feature_dim, seed);
-  classifier.Pretrain(generator.PretrainingSet(600));
-
-  std::vector<std::pair<std::string, std::vector<ecg::EcgExample>>> streams;
-  for (const std::string& cohort : {"ward-1", "ward-2"}) {
-    std::vector<ecg::EcgExample> examples;
-    for (const auto& window : generator.GenerateRecords(12)) {
-      examples.push_back(
-          {window.record, window.timestamp, classifier.Predict(window)});
-    }
-    streams.emplace_back(cohort, std::move(examples));
-  }
-  Serve<ecg::EcgExample>(
-      "ecg (30s consistency)", streams,
-      [] {
-        auto built = std::make_shared<ecg::EcgSuite>(ecg::BuildEcgSuite());
-        return runtime::ShardedMonitorService<ecg::EcgExample>::SuiteBundle{
-            std::shared_ptr<core::AssertionSuite<ecg::EcgExample>>(
-                built, &built->suite),
-            [built] { built->consistency->Invalidate(); }};
-      },
-      options);
-}
-
-/// TV news: two channels' face-attribute model outputs.
-void ServeNews(std::size_t frames, const ServeOptions& options,
-               std::uint64_t seed) {
-  std::vector<std::pair<std::string, std::vector<tvnews::NewsFrame>>> streams;
-  for (const std::string& channel : {"channel-4", "channel-7"}) {
-    tvnews::NewsGenerator generator(tvnews::NewsConfig{},
-                                    seed + streams.size());
-    streams.emplace_back(channel, generator.Generate(frames));
-  }
-  Serve<tvnews::NewsFrame>(
-      "tvnews (face attributes)", streams,
-      [] {
-        auto built =
-            std::make_shared<tvnews::NewsSuite>(tvnews::BuildNewsSuite());
-        return runtime::ShardedMonitorService<tvnews::NewsFrame>::SuiteBundle{
-            std::shared_ptr<core::AssertionSuite<tvnews::NewsFrame>>(
-                built, &built->suite),
-            [built] { built->consistency->Invalidate(); }};
-      },
-      options);
-}
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  const auto flags = common::Flags::Parse(argc, argv);
-  flags.CheckAllowed({"frames", "shards", "policy", "seed"});
-  const auto frames = static_cast<std::size_t>(flags.GetInt("frames", 240));
-  ServeOptions options;
-  options.shards = static_cast<std::size_t>(flags.GetInt("shards", 4));
-  options.policy =
-      runtime::ParseAdmissionPolicy(flags.GetString("policy", "block"));
-  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
-
-  std::cout << "=== assertion-serving runtime: all four deployments ("
-            << options.shards << " shards, "
-            << runtime::AdmissionPolicyName(options.policy)
-            << " admission) ===\n\n";
-  ServeVideo(frames, options, seed);
-  ServeAv(options, seed);
-  ServeEcg(options, seed);
-  ServeNews(frames, options, seed);
+  std::cout << "\nalert subscription (severity >= 2.0, any domain): "
+            << alerts->count() << " events, max severity "
+            << common::FormatDouble(alerts->max_severity(), 2) << "\n";
+  const std::string lines = video_json.str();
+  std::cout << "video subscription (JSON-lines): first of "
+            << std::count(lines.begin(), lines.end(), '\n')
+            << " events: " << lines.substr(0, lines.find('\n') + 1);
   return 0;
 }

@@ -1,13 +1,18 @@
-// One binary, N workloads: loads declarative scenario files (configs/*.conf,
-// format in docs/CONFIGURATION.md), instantiates each one against the
-// sharded assertion-serving runtime through the config layer, and emits a
-// per-scenario metrics/latency report. Adding a workload is editing a
-// config file, not writing a main().
+// One binary, N workloads, one runtime per workload: loads declarative
+// scenario files (configs/*.conf, format in docs/CONFIGURATION.md) and runs
+// each one through a single type-erased serve::Monitor — every stream of
+// every domain the scenario declares shares one shard set, one admission
+// policy, and one metrics registry (docs/API.md). Adding a workload is
+// editing a config file, not writing a main().
 //
-//   * every suite comes from the AssertionFactory registries the four
-//     domains populate (src/*/factory.cpp) — names like `video.multibox`
-//     with parameters from [assertion ...] sections;
-//   * runtime geometry and admission come from [runtime] / [admission];
+//   * every suite comes from the serve::DomainRegistry the four domains
+//     populate (src/*/factory.cpp) — erased builders with names like
+//     `video.multibox`, parameters from [assertion ...] sections;
+//   * runtime geometry and admission come from [runtime] / [admission] and
+//     bound the whole scenario, mixed-domain ones included: a video batch
+//     and an ECG batch contend for the same bounded queues;
+//   * after every run the shared admission accounting must reconcile:
+//     offered == scored + shed + dropped + errored, across domains;
 //   * scenarios with `[loop] enabled = true` run the improvement loop on
 //     their video streams: traffic is served in waves, each followed by a
 //     select -> label -> retrain round and a hot-swap pickup.
@@ -15,11 +20,14 @@
 // Build & run:
 //   ./examples/scenario_harness ../configs/*.conf     # explicit files
 //   ./examples/scenario_harness --configs ../configs  # every *.conf in DIR
-//   ./examples/scenario_harness --describe            # registered assertions
+//   ./examples/scenario_harness --describe            # registered domains
 #include <algorithm>
 #include <chrono>
+#include <cstddef>
 #include <filesystem>
 #include <iostream>
+#include <iterator>
+#include <map>
 #include <memory>
 #include <optional>
 #include <set>
@@ -29,12 +37,15 @@
 
 #include "av/factory.hpp"
 #include "av/pipeline.hpp"
+#include "common/check.hpp"
 #include "common/flags.hpp"
 #include "common/table.hpp"
+#include "config/monitor_loader.hpp"
 #include "config/scenario.hpp"
 #include "ecg/factory.hpp"
 #include "loop/improvement_loop.hpp"
-#include "runtime/sharded_service.hpp"
+#include "serve/domains.hpp"
+#include "serve/monitor.hpp"
 #include "tvnews/factory.hpp"
 #include "video/detector.hpp"
 #include "video/factory.hpp"
@@ -45,25 +56,10 @@ namespace {
 
 using namespace omg;
 
-/// The per-domain assertion registries, populated once at startup.
-struct Factories {
-  config::AssertionFactory<video::VideoExample> video;
-  config::AssertionFactory<av::AvExample> av;
-  config::AssertionFactory<ecg::EcgExample> ecg;
-  config::AssertionFactory<tvnews::NewsFrame> tvnews;
-
-  Factories() {
-    video::RegisterVideoAssertions(video);
-    av::RegisterAvAssertions(av);
-    ecg::RegisterEcgAssertions(ecg);
-    tvnews::RegisterNewsAssertions(tvnews);
-  }
-};
-
 /// One line of the end-of-run summary table.
 struct SummaryRow {
   std::string scenario;
-  std::string domain;
+  std::string domains;
   std::size_t streams = 0;
   std::size_t examples = 0;
   std::size_t events = 0;
@@ -73,9 +69,148 @@ struct SummaryRow {
   double wall_seconds = 0.0;
 };
 
-void PrintDomainReport(const std::string& domain,
-                       const runtime::MetricsSnapshot& snapshot,
-                       const std::vector<std::string>& errors) {
+/// Moves a typed example vector into facade holders.
+template <typename Example>
+std::vector<serve::AnyExample> Erase(std::vector<Example> examples) {
+  std::vector<serve::AnyExample> erased;
+  erased.reserve(examples.size());
+  for (Example& example : examples) {
+    erased.push_back(serve::AnyExample::Make(std::move(example)));
+  }
+  return erased;
+}
+
+/// Per-stream prebuilt traffic, keyed by stream name.
+using TrafficMap = std::map<std::string, std::vector<serve::AnyExample>>;
+
+// ----------------------------------------------------------- traffic gen ---
+
+std::vector<config::StreamSpec> StreamsOf(
+    const config::ScenarioSpec& scenario, const std::string& domain) {
+  std::vector<config::StreamSpec> streams;
+  for (const config::StreamSpec& stream : scenario.streams) {
+    if (stream.domain == domain) streams.push_back(stream);
+  }
+  return streams;
+}
+
+void MakeVideoTraffic(const std::vector<config::StreamSpec>& specs,
+                      TrafficMap& traffic) {
+  // One detector serves every stream (the deployment has one model); its
+  // pretraining seed comes from the first stream so scenarios reproduce.
+  video::NightStreetWorld seed_world(video::WorldConfig{},
+                                     specs.front().seed);
+  video::SsdDetector detector(video::DetectorConfig{},
+                              seed_world.config().feature_dim,
+                              specs.front().seed);
+  detector.Pretrain(seed_world.PretrainingSet(500, 700));
+
+  for (const config::StreamSpec& spec : specs) {
+    video::NightStreetWorld world(video::WorldConfig{}, spec.seed);
+    std::vector<video::VideoExample> examples;
+    examples.reserve(spec.examples);
+    for (const auto& frame : world.GenerateFrames(spec.examples)) {
+      examples.push_back({frame.index, frame.timestamp,
+                          detector.Detect(frame)});
+    }
+    traffic.emplace(spec.name, Erase(std::move(examples)));
+  }
+}
+
+void MakeAvTraffic(const std::vector<config::StreamSpec>& specs,
+                   TrafficMap& traffic) {
+  for (const config::StreamSpec& spec : specs) {
+    av::AvPipelineConfig config;
+    config.pool_scenes =
+        spec.examples / config.world.samples_per_scene + 1;
+    config.test_scenes = 1;
+    config.world_seed = spec.seed;
+    av::AvPipeline pipeline(config);
+    std::vector<av::AvExample> examples =
+        pipeline.MakeExamples(pipeline.pool());
+    if (examples.size() > spec.examples) examples.resize(spec.examples);
+    traffic.emplace(spec.name, Erase(std::move(examples)));
+  }
+}
+
+void MakeEcgTraffic(const std::vector<config::StreamSpec>& specs,
+                    TrafficMap& traffic) {
+  ecg::EcgGenerator seed_generator(ecg::EcgConfig{}, specs.front().seed);
+  ecg::EcgClassifier classifier(ecg::EcgClassifierConfig{},
+                                seed_generator.config().feature_dim,
+                                specs.front().seed);
+  classifier.Pretrain(seed_generator.PretrainingSet(600));
+
+  for (const config::StreamSpec& spec : specs) {
+    ecg::EcgGenerator generator(ecg::EcgConfig{}, spec.seed);
+    const std::size_t records =
+        spec.examples / generator.config().windows_per_record + 1;
+    std::vector<ecg::EcgExample> examples;
+    for (const auto& window : generator.GenerateRecords(records)) {
+      if (examples.size() == spec.examples) break;
+      examples.push_back({window.record, window.timestamp,
+                          classifier.Predict(window)});
+    }
+    traffic.emplace(spec.name, Erase(std::move(examples)));
+  }
+}
+
+void MakeNewsTraffic(const std::vector<config::StreamSpec>& specs,
+                     TrafficMap& traffic) {
+  for (const config::StreamSpec& spec : specs) {
+    tvnews::NewsGenerator generator(tvnews::NewsConfig{}, spec.seed);
+    traffic.emplace(spec.name, Erase(generator.Generate(spec.examples)));
+  }
+}
+
+/// Pregenerates traffic for every scenario stream except the `skip`
+/// domain's (the loop path generates video live, against the hot-swapped
+/// detector).
+TrafficMap GenerateTraffic(const config::ScenarioSpec& scenario,
+                           const std::string& skip = "") {
+  TrafficMap traffic;
+  for (const std::string& domain : scenario.Domains()) {
+    if (domain == skip) continue;
+    const std::vector<config::StreamSpec> specs =
+        StreamsOf(scenario, domain);
+    if (domain == "video") {
+      MakeVideoTraffic(specs, traffic);
+    } else if (domain == "av") {
+      MakeAvTraffic(specs, traffic);
+    } else if (domain == "ecg") {
+      MakeEcgTraffic(specs, traffic);
+    } else if (domain == "tvnews") {
+      MakeNewsTraffic(specs, traffic);
+    } else {
+      throw config::SpecError(
+          scenario.source, 0, 0,
+          "no traffic generator for domain '" + domain +
+              "' (the harness generates video, av, ecg, tvnews)");
+    }
+  }
+  return traffic;
+}
+
+// -------------------------------------------------------------- reporting ---
+
+/// The shared-runtime accounting identity: every offered example must land
+/// in exactly one of scored / shed / dropped / errored, across all domains
+/// of the scenario.
+void CheckAccounting(const runtime::MetricsSnapshot& snapshot,
+                     std::size_t offered) {
+  const std::size_t scored = snapshot.examples_seen;
+  const std::size_t shed = snapshot.TotalShedExamples();
+  const std::size_t dropped = snapshot.TotalDroppedExamples();
+  const std::size_t errored = snapshot.TotalErroredExamples();
+  std::cout << "admission accounting: offered " << offered << " == scored "
+            << scored << " + shed " << shed << " + dropped " << dropped
+            << " + errored " << errored << "\n";
+  common::Check(scored + shed + dropped + errored == offered,
+                "shared admission accounting does not reconcile");
+}
+
+void PrintMonitorReport(const runtime::MetricsSnapshot& snapshot,
+                        const std::vector<std::string>& errors) {
   common::TextTable table(
       {"Stream", "Assertion", "Fires", "Max sev", "Flag/ex"});
   for (const auto& stream : snapshot.streams) {
@@ -100,17 +235,17 @@ void PrintDomainReport(const std::string& domain,
   }
   shard_table.Print(std::cout);
   for (const auto& error : errors) {
-    std::cout << domain << " ingest error: " << error << "\n";
+    std::cout << "ingest error: " << error << "\n";
   }
 }
 
-SummaryRow Summarise(const std::string& scenario, const std::string& domain,
-                     std::size_t streams,
+SummaryRow Summarise(const config::ScenarioSpec& scenario,
+                     const std::string& domains, std::size_t streams,
                      const runtime::MetricsSnapshot& snapshot,
                      double wall_seconds) {
   SummaryRow row;
-  row.scenario = scenario;
-  row.domain = domain;
+  row.scenario = scenario.name;
+  row.domains = domains;
   row.streams = streams;
   row.examples = snapshot.examples_seen;
   row.events = snapshot.events;
@@ -121,127 +256,57 @@ SummaryRow Summarise(const std::string& scenario, const std::string& domain,
   return row;
 }
 
-/// Serves pre-generated traffic for one domain through a sharded service
-/// configured by the scenario, and prints the dashboard.
-template <typename Example>
-SummaryRow ServeStreams(
-    const config::ScenarioSpec& scenario,
-    const config::AssertionFactory<Example>& factory,
-    const std::string& domain,
-    const std::vector<std::pair<config::StreamSpec, std::vector<Example>>>&
-        traffic) {
-  const config::SuiteSpec* suite_spec = scenario.SuiteFor(domain);
-  const auto start = std::chrono::steady_clock::now();
-  runtime::ShardedMonitorService<Example> service(
-      config::ConfigLoader::MakeRuntimeConfig(scenario),
-      config::MakeSuiteFactory(factory, *suite_spec));
-  std::vector<runtime::StreamId> ids;
-  for (const auto& [spec, examples] : traffic) {
-    ids.push_back(service.RegisterStream(spec.name));
+std::string JoinedDomains(const config::ScenarioSpec& scenario) {
+  std::string joined;
+  for (const std::string& domain : scenario.Domains()) {
+    if (!joined.empty()) joined += "+";
+    joined += domain;
   }
-  for (std::size_t s = 0; s < traffic.size(); ++s) {
-    const auto& [spec, examples] = traffic[s];
-    for (std::size_t begin = 0; begin < examples.size();
-         begin += spec.batch) {
-      const std::size_t count =
-          std::min(spec.batch, examples.size() - begin);
-      service.ObserveBatch(ids[s],
-                           std::vector<Example>(examples.begin() + begin,
-                                                examples.begin() + begin +
-                                                    count),
-                           spec.severity_hint);
+  return joined;
+}
+
+// ---------------------------------------------------------------- serving ---
+
+/// Serves every stream's pregenerated traffic through the scenario's one
+/// Monitor, batches interleaved round-robin across streams so domains
+/// genuinely contend for the shared shard queues. Returns offered count.
+std::size_t ServeInterleaved(config::ScenarioMonitor& hosted,
+                             TrafficMap& traffic) {
+  struct Feed {
+    const config::BoundStream* stream;
+    std::vector<serve::AnyExample>* examples;
+    std::size_t offset = 0;
+  };
+  std::vector<Feed> feeds;
+  for (config::BoundStream& stream : hosted.streams) {
+    const auto it = traffic.find(stream.spec.name);
+    if (it == traffic.end()) continue;  // loop-owned stream
+    feeds.push_back({&stream, &it->second});
+  }
+  std::size_t offered = 0;
+  bool active = true;
+  while (active) {
+    active = false;
+    for (Feed& feed : feeds) {
+      if (feed.offset >= feed.examples->size()) continue;
+      active = true;
+      const std::size_t count = std::min(
+          feed.stream->spec.batch, feed.examples->size() - feed.offset);
+      const auto begin = feed.examples->begin() +
+                         static_cast<std::ptrdiff_t>(feed.offset);
+      std::vector<serve::AnyExample> batch(
+          std::make_move_iterator(begin),
+          std::make_move_iterator(begin + static_cast<std::ptrdiff_t>(count)));
+      feed.offset += count;
+      const serve::Result<serve::ObserveOutcome> outcome =
+          hosted.monitor->ObserveBatch(feed.stream->handle,
+                                       std::move(batch));
+      common::Check(outcome.ok(),
+                    outcome.ok() ? "" : outcome.error().message);
+      offered += count;  // shed batches still count as offered
     }
   }
-  service.Flush();
-  const double wall =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
-  const runtime::MetricsSnapshot snapshot = service.Metrics();
-  PrintDomainReport(domain, snapshot, service.Errors());
-  return Summarise(scenario.name, domain, traffic.size(), snapshot, wall);
-}
-
-// ----------------------------------------------------------- traffic gen ---
-
-std::vector<std::pair<config::StreamSpec, std::vector<video::VideoExample>>>
-MakeVideoTraffic(const std::vector<config::StreamSpec>& specs) {
-  // One detector serves every stream (the deployment has one model); its
-  // pretraining seed comes from the first stream so scenarios reproduce.
-  video::NightStreetWorld seed_world(video::WorldConfig{},
-                                     specs.front().seed);
-  video::SsdDetector detector(video::DetectorConfig{},
-                              seed_world.config().feature_dim,
-                              specs.front().seed);
-  detector.Pretrain(seed_world.PretrainingSet(500, 700));
-
-  std::vector<std::pair<config::StreamSpec, std::vector<video::VideoExample>>>
-      traffic;
-  for (const config::StreamSpec& spec : specs) {
-    video::NightStreetWorld world(video::WorldConfig{}, spec.seed);
-    std::vector<video::VideoExample> examples;
-    examples.reserve(spec.examples);
-    for (const auto& frame : world.GenerateFrames(spec.examples)) {
-      examples.push_back({frame.index, frame.timestamp,
-                          detector.Detect(frame)});
-    }
-    traffic.emplace_back(spec, std::move(examples));
-  }
-  return traffic;
-}
-
-std::vector<std::pair<config::StreamSpec, std::vector<av::AvExample>>>
-MakeAvTraffic(const std::vector<config::StreamSpec>& specs) {
-  std::vector<std::pair<config::StreamSpec, std::vector<av::AvExample>>>
-      traffic;
-  for (const config::StreamSpec& spec : specs) {
-    av::AvPipelineConfig config;
-    config.pool_scenes =
-        spec.examples / config.world.samples_per_scene + 1;
-    config.test_scenes = 1;
-    config.world_seed = spec.seed;
-    av::AvPipeline pipeline(config);
-    std::vector<av::AvExample> examples =
-        pipeline.MakeExamples(pipeline.pool());
-    if (examples.size() > spec.examples) examples.resize(spec.examples);
-    traffic.emplace_back(spec, std::move(examples));
-  }
-  return traffic;
-}
-
-std::vector<std::pair<config::StreamSpec, std::vector<ecg::EcgExample>>>
-MakeEcgTraffic(const std::vector<config::StreamSpec>& specs) {
-  ecg::EcgGenerator seed_generator(ecg::EcgConfig{}, specs.front().seed);
-  ecg::EcgClassifier classifier(ecg::EcgClassifierConfig{},
-                                seed_generator.config().feature_dim,
-                                specs.front().seed);
-  classifier.Pretrain(seed_generator.PretrainingSet(600));
-
-  std::vector<std::pair<config::StreamSpec, std::vector<ecg::EcgExample>>>
-      traffic;
-  for (const config::StreamSpec& spec : specs) {
-    ecg::EcgGenerator generator(ecg::EcgConfig{}, spec.seed);
-    const std::size_t records =
-        spec.examples / generator.config().windows_per_record + 1;
-    std::vector<ecg::EcgExample> examples;
-    for (const auto& window : generator.GenerateRecords(records)) {
-      if (examples.size() == spec.examples) break;
-      examples.push_back({window.record, window.timestamp,
-                          classifier.Predict(window)});
-    }
-    traffic.emplace_back(spec, std::move(examples));
-  }
-  return traffic;
-}
-
-std::vector<std::pair<config::StreamSpec, std::vector<tvnews::NewsFrame>>>
-MakeNewsTraffic(const std::vector<config::StreamSpec>& specs) {
-  std::vector<std::pair<config::StreamSpec, std::vector<tvnews::NewsFrame>>>
-      traffic;
-  for (const config::StreamSpec& spec : specs) {
-    tvnews::NewsGenerator generator(tvnews::NewsConfig{}, spec.seed);
-    traffic.emplace_back(spec, generator.Generate(spec.examples));
-  }
-  return traffic;
+  return offered;
 }
 
 // ------------------------------------------------------------- loop mode ---
@@ -270,60 +335,71 @@ video::VideoAssertionConfig VideoConfigFromSpec(
   return config;
 }
 
-/// Video streams with the improvement loop live: traffic is served in
-/// `loop.rounds` waves; after each wave the scheduler runs one
-/// select -> label -> retrain round and serving picks up the new model
-/// version before the next wave.
-SummaryRow ServeVideoLoop(const config::ScenarioSpec& scenario,
-                          const config::AssertionFactory<video::VideoExample>&
-                              factory,
-                          const std::vector<config::StreamSpec>& specs) {
+/// A loop-enabled scenario: video streams run the improvement loop live
+/// (traffic in `loop.rounds` waves, one select -> label -> retrain round
+/// and a hot-swap pickup after each); other domains' pregenerated traffic
+/// rides along through the same Monitor, split across the waves.
+SummaryRow RunLoopScenario(const config::ScenarioSpec& scenario,
+                           config::ScenarioMonitor& hosted,
+                           TrafficMap& traffic) {
   const config::SuiteSpec* suite_spec = scenario.SuiteFor("video");
   const config::LoopSpec& loop_spec = scenario.loop;
   const auto start = std::chrono::steady_clock::now();
 
+  std::vector<const config::BoundStream*> video_streams;
+  std::map<runtime::StreamId, std::size_t> video_index;
+  for (const config::BoundStream& stream : hosted.streams) {
+    if (stream.spec.domain == "video") {
+      video_index.emplace(stream.handle.id(), video_streams.size());
+      video_streams.push_back(&stream);
+    }
+  }
+
   video::NightStreetWorld seed_world(video::WorldConfig{},
-                                     specs.front().seed);
+                                     video_streams.front()->spec.seed);
   nn::Dataset pretrain = seed_world.PretrainingSet(500, 700);
   video::SsdDetector detector(video::DetectorConfig{},
                               seed_world.config().feature_dim,
-                              specs.front().seed);
+                              video_streams.front()->spec.seed);
   detector.Pretrain(pretrain);
 
-  // Retained live traffic, indexed by [stream id][example index] — what the
-  // oracles resolve CandidateKeys against.
+  // Retained live traffic, indexed by [video stream][example index] — what
+  // the oracles resolve CandidateKeys (which carry Monitor stream ids)
+  // against, via `video_index`.
   std::vector<std::unique_ptr<video::NightStreetWorld>> worlds;
   std::vector<std::vector<video::Frame>> frames;
   std::vector<std::vector<video::VideoExample>> deployed;
-  for (const config::StreamSpec& spec : specs) {
+  for (const config::BoundStream* stream : video_streams) {
     worlds.push_back(std::make_unique<video::NightStreetWorld>(
-        video::WorldConfig{}, spec.seed));
+        video::WorldConfig{}, stream->spec.seed));
     frames.emplace_back();
     deployed.emplace_back();
   }
 
   auto human = std::make_shared<loop::GroundTruthOracle>(
-      [&frames](const loop::CandidateKey& key) {
+      [&frames, &video_index](const loop::CandidateKey& key) {
         return video::NightStreetWorld::LabelFrame(
-            frames.at(key.stream_id).at(key.example_index));
+            frames.at(video_index.at(key.stream_id)).at(key.example_index));
       });
   std::shared_ptr<loop::LabelOracle> oracle = human;
   if (loop_spec.oracle == "mixed") {
     auto correction_suite = std::make_shared<video::VideoSuite>(
         video::BuildVideoSuite(VideoConfigFromSpec(*suite_spec)));
     auto weak = std::make_shared<loop::WeakLabelOracle>(
-        [&frames, &deployed, correction_suite](
+        [&frames, &deployed, &video_index, correction_suite](
             std::span<const loop::CandidateKey> keys) {
           nn::Dataset rows;
-          for (std::size_t s = 0; s < frames.size(); ++s) {
+          for (const auto& [stream_id, local] : video_index) {
             std::set<std::size_t> chosen;
             for (const auto& key : keys) {
-              if (key.stream_id == s) chosen.insert(key.example_index);
+              if (key.stream_id == stream_id) {
+                chosen.insert(key.example_index);
+              }
             }
             if (chosen.empty()) continue;
             correction_suite->consistency->Invalidate();
             rows.Append(video::MakeWeakLabelDataset(
-                *correction_suite, frames[s], deployed[s], chosen));
+                *correction_suite, frames[local], deployed[local], chosen));
           }
           return rows;
         },
@@ -331,27 +407,25 @@ SummaryRow ServeVideoLoop(const config::ScenarioSpec& scenario,
     oracle = std::make_shared<loop::MixedOracle>(human, weak);
   }
 
-  // The suite the service will emit events from decides the store columns.
-  const runtime::SuiteBundle<video::VideoExample> probe =
-      config::BuildSuiteBundle(factory, *suite_spec);
+  // The erased video suite's qualified names fix the store's columns — the
+  // same names the Monitor's events carry.
   loop::ImprovementLoopConfig loop_config =
       config::ConfigLoader::MakeLoopConfig(
-          loop_spec, probe.suite->Names(),
+          loop_spec, hosted.assertion_names.at("video"),
           video::DetectorConfig{}.finetune_sgd);
   loop_config.retrain.replay_weight = 1.0;
   loop::ImprovementLoop improvement(
       loop_config, config::ConfigLoader::MakeStrategy(loop_spec.strategy),
       oracle, detector.model(), pretrain);
 
-  runtime::ShardedMonitorService<video::VideoExample> service(
-      config::ConfigLoader::MakeRuntimeConfig(scenario),
-      config::MakeSuiteFactory(factory, *suite_spec));
-  service.AddSink(improvement.sink());
-  std::vector<runtime::StreamId> ids;
-  for (const config::StreamSpec& spec : specs) {
-    ids.push_back(service.RegisterStream(spec.name));
-  }
+  // Only video events feed the loop; other domains ride the same Monitor
+  // without polluting the candidate store.
+  serve::EventFilter video_only;
+  video_only.domain = "video";
+  serve::Subscription loop_subscription =
+      hosted.monitor->Subscribe(video_only, improvement.sink());
 
+  std::size_t offered = 0;
   std::uint64_t served_version = 0;
   std::size_t events_before = 0;
   std::size_t examples_before = 0;
@@ -364,31 +438,66 @@ SummaryRow ServeVideoLoop(const config::ScenarioSpec& scenario,
       detector.SetModel(*handle.model);
       served_version = handle.version;
     }
-    for (std::size_t s = 0; s < specs.size(); ++s) {
-      const std::size_t wave_frames =
-          std::max<std::size_t>(1, specs[s].examples / loop_spec.rounds);
-      std::vector<video::VideoExample> batch;
+    for (std::size_t s = 0; s < video_streams.size(); ++s) {
+      const config::BoundStream& stream = *video_streams[s];
+      const std::size_t wave_frames = std::max<std::size_t>(
+          1, stream.spec.examples / loop_spec.rounds);
+      std::vector<serve::AnyExample> batch;
       for (const video::Frame& frame :
            worlds[s]->GenerateFrames(wave_frames)) {
         video::VideoExample example{frame.index, frame.timestamp,
                                     detector.Detect(frame)};
         frames[s].push_back(frame);
         deployed[s].push_back(example);
-        batch.push_back(std::move(example));
-        if (batch.size() == specs[s].batch) {
-          service.ObserveBatch(ids[s], std::move(batch),
-                               specs[s].severity_hint);
+        batch.push_back(serve::AnyExample::Make(std::move(example)));
+        if (batch.size() == stream.spec.batch) {
+          offered += batch.size();
+          common::Check(
+              hosted.monitor->ObserveBatch(stream.handle, std::move(batch))
+                  .ok(),
+              "loop wave observe failed");
           batch.clear();
         }
       }
       if (!batch.empty()) {
-        service.ObserveBatch(ids[s], std::move(batch),
-                             specs[s].severity_hint);
+        offered += batch.size();
+        common::Check(
+            hosted.monitor->ObserveBatch(stream.handle, std::move(batch))
+                .ok(),
+            "loop wave observe failed");
       }
     }
-    service.Flush();
+    // Ride-along domains: one wave's worth of their pregenerated traffic.
+    for (const config::BoundStream& stream : hosted.streams) {
+      const auto it = traffic.find(stream.spec.name);
+      if (it == traffic.end() || it->second.empty()) continue;
+      std::vector<serve::AnyExample>& examples = it->second;
+      std::size_t quota = std::max<std::size_t>(
+          1, stream.spec.examples / loop_spec.rounds);
+      if (wave + 1 == loop_spec.rounds) quota = examples.size();
+      quota = std::min(quota, examples.size());
+      for (std::size_t begin = 0; begin < quota;
+           begin += stream.spec.batch) {
+        const std::size_t count =
+            std::min(stream.spec.batch, quota - begin);
+        std::vector<serve::AnyExample> batch(
+            std::make_move_iterator(examples.begin() +
+                                    static_cast<std::ptrdiff_t>(begin)),
+            std::make_move_iterator(
+                examples.begin() +
+                static_cast<std::ptrdiff_t>(begin + count)));
+        offered += count;
+        common::Check(
+            hosted.monitor->ObserveBatch(stream.handle, std::move(batch))
+                .ok(),
+            "ride-along observe failed");
+      }
+      examples.erase(examples.begin(),
+                     examples.begin() + static_cast<std::ptrdiff_t>(quota));
+    }
+    hosted.monitor->Flush();
 
-    const runtime::MetricsSnapshot snapshot = service.Metrics();
+    const runtime::MetricsSnapshot snapshot = hosted.monitor->Metrics();
     const double flagged_rate =
         static_cast<double>(snapshot.events - events_before) /
         static_cast<double>(snapshot.examples_seen - examples_before);
@@ -414,93 +523,68 @@ SummaryRow ServeVideoLoop(const config::ScenarioSpec& scenario,
             << oracle->Name() << " oracle, budget " << loop_spec.budget
             << "/round, final model v" << served_version << "):\n";
   rounds_table.Print(std::cout);
-  const runtime::MetricsSnapshot snapshot = service.Metrics();
-  PrintDomainReport("video", snapshot, service.Errors());
-  return Summarise(scenario.name, "video+loop", specs.size(), snapshot,
-                   wall);
+  const runtime::MetricsSnapshot snapshot = hosted.monitor->Metrics();
+  CheckAccounting(snapshot, offered);
+  PrintMonitorReport(snapshot, hosted.monitor->Errors());
+  return Summarise(scenario, JoinedDomains(scenario) + "+loop",
+                   hosted.streams.size(), snapshot, wall);
 }
 
 // ------------------------------------------------------------- scenarios ---
 
-std::vector<config::StreamSpec> StreamsOf(
-    const config::ScenarioSpec& scenario, const std::string& domain) {
-  std::vector<config::StreamSpec> streams;
-  for (const config::StreamSpec& stream : scenario.streams) {
-    if (stream.domain == domain) streams.push_back(stream);
-  }
-  return streams;
-}
-
-void RunScenario(const std::string& path, const Factories& factories,
+void RunScenario(const std::string& path,
+                 const serve::DomainRegistry& domains,
                  std::vector<SummaryRow>& summary) {
   const config::ScenarioSpec scenario = config::ConfigLoader::LoadFile(path);
   std::cout << "=== scenario '" << scenario.name << "' (" << path << ")\n";
   if (!scenario.description.empty()) {
     std::cout << "    " << scenario.description << "\n";
   }
-  std::cout << "    runtime: " << scenario.runtime.shards << " shards, "
+  std::cout << "    one monitor: " << scenario.runtime.shards << " shards, "
             << "window " << scenario.runtime.window << ", queue cap "
             << scenario.runtime.queue_capacity << ", "
             << runtime::AdmissionPolicyName(scenario.admission.policy)
-            << " admission\n\n";
+            << " admission, domains " << JoinedDomains(scenario) << "\n\n";
 
-  for (const std::string& domain : scenario.Domains()) {
-    const std::vector<config::StreamSpec> specs =
-        StreamsOf(scenario, domain);
-    std::cout << "--- " << domain << " (" << specs.size() << " stream"
-              << (specs.size() == 1 ? "" : "s") << ") ---\n";
-    if (domain == "video") {
-      if (scenario.loop.enabled) {
-        summary.push_back(ServeVideoLoop(scenario, factories.video, specs));
-      } else {
-        summary.push_back(ServeStreams(scenario, factories.video, "video",
-                                       MakeVideoTraffic(specs)));
-      }
-    } else if (domain == "av") {
-      summary.push_back(
-          ServeStreams(scenario, factories.av, "av", MakeAvTraffic(specs)));
-    } else if (domain == "ecg") {
-      summary.push_back(ServeStreams(scenario, factories.ecg, "ecg",
-                                     MakeEcgTraffic(specs)));
-    } else if (domain == "tvnews") {
-      summary.push_back(ServeStreams(scenario, factories.tvnews, "tvnews",
-                                     MakeNewsTraffic(specs)));
-    } else {
-      throw config::SpecError(
-          path, 0, 0,
-          "unknown domain '" + domain +
-              "' (the harness serves video, av, ecg, tvnews)");
+  // The loop path drives video streams only; a loop-enabled scenario
+  // without any falls back to plain monitoring (with a note below).
+  const bool run_loop =
+      scenario.loop.enabled && !StreamsOf(scenario, "video").empty();
+  config::ScenarioMonitor hosted =
+      config::BuildScenarioMonitor(scenario, domains);
+  TrafficMap traffic = GenerateTraffic(scenario, run_loop ? "video" : "");
+
+  if (run_loop) {
+    summary.push_back(RunLoopScenario(scenario, hosted, traffic));
+  } else {
+    const auto start = std::chrono::steady_clock::now();
+    const std::size_t offered = ServeInterleaved(hosted, traffic);
+    hosted.monitor->Flush();
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    const runtime::MetricsSnapshot snapshot = hosted.monitor->Metrics();
+    CheckAccounting(snapshot, offered);
+    PrintMonitorReport(snapshot, hosted.monitor->Errors());
+    summary.push_back(Summarise(scenario, JoinedDomains(scenario),
+                                hosted.streams.size(), snapshot, wall));
+    if (scenario.loop.enabled) {
+      std::cout << "note: [loop] enabled but the harness only loops video "
+                   "streams; monitoring ran without rounds\n";
     }
-    std::cout << "\n";
   }
-  if (scenario.loop.enabled && StreamsOf(scenario, "video").empty()) {
-    std::cout << "note: [loop] enabled but the harness only loops video "
-                 "streams; monitoring ran without rounds\n\n";
-  }
+  std::cout << "\n";
 }
 
-void Describe(const Factories& factories) {
-  const auto print = [](const std::string& domain, const auto& factory) {
-    std::cout << "--- " << domain << " ---\n";
-    for (const std::string& name : factory.Names()) {
-      const auto& registration = factory.At(name);
-      std::cout << name << " — " << registration.description << "\n";
-      for (const auto& param : registration.params) {
-        std::cout << "    " << param.key << " ("
-                  << config::ParamTypeName(param.type) << ", default "
-                  << param.default_text << ") — " << param.description
-                  << "\n";
-      }
-    }
+void Describe(const serve::DomainRegistry& domains) {
+  std::cout << "registered domains and assertions (use in a "
+               "[suite <domain>] assertions list;\nparameters go in an "
+               "[assertion <name>] section):\n\n";
+  for (const std::string& name : domains.Names()) {
+    std::cout << "--- " << name << " ---\n";
+    domains.At(name).describe(std::cout);
     std::cout << "\n";
-  };
-  std::cout << "registered assertions (use in a [suite <domain>] "
-               "assertions list;\nparameters go in an [assertion <name>] "
-               "section):\n\n";
-  print("video", factories.video);
-  print("av", factories.av);
-  print("ecg", factories.ecg);
-  print("tvnews", factories.tvnews);
+  }
 }
 
 }  // namespace
@@ -509,9 +593,9 @@ int main(int argc, char** argv) {
   const auto flags = common::Flags::Parse(argc, argv);
   flags.CheckAllowed({"configs", "describe"});
 
-  Factories factories;
+  const serve::DomainRegistry domains = serve::MakeDefaultDomainRegistry();
   if (flags.GetBool("describe", false)) {
-    Describe(factories);
+    Describe(domains);
     return 0;
   }
 
@@ -556,19 +640,19 @@ int main(int argc, char** argv) {
   std::vector<SummaryRow> summary;
   try {
     for (const std::string& path : paths) {
-      RunScenario(path, factories, summary);
+      RunScenario(path, domains, summary);
     }
   } catch (const config::SpecError& error) {
     std::cerr << "config error: " << error.what() << "\n";
     return 1;
   }
 
-  std::cout << "=== summary (" << summary.size() << " domain runs over "
-            << paths.size() << " scenarios) ===\n";
-  common::TextTable table({"Scenario", "Domain", "Streams", "Examples",
+  std::cout << "=== summary (" << summary.size() << " scenarios, one "
+            << "monitor each) ===\n";
+  common::TextTable table({"Scenario", "Domains", "Streams", "Examples",
                            "Events", "Shed", "Dropped", "p99 ms", "Wall s"});
   for (const SummaryRow& row : summary) {
-    table.AddRow({row.scenario, row.domain, std::to_string(row.streams),
+    table.AddRow({row.scenario, row.domains, std::to_string(row.streams),
                   std::to_string(row.examples), std::to_string(row.events),
                   std::to_string(row.shed), std::to_string(row.dropped),
                   common::FormatDouble(row.p99_ms, 3),

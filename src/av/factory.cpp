@@ -1,6 +1,34 @@
 #include "av/factory.hpp"
 
+#include <cstddef>
+#include <memory>
+#include <ostream>
+#include <utility>
+
+#include "common/table.hpp"
+#include "serve/domains.hpp"
 #include "video/assertions.hpp"
+
+namespace omg::serve {
+
+double DomainTraits<av::AvExample>::SeverityHint(
+    const av::AvExample& example) {
+  const std::size_t camera = example.camera.size();
+  const std::size_t lidar = example.lidar_projected.size();
+  return static_cast<double>(camera > lidar ? camera - lidar
+                                            : lidar - camera);
+}
+
+std::string DomainTraits<av::AvExample>::DebugString(
+    const av::AvExample& example) {
+  return "av sample " + std::to_string(example.sample_index) + " (" +
+         example.scene + ") @" +
+         common::FormatDouble(example.timestamp, 2) + "s, " +
+         std::to_string(example.camera.size()) + " camera / " +
+         std::to_string(example.lidar_projected.size()) + " lidar boxes";
+}
+
+}  // namespace omg::serve
 
 namespace omg::av {
 
@@ -35,6 +63,11 @@ void RegisterAvAssertions(config::AssertionFactory<AvExample>& factory) {
               return video::MultiboxSeverity(example.camera, iou);
             });
       });
+}
+
+void RegisterAvDomain(serve::DomainRegistry& registry) {
+  serve::RegisterDomain<AvExample>(registry, "av",
+                                  &RegisterAvAssertions);
 }
 
 }  // namespace omg::av

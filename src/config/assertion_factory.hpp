@@ -20,6 +20,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <ostream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -146,7 +147,7 @@ class AssertionFactory {
                         "assertion '" + name + "' has no parameter '" +
                             entry.key + "'");
       }
-      CheckType(name, params, entry, spec->type);
+      CheckType(params, entry, spec->type);
     }
     // Every present key is now schema-checked (and consumed); the builder
     // only ever sees validated parameters.
@@ -156,8 +157,8 @@ class AssertionFactory {
  private:
   /// Reads `entry` through the matching typed getter so a mismatch throws
   /// a positioned SpecError (and the key is marked consumed).
-  static void CheckType(const std::string& name, const SpecSection& params,
-                        const SpecEntry& entry, ParamType type) {
+  static void CheckType(const SpecSection& params, const SpecEntry& entry,
+                        ParamType type) {
     switch (type) {
       case ParamType::kInt: params.GetInt(entry.key, 0); break;
       case ParamType::kDouble: params.GetDouble(entry.key, 0.0); break;
@@ -169,5 +170,23 @@ class AssertionFactory {
 
   std::map<std::string, Registration> registry_;
 };
+
+/// Writes `factory`'s registered-assertion listing — one "name — description"
+/// line per assertion, indented "key (type, default) — description" lines
+/// per parameter. Shared by the scenario harness's --describe and the
+/// facade's DomainRegistry describe hooks.
+template <typename Example>
+void DescribeAssertions(std::ostream& out,
+                        const AssertionFactory<Example>& factory) {
+  for (const std::string& name : factory.Names()) {
+    const auto& registration = factory.At(name);
+    out << name << " — " << registration.description << "\n";
+    for (const ParamSpec& param : registration.params) {
+      out << "    " << param.key << " (" << ParamTypeName(param.type)
+          << ", default " << param.default_text << ") — "
+          << param.description << "\n";
+    }
+  }
+}
 
 }  // namespace omg::config

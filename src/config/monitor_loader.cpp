@@ -1,0 +1,63 @@
+#include "config/monitor_loader.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace omg::config {
+
+ScenarioMonitor BuildScenarioMonitor(const ScenarioSpec& scenario,
+                                     const serve::DomainRegistry& domains) {
+  ScenarioMonitor out;
+
+  serve::Result<std::unique_ptr<serve::Monitor>> built =
+      serve::Monitor::Builder()
+          .Runtime(ConfigLoader::MakeRuntimeConfig(scenario))
+          .Build();
+  // Load() already ran Validate() on this geometry; a failure here is a
+  // loader/facade disagreement, not a config error.
+  if (!built.ok()) throw common::CheckError(built.error().message);
+  out.monitor = std::move(built.value());
+
+  // Compile each declared domain's suite spec once; every stream of the
+  // domain gets a private bundle from the shared erased factory.
+  std::map<std::string, serve::AnySuiteFactory> factories;
+  for (const StreamSpec& stream : scenario.streams) {
+    if (factories.find(stream.domain) != factories.end()) continue;
+    if (!domains.Has(stream.domain)) {
+      throw SpecError(scenario.source, 0, 0,
+                      "stream '" + stream.name + "' names domain '" +
+                          stream.domain + "' but no such domain is "
+                          "registered (registered: " +
+                          domains.JoinedNames() + ")");
+    }
+    const SuiteSpec* suite = scenario.SuiteFor(stream.domain);
+    common::Check(suite != nullptr,
+                  "validated scenario lost its suite for domain " +
+                      stream.domain);
+    factories.emplace(stream.domain,
+                      domains.At(stream.domain).make_suite_factory(*suite));
+
+    // Column order for loop/collector wiring: probe one erased bundle.
+    const serve::AnySuiteBundle probe = factories.at(stream.domain)();
+    common::Check(probe.suite != nullptr,
+                  "domain '" + stream.domain + "' produced a null suite");
+    out.assertion_names.emplace(stream.domain, probe.suite->Names());
+  }
+
+  for (const StreamSpec& stream : scenario.streams) {
+    serve::StreamOptions options;
+    options.name = stream.name;
+    options.severity_hint = stream.severity_hint;
+    serve::Result<serve::StreamHandle> handle = out.monitor->RegisterStream(
+        stream.domain, factories.at(stream.domain), std::move(options));
+    if (!handle.ok()) {
+      throw common::CheckError("RegisterStream('" + stream.name +
+                               "'): " + handle.error().message);
+    }
+    out.streams.push_back({stream, handle.value()});
+  }
+  return out;
+}
+
+}  // namespace omg::config

@@ -1,0 +1,57 @@
+// ConfigLoader's facade back end: one serve::Monitor per scenario document.
+//
+// PR 4's loader instantiated one templated ShardedMonitorService per
+// domain, so a mixed scenario ran one runtime silo per example type. The
+// facade collapses that: BuildScenarioMonitor turns a validated
+// ScenarioSpec into a single serve::Monitor whose shards, admission policy,
+// and metrics are shared by every stream of every domain the document
+// declares — the runtime geometry the [runtime]/[admission] sections
+// describe now bounds the *whole* scenario, not one domain's slice.
+//
+// Domain resolution goes through a serve::DomainRegistry (normally
+// serve::MakeDefaultDomainRegistry()): a stream's `domain` key picks the
+// registry entry, the matching [suite <domain>] spec is compiled into an
+// erased suite factory, and the stream is registered under its file name.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "config/scenario.hpp"
+#include "serve/domain_registry.hpp"
+#include "serve/monitor.hpp"
+
+namespace omg::config {
+
+/// One [stream ...] section bound to its registered facade stream.
+struct BoundStream {
+  StreamSpec spec;
+  serve::StreamHandle handle;
+};
+
+/// A whole scenario hosted in one facade Monitor.
+struct ScenarioMonitor {
+  std::unique_ptr<serve::Monitor> monitor;
+  /// Streams in file order; handles carry the registered name/domain.
+  std::vector<BoundStream> streams;
+  /// Qualified assertion names per domain ("video" -> {"video/multibox",
+  /// "video/flicker", ...}), in suite emission (column) order — what
+  /// FlagCollectorSink and the improvement loop key their columns on.
+  std::map<std::string, std::vector<std::string>> assertion_names;
+};
+
+/// Instantiates `scenario` as one serve::Monitor: builds the runtime from
+/// [runtime]/[admission], registers every [stream ...] (each stream's
+/// suite erased from its domain's [suite ...] via `domains`, its
+/// severity_hint installed as the stream's default admission hint).
+///
+/// Throws SpecError (positioned at the offending stream) when a stream
+/// names a domain `domains` does not register, and CheckError if the
+/// facade rejects a registration the loader's validation should have
+/// caught (a bug, not a config error).
+ScenarioMonitor BuildScenarioMonitor(const ScenarioSpec& scenario,
+                                     const serve::DomainRegistry& domains);
+
+}  // namespace omg::config

@@ -1,10 +1,30 @@
 #include "ecg/factory.hpp"
 
 #include <memory>
+#include <ostream>
 #include <span>
+#include <utility>
 
+#include "common/table.hpp"
 #include "core/consistency.hpp"
 #include "core/consistency_adapter.hpp"
+#include "serve/domains.hpp"
+
+namespace omg::serve {
+
+double DomainTraits<ecg::EcgExample>::SeverityHint(
+    const ecg::EcgExample& example) {
+  return example.predicted == ecg::Rhythm::kNormal ? 0.0 : 1.0;
+}
+
+std::string DomainTraits<ecg::EcgExample>::DebugString(
+    const ecg::EcgExample& example) {
+  return "ecg record " + example.record + " @" +
+         common::FormatDouble(example.timestamp, 1) + "s, predicted " +
+         ecg::RhythmName(example.predicted);
+}
+
+}  // namespace omg::serve
 
 namespace omg::ecg {
 
@@ -31,6 +51,11 @@ void RegisterEcgAssertions(config::AssertionFactory<EcgExample>& factory) {
                 "ECG", analyzer, 1));
         context.invalidators.push_back([analyzer] { analyzer->Invalidate(); });
       });
+}
+
+void RegisterEcgDomain(serve::DomainRegistry& registry) {
+  serve::RegisterDomain<EcgExample>(registry, "ecg",
+                                   &RegisterEcgAssertions);
 }
 
 }  // namespace omg::ecg

@@ -69,11 +69,14 @@ class ShardedMonitorService {
   /// Builds one stream's SuiteBundle; called once per RegisterStream.
   using SuiteFactory = runtime::SuiteFactory<Example>;
 
-  /// Validates `config`, spawns one worker thread per shard.
-  ShardedMonitorService(ShardedRuntimeConfig config, SuiteFactory factory)
+  /// Validates `config`, spawns one worker thread per shard. `factory` is
+  /// the default suite source for RegisterStream(name); it may be omitted
+  /// when every stream supplies its own bundle (the serving facade's mode —
+  /// heterogeneous streams cannot share one factory).
+  explicit ShardedMonitorService(ShardedRuntimeConfig config,
+                                 SuiteFactory factory = nullptr)
       : config_(config), factory_(std::move(factory)) {
     config_.Validate();
-    common::Check(static_cast<bool>(factory_), "suite factory must be set");
     metrics_ = std::make_unique<MetricsRegistry>(config_.shards);
     shards_.reserve(config_.shards);
     for (std::size_t i = 0; i < config_.shards; ++i) {
@@ -105,15 +108,25 @@ class ShardedMonitorService {
   /// Stream name <-> id mapping.
   const StreamRegistry& registry() const { return registry_; }
 
-  /// Registers a stream and pins it to shard `id % shards`.
+  /// Registers a stream served by the default suite factory and pins it to
+  /// shard `id % shards`.
   StreamId RegisterStream(std::string name) {
+    common::Check(static_cast<bool>(factory_),
+                  "RegisterStream(name) needs the constructor's suite "
+                  "factory; pass a bundle explicitly otherwise");
+    return RegisterStream(std::move(name), factory_());
+  }
+
+  /// Registers a stream served by its own `bundle` — streams of one
+  /// service may run entirely different suites (the serving facade hosts
+  /// heterogeneous domains this way).
+  StreamId RegisterStream(std::string name, SuiteBundle bundle) {
     // Registration is serialised end to end: id assignment and the table
     // append must be atomic together, or two concurrent registrations
     // could append out of id order.
     std::lock_guard<std::mutex> lock(registration_mutex_);
     const StreamId id = registry_.Register(std::move(name));
     metrics_->RegisterStream(id, registry_.Name(id));
-    SuiteBundle bundle = factory_();
     common::Check(bundle.suite != nullptr, "suite factory returned null");
     auto state = std::make_unique<StreamState>(id, registry_.Name(id),
                                                std::move(bundle), config_);

@@ -1,0 +1,19 @@
+#include "serve/domains.hpp"
+
+#include "av/factory.hpp"
+#include "ecg/factory.hpp"
+#include "tvnews/factory.hpp"
+#include "video/factory.hpp"
+
+namespace omg::serve {
+
+DomainRegistry MakeDefaultDomainRegistry() {
+  DomainRegistry registry;
+  video::RegisterVideoDomain(registry);
+  av::RegisterAvDomain(registry);
+  ecg::RegisterEcgDomain(registry);
+  tvnews::RegisterNewsDomain(registry);
+  return registry;
+}
+
+}  // namespace omg::serve

@@ -1,0 +1,56 @@
+// The shipped domain set, assembled for the serving facade.
+//
+// One call wires all four paper deployments (video, av, ecg, tvnews) into a
+// DomainRegistry, so binaries hosting "everything we serve" need a single
+// include instead of four factory headers. Custom deployments can start
+// from an empty registry and register only what they serve — RegisterDomain
+// below is the one-liner each domain's Register*Domain uses.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "config/assertion_factory.hpp"
+#include "config/scenario.hpp"
+#include "serve/any_suite.hpp"
+#include "serve/domain_registry.hpp"
+
+namespace omg::serve {
+
+/// Registers domain `name` for `Example`: a typed AssertionFactory
+/// populated by `register_assertions` backs both the erased suite builder
+/// (each [suite <name>] spec compiles to per-stream bundles qualified
+/// "<name>/...") and the --describe listing.
+template <typename Example>
+void RegisterDomain(
+    DomainRegistry& registry, std::string name,
+    const std::function<void(config::AssertionFactory<Example>&)>&
+        register_assertions) {
+  common::Check(static_cast<bool>(register_assertions),
+                "RegisterDomain: null assertion registration hook");
+  auto factory = std::make_shared<config::AssertionFactory<Example>>();
+  register_assertions(*factory);
+  DomainRegistry::Domain domain;
+  domain.name = name;
+  domain.make_suite_factory = [factory,
+                               name](const config::SuiteSpec& spec) {
+    return AnySuiteFactory([factory, name, spec] {
+      return EraseSuiteBundle<Example>(
+          name, config::BuildSuiteBundle(*factory, spec));
+    });
+  };
+  domain.describe = [factory](std::ostream& out) {
+    config::DescribeAssertions(out, *factory);
+  };
+  registry.Register(std::move(domain));
+}
+
+/// A registry with the four shipped domains registered: "video", "av",
+/// "ecg", "tvnews" (each domain's erased builders over its typed
+/// config::AssertionFactory).
+DomainRegistry MakeDefaultDomainRegistry();
+
+}  // namespace omg::serve

@@ -1,9 +1,31 @@
 #include "tvnews/factory.hpp"
 
+#include <memory>
+#include <ostream>
 #include <span>
+#include <utility>
 
+#include "common/table.hpp"
 #include "core/consistency.hpp"
 #include "core/consistency_adapter.hpp"
+#include "serve/domains.hpp"
+
+namespace omg::serve {
+
+double DomainTraits<tvnews::NewsFrame>::SeverityHint(
+    const tvnews::NewsFrame& frame) {
+  return static_cast<double>(frame.faces.size());
+}
+
+std::string DomainTraits<tvnews::NewsFrame>::DebugString(
+    const tvnews::NewsFrame& frame) {
+  return "tvnews frame " + std::to_string(frame.index) + " @" +
+         common::FormatDouble(frame.timestamp, 1) + "s, scene " +
+         std::to_string(frame.scene_id) + ", " +
+         std::to_string(frame.faces.size()) + " faces";
+}
+
+}  // namespace omg::serve
 
 namespace omg::tvnews {
 
@@ -32,6 +54,11 @@ void RegisterNewsAssertions(config::AssertionFactory<NewsFrame>& factory) {
             });
         context.invalidators.push_back([analyzer] { analyzer->Invalidate(); });
       });
+}
+
+void RegisterNewsDomain(serve::DomainRegistry& registry) {
+  serve::RegisterDomain<NewsFrame>(registry, "tvnews",
+                                  &RegisterNewsAssertions);
 }
 
 }  // namespace omg::tvnews

@@ -1,10 +1,30 @@
 #include "video/factory.hpp"
 
 #include <memory>
+#include <ostream>
 #include <span>
+#include <utility>
 
+#include "common/table.hpp"
 #include "core/consistency.hpp"
 #include "core/consistency_adapter.hpp"
+#include "serve/domains.hpp"
+
+namespace omg::serve {
+
+double DomainTraits<video::VideoExample>::SeverityHint(
+    const video::VideoExample& example) {
+  return static_cast<double>(example.detections.size());
+}
+
+std::string DomainTraits<video::VideoExample>::DebugString(
+    const video::VideoExample& example) {
+  return "video frame " + std::to_string(example.frame_index) + " @" +
+         common::FormatDouble(example.timestamp, 2) + "s, " +
+         std::to_string(example.detections.size()) + " detections";
+}
+
+}  // namespace omg::serve
 
 namespace omg::video {
 
@@ -56,6 +76,11 @@ void RegisterVideoAssertions(
         context.invalidators.push_back(
             [analyzer] { analyzer->Invalidate(); });
       });
+}
+
+void RegisterVideoDomain(serve::DomainRegistry& registry) {
+  serve::RegisterDomain<VideoExample>(registry, "video",
+                                     &RegisterVideoAssertions);
 }
 
 }  // namespace omg::video
