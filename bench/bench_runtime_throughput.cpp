@@ -44,6 +44,7 @@
 #include "common/table.hpp"
 #include "core/assertion.hpp"
 #include "core/monitor.hpp"
+#include "obs/tracer.hpp"
 #include "runtime/admission.hpp"
 #include "runtime/event_sink.hpp"
 #include "runtime/service.hpp"
@@ -162,6 +163,15 @@ struct RunResult {
   std::size_t events = 0;
 };
 
+/// One shard's occupancy accounting over a run (from ShardMetrics): where
+/// its wall time went and how long batches sat queued before service.
+struct ShardOccupancy {
+  std::size_t shard = 0;
+  double busy_frac = 0.0;
+  double mean_queue_wait_ms = 0.0;
+  double mean_service_ms = 0.0;
+};
+
 /// A sharded-service run: throughput plus the observe-to-flag latency
 /// envelope aggregated across the shards.
 struct ShardedRunResult {
@@ -169,6 +179,19 @@ struct ShardedRunResult {
   double p50_ms = 0.0;
   double p95_ms = 0.0;
   double p99_ms = 0.0;
+  std::vector<ShardOccupancy> occupancy;  ///< per shard, in shard order
+};
+
+/// The tracing-overhead comparison at the reference shard count.
+struct TracingComparison {
+  std::size_t shards = 0;
+  std::uint64_t sample_every = 0;
+  double baseline_eps = 0.0;  ///< no tracer attached
+  double off_eps = 0.0;       ///< tracer attached, enabled = false
+  double on_eps = 0.0;        ///< tracing on at 1/sample_every
+  double off_overhead = 0.0;
+  double on_overhead = 0.0;
+  std::uint64_t events_recorded = 0;  ///< one tracing-on run's total
 };
 
 /// One offered-load point of the saturation sweep.
@@ -256,15 +279,18 @@ RunResult RunService(const std::vector<std::vector<Sample>>& streams,
 
 /// The backpressure-aware fast path, unsaturated: bounded queues sized so
 /// the kBlock policy never engages, every batch admitted and scored.
+/// `tracer` (optional) rides along for the tracing-overhead comparison.
 ShardedRunResult RunSharded(const std::vector<std::vector<Sample>>& streams,
                             std::size_t shards, std::size_t batch_size,
-                            std::size_t window, std::size_t settle_lag) {
+                            std::size_t window, std::size_t settle_lag,
+                            std::shared_ptr<obs::Tracer> tracer = nullptr) {
   runtime::ShardedRuntimeConfig config;
   config.shards = shards;
   config.window = window;
   config.settle_lag = settle_lag;
   config.queue_capacity = std::max<std::size_t>(batch_size * 16, 4096);
   config.admission = runtime::AdmissionPolicy::kBlock;
+  config.tracer = std::move(tracer);
   runtime::ShardedMonitorService<Sample> service(config, [] {
     auto suite = std::make_shared<core::AssertionSuite<Sample>>();
     PopulateSuite(*suite);
@@ -294,11 +320,16 @@ ShardedRunResult RunSharded(const std::vector<std::vector<Sample>>& streams,
   result.run.events = counting->count();
   result.run.examples_per_sec =
       static_cast<double>(n * streams.size()) / result.run.seconds;
-  const runtime::LatencyHistogram latency =
-      service.Metrics().MergedLatency();
+  const runtime::MetricsSnapshot snapshot = service.Metrics();
+  const runtime::LatencyHistogram latency = snapshot.MergedLatency();
   result.p50_ms = latency.Quantile(0.50) * 1e3;
   result.p95_ms = latency.Quantile(0.95) * 1e3;
   result.p99_ms = latency.Quantile(0.99) * 1e3;
+  for (const runtime::ShardMetrics& shard : snapshot.shards) {
+    result.occupancy.push_back({shard.shard, shard.BusyFraction(),
+                                shard.MeanQueueWaitSeconds() * 1e3,
+                                shard.MeanServiceSeconds() * 1e3});
+  }
   return result;
 }
 
@@ -463,8 +494,9 @@ void WriteJson(
     const std::vector<std::pair<std::size_t, ShardedRunResult>>& shard_sweep,
     const ShardedRunResult* facade, std::size_t facade_shards,
     double facade_templated_eps, double facade_overhead,
-    std::size_t saturation_shards, std::size_t saturation_capacity,
-    double shed_floor, const std::vector<SaturationPoint>& saturation) {
+    const TracingComparison& tracing, std::size_t saturation_shards,
+    std::size_t saturation_capacity, double shed_floor,
+    const std::vector<SaturationPoint>& saturation) {
   std::ofstream out(path);
   common::Check(out.good(), "cannot open json output: " + path);
   out << "{\n"
@@ -507,8 +539,16 @@ void WriteJson(
         << ", \"speedup_vs_baseline\": "
         << r.run.examples_per_sec / baseline.examples_per_sec
         << ", \"observe_to_flag_ms\": {\"p50\": " << r.p50_ms
-        << ", \"p95\": " << r.p95_ms << ", \"p99\": " << r.p99_ms << "}}"
-        << (i + 1 < shard_sweep.size() ? "," : "") << "\n";
+        << ", \"p95\": " << r.p95_ms << ", \"p99\": " << r.p99_ms << "}"
+        << ", \"shards_occupancy\": [";
+    for (std::size_t j = 0; j < r.occupancy.size(); ++j) {
+      const ShardOccupancy& o = r.occupancy[j];
+      out << (j == 0 ? "" : ", ") << "{\"shard\": " << o.shard
+          << ", \"busy_frac\": " << o.busy_frac
+          << ", \"mean_queue_wait_ms\": " << o.mean_queue_wait_ms
+          << ", \"mean_service_ms\": " << o.mean_service_ms << "}";
+    }
+    out << "]}" << (i + 1 < shard_sweep.size() ? "," : "") << "\n";
   }
   out << "  ],\n";
   if (facade != nullptr) {
@@ -521,6 +561,14 @@ void WriteJson(
         << ", \"p95\": " << facade->p95_ms << ", \"p99\": " << facade->p99_ms
         << "}},\n";
   }
+  out << "  \"tracing\": {\"shards\": " << tracing.shards
+      << ", \"sample_every\": " << tracing.sample_every
+      << ", \"baseline_examples_per_sec\": " << tracing.baseline_eps
+      << ", \"tracing_off_examples_per_sec\": " << tracing.off_eps
+      << ", \"tracing_on_examples_per_sec\": " << tracing.on_eps
+      << ", \"off_overhead_frac\": " << tracing.off_overhead
+      << ", \"on_overhead_frac\": " << tracing.on_overhead
+      << ", \"events_recorded\": " << tracing.events_recorded << "},\n";
   out << "  \"saturation\": {\n"
       << "    \"policy\": \"shed_below_severity\",\n"
       << "    \"shards\": " << saturation_shards << ",\n"
@@ -655,6 +703,55 @@ int main(int argc, char** argv) {
                                 facade_templated.run.examples_per_sec;
   }
 
+  // Tracing overhead at the reference shard count: no tracer vs a tracer
+  // attached but disabled (a production binary with tracing compiled in and
+  // switched off — must cost nothing beyond noise) vs tracing on at 1/16
+  // sampling (the recommended always-on setting — target <= 2%). Median-of-5
+  // interleaved, same scheduler-noise reasoning as the facade comparison.
+  TracingComparison tracing;
+  tracing.shards = reference->first;
+  tracing.sample_every = 16;
+  {
+    constexpr int kReps = 5;
+    const auto make_tracer = [&](bool enabled) {
+      obs::TracerOptions options;
+      options.shard_lanes = tracing.shards;
+      options.ring_capacity = 4096;
+      options.sample_every = tracing.sample_every;
+      options.enabled = enabled;
+      return std::make_shared<obs::Tracer>(options);
+    };
+    std::vector<double> base_eps, off_eps, on_eps;
+    for (int rep = 0; rep < kReps; ++rep) {
+      base_eps.push_back(RunSharded(streams, tracing.shards, batch_size,
+                                    window, settle_lag)
+                             .run.examples_per_sec);
+      off_eps.push_back(RunSharded(streams, tracing.shards, batch_size,
+                                   window, settle_lag, make_tracer(false))
+                            .run.examples_per_sec);
+      const auto on_tracer = make_tracer(true);
+      on_eps.push_back(RunSharded(streams, tracing.shards, batch_size,
+                                  window, settle_lag, on_tracer)
+                           .run.examples_per_sec);
+      const obs::TraceSnapshot snapshot = on_tracer->Drain();
+      tracing.events_recorded = 0;
+      for (const obs::LaneTrace& lane : snapshot.lanes) {
+        tracing.events_recorded += lane.recorded;
+      }
+      common::Check(tracing.events_recorded > 0,
+                    "tracing-on run recorded no events");
+    }
+    const auto median = [](std::vector<double>& eps) {
+      std::sort(eps.begin(), eps.end());
+      return eps[eps.size() / 2];
+    };
+    tracing.baseline_eps = median(base_eps);
+    tracing.off_eps = median(off_eps);
+    tracing.on_eps = median(on_eps);
+    tracing.off_overhead = 1.0 - tracing.off_eps / tracing.baseline_eps;
+    tracing.on_overhead = 1.0 - tracing.on_eps / tracing.baseline_eps;
+  }
+
   // Saturation: a small bounded queue under ShedBelowSeverity, offered
   // load paced at fractions of the unsaturated 2-shard (or closest) rate.
   const std::size_t saturation_shards = reference->first;
@@ -738,8 +835,16 @@ int main(int argc, char** argv) {
 
   std::cout << "\n=== backpressure-aware fast path (--shards sweep) ===\n\n";
   common::TextTable fast_table({"Shards", "Seconds", "Examples/sec",
-                                "Speedup", "p50 ms", "p95 ms", "p99 ms"});
+                                "Speedup", "p50 ms", "p95 ms", "p99 ms",
+                                "Busy %", "Q-wait ms"});
   for (const auto& [s, result] : shard_sweep) {
+    double busy = 0.0;
+    double wait = 0.0;
+    for (const ShardOccupancy& o : result.occupancy) {
+      busy += o.busy_frac;
+      wait += o.mean_queue_wait_ms;
+    }
+    const auto shard_count = static_cast<double>(result.occupancy.size());
     fast_table.AddRow(
         {std::to_string(s), common::FormatDouble(result.run.seconds, 3),
          common::FormatDouble(result.run.examples_per_sec, 0),
@@ -748,7 +853,9 @@ int main(int argc, char** argv) {
              "x",
          common::FormatDouble(result.p50_ms, 3),
          common::FormatDouble(result.p95_ms, 3),
-         common::FormatDouble(result.p99_ms, 3)});
+         common::FormatDouble(result.p99_ms, 3),
+         common::FormatDouble(busy / shard_count * 100.0, 1),
+         common::FormatDouble(wait / shard_count, 3)});
   }
   fast_table.Print(std::cout);
 
@@ -772,6 +879,26 @@ int main(int argc, char** argv) {
     }
   }
 
+  std::cout << "\n=== tracing overhead (" << tracing.shards
+            << " shards, sample 1/" << tracing.sample_every << ") ===\n\n";
+  common::TextTable trace_table({"Configuration", "Examples/sec",
+                                 "Overhead"});
+  trace_table.AddRow({"no tracer",
+                      common::FormatDouble(tracing.baseline_eps, 0), "-"});
+  trace_table.AddRow({"tracer attached, disabled",
+                      common::FormatDouble(tracing.off_eps, 0),
+                      common::FormatDouble(tracing.off_overhead * 100.0, 1) +
+                          "%"});
+  trace_table.AddRow({"tracing on, 1/" +
+                          std::to_string(tracing.sample_every) + " sampling",
+                      common::FormatDouble(tracing.on_eps, 0),
+                      common::FormatDouble(tracing.on_overhead * 100.0, 1) +
+                          "%"});
+  trace_table.Print(std::cout);
+  if (tracing.on_overhead > 0.02) {
+    std::cout << "WARNING: sampled tracing overhead above the 2% target\n";
+  }
+
   std::cout << "\n=== saturation (shed_below_severity, "
             << saturation_shards << " shards, queue "
             << saturation_capacity << " examples, floor "
@@ -792,7 +919,7 @@ int main(int argc, char** argv) {
   WriteJson(json_path, n_streams, examples, window, settle_lag, workers,
             batch_size, baseline, sharded_1w, sharded, sweep, shard_sweep,
             facade_enabled ? &facade_result : nullptr, facade_shards,
-            facade_templated.run.examples_per_sec, facade_overhead,
+            facade_templated.run.examples_per_sec, facade_overhead, tracing,
             saturation_shards, saturation_capacity, shed_floor, saturation);
   std::cout << "\nwrote " << json_path << "\n";
   return 0;

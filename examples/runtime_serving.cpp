@@ -13,7 +13,10 @@
 //
 // Build & run:  ./examples/runtime_serving [--frames N] [--shards N]
 //               [--policy block|drop_oldest|shed_below_severity]
+//               [--trace FILE.json] [--export-metrics PREFIX]
 #include <algorithm>
+#include <chrono>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -32,6 +35,8 @@
 // let AnyExample::Make wrap each domain's example type.
 #include "av/factory.hpp"
 #include "ecg/factory.hpp"
+#include "obs/exporter.hpp"
+#include "obs/tracer.hpp"
 #include "serve/monitor.hpp"
 #include "tvnews/factory.hpp"
 #include "video/assertions.hpp"
@@ -182,25 +187,40 @@ void ServeNews(serve::Monitor& monitor, std::size_t frames,
 
 int main(int argc, char** argv) {
   const auto flags = common::Flags::Parse(argc, argv);
-  flags.CheckAllowed({"frames", "shards", "policy", "seed"});
+  flags.CheckAllowed(
+      {"frames", "shards", "policy", "seed", "trace", "export-metrics"});
   const auto frames = static_cast<std::size_t>(flags.GetInt("frames", 240));
   const auto shards = static_cast<std::size_t>(flags.GetInt("shards", 4));
   const runtime::AdmissionPolicy policy =
       runtime::ParseAdmissionPolicy(flags.GetString("policy", "block"));
   const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  const std::string trace_path = flags.GetString("trace", "");
+  const std::string metrics_prefix = flags.GetString("export-metrics", "");
 
   std::cout << "=== one serve::Monitor, all four deployments (" << shards
             << " shards, " << runtime::AdmissionPolicyName(policy)
             << " admission) ===\n\n";
 
-  auto monitor = Expect(serve::Monitor::Builder()
-                            .Shards(shards)
-                            .Window(48)
-                            .SettleLag(8)
-                            .QueueCapacity(512)
-                            .Admission(policy)
-                            .Build(),
-                        "Monitor::Build");
+  serve::Monitor::Builder builder;
+  builder.Shards(shards)
+      .Window(48)
+      .SettleLag(8)
+      .QueueCapacity(512)
+      .Admission(policy);
+  if (!trace_path.empty()) builder.Trace(obs::TracerOptions{});
+  auto monitor = Expect(builder.Build(), "Monitor::Build");
+
+  std::unique_ptr<obs::MetricsExporter> exporter;
+  if (!metrics_prefix.empty()) {
+    obs::MetricsExporterOptions exporter_options;
+    exporter_options.period = std::chrono::milliseconds(200);
+    exporter_options.jsonl_path = metrics_prefix + ".jsonl";
+    exporter_options.prometheus_path = metrics_prefix + ".prom";
+    serve::Monitor* raw = monitor.get();
+    exporter = std::make_unique<obs::MetricsExporter>(
+        exporter_options, [raw] { return raw->Metrics(); });
+    exporter->Start();
+  }
 
   // Subscriptions: a high-severity alert feed across *all* domains (what a
   // pager would watch) plus a JSON-lines export of video events only.
@@ -240,15 +260,30 @@ int main(int argc, char** argv) {
   }
   table.Print(std::cout);
   common::TextTable shard_table({"Shard", "Batches", "Examples", "Events",
-                                 "Peak depth", "p99 ms"});
+                                 "Peak depth", "p99 ms", "Busy %",
+                                 "Q-wait ms"});
   for (const auto& shard : snapshot.shards) {
     shard_table.AddRow(
         {std::to_string(shard.shard), std::to_string(shard.batches),
          std::to_string(shard.examples), std::to_string(shard.events),
          std::to_string(shard.queue_depth_peak),
-         common::FormatDouble(shard.latency.Quantile(0.99) * 1e3, 3)});
+         common::FormatDouble(shard.latency.Quantile(0.99) * 1e3, 3),
+         common::FormatDouble(shard.BusyFraction() * 100.0, 1),
+         common::FormatDouble(shard.MeanQueueWaitSeconds() * 1e3, 3)});
   }
   shard_table.Print(std::cout);
+
+  if (exporter != nullptr) {
+    exporter->Stop();
+    std::cout << "\nmetrics exported: " << metrics_prefix << ".jsonl "
+              << metrics_prefix << ".prom\n";
+  }
+  if (!trace_path.empty()) {
+    std::ofstream trace_out(trace_path);
+    common::Check(trace_out.good(), "cannot open trace output " + trace_path);
+    monitor->WriteChromeTrace(trace_out);
+    std::cout << "\ntrace written: " << trace_path << "\n";
+  }
 
   std::cout << "\nalert subscription (severity >= 2.0, any domain): "
             << alerts->count() << " events, max severity "

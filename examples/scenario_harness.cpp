@@ -21,10 +21,13 @@
 //   ./examples/scenario_harness ../configs/*.conf     # explicit files
 //   ./examples/scenario_harness --configs ../configs  # every *.conf in DIR
 //   ./examples/scenario_harness --describe            # registered domains
+//   ./examples/scenario_harness --trace DIR           # Chrome traces to DIR
+//   ./examples/scenario_harness --export-metrics DIR  # jsonl+prom to DIR
 #include <algorithm>
 #include <chrono>
 #include <cstddef>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <iterator>
 #include <map>
@@ -44,6 +47,7 @@
 #include "config/scenario.hpp"
 #include "ecg/factory.hpp"
 #include "loop/improvement_loop.hpp"
+#include "obs/exporter.hpp"
 #include "serve/domains.hpp"
 #include "serve/monitor.hpp"
 #include "tvnews/factory.hpp"
@@ -222,7 +226,8 @@ void PrintMonitorReport(const runtime::MetricsSnapshot& snapshot,
   }
   table.Print(std::cout);
   common::TextTable shard_table({"Shard", "Examples", "Shed", "Dropped",
-                                 "Peak depth", "p50 ms", "p95 ms", "p99 ms"});
+                                 "Peak depth", "p50 ms", "p95 ms", "p99 ms",
+                                 "Busy %", "Q-wait ms"});
   for (const auto& shard : snapshot.shards) {
     shard_table.AddRow(
         {std::to_string(shard.shard), std::to_string(shard.examples),
@@ -231,7 +236,9 @@ void PrintMonitorReport(const runtime::MetricsSnapshot& snapshot,
          std::to_string(shard.queue_depth_peak),
          common::FormatDouble(shard.latency.Quantile(0.50) * 1e3, 3),
          common::FormatDouble(shard.latency.Quantile(0.95) * 1e3, 3),
-         common::FormatDouble(shard.latency.Quantile(0.99) * 1e3, 3)});
+         common::FormatDouble(shard.latency.Quantile(0.99) * 1e3, 3),
+         common::FormatDouble(shard.BusyFraction() * 100.0, 1),
+         common::FormatDouble(shard.MeanQueueWaitSeconds() * 1e3, 3)});
   }
   shard_table.Print(std::cout);
   for (const auto& error : errors) {
@@ -414,6 +421,9 @@ SummaryRow RunLoopScenario(const config::ScenarioSpec& scenario,
           loop_spec, hosted.assertion_names.at("video"),
           video::DetectorConfig{}.finetune_sgd);
   loop_config.retrain.replay_weight = 1.0;
+  // Share the monitor's tracer (if [observability] attached one) so round /
+  // retrain / model_hot_swap spans land in the same trace as serving.
+  loop_config.tracer = hosted.monitor->tracer();
   loop::ImprovementLoop improvement(
       loop_config, config::ConfigLoader::MakeStrategy(loop_spec.strategy),
       oracle, detector.model(), pretrain);
@@ -532,10 +542,38 @@ SummaryRow RunLoopScenario(const config::ScenarioSpec& scenario,
 
 // ------------------------------------------------------------- scenarios ---
 
+/// --trace / --export-metrics override the scenario's [observability]
+/// section: tracing is forced on and missing output paths are derived from
+/// the scenario name under the given directories. A [observability] section
+/// in the file still controls ring sizing, sampling, and exporter cadence.
+void ApplyObservabilityOverrides(config::ScenarioSpec& scenario,
+                                 const std::string& trace_dir,
+                                 const std::string& export_dir) {
+  if (!trace_dir.empty()) {
+    scenario.observability.trace = true;
+    if (scenario.observability.trace_path.empty()) {
+      scenario.observability.trace_path =
+          trace_dir + "/" + scenario.name + ".trace.json";
+    }
+  }
+  if (!export_dir.empty()) {
+    if (scenario.observability.metrics_jsonl_path.empty()) {
+      scenario.observability.metrics_jsonl_path =
+          export_dir + "/" + scenario.name + ".metrics.jsonl";
+    }
+    if (scenario.observability.metrics_prometheus_path.empty()) {
+      scenario.observability.metrics_prometheus_path =
+          export_dir + "/" + scenario.name + ".metrics.prom";
+    }
+  }
+}
+
 void RunScenario(const std::string& path,
                  const serve::DomainRegistry& domains,
+                 const std::string& trace_dir, const std::string& export_dir,
                  std::vector<SummaryRow>& summary) {
-  const config::ScenarioSpec scenario = config::ConfigLoader::LoadFile(path);
+  config::ScenarioSpec scenario = config::ConfigLoader::LoadFile(path);
+  ApplyObservabilityOverrides(scenario, trace_dir, export_dir);
   std::cout << "=== scenario '" << scenario.name << "' (" << path << ")\n";
   if (!scenario.description.empty()) {
     std::cout << "    " << scenario.description << "\n";
@@ -553,6 +591,22 @@ void RunScenario(const std::string& path,
   config::ScenarioMonitor hosted =
       config::BuildScenarioMonitor(scenario, domains);
   TrafficMap traffic = GenerateTraffic(scenario, run_loop ? "video" : "");
+
+  // Background snapshotter over the monitor's registry; Stop() below takes
+  // one final export so the files reflect the finished run.
+  std::unique_ptr<obs::MetricsExporter> exporter;
+  if (scenario.observability.ExporterEnabled()) {
+    obs::MetricsExporterOptions exporter_options;
+    exporter_options.period =
+        std::chrono::milliseconds(scenario.observability.export_period_ms);
+    exporter_options.jsonl_path = scenario.observability.metrics_jsonl_path;
+    exporter_options.prometheus_path =
+        scenario.observability.metrics_prometheus_path;
+    serve::Monitor* monitor = hosted.monitor.get();
+    exporter = std::make_unique<obs::MetricsExporter>(
+        exporter_options, [monitor] { return monitor->Metrics(); });
+    exporter->Start();
+  }
 
   if (run_loop) {
     summary.push_back(RunLoopScenario(scenario, hosted, traffic));
@@ -573,6 +627,27 @@ void RunScenario(const std::string& path,
                    "streams; monitoring ran without rounds\n";
     }
   }
+
+  if (exporter != nullptr) {
+    exporter->Stop();
+    std::cout << "metrics exported:";
+    if (!scenario.observability.metrics_jsonl_path.empty()) {
+      std::cout << " " << scenario.observability.metrics_jsonl_path;
+    }
+    if (!scenario.observability.metrics_prometheus_path.empty()) {
+      std::cout << " " << scenario.observability.metrics_prometheus_path;
+    }
+    std::cout << "\n";
+  }
+  if (scenario.observability.trace &&
+      !scenario.observability.trace_path.empty()) {
+    std::ofstream out(scenario.observability.trace_path);
+    common::Check(out.good(), "cannot open trace output " +
+                                  scenario.observability.trace_path);
+    hosted.monitor->WriteChromeTrace(out);
+    std::cout << "trace written: " << scenario.observability.trace_path
+              << "\n";
+  }
   std::cout << "\n";
 }
 
@@ -591,7 +666,7 @@ void Describe(const serve::DomainRegistry& domains) {
 
 int main(int argc, char** argv) {
   const auto flags = common::Flags::Parse(argc, argv);
-  flags.CheckAllowed({"configs", "describe"});
+  flags.CheckAllowed({"configs", "describe", "trace", "export-metrics"});
 
   const serve::DomainRegistry domains = serve::MakeDefaultDomainRegistry();
   if (flags.GetBool("describe", false)) {
@@ -637,10 +712,23 @@ int main(int argc, char** argv) {
   }
   std::sort(paths.begin(), paths.end());
 
+  const std::string trace_dir = flags.GetString("trace", "");
+  const std::string export_dir = flags.GetString("export-metrics", "");
+  for (const std::string& dir : {trace_dir, export_dir}) {
+    if (dir.empty()) continue;
+    std::error_code make_error;
+    std::filesystem::create_directories(dir, make_error);
+    if (make_error) {
+      std::cerr << "cannot create " << dir << ": " << make_error.message()
+                << "\n";
+      return 1;
+    }
+  }
+
   std::vector<SummaryRow> summary;
   try {
     for (const std::string& path : paths) {
-      RunScenario(path, domains, summary);
+      RunScenario(path, domains, trace_dir, export_dir, summary);
     }
   } catch (const config::SpecError& error) {
     std::cerr << "config error: " << error.what() << "\n";

@@ -10,10 +10,15 @@ ScenarioMonitor BuildScenarioMonitor(const ScenarioSpec& scenario,
                                      const serve::DomainRegistry& domains) {
   ScenarioMonitor out;
 
-  serve::Result<std::unique_ptr<serve::Monitor>> built =
-      serve::Monitor::Builder()
-          .Runtime(ConfigLoader::MakeRuntimeConfig(scenario))
-          .Build();
+  serve::Monitor::Builder builder;
+  builder.Runtime(ConfigLoader::MakeRuntimeConfig(scenario));
+  if (scenario.observability.trace) {
+    obs::TracerOptions trace;
+    trace.ring_capacity = scenario.observability.ring_capacity;
+    trace.sample_every = scenario.observability.sample_every;
+    builder.Trace(trace);  // Build() sizes shard_lanes to the shard count
+  }
+  serve::Result<std::unique_ptr<serve::Monitor>> built = builder.Build();
   // Load() already ran Validate() on this geometry; a failure here is a
   // loader/facade disagreement, not a config error.
   if (!built.ok()) throw common::CheckError(built.error().message);

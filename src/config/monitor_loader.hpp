@@ -43,7 +43,8 @@ struct ScenarioMonitor {
 };
 
 /// Instantiates `scenario` as one serve::Monitor: builds the runtime from
-/// [runtime]/[admission], registers every [stream ...] (each stream's
+/// [runtime]/[admission] (attaching a tracer when [observability] says
+/// trace = true), registers every [stream ...] (each stream's
 /// suite erased from its domain's [suite ...] via `domains`, its
 /// severity_hint installed as the stream's default admission hint).
 ///

@@ -9,8 +9,9 @@ namespace omg::config {
 namespace {
 
 /// Section kinds a scenario document may contain.
-const char* const kKnownKinds[] = {"scenario", "runtime", "admission",
-                                   "suite",    "assertion", "stream", "loop"};
+const char* const kKnownKinds[] = {"scenario", "runtime",   "admission",
+                                   "suite",    "assertion", "stream",
+                                   "loop",     "observability"};
 
 RuntimeSpec ReadRuntime(const SpecSection& section) {
   RuntimeSpec spec;
@@ -67,6 +68,33 @@ LoopSpec ReadLoop(const SpecSection& section) {
       section.GetSize("retrain_epochs", spec.retrain_epochs);
   spec.seed = static_cast<std::uint64_t>(
       section.GetInt("seed", static_cast<std::int64_t>(spec.seed)));
+  section.RejectUnknownKeys();
+  return spec;
+}
+
+ObservabilitySpec ReadObservability(const SpecSection& section) {
+  ObservabilitySpec spec;
+  spec.trace = section.GetBool("trace", spec.trace);
+  spec.ring_capacity = section.GetSize("ring_capacity", spec.ring_capacity);
+  if (spec.ring_capacity == 0) {
+    throw section.ErrorAt("ring_capacity", "ring_capacity must be >= 1");
+  }
+  spec.sample_every = section.GetSize("sample_every", spec.sample_every);
+  if (spec.sample_every == 0) {
+    throw section.ErrorAt("sample_every",
+                          "sample_every must be >= 1 (1 = every batch)");
+  }
+  spec.trace_path = section.GetString("trace_path", spec.trace_path);
+  spec.export_period_ms =
+      section.GetSize("export_period_ms", spec.export_period_ms);
+  if (spec.export_period_ms == 0) {
+    throw section.ErrorAt("export_period_ms",
+                          "export_period_ms must be >= 1");
+  }
+  spec.metrics_jsonl_path =
+      section.GetString("metrics_jsonl_path", spec.metrics_jsonl_path);
+  spec.metrics_prometheus_path = section.GetString(
+      "metrics_prometheus_path", spec.metrics_prometheus_path);
   section.RejectUnknownKeys();
   return spec;
 }
@@ -128,12 +156,13 @@ ScenarioSpec ConfigLoader::Load(const SpecDocument& doc) {
     if (!known) {
       throw section.ErrorHere("unknown section kind [" + section.kind() +
                               "] (scenario, runtime, admission, suite, "
-                              "assertion, stream, loop)");
+                              "assertion, stream, loop, observability)");
     }
     const bool singleton = section.kind() == "scenario" ||
                            section.kind() == "runtime" ||
                            section.kind() == "admission" ||
-                           section.kind() == "loop";
+                           section.kind() == "loop" ||
+                           section.kind() == "observability";
     if (singleton && !section.label().empty()) {
       throw section.ErrorHere("[" + section.kind() +
                               "] does not take a label");
@@ -160,6 +189,9 @@ ScenarioSpec ConfigLoader::Load(const SpecDocument& doc) {
   }
   if (const SpecSection* loop = doc.Find("loop")) {
     scenario.loop = ReadLoop(*loop);
+  }
+  if (const SpecSection* obs = doc.Find("observability")) {
+    scenario.observability = ReadObservability(*obs);
   }
 
   // Suites: [suite <domain>] with an assertions list; parameters come from

@@ -10,6 +10,7 @@
 //   [assertion <name>]    parameters for one factory-registered assertion
 //   [stream <name>]       one traffic stream (domain, examples, seed, ...)
 //   [loop]                the improvement loop's round/oracle settings
+//   [observability]       trace rings, sampling, metrics exporter sinks
 //
 // ConfigLoader::Load validates the whole document — unknown sections,
 // unknown keys, type mismatches, streams without a matching suite,
@@ -66,6 +67,31 @@ struct AdmissionSpec {
   double shed_floor = 1.0;
 };
 
+/// [observability] — tracing and metrics export. `trace` defaults to
+/// false: the tracer costs a few percent of throughput at sample_every=1,
+/// so scenarios opt in (or the harness forces it with --trace).
+struct ObservabilitySpec {
+  /// Attach a Tracer to the monitor (per-shard trace rings + control lane).
+  bool trace = false;
+  /// Events each lane retains before the oldest are evicted.
+  std::size_t ring_capacity = 4096;
+  /// Trace every Nth batch per shard lane (1 = every batch).
+  std::size_t sample_every = 1;
+  /// Chrome trace JSON output path; empty = harness picks one under the
+  /// --trace directory.
+  std::string trace_path;
+  /// Background MetricsExporter cadence.
+  std::size_t export_period_ms = 200;
+  /// Snapshot sinks; empty disables that format.
+  std::string metrics_jsonl_path;
+  std::string metrics_prometheus_path;
+
+  /// Whether any exporter sink is configured.
+  bool ExporterEnabled() const {
+    return !metrics_jsonl_path.empty() || !metrics_prometheus_path.empty();
+  }
+};
+
 /// [loop] — the improvement loop's round/oracle settings. `enabled`
 /// defaults to false: most scenarios only monitor.
 struct LoopSpec {
@@ -105,6 +131,7 @@ struct ScenarioSpec {
   std::string source;  ///< file/source the scenario was parsed from
   RuntimeSpec runtime;
   AdmissionSpec admission;
+  ObservabilitySpec observability;
   LoopSpec loop;
   std::vector<SuiteSpec> suites;    ///< one per domain, file order
   std::vector<StreamSpec> streams;  ///< file order

@@ -17,8 +17,15 @@ ImprovementLoop::ImprovementLoop(
         "improvement loop needs at least one assertion name");
   FlagStoreConfig store_config = config.store;
   store_config.num_assertions = config.assertion_names.size();
+  if (config.tracer != nullptr) {
+    config.round.tracer = config.tracer;
+    config.retrain.tracer = config.tracer;
+  }
 
   registry_ = std::make_shared<ModelRegistry>();
+  // Attach before the first Publish so even the pretrained model's
+  // publication appears in the trace.
+  registry_->AttachTracer(config.tracer);
   registry_->Publish(std::move(initial_model));
   store_ = std::make_shared<FlagStore>(store_config);
   sink_ = std::make_shared<FlagCollectorSink>(store_,

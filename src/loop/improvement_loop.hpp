@@ -46,6 +46,11 @@ struct ImprovementLoopConfig {
   RoundConfig round;       ///< per-round budget and minimum pool size
   RetrainConfig retrain;   ///< fine-tune hyper-parameters
   std::uint64_t seed = 42; ///< seeds the scheduler's tie-breaking RNG
+  /// Optional trace sink shared with the serving runtime: propagated to the
+  /// scheduler (round spans), the retrain worker (retrain spans), and the
+  /// registry (model_hot_swap instants), all on the control lane. Overrides
+  /// any tracer already set inside `round` / `retrain`.
+  std::shared_ptr<obs::Tracer> tracer;
 };
 
 /// Facade wiring FlagStore + collector + scheduler + retrainer + registry.

@@ -6,10 +6,19 @@ namespace omg::loop {
 
 std::uint64_t ModelRegistry::Publish(nn::Mlp model) {
   auto shared = std::make_shared<const nn::Mlp>(std::move(model));
-  std::lock_guard<std::mutex> lock(mutex_);
-  current_.version += 1;
-  current_.model = std::move(shared);
-  return current_.version;
+  std::uint64_t version;
+  [[maybe_unused]] std::shared_ptr<obs::Tracer> tracer;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    current_.version += 1;
+    current_.model = std::move(shared);
+    version = current_.version;
+    tracer = tracer_;
+  }
+  OMG_TRACE(if (tracer != nullptr) tracer->EmitControl(
+                obs::TraceEventKind::kModelHotSwap, obs::TracePhase::kInstant,
+                obs::TraceEvent::kNoStream, version));
+  return version;
 }
 
 ModelHandle ModelRegistry::Current() const {
@@ -20,6 +29,11 @@ ModelHandle ModelRegistry::Current() const {
 std::uint64_t ModelRegistry::version() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return current_.version;
+}
+
+void ModelRegistry::AttachTracer(std::shared_ptr<obs::Tracer> tracer) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  tracer_ = std::move(tracer);
 }
 
 }  // namespace omg::loop

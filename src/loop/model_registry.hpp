@@ -13,6 +13,7 @@
 #include <mutex>
 
 #include "nn/mlp.hpp"
+#include "obs/tracer.hpp"
 
 namespace omg::loop {
 
@@ -39,9 +40,14 @@ class ModelRegistry {
   /// Version of the latest publish (0 before any).
   std::uint64_t version() const;
 
+  /// Emits a model_hot_swap trace event (control lane) on every Publish.
+  /// Thread-safe; null detaches.
+  void AttachTracer(std::shared_ptr<obs::Tracer> tracer);
+
  private:
   mutable std::mutex mutex_;
   ModelHandle current_;
+  std::shared_ptr<obs::Tracer> tracer_;  ///< guarded by mutex_
 };
 
 }  // namespace omg::loop

@@ -21,6 +21,7 @@
 
 #include "loop/model_registry.hpp"
 #include "nn/trainer.hpp"
+#include "obs/tracer.hpp"
 
 namespace omg::loop {
 
@@ -36,6 +37,10 @@ struct RetrainConfig {
   /// Invoked on the worker thread when a fine-tune begins (instrumentation;
   /// tests use it to pin down hot-swap interleavings).
   std::function<void()> on_retrain_start;
+  /// Optional trace sink: each fine-tune emits a `retrain` span on the
+  /// control lane (begin: accumulated rows; end: published version, 0 when
+  /// the fine-tune threw).
+  std::shared_ptr<obs::Tracer> tracer;
 };
 
 /// Accumulates labeled data and retrains on a background thread.

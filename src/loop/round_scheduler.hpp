@@ -28,6 +28,7 @@
 #include "loop/flag_store.hpp"
 #include "loop/oracle.hpp"
 #include "loop/retrain_worker.hpp"
+#include "obs/tracer.hpp"
 
 namespace omg::loop {
 
@@ -37,6 +38,9 @@ struct RoundConfig {
   std::size_t budget = 8;
   /// Rounds with fewer candidates are skipped (nothing worth labeling yet).
   std::size_t min_candidates = 1;
+  /// Optional trace sink: each executed round emits a `round` span on the
+  /// control lane (begin: candidates; end: labeled rows).
+  std::shared_ptr<obs::Tracer> tracer;
 };
 
 /// What one round did; History() keeps these in order.

@@ -1,0 +1,29 @@
+#include "obs/clock.hpp"
+
+#include <chrono>
+
+namespace omg::obs {
+
+namespace {
+
+std::uint64_t SteadyNowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+std::atomic<Clock::NowFn> Clock::source_{nullptr};
+
+std::uint64_t Clock::NowNs() {
+  const NowFn source = source_.load(std::memory_order_relaxed);
+  return source != nullptr ? source() : SteadyNowNs();
+}
+
+void Clock::InstallSource(NowFn source) {
+  source_.store(source, std::memory_order_relaxed);
+}
+
+}  // namespace omg::obs

@@ -1,0 +1,54 @@
+// obs::Clock — the single time source for latency and trace timestamps.
+//
+// Every hot-path timestamp in the serving runtime (queue-wait accounting,
+// observe-to-flag latency, trace-event times) reads this shim instead of
+// calling a std::chrono clock directly. Two reasons:
+//
+//   * Monotonicity. Wall clocks (system_clock) step under NTP; a latency
+//     sample taken across a step can go negative. The default source is
+//     steady_clock, so durations are always well-formed.
+//   * Testability. Tests install a fake source (InstallSource) and drive
+//     time deterministically — occupancy arithmetic and exporter output
+//     become exact assertions instead of sleeps and tolerances.
+//
+// Timestamps are nanoseconds since the steady clock's (arbitrary) epoch:
+// meaningful for differences within one process, not across processes or
+// reboots.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace omg::obs {
+
+/// Process-wide monotonic nanosecond clock with an injectable source.
+class Clock {
+ public:
+  /// A replacement time source: returns nanoseconds, must be monotonic
+  /// non-decreasing and callable from any thread.
+  using NowFn = std::uint64_t (*)();
+
+  /// Nanoseconds now, from the installed source (steady_clock by default).
+  static std::uint64_t NowNs();
+
+  /// Converts a nanosecond count (or difference) to seconds.
+  static double ToSeconds(std::uint64_t ns) {
+    return static_cast<double>(ns) * 1e-9;
+  }
+
+  /// `later - earlier`, clamped to 0 — durations never underflow even if a
+  /// test's fake source is driven carelessly.
+  static std::uint64_t ElapsedNs(std::uint64_t earlier, std::uint64_t later) {
+    return later > earlier ? later - earlier : 0;
+  }
+
+  /// Installs `source` as the process-wide time source; nullptr restores
+  /// steady_clock. Intended for tests only — install before the threads
+  /// under test start, restore after they join.
+  static void InstallSource(NowFn source);
+
+ private:
+  static std::atomic<NowFn> source_;
+};
+
+}  // namespace omg::obs

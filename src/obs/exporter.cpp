@@ -1,0 +1,272 @@
+#include "obs/exporter.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <utility>
+
+#include "common/check.hpp"
+#include "obs/clock.hpp"
+#include "runtime/event_sink.hpp"  // runtime::JsonEscape
+
+namespace omg::obs {
+
+namespace {
+
+/// Shortest round-trippable rendering of a double (Prometheus and JSON both
+/// accept it).
+std::string Num(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+void Header(std::ostream& out, const char* name, const char* type,
+            const char* help) {
+  out << "# HELP " << name << " " << help << "\n# TYPE " << name << " "
+      << type << "\n";
+}
+
+}  // namespace
+
+std::string PrometheusEscapeLabel(std::string_view value) {
+  std::string escaped;
+  escaped.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        escaped += "\\\\";
+        break;
+      case '"':
+        escaped += "\\\"";
+        break;
+      case '\n':
+        escaped += "\\n";
+        break;
+      default:
+        escaped += c;
+    }
+  }
+  return escaped;
+}
+
+void WritePrometheusText(const runtime::MetricsSnapshot& snapshot,
+                         std::ostream& out) {
+  Header(out, "omg_examples_seen_total", "counter",
+         "Examples scored across all streams.");
+  out << "omg_examples_seen_total " << snapshot.examples_seen << "\n";
+  Header(out, "omg_events_total", "counter",
+         "Assertion events emitted across all streams.");
+  out << "omg_events_total " << snapshot.events << "\n";
+
+  Header(out, "omg_assertion_fires_total", "counter",
+         "Events per qualified assertion.");
+  for (const auto& [name, slot] : snapshot.assertions) {
+    out << "omg_assertion_fires_total{assertion=\""
+        << PrometheusEscapeLabel(name) << "\"} " << slot.fires << "\n";
+  }
+  Header(out, "omg_assertion_max_severity", "gauge",
+         "Largest severity per qualified assertion.");
+  for (const auto& [name, slot] : snapshot.assertions) {
+    out << "omg_assertion_max_severity{assertion=\""
+        << PrometheusEscapeLabel(name) << "\"} " << Num(slot.max_severity)
+        << "\n";
+  }
+
+  Header(out, "omg_stream_examples_total", "counter",
+         "Examples scored per stream.");
+  for (const runtime::StreamMetrics& stream : snapshot.streams) {
+    if (stream.stream.empty()) continue;
+    out << "omg_stream_examples_total{stream=\""
+        << PrometheusEscapeLabel(stream.stream) << "\"} "
+        << stream.examples_seen << "\n";
+  }
+  Header(out, "omg_stream_events_total", "counter",
+         "Assertion events per stream.");
+  for (const runtime::StreamMetrics& stream : snapshot.streams) {
+    if (stream.stream.empty()) continue;
+    out << "omg_stream_events_total{stream=\""
+        << PrometheusEscapeLabel(stream.stream) << "\"} " << stream.events
+        << "\n";
+  }
+
+  const auto shard_counter = [&](const char* name, const char* help,
+                                 auto value_of) {
+    Header(out, name, "counter", help);
+    for (const runtime::ShardMetrics& shard : snapshot.shards) {
+      out << name << "{shard=\"" << shard.shard << "\"} " << value_of(shard)
+          << "\n";
+    }
+  };
+  shard_counter("omg_shard_batches_total", "Batches scored per shard.",
+                [](const auto& s) { return s.batches; });
+  shard_counter("omg_shard_examples_total", "Examples scored per shard.",
+                [](const auto& s) { return s.examples; });
+  shard_counter("omg_shard_shed_examples_total",
+                "Examples shed at admission per shard.",
+                [](const auto& s) { return s.shed_examples; });
+  shard_counter("omg_shard_dropped_examples_total",
+                "Examples dropped from the queue per shard.",
+                [](const auto& s) { return s.dropped_examples; });
+  shard_counter("omg_shard_errored_examples_total",
+                "Examples in batches whose scoring threw, per shard.",
+                [](const auto& s) { return s.errored_examples; });
+
+  Header(out, "omg_shard_queue_depth", "gauge",
+         "Examples queued at snapshot time per shard.");
+  for (const runtime::ShardMetrics& shard : snapshot.shards) {
+    out << "omg_shard_queue_depth{shard=\"" << shard.shard << "\"} "
+        << shard.queue_depth << "\n";
+  }
+  Header(out, "omg_shard_queue_depth_peak", "gauge",
+         "Largest queue depth ever observed per shard.");
+  for (const runtime::ShardMetrics& shard : snapshot.shards) {
+    out << "omg_shard_queue_depth_peak{shard=\"" << shard.shard << "\"} "
+        << shard.queue_depth_peak << "\n";
+  }
+
+  Header(out, "omg_shard_busy_seconds_total", "counter",
+         "Worker time spent scoring batches per shard.");
+  for (const runtime::ShardMetrics& shard : snapshot.shards) {
+    out << "omg_shard_busy_seconds_total{shard=\"" << shard.shard << "\"} "
+        << Num(Clock::ToSeconds(shard.busy_ns)) << "\n";
+  }
+  Header(out, "omg_shard_idle_seconds_total", "counter",
+         "Worker time spent waiting for work per shard.");
+  for (const runtime::ShardMetrics& shard : snapshot.shards) {
+    out << "omg_shard_idle_seconds_total{shard=\"" << shard.shard << "\"} "
+        << Num(Clock::ToSeconds(shard.idle_ns)) << "\n";
+  }
+  Header(out, "omg_shard_queue_wait_seconds_total", "counter",
+         "Summed enqueue-to-dequeue wait per shard.");
+  for (const runtime::ShardMetrics& shard : snapshot.shards) {
+    out << "omg_shard_queue_wait_seconds_total{shard=\"" << shard.shard
+        << "\"} " << Num(Clock::ToSeconds(shard.queue_wait_ns)) << "\n";
+  }
+  Header(out, "omg_shard_busy_ratio", "gauge",
+         "busy / (busy + idle) per shard since start.");
+  for (const runtime::ShardMetrics& shard : snapshot.shards) {
+    out << "omg_shard_busy_ratio{shard=\"" << shard.shard << "\"} "
+        << Num(shard.BusyFraction()) << "\n";
+  }
+
+  Header(out, "omg_shard_latency_seconds", "gauge",
+         "Observe-to-flag latency quantiles per shard.");
+  for (const runtime::ShardMetrics& shard : snapshot.shards) {
+    for (const double q : {0.5, 0.95, 0.99}) {
+      out << "omg_shard_latency_seconds{shard=\"" << shard.shard
+          << "\",quantile=\"" << Num(q) << "\"} "
+          << Num(shard.latency.Quantile(q)) << "\n";
+    }
+  }
+}
+
+void WriteMetricsJsonLine(const runtime::MetricsSnapshot& snapshot,
+                          std::uint64_t ts_ns, std::ostream& out) {
+  out << "{\"ts_ns\":" << ts_ns
+      << ",\"examples_seen\":" << snapshot.examples_seen
+      << ",\"events\":" << snapshot.events << ",\"assertions\":{";
+  bool first = true;
+  for (const auto& [name, slot] : snapshot.assertions) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << runtime::JsonEscape(name) << "\":{\"fires\":" << slot.fires
+        << ",\"max_severity\":" << Num(slot.max_severity)
+        << ",\"mean_severity\":" << Num(slot.MeanSeverity()) << "}";
+  }
+  out << "},\"streams\":{";
+  first = true;
+  for (const runtime::StreamMetrics& stream : snapshot.streams) {
+    if (stream.stream.empty()) continue;
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << runtime::JsonEscape(stream.stream)
+        << "\":{\"examples\":" << stream.examples_seen
+        << ",\"events\":" << stream.events << "}";
+  }
+  out << "},\"shards\":[";
+  first = true;
+  for (const runtime::ShardMetrics& shard : snapshot.shards) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"shard\":" << shard.shard << ",\"batches\":" << shard.batches
+        << ",\"examples\":" << shard.examples
+        << ",\"shed_examples\":" << shard.shed_examples
+        << ",\"dropped_examples\":" << shard.dropped_examples
+        << ",\"errored_examples\":" << shard.errored_examples
+        << ",\"queue_depth_peak\":" << shard.queue_depth_peak
+        << ",\"busy_seconds\":" << Num(Clock::ToSeconds(shard.busy_ns))
+        << ",\"idle_seconds\":" << Num(Clock::ToSeconds(shard.idle_ns))
+        << ",\"busy_ratio\":" << Num(shard.BusyFraction())
+        << ",\"mean_queue_wait_seconds\":"
+        << Num(shard.MeanQueueWaitSeconds())
+        << ",\"mean_service_seconds\":" << Num(shard.MeanServiceSeconds())
+        << ",\"p99_latency_seconds\":" << Num(shard.latency.Quantile(0.99))
+        << "}";
+  }
+  out << "]}\n";
+}
+
+MetricsExporter::MetricsExporter(MetricsExporterOptions options,
+                                 SnapshotFn snapshot)
+    : options_(std::move(options)), snapshot_(std::move(snapshot)) {
+  common::Check(static_cast<bool>(snapshot_),
+                "metrics exporter needs a snapshot source");
+  common::Check(options_.period.count() > 0,
+                "metrics exporter period must be positive");
+  // Truncate the JSONL sink up front so one run's series is one file.
+  if (!options_.jsonl_path.empty()) {
+    std::ofstream reset(options_.jsonl_path, std::ios::trunc);
+    common::Check(reset.good(),
+                  "metrics exporter cannot open the JSONL sink");
+  }
+}
+
+MetricsExporter::~MetricsExporter() { Stop(); }
+
+void MetricsExporter::Start() {
+  std::lock_guard<std::mutex> lock(run_mutex_);
+  if (thread_.joinable()) return;
+  stop_ = false;
+  thread_ = std::thread([this] { Run(); });
+}
+
+void MetricsExporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(run_mutex_);
+    if (!thread_.joinable()) return;
+    stop_ = true;
+    wake_.notify_all();
+  }
+  thread_.join();
+  thread_ = std::thread();
+  ExportOnce();  // final point-in-time export
+}
+
+std::size_t MetricsExporter::ExportOnce() {
+  const runtime::MetricsSnapshot snapshot = snapshot_();
+  const std::uint64_t now_ns = Clock::NowNs();
+  std::lock_guard<std::mutex> lock(io_mutex_);
+  if (!options_.jsonl_path.empty()) {
+    std::ofstream jsonl(options_.jsonl_path, std::ios::app);
+    WriteMetricsJsonLine(snapshot, now_ns, jsonl);
+  }
+  if (!options_.prometheus_path.empty()) {
+    std::ofstream prom(options_.prometheus_path, std::ios::trunc);
+    WritePrometheusText(snapshot, prom);
+  }
+  return ++exports_;
+}
+
+void MetricsExporter::Run() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(run_mutex_);
+      wake_.wait_for(lock, options_.period, [&] { return stop_; });
+      if (stop_) return;  // Stop() writes the final export
+    }
+    ExportOnce();
+  }
+}
+
+}  // namespace omg::obs

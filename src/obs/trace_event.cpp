@@ -1,0 +1,27 @@
+#include "obs/trace_event.hpp"
+
+namespace omg::obs {
+
+std::string_view TraceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kBatchDequeue:
+      return "batch_dequeue";
+    case TraceEventKind::kEvaluate:
+      return "evaluate";
+    case TraceEventKind::kFlush:
+      return "flush";
+    case TraceEventKind::kAdmissionShed:
+      return "admission_shed";
+    case TraceEventKind::kAdmissionDrop:
+      return "admission_drop";
+    case TraceEventKind::kModelHotSwap:
+      return "model_hot_swap";
+    case TraceEventKind::kRound:
+      return "round";
+    case TraceEventKind::kRetrain:
+      return "retrain";
+  }
+  return "unknown";
+}
+
+}  // namespace omg::obs

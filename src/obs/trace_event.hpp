@@ -1,0 +1,83 @@
+// The trace-event taxonomy of the observability layer.
+//
+// A TraceEvent is one fixed-size record in a shard's trace ring: what
+// happened (kind), whether it opens/closes a span or stands alone (phase),
+// when (obs::Clock nanoseconds), on which stream, plus two kind-specific
+// integer arguments. Events are encoded to a fixed array of 64-bit words so
+// the ring can store them in lock-free atomic slots; strings (stream names,
+// kind names) are resolved only at drain/serialisation time.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace omg::obs {
+
+/// What a trace event records. Begin/End pairs of the same kind form a span
+/// on the emitting lane; kInstant kinds are point events.
+enum class TraceEventKind : std::uint8_t {
+  kBatchDequeue = 0,  ///< worker popped a batch (instant; args: examples, depth)
+  kEvaluate,          ///< scoring a batch (span; args: examples, events at end)
+  kFlush,             ///< Flush() quiescence wait (span)
+  kAdmissionShed,     ///< batch refused at admission (instant; examples, shard)
+  kAdmissionDrop,     ///< queued batches evicted (instant; examples, shard)
+  kModelHotSwap,      ///< registry published a model (instant; arg0 = version)
+  kRound,             ///< one BAL improvement round (span; arg0 = round index)
+  kRetrain,           ///< background retrain (span; args: rows, version at end)
+};
+
+/// Number of TraceEventKind values (for tables indexed by kind).
+inline constexpr std::size_t kTraceEventKinds = 8;
+
+/// Stable snake_case name ("batch_dequeue", "evaluate", ...); also the event
+/// name in exported Chrome traces.
+std::string_view TraceEventKindName(TraceEventKind kind);
+
+/// Span phase of an event.
+enum class TracePhase : std::uint8_t {
+  kInstant = 0,
+  kBegin,
+  kEnd,
+};
+
+/// One fixed-size trace record; see the file comment.
+struct TraceEvent {
+  /// stream_id value for events not tied to a stream (hot-swap, round...).
+  static constexpr std::uint64_t kNoStream = ~std::uint64_t{0};
+  /// Number of 64-bit words in the encoded form.
+  static constexpr std::size_t kWords = 5;
+
+  /// obs::Clock timestamp.
+  std::uint64_t ts_ns = 0;
+  TraceEventKind kind = TraceEventKind::kBatchDequeue;
+  TracePhase phase = TracePhase::kInstant;
+  /// Runtime stream id, or kNoStream.
+  std::uint64_t stream_id = kNoStream;
+  /// Kind-specific arguments (see TraceEventKind).
+  std::uint64_t arg0 = 0;
+  std::uint64_t arg1 = 0;
+
+  /// Packs the event into kWords ring words.
+  std::array<std::uint64_t, kWords> Encode() const {
+    return {ts_ns,
+            static_cast<std::uint64_t>(kind) |
+                (static_cast<std::uint64_t>(phase) << 8),
+            stream_id, arg0, arg1};
+  }
+
+  /// Inverse of Encode.
+  static TraceEvent Decode(const std::array<std::uint64_t, kWords>& words) {
+    TraceEvent event;
+    event.ts_ns = words[0];
+    event.kind = static_cast<TraceEventKind>(words[1] & 0xff);
+    event.phase = static_cast<TracePhase>((words[1] >> 8) & 0xff);
+    event.stream_id = words[2];
+    event.arg0 = words[3];
+    event.arg1 = words[4];
+    return event;
+  }
+};
+
+}  // namespace omg::obs

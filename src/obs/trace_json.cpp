@@ -1,0 +1,128 @@
+#include "obs/trace_json.hpp"
+
+#include <ostream>
+
+#include "runtime/event_sink.hpp"  // runtime::JsonEscape
+
+namespace omg::obs {
+
+namespace {
+
+/// Chrome phase letter for a TracePhase.
+char PhaseLetter(TracePhase phase) {
+  switch (phase) {
+    case TracePhase::kBegin:
+      return 'B';
+    case TracePhase::kEnd:
+      return 'E';
+    case TracePhase::kInstant:
+      break;
+  }
+  return 'i';
+}
+
+/// Names for (arg0, arg1) per kind; empty = omit the arg.
+struct ArgNames {
+  const char* arg0;
+  const char* arg1;
+};
+
+ArgNames ArgNamesOf(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kBatchDequeue:
+      return {"examples", "queue_depth"};
+    case TraceEventKind::kEvaluate:
+      return {"examples", "events"};
+    case TraceEventKind::kFlush:
+      return {"", ""};
+    case TraceEventKind::kAdmissionShed:
+    case TraceEventKind::kAdmissionDrop:
+      return {"examples", "shard"};
+    case TraceEventKind::kModelHotSwap:
+      return {"version", ""};
+    case TraceEventKind::kRound:
+      return {"round", "value"};
+    case TraceEventKind::kRetrain:
+      return {"rows", "version"};
+  }
+  return {"", ""};
+}
+
+void WriteEvent(const TraceEvent& event, std::size_t tid, std::ostream& out,
+                const std::vector<std::string>& stream_labels) {
+  out << "{\"name\":\"" << TraceEventKindName(event.kind)
+      << "\",\"ph\":\"" << PhaseLetter(event.phase) << "\",\"pid\":1,\"tid\":"
+      << tid << ",\"ts\":" << static_cast<double>(event.ts_ns) / 1000.0;
+  if (event.phase == TracePhase::kInstant) out << ",\"s\":\"t\"";
+  out << ",\"args\":{";
+  bool first = true;
+  const auto arg = [&](const char* name, std::uint64_t value) {
+    if (name == nullptr || *name == '\0') return;
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":" << value;
+  };
+  if (event.stream_id != TraceEvent::kNoStream) {
+    if (event.stream_id < stream_labels.size() &&
+        !stream_labels[event.stream_id].empty()) {
+      out << "\"stream\":\""
+          << runtime::JsonEscape(stream_labels[event.stream_id]) << "\"";
+      first = false;
+    } else {
+      arg("stream_id", event.stream_id);
+    }
+  }
+  const ArgNames names = ArgNamesOf(event.kind);
+  arg(names.arg0, event.arg0);
+  arg(names.arg1, event.arg1);
+  out << "}}";
+}
+
+}  // namespace
+
+void WriteChromeTrace(const TraceSnapshot& snapshot, std::ostream& out,
+                      const std::vector<std::string>& stream_labels) {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto thread_name = [&](std::size_t tid, const std::string& name) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+        << ",\"args\":{\"name\":\"" << runtime::JsonEscape(name) << "\"}}";
+  };
+  for (std::size_t index = 0; index < snapshot.lanes.size(); ++index) {
+    const LaneTrace& lane = snapshot.lanes[index];
+    if (lane.name != "control") {
+      thread_name(index, lane.name);
+      for (const TraceEvent& event : lane.events) {
+        out << ",\n";
+        WriteEvent(event, index, out, stream_labels);
+      }
+      continue;
+    }
+    // The control lane aggregates emitters from many threads (admission on
+    // producer threads, Flush callers, the improvement loop's scheduler and
+    // retrain worker); on one Chrome track their concurrent spans would
+    // mis-nest, so each event kind gets its own "control:<kind>" track.
+    // Kind tids start past the lane indices so they never collide.
+    const std::size_t base = snapshot.lanes.size();
+    bool present[kTraceEventKinds] = {};
+    for (const TraceEvent& event : lane.events) {
+      present[static_cast<std::size_t>(event.kind)] = true;
+    }
+    for (std::size_t kind = 0; kind < kTraceEventKinds; ++kind) {
+      if (!present[kind]) continue;
+      thread_name(base + kind,
+                  "control:" + std::string(TraceEventKindName(
+                                   static_cast<TraceEventKind>(kind))));
+    }
+    for (const TraceEvent& event : lane.events) {
+      out << ",\n";
+      WriteEvent(event, base + static_cast<std::size_t>(event.kind), out,
+                 stream_labels);
+    }
+  }
+  out << "]}\n";
+}
+
+}  // namespace omg::obs

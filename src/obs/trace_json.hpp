@@ -1,0 +1,34 @@
+// Chrome trace_event JSON serialisation of a TraceSnapshot.
+//
+// The output is the "JSON Object Format" the Chrome tracing ecosystem
+// (Perfetto, chrome://tracing, speedscope) loads directly: one process
+// (pid 1), one Perfetto track per shard lane (tid = lane index, named via
+// thread_name metadata), timestamps in microseconds. kBegin/kEnd events
+// become "B"/"E" duration pairs, kInstant becomes "i". The control lane —
+// whose events come from many concurrent threads and so would mis-nest on
+// one track — is split into per-kind "control:<kind>" tracks instead.
+//
+// Open the file in https://ui.perfetto.dev to see shard occupancy at a
+// glance: evaluate spans back-to-back mean a saturated shard, gaps mean
+// queue starvation; the control tracks carry flush waits, admission
+// losses, hot-swaps, and improvement-loop rounds.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/tracer.hpp"
+
+namespace omg::obs {
+
+/// Writes `snapshot` as Chrome trace_event JSON. `stream_labels[id]` (when
+/// provided and non-empty) is attached as the "stream" arg of events on
+/// stream `id` — the serving facade passes domain-qualified
+/// "<domain>/<name>" labels so multi-domain traces stay attributable;
+/// unlabeled stream ids fall back to a numeric "stream_id" arg.
+void WriteChromeTrace(const TraceSnapshot& snapshot, std::ostream& out,
+                      const std::vector<std::string>& stream_labels = {});
+
+}  // namespace omg::obs

@@ -1,0 +1,78 @@
+#include "obs/trace_ring.hpp"
+
+#include "common/check.hpp"
+
+namespace omg::obs {
+
+namespace {
+
+std::size_t RoundUpPow2(std::size_t value) {
+  std::size_t pow2 = 2;
+  while (pow2 < value) pow2 <<= 1;
+  return pow2;
+}
+
+}  // namespace
+
+TraceRing::TraceRing(std::size_t capacity)
+    : slots_(RoundUpPow2(capacity)), mask_(slots_.size() - 1) {
+  common::Check(capacity >= 1, "trace ring capacity must be positive");
+}
+
+void TraceRing::Push(const TraceEvent& event) {
+  const std::uint64_t seq = next_seq_++;
+  Slot& slot = slots_[seq & mask_];
+  // Seqlock write protocol (Boehm, "Can seqlocks get along with programming
+  // language memory models?"): odd version, release fence, payload, even
+  // version with release. The fence orders the busy mark before the payload
+  // stores for any reader that later observes them.
+  slot.version.store(2 * seq + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  const auto words = event.Encode();
+  for (std::size_t i = 0; i < TraceEvent::kWords; ++i) {
+    slot.words[i].store(words[i], std::memory_order_relaxed);
+  }
+  slot.version.store(2 * seq + 2, std::memory_order_release);
+  head_.store(seq + 1, std::memory_order_release);
+}
+
+TraceRing::DrainStats TraceRing::Drain(std::vector<TraceEvent>& out) {
+  DrainStats stats;
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  std::uint64_t cursor = cursor_.load(std::memory_order_relaxed);
+  stats.recorded = head;
+  // Events below head - capacity were certainly overwritten: skip them
+  // wholesale instead of validating each slot.
+  const std::uint64_t floor =
+      head > slots_.size() ? head - slots_.size() : 0;
+  if (cursor < floor) {
+    stats.evicted += static_cast<std::size_t>(floor - cursor);
+    cursor = floor;
+  }
+  for (std::uint64_t seq = cursor; seq < head; ++seq) {
+    Slot& slot = slots_[seq & mask_];
+    const std::uint64_t expect = 2 * seq + 2;
+    const std::uint64_t before = slot.version.load(std::memory_order_acquire);
+    if (before != expect) {
+      // The producer lapped this slot (a newer event's busy/complete
+      // version) before we reached it.
+      ++stats.evicted;
+      continue;
+    }
+    std::array<std::uint64_t, TraceEvent::kWords> words;
+    for (std::size_t i = 0; i < TraceEvent::kWords; ++i) {
+      words[i] = slot.words[i].load(std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.version.load(std::memory_order_relaxed) != expect) {
+      ++stats.evicted;  // overwritten mid-copy
+      continue;
+    }
+    out.push_back(TraceEvent::Decode(words));
+    ++stats.drained;
+  }
+  cursor_.store(head, std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace omg::obs

@@ -11,8 +11,13 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <string_view>
+
+namespace omg::obs {
+class Tracer;
+}  // namespace omg::obs
 
 namespace omg::runtime {
 
@@ -55,6 +60,11 @@ struct ShardedRuntimeConfig {
   /// Severity-hint floor used by kShedBelowSeverity: batches observed with
   /// a hint below this value are shed when the queue is full.
   double shed_floor = 1.0;
+  /// Optional trace sink: when set, shard workers emit dequeue/evaluate
+  /// events on their lanes and admission losses / flushes land on the
+  /// control lane (see obs/tracer.hpp). Must have at least `shards` shard
+  /// lanes; null disables tracing entirely.
+  std::shared_ptr<obs::Tracer> tracer;
 
   /// Throws CheckError on invalid combinations (0 shards would never drain
   /// and deadlock Flush; settle_lag >= window could never settle; a

@@ -26,6 +26,26 @@ double MetricsSnapshot::FlaggedRate(const std::string& assertion) const {
   return RateOf(assertions, assertion, examples_seen);
 }
 
+double ShardMetrics::BusyFraction() const {
+  const std::uint64_t measured = busy_ns + idle_ns;
+  if (measured == 0) return 0.0;
+  return static_cast<double>(busy_ns) / static_cast<double>(measured);
+}
+
+double ShardMetrics::MeanQueueWaitSeconds() const {
+  const std::size_t dequeued = batches + errored_batches;
+  if (dequeued == 0) return 0.0;
+  return static_cast<double>(queue_wait_ns) * 1e-9 /
+         static_cast<double>(dequeued);
+}
+
+double ShardMetrics::MeanServiceSeconds() const {
+  const std::size_t dequeued = batches + errored_batches;
+  if (dequeued == 0) return 0.0;
+  return static_cast<double>(busy_ns) * 1e-9 /
+         static_cast<double>(dequeued);
+}
+
 std::size_t MetricsSnapshot::TotalDroppedExamples() const {
   std::size_t total = 0;
   for (const ShardMetrics& shard : shards) total += shard.dropped_examples;
@@ -117,7 +137,10 @@ void MetricsRegistry::RecordBatch(StreamId id, std::size_t examples,
 void MetricsRegistry::RecordScoredBatch(StreamId id, std::size_t shard,
                                         std::size_t examples,
                                         std::span<const StreamEvent> events,
-                                        double latency_seconds) {
+                                        double latency_seconds,
+                                        std::uint64_t queue_wait_ns,
+                                        std::uint64_t busy_ns,
+                                        std::uint64_t idle_ns) {
   Cell& cell = ShardCell(shard);
   common::Check(&cell == &CellOf(id),
                 "stream is not pinned to the given metrics shard");
@@ -129,14 +152,23 @@ void MetricsRegistry::RecordScoredBatch(StreamId id, std::size_t shard,
   cell.shard.examples += examples;
   cell.shard.events += events.size();
   cell.shard.latency.Record(latency_seconds);
+  cell.shard.queue_wait_ns += queue_wait_ns;
+  cell.shard.busy_ns += busy_ns;
+  cell.shard.idle_ns += idle_ns;
 }
 
 void MetricsRegistry::RecordError(std::size_t shard, std::size_t batches,
-                                  std::size_t examples) {
+                                  std::size_t examples,
+                                  std::uint64_t queue_wait_ns,
+                                  std::uint64_t busy_ns,
+                                  std::uint64_t idle_ns) {
   Cell& cell = ShardCell(shard);
   std::lock_guard<std::mutex> lock(cell.mutex);
   cell.shard.errored_batches += batches;
   cell.shard.errored_examples += examples;
+  cell.shard.queue_wait_ns += queue_wait_ns;
+  cell.shard.busy_ns += busy_ns;
+  cell.shard.idle_ns += idle_ns;
 }
 
 void MetricsRegistry::RecordShardBatch(std::size_t shard, std::size_t examples,

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -93,6 +94,25 @@ struct ShardMetrics {
   /// Observe-to-flag latency: ObserveBatch admission to events delivered to
   /// the sinks, one sample per scored batch.
   LatencyHistogram latency;
+
+  // Occupancy accounting (obs::Clock nanoseconds). busy + idle covers the
+  // worker's dequeue-to-dequeue wall time, so BusyFraction is the shard's
+  // utilisation; queue_wait separates "slow because saturated" (high busy,
+  // high wait) from "slow because starved" (low busy — too many shards for
+  // the offered load, the 8-shard knee's signature).
+  /// Worker time spent scoring batches (includes batches that threw).
+  std::uint64_t busy_ns = 0;
+  /// Worker time spent waiting for the queue to go non-empty.
+  std::uint64_t idle_ns = 0;
+  /// Enqueue-to-dequeue wait, summed over dequeued batches.
+  std::uint64_t queue_wait_ns = 0;
+
+  /// busy / (busy + idle); 0 before the worker measured anything.
+  double BusyFraction() const;
+  /// Mean enqueue-to-dequeue wait per dequeued batch, seconds.
+  double MeanQueueWaitSeconds() const;
+  /// Mean scoring time per dequeued batch, seconds.
+  double MeanServiceSeconds() const;
 };
 
 /// Point-in-time aggregate across the whole service.
@@ -148,14 +168,20 @@ class MetricsRegistry {
   /// RecordBatch + RecordShardBatch fused: stream `id` lives in shard
   /// `shard`'s cell (the service pins id % shards == shard), so one lock
   /// acquisition updates both the stream and the shard aggregates — the
-  /// per-scored-batch fast path of the sharded service.
+  /// per-scored-batch fast path of the sharded service. The trailing
+  /// nanosecond arguments fold the batch's occupancy deltas (queue wait,
+  /// scoring time, worker idle before the dequeue) into the same lock.
   void RecordScoredBatch(StreamId id, std::size_t shard, std::size_t examples,
                          std::span<const StreamEvent> events,
-                         double latency_seconds);
+                         double latency_seconds,
+                         std::uint64_t queue_wait_ns = 0,
+                         std::uint64_t busy_ns = 0, std::uint64_t idle_ns = 0);
 
-  /// Counts a batch whose scoring threw (sharded mode only).
+  /// Counts a batch whose scoring threw (sharded mode only). A poisoned
+  /// batch still consumed the worker, so it carries occupancy deltas too.
   void RecordError(std::size_t shard, std::size_t batches,
-                   std::size_t examples);
+                   std::size_t examples, std::uint64_t queue_wait_ns = 0,
+                   std::uint64_t busy_ns = 0, std::uint64_t idle_ns = 0);
 
   /// What kind of loss a RecordLoss call reports.
   enum class LossKind {

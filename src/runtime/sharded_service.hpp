@@ -29,9 +29,9 @@
 #pragma once
 
 #include <atomic>
-#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -44,6 +44,8 @@
 
 #include "common/check.hpp"
 #include "core/assertion.hpp"
+#include "obs/clock.hpp"
+#include "obs/tracer.hpp"
 #include "runtime/admission.hpp"
 #include "runtime/event_sink.hpp"
 #include "runtime/incremental.hpp"
@@ -77,6 +79,11 @@ class ShardedMonitorService {
                                  SuiteFactory factory = nullptr)
       : config_(config), factory_(std::move(factory)) {
     config_.Validate();
+    if (config_.tracer != nullptr) {
+      common::Check(config_.tracer->shard_lanes() >= config_.shards,
+                    "tracer has fewer shard lanes than the service has "
+                    "shards");
+    }
     metrics_ = std::make_unique<MetricsRegistry>(config_.shards);
     shards_.reserve(config_.shards);
     for (std::size_t i = 0; i < config_.shards; ++i) {
@@ -206,6 +213,11 @@ class ShardedMonitorService {
               lock.unlock();
               metrics_->RecordLoss(state->shard, 1, cost,
                                    MetricsRegistry::LossKind::kShed);
+              OMG_TRACE(if (config_.tracer != nullptr)
+                            config_.tracer->EmitControl(
+                                obs::TraceEventKind::kAdmissionShed,
+                                obs::TracePhase::kInstant, id, cost,
+                                state->shard));
               return false;
             }
             // The incoming batch is important: make room by evicting
@@ -233,7 +245,7 @@ class ShardedMonitorService {
         }
       }
       shard.queue.push_back(
-          {state, std::move(batch), severity_hint, Clock::now()});
+          {state, std::move(batch), severity_hint, obs::Clock::NowNs()});
       shard.queued += cost;
       depth = shard.queued;
       shard.ready.notify_one();
@@ -242,6 +254,10 @@ class ShardedMonitorService {
     if (dropped_batches > 0) {
       metrics_->RecordLoss(state->shard, dropped_batches, dropped_examples,
                            MetricsRegistry::LossKind::kDropped);
+      OMG_TRACE(if (config_.tracer != nullptr) config_.tracer->EmitControl(
+                    obs::TraceEventKind::kAdmissionDrop,
+                    obs::TracePhase::kInstant, id, dropped_examples,
+                    state->shard));
     }
     return true;
   }
@@ -251,6 +267,8 @@ class ShardedMonitorService {
   /// pause; under kBlock a producer blocked on admission makes progress as
   /// the workers drain, so Flush still terminates.
   void Flush() {
+    OMG_TRACE(if (config_.tracer != nullptr) config_.tracer->EmitControl(
+                  obs::TraceEventKind::kFlush, obs::TracePhase::kBegin));
     for (const auto& shard : shards_) {
       std::unique_lock<std::mutex> lock(shard->mutex);
       shard->idle.wait(lock,
@@ -259,6 +277,8 @@ class ShardedMonitorService {
     if (const auto sinks = sinks_.load()) {
       for (const auto& sink : *sinks) sink->Flush();
     }
+    OMG_TRACE(if (config_.tracer != nullptr) config_.tracer->EmitControl(
+                  obs::TraceEventKind::kFlush, obs::TracePhase::kEnd));
   }
 
   /// Aggregated dashboard snapshot — per-stream aggregates plus the
@@ -274,8 +294,6 @@ class ShardedMonitorService {
   }
 
  private:
-  using Clock = std::chrono::steady_clock;
-
   /// One registered stream: its private suite and window evaluator, owned
   /// (touched on the scoring path) by exactly one shard worker.
   struct StreamState {
@@ -301,7 +319,8 @@ class ShardedMonitorService {
     StreamState* state;
     std::vector<Example> batch;
     double severity_hint;
-    Clock::time_point enqueued;
+    /// obs::Clock admission timestamp (queue-wait and latency baseline).
+    std::uint64_t enqueued_ns;
   };
 
   /// One shard: a bounded MPSC queue plus the dedicated worker draining it.
@@ -325,6 +344,11 @@ class ShardedMonitorService {
 
   void WorkerLoop(std::size_t shard_index) {
     Shard& shard = *shards_[shard_index];
+    [[maybe_unused]] obs::Tracer* const tracer = config_.tracer.get();
+    // Occupancy accounting: everything between finishing one batch and
+    // dequeuing the next is idle; Score's wall time is busy. The boundary
+    // timestamps double as the queue-wait measurement.
+    std::uint64_t idle_since_ns = obs::Clock::NowNs();
     for (;;) {
       QueueItem item;
       std::size_t depth;
@@ -340,20 +364,41 @@ class ShardedMonitorService {
         shard.busy = true;
         shard.space.notify_all();
       }
+      const std::uint64_t dequeued_ns = obs::Clock::NowNs();
+      const std::uint64_t idle_ns =
+          obs::Clock::ElapsedNs(idle_since_ns, dequeued_ns);
+      const std::uint64_t queue_wait_ns =
+          obs::Clock::ElapsedNs(item.enqueued_ns, dequeued_ns);
       metrics_->RecordQueueDepth(shard_index, depth);
-      Score(shard_index, item);
+      bool traced = false;
+      OMG_TRACE(traced = tracer != nullptr && tracer->SampleBatch(shard_index);
+                if (traced) tracer->EmitShard(
+                    shard_index, obs::TraceEventKind::kBatchDequeue,
+                    obs::TracePhase::kInstant, item.state->id,
+                    item.batch.size(), depth));
+      Score(shard_index, item, queue_wait_ns, idle_ns, traced);
       {
         std::lock_guard<std::mutex> lock(shard.mutex);
         shard.busy = false;
         if (shard.queue.empty()) shard.idle.notify_all();
       }
+      idle_since_ns = obs::Clock::NowNs();
     }
   }
 
   /// Worker-side scoring: runs on `item.state`'s shard, exclusively.
-  void Score(std::size_t shard_index, QueueItem& item) {
+  /// `queue_wait_ns` / `idle_ns` are the batch's occupancy deltas measured
+  /// by WorkerLoop; `traced` is the sampling decision for this batch.
+  void Score(std::size_t shard_index, QueueItem& item,
+             std::uint64_t queue_wait_ns, std::uint64_t idle_ns,
+             [[maybe_unused]] bool traced) {
+    [[maybe_unused]] obs::Tracer* const tracer = config_.tracer.get();
     StreamState& state = *item.state;
     const std::size_t count = item.batch.size();
+    const std::uint64_t begin_ns = obs::Clock::NowNs();
+    OMG_TRACE(if (traced) tracer->EmitShard(
+                  shard_index, obs::TraceEventKind::kEvaluate,
+                  obs::TracePhase::kBegin, state.id, count));
     std::vector<StreamEvent> events;
     try {
       state.evaluator.ObserveBatch(
@@ -367,9 +412,15 @@ class ShardedMonitorService {
         std::lock_guard<std::mutex> lock(errors_mutex_);
         errors_.push_back(std::string(state.name) + ": " + error.what());
       }
+      const std::uint64_t failed_ns = obs::Clock::NowNs();
+      OMG_TRACE(if (traced) tracer->EmitShard(
+                    shard_index, obs::TraceEventKind::kEvaluate,
+                    obs::TracePhase::kEnd, state.id, count, 0));
       // Keep the loss accounting exact: a poisoned batch's examples must
       // land in a counter (offered == scored + shed + dropped + errored).
-      metrics_->RecordError(shard_index, 1, count);
+      metrics_->RecordError(shard_index, 1, count, queue_wait_ns,
+                            obs::Clock::ElapsedNs(begin_ns, failed_ns),
+                            idle_ns);
       return;
     }
     if (const auto sinks = sinks_.load()) {
@@ -377,9 +428,16 @@ class ShardedMonitorService {
         for (const StreamEvent& event : events) sink->Consume(event);
       }
     }
-    const double latency =
-        std::chrono::duration<double>(Clock::now() - item.enqueued).count();
-    metrics_->RecordScoredBatch(state.id, shard_index, count, events, latency);
+    const std::uint64_t done_ns = obs::Clock::NowNs();
+    OMG_TRACE(if (traced) tracer->EmitShard(
+                  shard_index, obs::TraceEventKind::kEvaluate,
+                  obs::TracePhase::kEnd, state.id, count, events.size()));
+    const double latency = obs::Clock::ToSeconds(
+        obs::Clock::ElapsedNs(item.enqueued_ns, done_ns));
+    metrics_->RecordScoredBatch(state.id, shard_index, count, events, latency,
+                                queue_wait_ns,
+                                obs::Clock::ElapsedNs(begin_ns, done_ns),
+                                idle_ns);
   }
 
   ShardedRuntimeConfig config_;

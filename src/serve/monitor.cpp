@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <exception>
+#include <ostream>
 
 #include "common/check.hpp"
+#include "obs/trace_json.hpp"
 
 namespace omg::serve {
 
@@ -163,9 +165,15 @@ Monitor::Builder& Monitor::Builder::ShedFloor(double floor) {
   return *this;
 }
 
+Monitor::Builder& Monitor::Builder::Trace(obs::TracerOptions options) {
+  trace_ = options;
+  return *this;
+}
+
 Monitor::Builder& Monitor::Builder::Runtime(
     const runtime::ShardedRuntimeConfig& config) {
   config_ = config;
+  trace_.reset();
   return *this;
 }
 
@@ -175,7 +183,17 @@ Result<std::unique_ptr<Monitor>> Monitor::Builder::Build() const {
   } catch (const common::CheckError& error) {
     return Error{ErrorCode::kInvalidConfig, error.what()};
   }
-  return std::unique_ptr<Monitor>(new Monitor(config_));
+  runtime::ShardedRuntimeConfig config = config_;
+  if (trace_.has_value()) {
+    if (trace_->ring_capacity < 1 || trace_->sample_every < 1) {
+      return Error{ErrorCode::kInvalidConfig,
+                   "tracer needs ring_capacity >= 1 and sample_every >= 1"};
+    }
+    obs::TracerOptions options = *trace_;
+    options.shard_lanes = config.shards;  // one lane per shard worker
+    config.tracer = std::make_shared<obs::Tracer>(options);
+  }
+  return std::unique_ptr<Monitor>(new Monitor(config));
 }
 
 // ---------------------------------------------------------------- monitor ---
@@ -356,6 +374,30 @@ const runtime::ShardedRuntimeConfig& Monitor::config() const {
 
 const runtime::StreamRegistry& Monitor::streams() const {
   return service_->registry();
+}
+
+std::shared_ptr<obs::Tracer> Monitor::tracer() const {
+  return service_->config().tracer;
+}
+
+std::vector<std::string> Monitor::StreamLabels() const {
+  std::vector<std::string> labels;
+  const auto info = stream_info_.load();
+  if (!info) return labels;
+  labels.reserve(info->size());
+  for (std::size_t id = 0; id < info->size(); ++id) {
+    labels.push_back(std::string((*info)[id].domain) + "/" +
+                     std::string(service_->registry().Name(id)));
+  }
+  return labels;
+}
+
+void Monitor::WriteChromeTrace(std::ostream& out) {
+  obs::TraceSnapshot snapshot;
+  if (const auto tracer = service_->config().tracer) {
+    snapshot = tracer->Drain();
+  }
+  obs::WriteChromeTrace(snapshot, out, StreamLabels());
 }
 
 }  // namespace omg::serve

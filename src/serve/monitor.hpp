@@ -28,6 +28,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -36,6 +37,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/tracer.hpp"
 #include "runtime/admission.hpp"
 #include "runtime/event_sink.hpp"
 #include "runtime/metrics.hpp"
@@ -176,7 +178,13 @@ class Monitor {
     Builder& Admission(runtime::AdmissionPolicy policy);
     /// Severity floor for kShedBelowSeverity admission.
     Builder& ShedFloor(double floor);
-    /// Wholesale geometry override (replaces all of the above).
+    /// Attaches an observability tracer: per-shard trace lanes with
+    /// `options.ring_capacity` slots and 1-in-`options.sample_every` batch
+    /// sampling (options.shard_lanes is overridden to the shard count).
+    /// Drain via Monitor::WriteChromeTrace or Monitor::tracer().
+    Builder& Trace(obs::TracerOptions options);
+    /// Wholesale geometry override (replaces all of the above, including
+    /// any tracer the config carries).
     Builder& Runtime(const runtime::ShardedRuntimeConfig& config);
 
     /// Validates the geometry and spawns the shard workers. Invalid
@@ -185,6 +193,7 @@ class Monitor {
 
    private:
     runtime::ShardedRuntimeConfig config_;
+    std::optional<obs::TracerOptions> trace_;
   };
 
   Monitor(const Monitor&) = delete;
@@ -241,6 +250,20 @@ class Monitor {
 
   /// Stream name <-> id registry (names outlive the Monitor's streams).
   const runtime::StreamRegistry& streams() const;
+
+  /// The attached tracer (null unless built with Builder::Trace or a
+  /// config whose tracer field was set).
+  std::shared_ptr<obs::Tracer> tracer() const;
+
+  /// Domain-qualified "<domain>/<name>" label per stream id, for trace
+  /// serialisation and dashboards.
+  std::vector<std::string> StreamLabels() const;
+
+  /// Drains the tracer and writes the accumulated events as Chrome
+  /// trace_event JSON (Perfetto-loadable), labeling streams with
+  /// StreamLabels(). Without a tracer this writes a valid empty trace.
+  /// Each event is written at most once across calls (drains consume).
+  void WriteChromeTrace(std::ostream& out);
 
  private:
   explicit Monitor(const runtime::ShardedRuntimeConfig& config);

@@ -1,0 +1,424 @@
+// The observability layer: trace-ring wraparound and concurrent drain,
+// tracer lanes + deterministic sampling, the Clock shim, Chrome trace
+// serialisation, exporter escaping/formats, and occupancy accounting
+// through the sharded service (the TSan job runs this binary — the
+// drain-while-observing test exercises the seqlock slot protocol and the
+// service test the tracer's shard/control lane split).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/assertion.hpp"
+#include "obs/clock.hpp"
+#include "obs/exporter.hpp"
+#include "obs/trace_event.hpp"
+#include "obs/trace_json.hpp"
+#include "obs/trace_ring.hpp"
+#include "obs/tracer.hpp"
+#include "runtime/admission.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/sharded_service.hpp"
+
+namespace omg::obs {
+namespace {
+
+TraceEvent MakeEvent(std::uint64_t seq) {
+  TraceEvent event;
+  event.ts_ns = 1000 + seq;
+  event.kind = TraceEventKind::kEvaluate;
+  event.phase = TracePhase::kInstant;
+  event.stream_id = 3;
+  event.arg0 = seq;
+  event.arg1 = 2 * seq;
+  return event;
+}
+
+TEST(TraceEventTest, EncodeDecodeRoundTripsEveryKindAndPhase) {
+  for (std::size_t k = 0; k < kTraceEventKinds; ++k) {
+    for (const TracePhase phase :
+         {TracePhase::kInstant, TracePhase::kBegin, TracePhase::kEnd}) {
+      TraceEvent event;
+      event.ts_ns = 123456789;
+      event.kind = static_cast<TraceEventKind>(k);
+      event.phase = phase;
+      event.stream_id = 7;
+      event.arg0 = 11;
+      event.arg1 = 13;
+      const TraceEvent back = TraceEvent::Decode(event.Encode());
+      EXPECT_EQ(back.ts_ns, event.ts_ns);
+      EXPECT_EQ(back.kind, event.kind);
+      EXPECT_EQ(back.phase, event.phase);
+      EXPECT_EQ(back.stream_id, event.stream_id);
+      EXPECT_EQ(back.arg0, event.arg0);
+      EXPECT_EQ(back.arg1, event.arg1);
+    }
+  }
+}
+
+TEST(TraceRingTest, WraparoundEvictsOldestKeepsNewestInOrder) {
+  TraceRing ring(8);
+  for (std::uint64_t i = 0; i < 20; ++i) ring.Push(MakeEvent(i));
+  std::vector<TraceEvent> out;
+  const TraceRing::DrainStats stats = ring.Drain(out);
+  EXPECT_EQ(stats.recorded, 20u);
+  EXPECT_EQ(stats.drained, 8u);
+  EXPECT_EQ(stats.evicted, 12u);
+  ASSERT_EQ(out.size(), 8u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].arg0, 12 + i);  // newest capacity-many, oldest first
+  }
+}
+
+TEST(TraceRingTest, IncrementalDrainReturnsOnlyNewEvents) {
+  TraceRing ring(16);
+  for (std::uint64_t i = 0; i < 5; ++i) ring.Push(MakeEvent(i));
+  std::vector<TraceEvent> out;
+  EXPECT_EQ(ring.Drain(out).drained, 5u);
+  for (std::uint64_t i = 5; i < 8; ++i) ring.Push(MakeEvent(i));
+  out.clear();
+  const TraceRing::DrainStats stats = ring.Drain(out);
+  EXPECT_EQ(stats.drained, 3u);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out.front().arg0, 5u);
+  out.clear();
+  EXPECT_EQ(ring.Drain(out).drained, 0u);
+}
+
+// The seqlock protocol under fire: one producer pushing flat out, the
+// consumer draining concurrently. Every event must be either drained
+// exactly once, in order, or counted evicted — never torn, lost, or
+// duplicated.
+TEST(TraceRingTest, ConcurrentDrainWhileObservingAccountsEveryEvent) {
+  TraceRing ring(64);
+  constexpr std::uint64_t kTotal = 50000;
+  std::atomic<bool> done{false};
+  std::thread producer([&ring, &done] {
+    for (std::uint64_t i = 0; i < kTotal; ++i) ring.Push(MakeEvent(i));
+    done.store(true, std::memory_order_release);
+  });
+
+  std::uint64_t drained = 0;
+  std::uint64_t evicted = 0;
+  std::uint64_t next_expected = 0;  // arg0 must advance monotonically
+  std::vector<TraceEvent> out;
+  const auto drain_once = [&] {
+    out.clear();
+    const TraceRing::DrainStats stats = ring.Drain(out);
+    drained += stats.drained;
+    evicted += stats.evicted;
+    for (const TraceEvent& event : out) {
+      ASSERT_GE(event.arg0, next_expected);
+      ASSERT_EQ(event.arg1, 2 * event.arg0);  // payload never torn
+      next_expected = event.arg0 + 1;
+    }
+  };
+  while (!done.load(std::memory_order_acquire)) drain_once();
+  producer.join();
+  drain_once();  // whatever the last concurrent drain missed
+
+  EXPECT_EQ(drained + evicted, kTotal);
+  EXPECT_EQ(ring.recorded(), kTotal);
+}
+
+TEST(TracerTest, SamplingIsDeterministicAndPerLane) {
+  TracerOptions options;
+  options.shard_lanes = 2;
+  options.sample_every = 4;
+  Tracer tracer(options);
+  for (int tick = 0; tick < 8; ++tick) {
+    EXPECT_EQ(tracer.SampleBatch(0), tick % 4 == 0) << "tick " << tick;
+  }
+  // Lane 1 owns its own counter: its first tick samples regardless of how
+  // far lane 0 has advanced.
+  EXPECT_TRUE(tracer.SampleBatch(1));
+
+  // Disabling must not consume ticks: the schedule resumes where it
+  // paused, so sampled traces stay reproducible across enable flips.
+  tracer.set_enabled(false);
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(tracer.SampleBatch(0));
+  tracer.set_enabled(true);
+  EXPECT_TRUE(tracer.SampleBatch(0));  // tick 8
+}
+
+TEST(TracerTest, DisabledTracerRecordsNothing) {
+  TracerOptions options;
+  options.enabled = false;
+  Tracer tracer(options);
+  tracer.EmitShard(0, TraceEventKind::kEvaluate, TracePhase::kBegin);
+  tracer.EmitControl(TraceEventKind::kFlush, TracePhase::kBegin);
+  const TraceSnapshot snapshot = tracer.Drain();
+  ASSERT_EQ(snapshot.lanes.size(), 2u);  // one shard lane + control
+  EXPECT_EQ(snapshot.lanes.front().name, "shard-0");
+  EXPECT_EQ(snapshot.lanes.back().name, "control");
+  EXPECT_EQ(snapshot.TotalEvents(), 0u);
+}
+
+std::atomic<std::uint64_t> g_fake_now{0};
+std::uint64_t FakeNow() { return g_fake_now.load(std::memory_order_relaxed); }
+
+TEST(ClockTest, InstallableSourceAndSaturatingElapsed) {
+  Clock::InstallSource(&FakeNow);
+  g_fake_now.store(123);
+  EXPECT_EQ(Clock::NowNs(), 123u);
+  g_fake_now.store(500);
+  EXPECT_EQ(Clock::NowNs(), 500u);
+  Clock::InstallSource(nullptr);  // back to steady_clock
+
+  EXPECT_EQ(Clock::ElapsedNs(10, 250), 240u);
+  EXPECT_EQ(Clock::ElapsedNs(250, 10), 0u);  // saturates, never wraps
+  EXPECT_DOUBLE_EQ(Clock::ToSeconds(1500000000), 1.5);
+
+  const std::uint64_t a = Clock::NowNs();
+  const std::uint64_t b = Clock::NowNs();
+  EXPECT_LE(a, b);
+}
+
+TEST(TracerTest, FakeClockStampsEmittedEvents) {
+  Clock::InstallSource(&FakeNow);
+  g_fake_now.store(777);
+  TracerOptions options;
+  Tracer tracer(options);
+  tracer.EmitShard(0, TraceEventKind::kBatchDequeue, TracePhase::kInstant);
+  g_fake_now.store(888);
+  tracer.EmitControl(TraceEventKind::kFlush, TracePhase::kInstant);
+  Clock::InstallSource(nullptr);
+
+  const TraceSnapshot snapshot = tracer.Drain();
+  ASSERT_EQ(snapshot.lanes.front().events.size(), 1u);
+  EXPECT_EQ(snapshot.lanes.front().events.front().ts_ns, 777u);
+  ASSERT_EQ(snapshot.lanes.back().events.size(), 1u);
+  EXPECT_EQ(snapshot.lanes.back().events.front().ts_ns, 888u);
+}
+
+TEST(TraceJsonTest, WritesLaneTracksControlKindTracksAndStreamLabels) {
+  TracerOptions options;
+  options.shard_lanes = 1;
+  Tracer tracer(options);
+  tracer.EmitShard(0, TraceEventKind::kEvaluate, TracePhase::kBegin, 0, 32);
+  tracer.EmitShard(0, TraceEventKind::kEvaluate, TracePhase::kEnd, 0, 32, 5);
+  // Interleaved round/retrain spans (what the improvement loop's two
+  // threads produce): each kind must land on its own control track so the
+  // B/E pairs nest.
+  tracer.EmitControl(TraceEventKind::kRound, TracePhase::kBegin,
+                     TraceEvent::kNoStream, 1, 40);
+  tracer.EmitControl(TraceEventKind::kRetrain, TracePhase::kBegin,
+                     TraceEvent::kNoStream, 16);
+  tracer.EmitControl(TraceEventKind::kRound, TracePhase::kEnd,
+                     TraceEvent::kNoStream, 1, 12);
+  tracer.EmitControl(TraceEventKind::kRetrain, TracePhase::kEnd,
+                     TraceEvent::kNoStream, 16, 2);
+
+  std::ostringstream out;
+  WriteChromeTrace(tracer.Drain(), out, {"video/cam-0"});
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"shard-0\""), std::string::npos);
+  EXPECT_NE(json.find("control:round"), std::string::npos);
+  EXPECT_NE(json.find("control:retrain"), std::string::npos);
+  EXPECT_NE(json.find("\"stream\":\"video/cam-0\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+  // round's tid differs from retrain's: find both thread_name records.
+  const auto round_meta = json.find("control:round");
+  const auto retrain_meta = json.find("control:retrain");
+  ASSERT_NE(round_meta, std::string::npos);
+  ASSERT_NE(retrain_meta, std::string::npos);
+}
+
+// ------------------------------------------------------------- exporter ---
+
+/// A hand-built snapshot with every character the exporters must escape in
+/// the qualified "<domain>/<name>" position.
+runtime::MetricsSnapshot MakeNastySnapshot() {
+  runtime::MetricsSnapshot snapshot;
+  snapshot.examples_seen = 10;
+  snapshot.events = 3;
+  runtime::AssertionMetrics cell;
+  cell.fires = 3;
+  cell.max_severity = 2.0;
+  cell.sum_severity = 4.5;
+  const std::string nasty = "video/fl\"ick\\er\n";
+  snapshot.assertions[nasty] = cell;
+  runtime::StreamMetrics stream;
+  stream.stream_id = 0;
+  stream.stream = "cam\"0";
+  stream.examples_seen = 10;
+  stream.events = 3;
+  stream.assertions[nasty] = cell;
+  snapshot.streams.push_back(stream);
+  runtime::ShardMetrics shard;
+  shard.shard = 0;
+  shard.batches = 2;
+  shard.examples = 10;
+  shard.events = 3;
+  shard.busy_ns = 3000000;
+  shard.idle_ns = 7000000;
+  shard.queue_wait_ns = 1000000;
+  snapshot.shards.push_back(shard);
+  return snapshot;
+}
+
+TEST(ExporterTest, PrometheusEscapesLabelValues) {
+  EXPECT_EQ(PrometheusEscapeLabel("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+
+  std::ostringstream out;
+  WritePrometheusText(MakeNastySnapshot(), out);
+  const std::string text = out.str();
+  // The qualified name survives as an escaped label value; '/' untouched.
+  EXPECT_NE(
+      text.find(
+          "omg_assertion_fires_total{assertion=\"video/fl\\\"ick\\\\er\\n\"} 3"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("omg_stream_examples_total{stream=\"cam\\\"0\"} 10"),
+            std::string::npos);
+  EXPECT_NE(text.find("# HELP omg_examples_seen_total"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE omg_examples_seen_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("omg_shard_busy_ratio{shard=\"0\"} 0.3"),
+            std::string::npos);
+}
+
+TEST(ExporterTest, JsonLineEscapesNamesAndCarriesOccupancy) {
+  std::ostringstream out;
+  WriteMetricsJsonLine(MakeNastySnapshot(), 42, out);
+  const std::string line = out.str();
+  EXPECT_NE(line.find("\"ts_ns\":42"), std::string::npos);
+  EXPECT_NE(line.find("\"video/fl\\\"ick\\\\er\\n\""), std::string::npos)
+      << line;
+  EXPECT_NE(line.find("\"busy_seconds\":0.003"), std::string::npos);
+  EXPECT_EQ(line.find('\n'), line.size() - 1);  // exactly one line
+}
+
+TEST(ExporterTest, WritesAndRewritesFileSinks) {
+  const std::string dir = ::testing::TempDir();
+  const std::string jsonl = dir + "/omg_obs_test.metrics.jsonl";
+  const std::string prom = dir + "/omg_obs_test.metrics.prom";
+  {
+    // Pre-existing JSONL content must be truncated at construction, not
+    // appended to across runs.
+    std::ofstream stale(jsonl);
+    stale << "stale line\n";
+  }
+  MetricsExporterOptions options;
+  options.period = std::chrono::milliseconds(5);
+  options.jsonl_path = jsonl;
+  options.prometheus_path = prom;
+  MetricsExporter exporter(options, [] { return MakeNastySnapshot(); });
+  EXPECT_EQ(exporter.ExportOnce(), 1u);
+  EXPECT_EQ(exporter.ExportOnce(), 2u);
+
+  std::ifstream jsonl_in(jsonl);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(jsonl_in, line)) {
+    EXPECT_NE(line.find("\"examples_seen\":10"), std::string::npos);
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2u);  // stale content gone, one line per export
+
+  std::ifstream prom_in(prom);
+  std::stringstream prom_text;
+  prom_text << prom_in.rdbuf();
+  // Rewritten per export: one copy of each family, not two.
+  const std::string text = prom_text.str();
+  const auto first = text.find("omg_examples_seen_total 10");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("omg_examples_seen_total 10", first + 1),
+            std::string::npos);
+
+  // Background thread: Start + Stop must add at least the final export.
+  exporter.Start();
+  exporter.Stop();
+  EXPECT_GE(exporter.ExportOnce(), 4u);
+  std::filesystem::remove(jsonl);
+  std::filesystem::remove(prom);
+}
+
+// ------------------------------------- occupancy through the service ---
+
+struct Tick {
+  double value = 0.0;
+};
+
+TEST(OccupancyTest, ShardedServiceAccountsBusyIdleAndQueueWait) {
+  runtime::ShardedRuntimeConfig config;
+  config.shards = 2;
+  config.window = 16;
+  config.settle_lag = 4;
+  config.queue_capacity = 1024;
+  TracerOptions trace_options;
+  trace_options.shard_lanes = config.shards;
+  trace_options.ring_capacity = 4096;
+  config.tracer = std::make_shared<Tracer>(trace_options);
+
+  runtime::ShardedMonitorService<Tick> service(config, [] {
+    auto suite = std::make_shared<core::AssertionSuite<Tick>>();
+    suite->AddPointwise("positive", [](const Tick& t) {
+      return t.value > 0.5 ? t.value : 0.0;
+    });
+    return runtime::ShardedMonitorService<Tick>::SuiteBundle{suite, {}};
+  });
+  std::vector<runtime::StreamId> ids;
+  for (int s = 0; s < 4; ++s) {
+    ids.push_back(service.RegisterStream("s" + std::to_string(s)));
+  }
+  for (int round = 0; round < 50; ++round) {
+    for (const runtime::StreamId id : ids) {
+      std::vector<Tick> batch(8);
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        batch[i].value = static_cast<double>((round + static_cast<int>(i)) %
+                                             3) -
+                         1.0;
+      }
+      service.ObserveBatch(id, std::move(batch));
+    }
+  }
+  service.Flush();
+  ASSERT_TRUE(service.Errors().empty());
+
+  const runtime::MetricsSnapshot snapshot = service.Metrics();
+  std::size_t batches = 0;
+  for (const runtime::ShardMetrics& shard : snapshot.shards) {
+    batches += shard.batches;
+    if (shard.batches == 0) continue;
+    EXPECT_GT(shard.busy_ns, 0u) << "shard " << shard.shard;
+    EXPECT_GT(shard.queue_wait_ns, 0u) << "shard " << shard.shard;
+    EXPECT_GT(shard.busy_ns + shard.idle_ns, 0u);
+    EXPECT_GT(shard.BusyFraction(), 0.0);
+    EXPECT_LE(shard.BusyFraction(), 1.0);
+    EXPECT_GT(shard.MeanServiceSeconds(), 0.0);
+    EXPECT_GT(shard.MeanQueueWaitSeconds(), 0.0);
+  }
+  EXPECT_EQ(batches, 200u);
+
+  // Tracing rode along at sample_every=1: every scored batch produced one
+  // batch_dequeue instant and a balanced evaluate span on its shard lane.
+  const TraceSnapshot trace = config.tracer->Drain();
+  std::size_t dequeues = 0;
+  std::size_t begins = 0;
+  std::size_t ends = 0;
+  for (const LaneTrace& lane : trace.lanes) {
+    EXPECT_EQ(lane.evicted, 0u) << lane.name;
+    for (const TraceEvent& event : lane.events) {
+      if (event.kind == TraceEventKind::kBatchDequeue) ++dequeues;
+      if (event.kind == TraceEventKind::kEvaluate) {
+        if (event.phase == TracePhase::kBegin) ++begins;
+        if (event.phase == TracePhase::kEnd) ++ends;
+      }
+    }
+  }
+  EXPECT_EQ(dequeues, 200u);
+  EXPECT_EQ(begins, 200u);
+  EXPECT_EQ(ends, 200u);
+}
+
+}  // namespace
+}  // namespace omg::obs

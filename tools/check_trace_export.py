@@ -1,0 +1,265 @@
+#!/usr/bin/env python3
+"""Validates the observability layer's exported artifacts.
+
+Three artifact checks plus one benchmark gate, all standard library only:
+
+  --trace FILE    Chrome trace_event JSON (what serve::Monitor::
+                  WriteChromeTrace emits): the file must parse, every
+                  event must carry the trace_event schema fields, B/E
+                  spans must nest and balance per lane (tid), and the
+                  stream labels must cover --min-domains distinct domains.
+                  --require NAME (repeatable) asserts at least one event
+                  with that name (e.g. evaluate, model_hot_swap).
+  --prom FILE     Prometheus text exposition: every sample line must
+                  parse, every metric family must be introduced by
+                  matching # HELP and # TYPE comments, label values must
+                  be properly quoted/escaped.
+  --jsonl FILE    metrics snapshots, one JSON object per line, with the
+                  snapshot schema's required keys, non-decreasing
+                  counters across lines.
+  --bench FILE    BENCH_runtime.json gate: the "tracing" block's
+                  attached-but-disabled run must match the no-tracer
+                  baseline within --max-off-overhead (default 0.10 —
+                  generous because CI boxes are noisy; the bench itself
+                  already medians 5 interleaved runs).
+
+Exits nonzero with a message per failed check, so CI fails on
+observability regressions. Used by .github/workflows/ci.yml.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+PROM_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r" (?P<value>[0-9eE+.\-]+|NaN|[+-]Inf)$"
+)
+# One label pair inside {...}: value is a quoted string where only
+# backslash escapes (\\, \", \n) may follow a backslash.
+PROM_LABEL_RE = re.compile(
+    r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\[\\"n])*"$'
+)
+
+JSONL_REQUIRED_KEYS = ("ts_ns", "examples_seen", "events", "assertions",
+                       "streams", "shards")
+JSONL_COUNTER_KEYS = ("examples_seen", "events")
+
+
+def fail(errors, message):
+    errors.append(message)
+
+
+def check_trace(path, min_domains, required, errors):
+    try:
+        with open(path) as handle:
+            trace = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(errors, f"{path}: cannot load trace JSON: {error}")
+        return
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(errors, f"{path}: traceEvents missing or empty")
+        return
+
+    names = set()
+    domains = set()
+    stacks = {}  # tid -> [name, ...] open B spans
+    for i, event in enumerate(events):
+        ph = event.get("ph")
+        if ph not in ("B", "E", "i", "M"):
+            fail(errors, f"{path}: event {i} has unknown phase {ph!r}")
+            continue
+        if ph == "M":
+            continue
+        for key in ("name", "ts", "pid", "tid"):
+            if key not in event:
+                fail(errors, f"{path}: event {i} missing {key!r}")
+        names.add(event.get("name"))
+        stream = event.get("args", {}).get("stream", "")
+        if isinstance(stream, str) and "/" in stream:
+            domains.add(stream.split("/", 1)[0])
+        tid = event.get("tid")
+        if ph == "B":
+            stacks.setdefault(tid, []).append(event.get("name"))
+        elif ph == "E":
+            stack = stacks.setdefault(tid, [])
+            if not stack:
+                fail(errors, f"{path}: event {i} E({event.get('name')!r}) "
+                             f"on tid {tid} with no open span")
+            elif stack[-1] != event.get("name"):
+                fail(errors, f"{path}: event {i} E({event.get('name')!r}) "
+                             f"on tid {tid} closes open {stack[-1]!r}")
+                stack.pop()
+            else:
+                stack.pop()
+    for tid, stack in stacks.items():
+        if stack:
+            fail(errors, f"{path}: tid {tid} ends with unclosed spans "
+                         f"{stack}")
+    for name in required:
+        if name not in names:
+            fail(errors, f"{path}: no {name!r} event (saw {sorted(names)})")
+    if len(domains) < min_domains:
+        fail(errors, f"{path}: stream labels cover {len(domains)} "
+                     f"domain(s) {sorted(domains)}, need {min_domains}")
+
+
+def check_prom(path, errors):
+    try:
+        with open(path) as handle:
+            lines = handle.read().splitlines()
+    except OSError as error:
+        fail(errors, f"{path}: {error}")
+        return
+    helped, typed, sampled = set(), set(), set()
+    for i, line in enumerate(lines, start=1):
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            helped.add(line.split(" ", 3)[2])
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            typed.add(parts[2])
+            if parts[3] not in ("counter", "gauge", "summary", "histogram",
+                                "untyped"):
+                fail(errors, f"{path}:{i}: unknown TYPE {parts[3]!r}")
+            continue
+        if line.startswith("#"):
+            continue
+        match = PROM_SAMPLE_RE.match(line)
+        if not match:
+            fail(errors, f"{path}:{i}: unparseable sample line: {line!r}")
+            continue
+        sampled.add(match.group("name"))
+        labels = match.group("labels")
+        if labels:
+            for pair in split_labels(labels[1:-1]):
+                if not PROM_LABEL_RE.match(pair):
+                    fail(errors, f"{path}:{i}: bad label pair {pair!r}")
+    if not sampled:
+        fail(errors, f"{path}: no samples")
+    for name in sampled:
+        # quantile series (omg_..._seconds{quantile=...}) share the family
+        # name, so sampled names match HELP/TYPE names exactly here.
+        if name not in helped:
+            fail(errors, f"{path}: metric {name} has no # HELP")
+        if name not in typed:
+            fail(errors, f"{path}: metric {name} has no # TYPE")
+
+
+def split_labels(body):
+    """Splits 'a="x",b="y,z"' into pairs, commas inside quotes kept."""
+    pairs, depth, start = [], False, 0
+    i = 0
+    while i < len(body):
+        char = body[i]
+        if char == '"' and (i == 0 or body[i - 1] != "\\"):
+            depth = not depth
+        elif char == "," and not depth:
+            pairs.append(body[start:i])
+            start = i + 1
+        i += 1
+    if start < len(body):
+        pairs.append(body[start:])
+    return pairs
+
+
+def check_jsonl(path, errors):
+    try:
+        with open(path) as handle:
+            lines = [line for line in handle.read().splitlines() if line]
+    except OSError as error:
+        fail(errors, f"{path}: {error}")
+        return
+    if not lines:
+        fail(errors, f"{path}: no snapshot lines")
+        return
+    previous = None
+    for i, line in enumerate(lines, start=1):
+        try:
+            snapshot = json.loads(line)
+        except json.JSONDecodeError as error:
+            fail(errors, f"{path}:{i}: unparseable JSON line: {error}")
+            continue
+        for key in JSONL_REQUIRED_KEYS:
+            if key not in snapshot:
+                fail(errors, f"{path}:{i}: snapshot missing {key!r}")
+        if previous is not None:
+            for key in JSONL_COUNTER_KEYS:
+                if snapshot.get(key, 0) < previous.get(key, 0):
+                    fail(errors, f"{path}:{i}: counter {key} decreased "
+                                 f"({previous.get(key)} -> "
+                                 f"{snapshot.get(key)})")
+        previous = snapshot
+
+
+def check_bench(path, max_off_overhead, errors):
+    try:
+        with open(path) as handle:
+            bench = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(errors, f"{path}: cannot load bench JSON: {error}")
+        return
+    tracing = bench.get("tracing")
+    if not isinstance(tracing, dict):
+        fail(errors, f"{path}: no \"tracing\" block")
+        return
+    for key in ("baseline_examples_per_sec", "tracing_off_examples_per_sec",
+                "tracing_on_examples_per_sec", "off_overhead_frac",
+                "on_overhead_frac", "events_recorded"):
+        if key not in tracing:
+            fail(errors, f"{path}: tracing block missing {key!r}")
+            return
+    off = tracing["off_overhead_frac"]
+    if off > max_off_overhead:
+        fail(errors, f"{path}: tracer-attached-but-disabled overhead "
+                     f"{off:.3f} exceeds the noise bound "
+                     f"{max_off_overhead:.3f} (tracing off must be free)")
+    if tracing["events_recorded"] <= 0:
+        fail(errors, f"{path}: tracing-on run recorded no events")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", action="append", default=[])
+    parser.add_argument("--prom", action="append", default=[])
+    parser.add_argument("--jsonl", action="append", default=[])
+    parser.add_argument("--bench")
+    parser.add_argument("--min-domains", type=int, default=1,
+                        help="distinct stream-label domains a trace must "
+                             "cover (default 1)")
+    parser.add_argument("--require", action="append", default=[],
+                        help="event name every trace must contain "
+                             "(repeatable)")
+    parser.add_argument("--max-off-overhead", type=float, default=0.10,
+                        help="bench gate: allowed tracing-off vs baseline "
+                             "throughput delta (default 0.10)")
+    args = parser.parse_args()
+    if not (args.trace or args.prom or args.jsonl or args.bench):
+        parser.error("nothing to check: pass --trace/--prom/--jsonl/--bench")
+
+    errors = []
+    for path in args.trace:
+        check_trace(path, args.min_domains, args.require, errors)
+    for path in args.prom:
+        check_prom(path, errors)
+    for path in args.jsonl:
+        check_jsonl(path, errors)
+    if args.bench:
+        check_bench(args.bench, args.max_off_overhead, errors)
+
+    for message in errors:
+        print(f"FAIL: {message}", file=sys.stderr)
+    if errors:
+        sys.exit(1)
+    checked = len(args.trace) + len(args.prom) + len(args.jsonl)
+    checked += 1 if args.bench else 0
+    print(f"check_trace_export: {checked} artifact(s) OK")
+
+
+if __name__ == "__main__":
+    main()
