@@ -227,19 +227,27 @@ MetricsExporter::~MetricsExporter() { Stop(); }
 void MetricsExporter::Start() {
   std::lock_guard<std::mutex> lock(run_mutex_);
   if (thread_.joinable()) return;
-  stop_ = false;
-  thread_ = std::thread([this] { Run(); });
+  stop_ = std::make_shared<bool>(false);
+  thread_ = std::thread([this, stop = stop_] { Run(std::move(stop)); });
 }
 
 void MetricsExporter::Stop() {
+  // Claim the thread under the lock and join the local copy: of several
+  // concurrent Stop() callers exactly one sees a joinable thread_, joins
+  // it, and writes the final export; the rest return immediately. A
+  // concurrent Start() either runs before the claim (this Stop joins the
+  // fresh thread too) or after it (the exporter ends up running, which is
+  // the Start caller's stated intent).
+  std::thread worker;
   {
     std::lock_guard<std::mutex> lock(run_mutex_);
     if (!thread_.joinable()) return;
-    stop_ = true;
+    *stop_ = true;
+    stop_.reset();
+    worker = std::move(thread_);
     wake_.notify_all();
   }
-  thread_.join();
-  thread_ = std::thread();
+  worker.join();
   ExportOnce();  // final point-in-time export
 }
 
@@ -258,12 +266,12 @@ std::size_t MetricsExporter::ExportOnce() {
   return ++exports_;
 }
 
-void MetricsExporter::Run() {
+void MetricsExporter::Run(std::shared_ptr<bool> stop) {
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(run_mutex_);
-      wake_.wait_for(lock, options_.period, [&] { return stop_; });
-      if (stop_) return;  // Stop() writes the final export
+      wake_.wait_for(lock, options_.period, [&] { return *stop; });
+      if (*stop) return;  // Stop() writes the final export
     }
     ExportOnce();
   }

@@ -26,6 +26,7 @@
 #include <condition_variable>
 #include <functional>
 #include <iosfwd>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -77,8 +78,10 @@ class MetricsExporter {
   /// Spawns the background thread; idempotent.
   void Start();
 
-  /// Joins the thread after one final export; idempotent. Exports written
-  /// so far stay on disk.
+  /// Joins the thread after one final export; idempotent and safe to call
+  /// from several threads at once (one caller joins and writes the final
+  /// export, the rest return immediately). Exports written so far stay on
+  /// disk.
   void Stop();
 
   /// Performs one synchronous export (also what the background thread
@@ -88,7 +91,8 @@ class MetricsExporter {
   const MetricsExporterOptions& options() const { return options_; }
 
  private:
-  void Run();
+  /// Thread body; `stop` is the run's own stop token (see stop_).
+  void Run(std::shared_ptr<bool> stop);
 
   MetricsExporterOptions options_;
   SnapshotFn snapshot_;
@@ -98,7 +102,10 @@ class MetricsExporter {
 
   std::mutex run_mutex_;       ///< guards stop_/thread lifecycle
   std::condition_variable wake_;
-  bool stop_ = false;
+  /// Stop token of the current run, one per Start() (guarded by
+  /// run_mutex_; the thread holds its own reference). Per-run tokens keep
+  /// a Start() racing a Stop() from resurrecting the claimed thread.
+  std::shared_ptr<bool> stop_;
   std::thread thread_;
 };
 

@@ -1,5 +1,6 @@
 #include "obs/trace_json.hpp"
 
+#include <cstdio>
 #include <ostream>
 
 #include "runtime/event_sink.hpp"  // runtime::JsonEscape
@@ -48,11 +49,33 @@ ArgNames ArgNamesOf(TraceEventKind kind) {
   return {"", ""};
 }
 
+/// Writes ts_ns as microseconds with the 3-digit nanosecond remainder.
+/// Integer arithmetic, not operator<<(double): production timestamps are
+/// steady-clock ns since boot (~1e14), which default stream precision
+/// (6 significant digits) would quantize to >= 10ms, collapsing every
+/// span in a run to a handful of identical ts values.
+void WriteTimestampMicros(std::ostream& out, std::uint64_t ts_ns) {
+  char frac[8];
+  std::snprintf(frac, sizeof(frac), ".%03u",
+                static_cast<unsigned>(ts_ns % 1000));
+  out << ts_ns / 1000 << frac;
+}
+
+/// Writes one trace event. With `async_id` set, a Begin/End event is
+/// emitted as an async phase ('b'/'e') carrying that id — used for
+/// control-lane spans, which may overlap within one kind.
 void WriteEvent(const TraceEvent& event, std::size_t tid, std::ostream& out,
-                const std::vector<std::string>& stream_labels) {
+                const std::vector<std::string>& stream_labels,
+                const std::uint64_t* async_id = nullptr) {
+  const bool async =
+      async_id != nullptr && event.phase != TracePhase::kInstant;
+  char phase = PhaseLetter(event.phase);
+  if (async) phase = event.phase == TracePhase::kBegin ? 'b' : 'e';
   out << "{\"name\":\"" << TraceEventKindName(event.kind)
-      << "\",\"ph\":\"" << PhaseLetter(event.phase) << "\",\"pid\":1,\"tid\":"
-      << tid << ",\"ts\":" << static_cast<double>(event.ts_ns) / 1000.0;
+      << "\",\"ph\":\"" << phase << "\",\"pid\":1,\"tid\":" << tid
+      << ",\"ts\":";
+  WriteTimestampMicros(out, event.ts_ns);
+  if (async) out << ",\"cat\":\"control\",\"id\":\"" << *async_id << "\"";
   if (event.phase == TracePhase::kInstant) out << ",\"s\":\"t\"";
   out << ",\"args\":{";
   bool first = true;
@@ -103,8 +126,15 @@ void WriteChromeTrace(const TraceSnapshot& snapshot, std::ostream& out,
     // The control lane aggregates emitters from many threads (admission on
     // producer threads, Flush callers, the improvement loop's scheduler and
     // retrain worker); on one Chrome track their concurrent spans would
-    // mis-nest, so each event kind gets its own "control:<kind>" track.
-    // Kind tids start past the lane indices so they never collide.
+    // mis-nest, so instant kinds each get their own "control:<kind>" track
+    // (kind tids start past the lane indices so they never collide), and
+    // span kinds become async 'b'/'e' events — even within one kind two
+    // spans can overlap (EmitControl allows concurrent Flush callers), and
+    // async ids let Perfetto lay overlapping spans on parallel rows
+    // instead of stacking them B/B/E/E on a thread track. Ids pair FIFO:
+    // the oldest open begin of a kind is closed first, so concurrent
+    // same-kind spans stay well-formed (their durations may swap, their
+    // extents cannot mis-nest).
     const std::size_t base = snapshot.lanes.size();
     bool present[kTraceEventKinds] = {};
     for (const TraceEvent& event : lane.events) {
@@ -116,10 +146,30 @@ void WriteChromeTrace(const TraceSnapshot& snapshot, std::ostream& out,
                   "control:" + std::string(TraceEventKindName(
                                    static_cast<TraceEventKind>(kind))));
     }
+    std::uint64_t next_async_id = 1;
+    std::vector<std::uint64_t> open_ids[kTraceEventKinds];
     for (const TraceEvent& event : lane.events) {
       out << ",\n";
-      WriteEvent(event, base + static_cast<std::size_t>(event.kind), out,
-                 stream_labels);
+      const std::size_t tid = base + static_cast<std::size_t>(event.kind);
+      if (event.phase == TracePhase::kInstant) {
+        WriteEvent(event, tid, out, stream_labels);
+        continue;
+      }
+      std::vector<std::uint64_t>& open =
+          open_ids[static_cast<std::size_t>(event.kind)];
+      std::uint64_t id;
+      if (event.phase == TracePhase::kBegin) {
+        id = next_async_id++;
+        open.push_back(id);
+      } else if (!open.empty()) {
+        id = open.front();
+        open.erase(open.begin());
+      } else {
+        // The matching begin was evicted from the ring; a fresh id keeps
+        // the orphan end from closing some other span.
+        id = next_async_id++;
+      }
+      WriteEvent(event, tid, out, stream_labels, &id);
     }
   }
   out << "]}\n";

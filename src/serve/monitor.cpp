@@ -173,7 +173,6 @@ Monitor::Builder& Monitor::Builder::Trace(obs::TracerOptions options) {
 Monitor::Builder& Monitor::Builder::Runtime(
     const runtime::ShardedRuntimeConfig& config) {
   config_ = config;
-  trace_.reset();
   return *this;
 }
 

@@ -181,10 +181,14 @@ class Monitor {
     /// Attaches an observability tracer: per-shard trace lanes with
     /// `options.ring_capacity` slots and 1-in-`options.sample_every` batch
     /// sampling (options.shard_lanes is overridden to the shard count).
-    /// Drain via Monitor::WriteChromeTrace or Monitor::tracer().
+    /// Order-independent with Runtime(): once called, Build() constructs
+    /// this tracer regardless of setter order, replacing any tracer the
+    /// runtime config carries. Drain via Monitor::WriteChromeTrace or
+    /// Monitor::tracer().
     Builder& Trace(obs::TracerOptions options);
-    /// Wholesale geometry override (replaces all of the above, including
-    /// any tracer the config carries).
+    /// Wholesale geometry override (replaces all the setters above except
+    /// Trace(), which survives and is applied on top at Build(); without
+    /// a Trace() call the config's own tracer field is kept).
     Builder& Runtime(const runtime::ShardedRuntimeConfig& config);
 
     /// Validates the geometry and spawns the shard workers. Invalid

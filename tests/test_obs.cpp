@@ -205,8 +205,8 @@ TEST(TraceJsonTest, WritesLaneTracksControlKindTracksAndStreamLabels) {
   tracer.EmitShard(0, TraceEventKind::kEvaluate, TracePhase::kBegin, 0, 32);
   tracer.EmitShard(0, TraceEventKind::kEvaluate, TracePhase::kEnd, 0, 32, 5);
   // Interleaved round/retrain spans (what the improvement loop's two
-  // threads produce): each kind must land on its own control track so the
-  // B/E pairs nest.
+  // threads produce): span kinds become async events but keep their
+  // "control:<kind>" track names.
   tracer.EmitControl(TraceEventKind::kRound, TracePhase::kBegin,
                      TraceEvent::kNoStream, 1, 40);
   tracer.EmitControl(TraceEventKind::kRetrain, TracePhase::kBegin,
@@ -230,6 +230,66 @@ TEST(TraceJsonTest, WritesLaneTracksControlKindTracksAndStreamLabels) {
   const auto retrain_meta = json.find("control:retrain");
   ASSERT_NE(round_meta, std::string::npos);
   ASSERT_NE(retrain_meta, std::string::npos);
+}
+
+// Production timestamps are steady-clock ns since boot (~1e14 and up).
+// Serialised at stream double precision they would all collapse to the
+// same value; the writer must keep full sub-microsecond fidelity.
+TEST(TraceJsonTest, TimestampsKeepFullPrecisionAtSteadyClockMagnitudes) {
+  Clock::InstallSource(&FakeNow);
+  TracerOptions options;
+  options.shard_lanes = 1;
+  Tracer tracer(options);
+  const std::uint64_t t0 = 123456789012345678ull;  // ~4 years in ns
+  g_fake_now.store(t0);
+  tracer.EmitShard(0, TraceEventKind::kEvaluate, TracePhase::kBegin, 0, 8);
+  g_fake_now.store(t0 + 1500);  // 1.5us later — must stay distinct
+  tracer.EmitShard(0, TraceEventKind::kEvaluate, TracePhase::kEnd, 0, 8, 1);
+  Clock::InstallSource(nullptr);
+
+  std::ostringstream out;
+  WriteChromeTrace(tracer.Drain(), out, {"video/cam-0"});
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"ts\":123456789012345.678"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"ts\":123456789012347.178"), std::string::npos)
+      << json;
+  EXPECT_EQ(json.find("e+"), std::string::npos);  // no scientific notation
+}
+
+// Two Flush() callers may overlap, so same-kind control spans interleave
+// B/B/E/E on the control lane. They must come out as async 'b'/'e' events
+// with distinct FIFO-paired ids, not as stacked thread-track spans that
+// would mis-nest in Perfetto.
+TEST(TraceJsonTest, ConcurrentSameKindControlSpansBecomeAsyncEvents) {
+  TracerOptions options;
+  options.shard_lanes = 1;
+  Tracer tracer(options);
+  tracer.EmitControl(TraceEventKind::kFlush, TracePhase::kBegin);
+  tracer.EmitControl(TraceEventKind::kFlush, TracePhase::kBegin);
+  tracer.EmitControl(TraceEventKind::kFlush, TracePhase::kEnd);
+  tracer.EmitControl(TraceEventKind::kFlush, TracePhase::kEnd);
+
+  std::ostringstream out;
+  WriteChromeTrace(tracer.Drain(), out, {});
+  const std::string json = out.str();
+  const auto count = [&json](const std::string& needle) {
+    std::size_t n = 0;
+    for (auto at = json.find(needle); at != std::string::npos;
+         at = json.find(needle, at + 1)) {
+      ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count("\"ph\":\"b\""), 2u) << json;
+  EXPECT_EQ(count("\"ph\":\"e\""), 2u) << json;
+  // Each span gets its own id; begin and end pair up (one 'b' + one 'e'
+  // per id).
+  EXPECT_EQ(count("\"id\":\"1\""), 2u) << json;
+  EXPECT_EQ(count("\"id\":\"2\""), 2u) << json;
+  // No synchronous B/E phases remain for the overlapping spans.
+  EXPECT_EQ(count("\"ph\":\"B\""), 0u) << json;
+  EXPECT_EQ(count("\"ph\":\"E\""), 0u) << json;
 }
 
 // ------------------------------------------------------------- exporter ---
@@ -340,6 +400,26 @@ TEST(ExporterTest, WritesAndRewritesFileSinks) {
   EXPECT_GE(exporter.ExportOnce(), 4u);
   std::filesystem::remove(jsonl);
   std::filesystem::remove(prom);
+}
+
+// Stop() is documented as safe for concurrent callers: exactly one claims
+// and joins the thread, the rest return. Racing Start()s must never
+// resurrect the claimed thread (each run has its own stop token), so
+// every Stop() call returns and no thread leaks past the destructor.
+TEST(ExporterTest, ConcurrentStartStopNeverDoubleJoinsOrDeadlocks) {
+  MetricsExporterOptions options;
+  options.period = std::chrono::milliseconds(1);  // no file sinks
+  MetricsExporter exporter(options, [] { return runtime::MetricsSnapshot{}; });
+  for (int round = 0; round < 25; ++round) {
+    exporter.Start();
+    std::vector<std::thread> racers;
+    for (int t = 0; t < 3; ++t) {
+      racers.emplace_back([&exporter] { exporter.Stop(); });
+    }
+    racers.emplace_back([&exporter] { exporter.Start(); });
+    for (std::thread& racer : racers) racer.join();
+    exporter.Stop();  // quiesce whatever the racing Start left running
+  }
 }
 
 // ------------------------------------- occupancy through the service ---

@@ -506,6 +506,27 @@ TEST(Monitor, WrongDomainObserveIsATypedErrorNotAnAbort) {
   EXPECT_TRUE(monitor->Errors().empty());
 }
 
+TEST(Monitor, TraceSurvivesRuntimeOverrideInEitherOrder) {
+  runtime::ShardedRuntimeConfig config;
+  config.shards = 2;
+  config.window = 32;
+  config.settle_lag = 4;
+
+  // Trace() before Runtime(): the wholesale geometry override must not
+  // silently discard the requested tracer.
+  Result<std::unique_ptr<Monitor>> trace_first =
+      Monitor::Builder().Trace(obs::TracerOptions{}).Runtime(config).Build();
+  ASSERT_TRUE(trace_first.ok());
+  ASSERT_NE(trace_first.value()->tracer(), nullptr);
+  EXPECT_EQ(trace_first.value()->tracer()->shard_lanes(), 2u);
+
+  // And the documented Runtime()-then-Trace() order keeps working.
+  Result<std::unique_ptr<Monitor>> trace_last =
+      Monitor::Builder().Runtime(config).Trace(obs::TracerOptions{}).Build();
+  ASSERT_TRUE(trace_last.ok());
+  EXPECT_NE(trace_last.value()->tracer(), nullptr);
+}
+
 TEST(Monitor, TypedErrorsForHandlesBatchesAndRegistration) {
   const std::unique_ptr<Monitor> monitor = SmallMonitor(1);
   const std::unique_ptr<Monitor> other = SmallMonitor(1);

@@ -6,7 +6,9 @@ Three artifact checks plus one benchmark gate, all standard library only:
   --trace FILE    Chrome trace_event JSON (what serve::Monitor::
                   WriteChromeTrace emits): the file must parse, every
                   event must carry the trace_event schema fields, B/E
-                  spans must nest and balance per lane (tid), and the
+                  spans must nest and balance per lane (tid), async
+                  b/e spans (control-lane flush/round/retrain) must
+                  carry ids and pair up per (name, id), and the
                   stream labels must cover --min-domains distinct domains.
                   --require NAME (repeatable) asserts at least one event
                   with that name (e.g. evaluate, model_hot_swap).
@@ -67,9 +69,10 @@ def check_trace(path, min_domains, required, errors):
     names = set()
     domains = set()
     stacks = {}  # tid -> [name, ...] open B spans
+    open_async = set()  # (name, id) open async 'b' spans
     for i, event in enumerate(events):
         ph = event.get("ph")
-        if ph not in ("B", "E", "i", "M"):
+        if ph not in ("B", "E", "i", "M", "b", "e"):
             fail(errors, f"{path}: event {i} has unknown phase {ph!r}")
             continue
         if ph == "M":
@@ -95,10 +98,27 @@ def check_trace(path, min_domains, required, errors):
                 stack.pop()
             else:
                 stack.pop()
+        elif ph in ("b", "e"):
+            if "id" not in event:
+                fail(errors, f"{path}: event {i} async {ph!r} missing 'id'")
+                continue
+            key = (event.get("name"), event.get("id"))
+            if ph == "b":
+                if key in open_async:
+                    fail(errors, f"{path}: event {i} duplicate async begin "
+                                 f"{key}")
+                open_async.add(key)
+            elif key not in open_async:
+                fail(errors, f"{path}: event {i} async end {key} with no "
+                             f"open begin")
+            else:
+                open_async.discard(key)
     for tid, stack in stacks.items():
         if stack:
             fail(errors, f"{path}: tid {tid} ends with unclosed spans "
                          f"{stack}")
+    for key in sorted(open_async):
+        fail(errors, f"{path}: async span {key} never closed")
     for name in required:
         if name not in names:
             fail(errors, f"{path}: no {name!r} event (saw {sorted(names)})")
