@@ -15,7 +15,14 @@
 //     the type-erased serve::Monitor (AnyExample wrapping + erased
 //     dispatch + typed-scratch materialisation) vs. the directly templated
 //     ShardedMonitorService at the same shard count — the erasure tax of
-//     hosting heterogeneous domains in one runtime (target: <= 10%).
+//     hosting heterogeneous domains in one runtime (target: <= 10%), and
+//   * a `--net` networked saturation bench (on by default): a
+//     net::IngestServer hosting a video+ecg monitor, driven flat-out by
+//     net::RunLoadClient over a Unix-domain socket and over loopback TCP —
+//     end-to-end wire throughput (encode + syscalls + reassembly + decode
+//     + scoring) with the wire accounting identity checked:
+//     offered == scored + shed + dropped + errored + quota_rejected
+//     + decode_errors.
 //
 // The workload is synthetic but shaped like the paper's deployments: two
 // pointwise assertions plus two bounded stream-level assertions (temporal
@@ -26,6 +33,8 @@
 //
 // Prints tables and writes machine-readable results to --json (default
 // BENCH_runtime.json) so the perf trajectory is trackable across PRs.
+#include <unistd.h>
+
 #include <algorithm>
 #include <array>
 #include <chrono>
@@ -42,13 +51,19 @@
 #include "common/flags.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
+#include "config/monitor_loader.hpp"
+#include "config/scenario.hpp"
+#include "config/spec.hpp"
 #include "core/assertion.hpp"
 #include "core/monitor.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "obs/tracer.hpp"
 #include "runtime/admission.hpp"
 #include "runtime/event_sink.hpp"
 #include "runtime/service.hpp"
 #include "runtime/sharded_service.hpp"
+#include "serve/domains.hpp"
 #include "serve/monitor.hpp"
 
 /// One model invocation: a feature vector (e.g. pooled detector activations).
@@ -485,6 +500,107 @@ SaturationPoint RunSaturationPoint(
   return point;
 }
 
+/// One transport's networked saturation run.
+struct NetPoint {
+  std::string transport;  ///< "uds" | "tcp"
+  std::size_t connections = 0;
+  std::uint64_t offered = 0;
+  double examples_per_sec = 0.0;  ///< offered / client elapsed
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t scored = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t errored = 0;
+  std::uint64_t quota_rejected = 0;
+  std::uint64_t decode_errors = 0;
+  bool reconciled = false;
+};
+
+/// Drives a fresh video+ecg monitor behind a net::IngestServer with
+/// net::RunLoadClient, flat out (unpaced — the client offers as fast as the
+/// wire accepts, so achieved throughput IS the wire's saturation rate).
+/// The server is open (no tenant roster): the load client's "bench" tenant
+/// authenticates without a token and is never quota-limited, so the
+/// identity reduces to offered == scored + shed + dropped + errored.
+NetPoint RunNetPoint(bool uds, std::size_t connections,
+                     std::size_t examples_per_connection,
+                     std::size_t batch_size) {
+  const serve::DomainRegistry domains = serve::MakeDefaultDomainRegistry();
+  const config::ScenarioSpec scenario =
+      config::ConfigLoader::Load(config::SpecDocument::Parse(R"(
+[scenario]
+name = "bench-net"
+[runtime]
+shards = 2
+window = 64
+settle_lag = 8
+queue_capacity = 8192
+[suite video]
+assertions = [video.multibox]
+[suite ecg]
+assertions = [ecg.oscillation]
+[stream cam]
+domain = video
+[stream ward]
+domain = ecg
+)"));
+  config::ScenarioMonitor hosted =
+      config::BuildScenarioMonitor(scenario, domains);
+
+  net::IngestServerOptions server_options;
+  if (uds) {
+    server_options.uds_path =
+        "/tmp/omg_bench_net_" + std::to_string(::getpid()) + ".sock";
+  } else {
+    server_options.tcp = true;  // ephemeral loopback port
+  }
+  net::IngestServer server(server_options, *hosted.monitor, domains);
+  for (const config::BoundStream& stream : hosted.streams) {
+    server.ExposeStream(stream.handle);
+  }
+  const serve::Result<net::ServerEndpoints> endpoints = server.Start();
+  common::Check(endpoints.ok(), "net bench: server failed to start");
+
+  net::LoadClientOptions load;
+  if (uds) {
+    load.uds_path = endpoints.value().uds_path;
+  } else {
+    load.tcp_port = endpoints.value().tcp_port;
+  }
+  load.streams = {{"bench", "", "cam", "video", 0.0},
+                  {"bench", "", "ward", "ecg", 0.0}};
+  load.connections = connections;
+  load.batch = batch_size;
+  load.examples_per_connection = examples_per_connection;
+  const serve::Result<net::LoadReport> driven =
+      net::RunLoadClient(load, domains);
+  common::Check(driven.ok(), "net bench: load client failed");
+  const net::LoadReport& report = driven.value();
+  server.Stop();
+
+  NetPoint point;
+  point.transport = uds ? "uds" : "tcp";
+  point.connections = connections;
+  point.offered = report.offered;
+  point.examples_per_sec =
+      report.elapsed_seconds > 0.0
+          ? static_cast<double>(report.offered) / report.elapsed_seconds
+          : 0.0;
+  point.wire_bytes = report.wire_bytes;
+  point.scored = report.scored;
+  point.shed = report.shed;
+  point.dropped = report.dropped;
+  point.errored = report.errored;
+  point.quota_rejected = report.server_quota_rejected;
+  point.decode_errors = report.server_decode_errors;
+  point.reconciled = report.reconciled;
+  common::Check(report.connection_errors == 0,
+                "net bench: connections died mid-run");
+  common::Check(point.reconciled,
+                "net bench: wire accounting did not reconcile");
+  return point;
+}
+
 void WriteJson(
     const std::string& path, std::size_t streams, std::size_t examples,
     std::size_t window, std::size_t settle_lag, std::size_t workers,
@@ -496,7 +612,8 @@ void WriteJson(
     double facade_templated_eps, double facade_overhead,
     const TracingComparison& tracing, std::size_t saturation_shards,
     std::size_t saturation_capacity, double shed_floor,
-    const std::vector<SaturationPoint>& saturation) {
+    const std::vector<SaturationPoint>& saturation,
+    const std::vector<NetPoint>& net) {
   std::ofstream out(path);
   common::Check(out.good(), "cannot open json output: " + path);
   out << "{\n"
@@ -587,7 +704,27 @@ void WriteJson(
         << ", \"queue_depth_peak\": " << p.queue_depth_peak << "}"
         << (i + 1 < saturation.size() ? "," : "") << "\n";
   }
-  out << "    ]\n  }\n}\n";
+  out << "    ]\n  }";
+  if (!net.empty()) {
+    out << ",\n  \"net\": [\n";
+    for (std::size_t i = 0; i < net.size(); ++i) {
+      const NetPoint& p = net[i];
+      out << "    {\"transport\": \"" << p.transport
+          << "\", \"connections\": " << p.connections
+          << ", \"offered\": " << p.offered
+          << ", \"examples_per_sec\": " << p.examples_per_sec
+          << ", \"wire_bytes\": " << p.wire_bytes
+          << ", \"scored\": " << p.scored << ", \"shed\": " << p.shed
+          << ", \"dropped\": " << p.dropped
+          << ", \"errored\": " << p.errored
+          << ", \"quota_rejected\": " << p.quota_rejected
+          << ", \"decode_errors\": " << p.decode_errors
+          << ", \"reconciled\": " << (p.reconciled ? "true" : "false")
+          << "}" << (i + 1 < net.size() ? "," : "") << "\n";
+    }
+    out << "  ]";
+  }
+  out << "\n}\n";
 }
 
 }  // namespace
@@ -596,7 +733,8 @@ int main(int argc, char** argv) {
   const auto flags = common::Flags::Parse(argc, argv);
   flags.CheckAllowed(
       {"streams", "examples", "workers", "shards", "capacity", "batch",
-       "window", "settle", "seed", "json", "facade"});
+       "window", "settle", "seed", "json", "facade", "net",
+       "net-examples"});
   const auto n_streams = static_cast<std::size_t>(flags.GetInt("streams", 8));
   const auto examples = static_cast<std::size_t>(flags.GetInt("examples", 20000));
   // `--workers` accepts a comma-separated sweep (e.g. `--workers 1,2,4,8`);
@@ -787,6 +925,19 @@ int main(int argc, char** argv) {
         streams, hints, shed_floor, frac, reference_eps, saturation_shards,
         batch_size, window, settle_lag, saturation_capacity));
   }
+
+  // Networked saturation: both transports, unpaced, 4 connections (two per
+  // exposed stream). `--net-examples` scales the per-connection volume.
+  const bool net_enabled = flags.GetBool("net", true);
+  const auto net_examples =
+      static_cast<std::size_t>(flags.GetInt("net-examples", 50000));
+  std::vector<NetPoint> net_points;
+  if (net_enabled) {
+    for (const bool uds : {true, false}) {
+      net_points.push_back(RunNetPoint(uds, /*connections=*/4, net_examples,
+                                       /*batch_size=*/256));
+    }
+  }
   common::Check(saturation.back().shed_examples > 0,
                 "saturation bench: overload must shed under "
                 "ShedBelowSeverity, not grow the queue");
@@ -916,11 +1067,29 @@ int main(int argc, char** argv) {
   }
   sat_table.Print(std::cout);
 
+  if (net_enabled) {
+    std::cout << "\n=== networked ingestion (video+ecg monitor behind "
+                 "net::IngestServer, 4 connections, unpaced) ===\n\n";
+    common::TextTable net_table({"Transport", "Offered", "Examples/sec",
+                                 "Wire MB", "Scored", "Shed",
+                                 "Reconciled"});
+    for (const NetPoint& p : net_points) {
+      net_table.AddRow(
+          {p.transport, std::to_string(p.offered),
+           common::FormatDouble(p.examples_per_sec, 0),
+           common::FormatDouble(static_cast<double>(p.wire_bytes) / 1e6, 1),
+           std::to_string(p.scored), std::to_string(p.shed),
+           p.reconciled ? "yes" : "NO"});
+    }
+    net_table.Print(std::cout);
+  }
+
   WriteJson(json_path, n_streams, examples, window, settle_lag, workers,
             batch_size, baseline, sharded_1w, sharded, sweep, shard_sweep,
             facade_enabled ? &facade_result : nullptr, facade_shards,
             facade_templated.run.examples_per_sec, facade_overhead, tracing,
-            saturation_shards, saturation_capacity, shed_floor, saturation);
+            saturation_shards, saturation_capacity, shed_floor, saturation,
+            net_points);
   std::cout << "\nwrote " << json_path << "\n";
   return 0;
 }

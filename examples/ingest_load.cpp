@@ -1,0 +1,182 @@
+// Load generator for net::IngestServer — the client half of the wire.
+//
+// Drives a running server (examples/scenario_harness --serve, or any
+// embedding of net::IngestServer) with N concurrent connections offering
+// synthetic examples as DATA frames at a paced rate, then flushes, pulls
+// the server's STATS counters, and checks the wire accounting identity:
+//
+//   offered == scored + shed + dropped + errored
+//            + quota_rejected + decode_errors
+//
+// Flags:
+//   --connect uds:PATH | tcp:HOST:PORT   where the server listens
+//   --streams SPEC[,SPEC...]             SPEC = tenant@stream:domain[:hint]
+//   --tokens  tenant:token[,...]         HELLO tokens per tenant
+//   --connections N                      concurrent connections (default 1)
+//   --rate EPS                           examples/sec per connection
+//                                        (default 0 = unpaced)
+//   --batch N                            examples per DATA frame
+//   --examples N                         examples per connection
+//   --no-verify                          skip the FLUSH+STATS reconcile
+//
+// Connection i drives streams[i % len(streams)], so two specs and two
+// connections exercise two tenants concurrently:
+//
+//   ingest_load --connect uds:/tmp/omg_mixed_tenants.sock
+//     --streams "alpha@cam-alpha:video,beta@ward-beta:ecg"
+//     --tokens "alpha:alpha-secret,beta:beta-secret"
+//     --connections 2 --examples 4096 --batch 32
+//
+// Exits nonzero when the identity does not reconcile (or nothing could
+// connect) so CI can gate on it.
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/flags.hpp"
+#include "common/table.hpp"
+#include "net/client.hpp"
+#include "serve/domains.hpp"
+
+namespace {
+
+using namespace omg;
+
+std::vector<std::string> SplitList(const std::string& text, char sep) {
+  std::vector<std::string> items;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    const std::size_t end = std::min(text.find(sep, begin), text.size());
+    if (end > begin) items.push_back(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return items;
+}
+
+/// "tenant@stream:domain[:hint]" -> LoadStreamSpec (token filled later).
+net::LoadStreamSpec ParseStreamSpec(const std::string& text) {
+  net::LoadStreamSpec spec;
+  const std::size_t at = text.find('@');
+  common::Check(at != std::string::npos && at > 0,
+                "--streams spec '" + text +
+                    "' needs tenant@stream:domain[:hint]");
+  spec.tenant = text.substr(0, at);
+  const std::vector<std::string> parts =
+      SplitList(text.substr(at + 1), ':');
+  common::Check(parts.size() == 2 || parts.size() == 3,
+                "--streams spec '" + text +
+                    "' needs tenant@stream:domain[:hint]");
+  spec.stream = parts[0];
+  spec.domain = parts[1];
+  if (parts.size() == 3) {
+    try {
+      spec.hint = std::stod(parts[2]);
+    } catch (const std::exception&) {
+      throw common::CheckError("--streams spec '" + text +
+                               "' has a non-numeric hint");
+    }
+  }
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = common::Flags::Parse(argc, argv);
+  try {
+    flags.CheckAllowed({"connect", "streams", "tokens", "connections",
+                        "rate", "batch", "examples", "no-verify"});
+
+    net::LoadClientOptions options;
+    const std::string connect = flags.GetString("connect", "");
+    common::Check(!connect.empty(),
+                  "--connect uds:PATH or tcp:HOST:PORT is required");
+    if (connect.rfind("uds:", 0) == 0) {
+      options.uds_path = connect.substr(4);
+    } else if (connect.rfind("tcp:", 0) == 0) {
+      const std::string rest = connect.substr(4);
+      const std::size_t colon = rest.rfind(':');
+      common::Check(colon != std::string::npos && colon > 0,
+                    "--connect tcp target needs HOST:PORT");
+      options.tcp_host = rest.substr(0, colon);
+      options.tcp_port =
+          static_cast<std::uint16_t>(std::stoi(rest.substr(colon + 1)));
+    } else {
+      throw common::CheckError("--connect must start with uds: or tcp:");
+    }
+
+    std::map<std::string, std::string> tokens;
+    for (const std::string& pair :
+         SplitList(flags.GetString("tokens", ""), ',')) {
+      const std::size_t colon = pair.find(':');
+      common::Check(colon != std::string::npos && colon > 0,
+                    "--tokens entry '" + pair + "' needs tenant:token");
+      tokens[pair.substr(0, colon)] = pair.substr(colon + 1);
+    }
+    for (const std::string& text :
+         SplitList(flags.GetString("streams", ""), ',')) {
+      net::LoadStreamSpec spec = ParseStreamSpec(text);
+      const auto it = tokens.find(spec.tenant);
+      if (it != tokens.end()) spec.token = it->second;
+      options.streams.push_back(std::move(spec));
+    }
+    common::Check(!options.streams.empty(),
+                  "--streams needs at least one tenant@stream:domain spec");
+
+    options.connections =
+        static_cast<std::size_t>(flags.GetInt("connections", 1));
+    options.rate_eps = flags.GetDouble("rate", 0.0);
+    options.batch = static_cast<std::size_t>(flags.GetInt("batch", 32));
+    options.examples_per_connection =
+        static_cast<std::size_t>(flags.GetInt("examples", 1024));
+    options.verify = !flags.GetBool("no-verify", false);
+
+    const serve::DomainRegistry domains =
+        serve::MakeDefaultDomainRegistry();
+    const serve::Result<net::LoadReport> result =
+        net::RunLoadClient(options, domains);
+    if (!result.ok()) {
+      std::cerr << "load client failed: " << result.error().message << "\n";
+      return 1;
+    }
+    const net::LoadReport& report = result.value();
+
+    const double eps =
+        report.elapsed_seconds > 0.0
+            ? static_cast<double>(report.offered) / report.elapsed_seconds
+            : 0.0;
+    std::cout << "offered " << report.offered << " examples over "
+              << options.connections << " connections in "
+              << common::FormatDouble(report.elapsed_seconds, 2) << "s ("
+              << common::FormatDouble(eps, 0) << " ex/s, "
+              << report.wire_bytes << " wire bytes";
+    if (report.connection_errors > 0) {
+      std::cout << ", " << report.connection_errors << " connection errors";
+    }
+    std::cout << ")\n";
+    if (!options.verify) return 0;
+
+    common::TextTable table({"Counter", "Examples"});
+    table.AddRow({"offered (server)", std::to_string(report.server_offered)});
+    table.AddRow({"admitted", std::to_string(report.server_admitted)});
+    table.AddRow({"scored", std::to_string(report.scored)});
+    table.AddRow({"shed", std::to_string(report.shed)});
+    table.AddRow({"dropped", std::to_string(report.dropped)});
+    table.AddRow({"errored", std::to_string(report.errored)});
+    table.AddRow(
+        {"quota_rejected", std::to_string(report.server_quota_rejected)});
+    table.AddRow(
+        {"decode_errors", std::to_string(report.server_decode_errors)});
+    table.Print(std::cout);
+    std::cout << "wire accounting: offered " << report.offered
+              << (report.reconciled ? " reconciled exactly\n"
+                                    : " DID NOT reconcile\n");
+    return report.reconciled ? 0 : 1;
+  } catch (const common::CheckError& error) {
+    std::cerr << "ingest_load: " << error.what() << "\n";
+    return 1;
+  }
+}

@@ -23,6 +23,17 @@
 //   ./examples/scenario_harness --describe            # registered domains
 //   ./examples/scenario_harness --trace DIR           # Chrome traces to DIR
 //   ./examples/scenario_harness --export-metrics DIR  # jsonl+prom to DIR
+//   ./examples/scenario_harness --serve CONF          # network ingestion
+//
+// --serve hosts a [server] scenario behind a net::IngestServer instead of
+// generating traffic locally: every [stream ...] is exposed over the wire
+// (restricted to its `tenant =` when set), examples arrive as DATA frames
+// from clients like examples/ingest_load, and the harness exits once at
+// least one client connection has come and gone and none remain — then
+// reconciles the wire accounting identity
+//   offered == scored + shed + dropped + errored
+//            + quota_rejected + decode_errors
+// and prints the per-tenant wire table next to the usual monitor report.
 #include <algorithm>
 #include <chrono>
 #include <cstddef>
@@ -35,6 +46,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -47,6 +59,7 @@
 #include "config/scenario.hpp"
 #include "ecg/factory.hpp"
 #include "loop/improvement_loop.hpp"
+#include "net/server.hpp"
 #include "obs/exporter.hpp"
 #include "serve/domains.hpp"
 #include "serve/monitor.hpp"
@@ -540,6 +553,115 @@ SummaryRow RunLoopScenario(const config::ScenarioSpec& scenario,
                    hosted.streams.size(), snapshot, wall);
 }
 
+// ------------------------------------------------------------ serve mode ---
+
+net::IngestServerOptions ServerOptionsFromSpec(
+    const config::ScenarioSpec& scenario) {
+  net::IngestServerOptions options;
+  options.uds_path = scenario.server.uds_path;
+  options.tcp = scenario.server.tcp;
+  options.tcp_port = static_cast<std::uint16_t>(scenario.server.tcp_port);
+  options.handler_threads = scenario.server.handler_threads;
+  options.max_frame_bytes = scenario.server.max_frame_bytes;
+  for (const config::TenantSpec& tenant : scenario.tenants) {
+    net::TenantOptions t;
+    t.name = tenant.name;
+    t.token = tenant.token;
+    t.quota_eps = tenant.quota_eps;
+    t.burst = tenant.burst;
+    t.shed_floor = tenant.shed_floor;
+    t.has_shed_floor = tenant.has_shed_floor;
+    options.tenants.push_back(std::move(t));
+  }
+  return options;
+}
+
+/// The wire-mode accounting identity: every example a client offered must
+/// land in exactly one of the monitor's outcomes or one of the server's
+/// wire-side rejections.
+void CheckWireAccounting(const runtime::MetricsSnapshot& snapshot,
+                         const net::TenantStats& totals) {
+  const std::uint64_t scored = snapshot.examples_seen;
+  const std::uint64_t shed = snapshot.TotalShedExamples();
+  const std::uint64_t dropped = snapshot.TotalDroppedExamples();
+  const std::uint64_t errored = snapshot.TotalErroredExamples();
+  std::cout << "wire accounting: offered " << totals.offered << " == scored "
+            << scored << " + shed " << shed << " + dropped " << dropped
+            << " + errored " << errored << " + quota_rejected "
+            << totals.quota_rejected << " + decode_errors "
+            << totals.decode_errors << "\n";
+  common::Check(scored + shed + dropped + errored + totals.quota_rejected +
+                        totals.decode_errors ==
+                    totals.offered,
+                "wire admission accounting does not reconcile");
+}
+
+void PrintTenantReport(const net::IngestServerStats& stats) {
+  common::TextTable table({"Tenant", "Offered", "Admitted", "Shed",
+                           "Quota rej", "Decode err"});
+  for (const auto& [name, tenant] : stats.tenants) {
+    table.AddRow({name, std::to_string(tenant.offered),
+                  std::to_string(tenant.admitted),
+                  std::to_string(tenant.shed),
+                  std::to_string(tenant.quota_rejected),
+                  std::to_string(tenant.decode_errors)});
+  }
+  table.AddRow({"(total)", std::to_string(stats.totals.offered),
+                std::to_string(stats.totals.admitted),
+                std::to_string(stats.totals.shed),
+                std::to_string(stats.totals.quota_rejected),
+                std::to_string(stats.totals.decode_errors)});
+  table.Print(std::cout);
+}
+
+/// Hosts the scenario behind an IngestServer until every client connection
+/// has come and gone: waits for the first connection, then for the active
+/// count to return to zero, then stops, reconciles, and reports.
+SummaryRow RunServeScenario(const config::ScenarioSpec& scenario,
+                            config::ScenarioMonitor& hosted,
+                            const serve::DomainRegistry& domains) {
+  net::IngestServer server(ServerOptionsFromSpec(scenario), *hosted.monitor,
+                           domains);
+  for (const config::BoundStream& stream : hosted.streams) {
+    server.ExposeStream(stream.handle, stream.spec.tenant);
+  }
+  const serve::Result<net::ServerEndpoints> endpoints = server.Start();
+  common::Check(endpoints.ok(),
+                endpoints.ok() ? "" : endpoints.error().message);
+  std::cout << "serving:";
+  if (!endpoints.value().uds_path.empty()) {
+    std::cout << " uds " << endpoints.value().uds_path;
+  }
+  if (endpoints.value().tcp_port != 0) {
+    std::cout << " tcp 127.0.0.1:" << endpoints.value().tcp_port;
+  }
+  std::cout << " (" << scenario.tenants.size() << " tenants, "
+            << hosted.streams.size() << " streams; waiting for clients)\n";
+
+  const auto start = std::chrono::steady_clock::now();
+  net::IngestServerStats stats;
+  for (;;) {
+    stats = server.Stats();
+    if (stats.connections_seen > 0 && stats.connections_active == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  hosted.monitor->Flush();
+  server.Stop();
+  stats = server.Stats();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::cout << "served " << stats.connections_seen << " connections, "
+            << stats.frames << " frames\n";
+  PrintTenantReport(stats);
+  const runtime::MetricsSnapshot snapshot = hosted.monitor->Metrics();
+  CheckWireAccounting(snapshot, stats.totals);
+  PrintMonitorReport(snapshot, hosted.monitor->Errors());
+  return Summarise(scenario, JoinedDomains(scenario) + "+net",
+                   hosted.streams.size(), snapshot, wall);
+}
+
 // ------------------------------------------------------------- scenarios ---
 
 /// --trace / --export-metrics override the scenario's [observability]
@@ -571,9 +693,14 @@ void ApplyObservabilityOverrides(config::ScenarioSpec& scenario,
 void RunScenario(const std::string& path,
                  const serve::DomainRegistry& domains,
                  const std::string& trace_dir, const std::string& export_dir,
-                 std::vector<SummaryRow>& summary) {
+                 bool serve, std::vector<SummaryRow>& summary) {
   config::ScenarioSpec scenario = config::ConfigLoader::LoadFile(path);
   ApplyObservabilityOverrides(scenario, trace_dir, export_dir);
+  if (serve && !scenario.server.enabled) {
+    throw config::SpecError(scenario.source, 0, 0,
+                            "--serve needs an enabled [server] section in "
+                            "the scenario");
+  }
   std::cout << "=== scenario '" << scenario.name << "' (" << path << ")\n";
   if (!scenario.description.empty()) {
     std::cout << "    " << scenario.description << "\n";
@@ -586,11 +713,15 @@ void RunScenario(const std::string& path,
 
   // The loop path drives video streams only; a loop-enabled scenario
   // without any falls back to plain monitoring (with a note below).
-  const bool run_loop =
-      scenario.loop.enabled && !StreamsOf(scenario, "video").empty();
+  const bool run_loop = !serve && scenario.loop.enabled &&
+                        !StreamsOf(scenario, "video").empty();
   config::ScenarioMonitor hosted =
       config::BuildScenarioMonitor(scenario, domains);
-  TrafficMap traffic = GenerateTraffic(scenario, run_loop ? "video" : "");
+  // Serve mode takes its traffic off the wire; nothing to pregenerate.
+  TrafficMap traffic;
+  if (!serve) {
+    traffic = GenerateTraffic(scenario, run_loop ? "video" : "");
+  }
 
   // Background snapshotter over the monitor's registry; Stop() below takes
   // one final export so the files reflect the finished run.
@@ -608,7 +739,9 @@ void RunScenario(const std::string& path,
     exporter->Start();
   }
 
-  if (run_loop) {
+  if (serve) {
+    summary.push_back(RunServeScenario(scenario, hosted, domains));
+  } else if (run_loop) {
     summary.push_back(RunLoopScenario(scenario, hosted, traffic));
   } else {
     const auto start = std::chrono::steady_clock::now();
@@ -666,7 +799,8 @@ void Describe(const serve::DomainRegistry& domains) {
 
 int main(int argc, char** argv) {
   const auto flags = common::Flags::Parse(argc, argv);
-  flags.CheckAllowed({"configs", "describe", "trace", "export-metrics"});
+  flags.CheckAllowed(
+      {"configs", "describe", "trace", "export-metrics", "serve"});
 
   const serve::DomainRegistry domains = serve::MakeDefaultDomainRegistry();
   if (flags.GetBool("describe", false)) {
@@ -675,6 +809,11 @@ int main(int argc, char** argv) {
   }
 
   std::vector<std::string> paths = flags.Positional();
+  // `--serve CONF` (valued) and `CONF --serve` (bare boolean + positional)
+  // both work; the flag parser decides which form it saw.
+  const std::string serve_value = flags.GetString("serve", "");
+  const bool serve = !serve_value.empty();
+  if (serve && serve_value != "true") paths.push_back(serve_value);
   if (const std::string dir = flags.GetString("configs", "");
       !dir.empty()) {
     std::error_code list_error;
@@ -714,6 +853,10 @@ int main(int argc, char** argv) {
 
   const std::string trace_dir = flags.GetString("trace", "");
   const std::string export_dir = flags.GetString("export-metrics", "");
+  if (serve && paths.size() != 1) {
+    std::cerr << "--serve hosts exactly one scenario; pass one file\n";
+    return 1;
+  }
   for (const std::string& dir : {trace_dir, export_dir}) {
     if (dir.empty()) continue;
     std::error_code make_error;
@@ -728,7 +871,7 @@ int main(int argc, char** argv) {
   std::vector<SummaryRow> summary;
   try {
     for (const std::string& path : paths) {
-      RunScenario(path, domains, trace_dir, export_dir, summary);
+      RunScenario(path, domains, trace_dir, export_dir, serve, summary);
     }
   } catch (const config::SpecError& error) {
     std::cerr << "config error: " << error.what() << "\n";

@@ -4,14 +4,16 @@
 
 #include "bandit/bal.hpp"
 #include "common/check.hpp"
+#include "net/server.hpp"
 
 namespace omg::config {
 namespace {
 
 /// Section kinds a scenario document may contain.
-const char* const kKnownKinds[] = {"scenario", "runtime",   "admission",
+const char* const kKnownKinds[] = {"scenario", "runtime", "admission",
                                    "suite",    "assertion", "stream",
-                                   "loop",     "observability"};
+                                   "loop",     "observability", "server",
+                                   "tenant"};
 
 RuntimeSpec ReadRuntime(const SpecSection& section) {
   RuntimeSpec spec;
@@ -99,6 +101,63 @@ ObservabilitySpec ReadObservability(const SpecSection& section) {
   return spec;
 }
 
+ServerSpec ReadServer(const SpecSection& section) {
+  ServerSpec spec;
+  spec.enabled = section.GetBool("enabled", true);
+  spec.uds_path = section.GetString("uds_path", spec.uds_path);
+  spec.tcp = section.GetBool("tcp", spec.tcp);
+  spec.tcp_port = static_cast<std::size_t>(
+      section.GetInt("tcp_port", static_cast<std::int64_t>(spec.tcp_port)));
+  if (spec.tcp_port > 65535) {
+    throw section.ErrorAt("tcp_port", "tcp_port must be in [0, 65535]");
+  }
+  spec.handler_threads =
+      section.GetSize("handler_threads", spec.handler_threads);
+  if (spec.handler_threads == 0) {
+    throw section.ErrorAt("handler_threads", "handler_threads must be >= 1");
+  }
+  spec.max_frame_bytes =
+      section.GetSize("max_frame_bytes", spec.max_frame_bytes);
+  if (spec.max_frame_bytes == 0) {
+    throw section.ErrorAt("max_frame_bytes", "max_frame_bytes must be >= 1");
+  }
+  if (spec.uds_path.empty() && !spec.tcp) {
+    throw section.ErrorHere(
+        "[server] needs a transport: set uds_path and/or tcp = true");
+  }
+  section.RejectUnknownKeys();
+  return spec;
+}
+
+TenantSpec ReadTenant(const SpecSection& section) {
+  if (section.label().empty()) {
+    throw section.ErrorHere("[tenant] needs a name: [tenant <name>]");
+  }
+  TenantSpec spec;
+  spec.name = section.label();
+  if (!net::IngestServer::ValidTenantName(spec.name)) {
+    throw section.ErrorHere("tenant name '" + spec.name +
+                            "' is not a legal tenant id "
+                            "([A-Za-z0-9_-], 1-64 chars)");
+  }
+  spec.token = section.GetString("token", spec.token);
+  spec.quota_eps = section.GetDouble("quota_eps", spec.quota_eps);
+  if (spec.quota_eps < 0.0) {
+    throw section.ErrorAt("quota_eps",
+                          "quota_eps must be >= 0 (0 = unlimited)");
+  }
+  spec.burst = section.GetDouble("burst", spec.burst);
+  if (spec.burst < 0.0) {
+    throw section.ErrorAt("burst", "burst must be >= 0 (0 = quota_eps)");
+  }
+  if (section.Find("shed_floor") != nullptr) {
+    spec.shed_floor = section.GetDouble("shed_floor", 0.0);
+    spec.has_shed_floor = true;
+  }
+  section.RejectUnknownKeys();
+  return spec;
+}
+
 StreamSpec ReadStream(const SpecSection& section) {
   if (section.label().empty()) {
     throw section.ErrorHere("[stream] needs a name: [stream <name>]");
@@ -118,6 +177,7 @@ StreamSpec ReadStream(const SpecSection& section) {
       section.GetInt("seed", static_cast<std::int64_t>(spec.seed)));
   spec.severity_hint =
       section.GetDouble("severity_hint", spec.severity_hint);
+  spec.tenant = section.GetString("tenant", spec.tenant);
   section.RejectUnknownKeys();
   return spec;
 }
@@ -156,13 +216,15 @@ ScenarioSpec ConfigLoader::Load(const SpecDocument& doc) {
     if (!known) {
       throw section.ErrorHere("unknown section kind [" + section.kind() +
                               "] (scenario, runtime, admission, suite, "
-                              "assertion, stream, loop, observability)");
+                              "assertion, stream, loop, observability, "
+                              "server, tenant)");
     }
     const bool singleton = section.kind() == "scenario" ||
                            section.kind() == "runtime" ||
                            section.kind() == "admission" ||
                            section.kind() == "loop" ||
-                           section.kind() == "observability";
+                           section.kind() == "observability" ||
+                           section.kind() == "server";
     if (singleton && !section.label().empty()) {
       throw section.ErrorHere("[" + section.kind() +
                               "] does not take a label");
@@ -192,6 +254,21 @@ ScenarioSpec ConfigLoader::Load(const SpecDocument& doc) {
   }
   if (const SpecSection* obs = doc.Find("observability")) {
     scenario.observability = ReadObservability(*obs);
+  }
+  if (const SpecSection* server = doc.Find("server")) {
+    scenario.server = ReadServer(*server);
+  }
+
+  // Tenants only mean something as a server roster; a [tenant] in a
+  // scenario without a [server] is dead configuration, so reject it.
+  for (const SpecSection* section : doc.OfKind("tenant")) {
+    if (doc.Find("server") == nullptr) {
+      throw section->ErrorHere("[tenant " + section->label() +
+                               "] requires a [server] section");
+    }
+    // Duplicate [tenant <name>] sections are a parser-level "duplicate
+    // section" error, so names are unique here by construction.
+    scenario.tenants.push_back(ReadTenant(*section));
   }
 
   // Suites: [suite <domain>] with an assertions list; parameters come from
@@ -276,6 +353,35 @@ ScenarioSpec ConfigLoader::Load(const SpecDocument& doc) {
                              "stream '" + stream.name + "' names domain '" +
                                  stream.domain + "' but there is no [suite " +
                                  stream.domain + "]");
+    }
+    // A stream's tenant restriction is a wire-binding rule; without a
+    // [server] nothing ever binds, and against a closed roster it must
+    // name a declared tenant or no client could ever bind the stream.
+    if (!stream.tenant.empty()) {
+      if (doc.Find("server") == nullptr) {
+        throw section->ErrorAt("tenant",
+                               "stream '" + stream.name +
+                                   "' restricts binding to tenant '" +
+                                   stream.tenant +
+                                   "' but there is no [server] section");
+      }
+      const bool declared = std::any_of(
+          scenario.tenants.begin(), scenario.tenants.end(),
+          [&](const TenantSpec& t) { return t.name == stream.tenant; });
+      if (!scenario.tenants.empty() && !declared) {
+        throw section->ErrorAt("tenant",
+                               "stream '" + stream.name +
+                                   "' names undeclared tenant '" +
+                                   stream.tenant +
+                                   "' (no matching [tenant] section)");
+      }
+      if (scenario.tenants.empty() &&
+          !net::IngestServer::ValidTenantName(stream.tenant)) {
+        throw section->ErrorAt("tenant",
+                               "tenant '" + stream.tenant +
+                                   "' is not a legal tenant id "
+                                   "([A-Za-z0-9_-], 1-64 chars)");
+      }
     }
     scenario.streams.push_back(std::move(stream));
   }

@@ -11,6 +11,8 @@
 //   [stream <name>]       one traffic stream (domain, examples, seed, ...)
 //   [loop]                the improvement loop's round/oracle settings
 //   [observability]       trace rings, sampling, metrics exporter sinks
+//   [server]              network ingestion front door (net::IngestServer)
+//   [tenant <name>]       one tenant's token + admission quota
 //
 // ConfigLoader::Load validates the whole document — unknown sections,
 // unknown keys, type mismatches, streams without a matching suite,
@@ -122,6 +124,40 @@ struct StreamSpec {
   /// Producer-side severity hint passed with every batch (what
   /// shed_below_severity admission compares against the shed floor).
   double severity_hint = 0.0;
+  /// Wire-binding restriction: non-empty names the only [tenant <name>]
+  /// allowed to bind this stream over the network. Empty = any tenant.
+  std::string tenant;
+};
+
+/// [server] — the net::IngestServer front door. Absent = no server. The
+/// harness only listens under --serve (so running every shipped config in
+/// a batch never blocks waiting for network clients); `enabled = false`
+/// keeps a [server] section around without serving it.
+struct ServerSpec {
+  bool enabled = false;  ///< true when a [server] section is present
+  /// Unix-domain socket path (empty = no UDS listener).
+  std::string uds_path;
+  /// Also listen on loopback TCP.
+  bool tcp = false;
+  /// TCP port (0 = ephemeral).
+  std::size_t tcp_port = 0;
+  std::size_t handler_threads = 2;
+  /// Largest accepted frame payload, bytes.
+  std::size_t max_frame_bytes = 4u << 20;
+};
+
+/// [tenant <name>] — one tenant of the server's roster (see
+/// net::TenantOptions for the semantics of each field).
+struct TenantSpec {
+  std::string name;  ///< the [tenant <name>] label
+  std::string token;
+  /// Admission quota, examples per second (0 = unlimited).
+  double quota_eps = 0.0;
+  /// Token-bucket burst, examples (0 = one second of quota).
+  double burst = 0.0;
+  /// Hints >= this floor bypass an exhausted quota.
+  double shed_floor = 0.0;
+  bool has_shed_floor = false;
 };
 
 /// A fully validated scenario.
@@ -133,6 +169,8 @@ struct ScenarioSpec {
   AdmissionSpec admission;
   ObservabilitySpec observability;
   LoopSpec loop;
+  ServerSpec server;
+  std::vector<TenantSpec> tenants;  ///< file order; empty = open server
   std::vector<SuiteSpec> suites;    ///< one per domain, file order
   std::vector<StreamSpec> streams;  ///< file order
 

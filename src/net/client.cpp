@@ -1,0 +1,496 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "av/factory.hpp"
+#include "common/check.hpp"
+#include "ecg/factory.hpp"
+#include "serve/domain_registry.hpp"
+#include "tvnews/factory.hpp"
+#include "video/factory.hpp"
+
+namespace omg::net {
+
+namespace {
+
+serve::Error Errno(const std::string& what) {
+  return serve::Error{serve::ErrorCode::kInvalidArgument,
+                      what + ": " + std::strerror(errno)};
+}
+
+}  // namespace
+
+// ------------------------------------------------------ ClientConnection ---
+
+ClientConnection::ClientConnection(ClientConnection&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      session_(other.session_),
+      next_seq_(other.next_seq_),
+      bytes_sent_(other.bytes_sent_) {}
+
+ClientConnection& ClientConnection::operator=(
+    ClientConnection&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    session_ = other.session_;
+    next_seq_ = other.next_seq_;
+    bytes_sent_ = other.bytes_sent_;
+  }
+  return *this;
+}
+
+void ClientConnection::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+serve::Result<ClientConnection> ClientConnection::ConnectUds(
+    const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return serve::Error{serve::ErrorCode::kInvalidArgument,
+                        "UDS path '" + path + "' exceeds sockaddr_un"};
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket(AF_UNIX)");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    const serve::Error error = Errno("connect '" + path + "'");
+    ::close(fd);
+    return error;
+  }
+  return ClientConnection(fd);
+}
+
+serve::Result<ClientConnection> ClientConnection::ConnectTcp(
+    const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return serve::Error{serve::ErrorCode::kInvalidArgument,
+                        "'" + host + "' is not an IPv4 address"};
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket(AF_INET)");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    const serve::Error error =
+        Errno("connect " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return error;
+  }
+  return ClientConnection(fd);
+}
+
+serve::Result<bool> ClientConnection::WriteAll(
+    std::span<const std::uint8_t> bytes) {
+  if (fd_ < 0) {
+    return serve::Error{serve::ErrorCode::kInvalidArgument,
+                        "connection is closed"};
+  }
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  bytes_sent_ += bytes.size();
+  return true;
+}
+
+serve::Result<Frame> ClientConnection::ReadReply() {
+  const auto read_exact = [this](std::uint8_t* out,
+                                 std::size_t size) -> serve::Result<bool> {
+    std::size_t got = 0;
+    while (got < size) {
+      const ssize_t n = ::recv(fd_, out + got, size - got, 0);
+      if (n == 0) {
+        return serve::Error{serve::ErrorCode::kTruncatedFrame,
+                            "server closed mid-reply"};
+      }
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Errno("recv");
+      }
+      got += static_cast<std::size_t>(n);
+    }
+    return true;
+  };
+  std::uint8_t header_bytes[FrameHeader::kBytes];
+  serve::Result<bool> io = read_exact(header_bytes, sizeof(header_bytes));
+  if (!io.ok()) return io.error();
+  serve::Result<FrameHeader> header =
+      DecodeHeader({header_bytes, sizeof(header_bytes)});
+  if (!header.ok()) return header.error();
+  Frame frame;
+  frame.header = header.value();
+  frame.payload.resize(frame.header.payload_length);
+  if (!frame.payload.empty()) {
+    io = read_exact(frame.payload.data(), frame.payload.size());
+    if (!io.ok()) return io.error();
+  }
+  if (Crc32(frame.payload) != frame.header.payload_crc32) {
+    return serve::Error{serve::ErrorCode::kCrcMismatch,
+                        "reply payload CRC32 mismatch"};
+  }
+  return frame;
+}
+
+serve::Result<std::vector<std::uint64_t>> ClientConnection::Roundtrip(
+    FrameType type, std::span<const std::uint8_t> payload) {
+  FrameHeader header;
+  header.type = type;
+  header.seq = next_seq_++;
+  header.session = session_;
+  const serve::Result<bool> sent =
+      WriteAll(EncodeFrame(header, payload));
+  if (!sent.ok()) return sent.error();
+  serve::Result<Frame> reply = ReadReply();
+  if (!reply.ok()) return reply.error();
+  if (reply.value().header.seq != header.seq) {
+    return serve::Error{serve::ErrorCode::kInvalidArgument,
+                        "reply seq does not echo the request"};
+  }
+  WireReader reader(reply.value().payload);
+  if (reply.value().header.type == FrameType::kError) {
+    std::uint16_t code = 0;
+    std::string message;
+    if (!reader.U16(code) || !reader.String(message)) {
+      return serve::Error{serve::ErrorCode::kMalformedPayload,
+                          "ERROR reply payload malformed"};
+    }
+    return serve::Error{static_cast<serve::ErrorCode>(code),
+                        std::move(message)};
+  }
+  if (reply.value().header.type != FrameType::kAck) {
+    return serve::Error{serve::ErrorCode::kUnknownFrameType,
+                        "reply is neither ACK nor ERROR"};
+  }
+  std::uint32_t count = 0;
+  if (!reader.U32(count)) {
+    return serve::Error{serve::ErrorCode::kMalformedPayload,
+                        "ACK payload malformed"};
+  }
+  std::vector<std::uint64_t> values(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (!reader.U64(values[i])) {
+      return serve::Error{serve::ErrorCode::kMalformedPayload,
+                          "ACK payload truncated"};
+    }
+  }
+  return values;
+}
+
+serve::Result<std::uint64_t> ClientConnection::Hello(
+    std::string_view tenant, std::string_view token) {
+  WireWriter payload;
+  payload.String(tenant);
+  payload.String(token);
+  serve::Result<std::vector<std::uint64_t>> values =
+      Roundtrip(FrameType::kHello, payload.bytes());
+  if (!values.ok()) return values.error();
+  if (values.value().size() != 1) {
+    return serve::Error{serve::ErrorCode::kMalformedPayload,
+                        "HELLO ack carries no session id"};
+  }
+  session_ = values.value()[0];
+  return session_;
+}
+
+serve::Result<std::uint64_t> ClientConnection::BindStream(
+    std::string_view domain, std::string_view stream) {
+  WireWriter payload;
+  payload.String(domain);
+  payload.String(stream);
+  serve::Result<std::vector<std::uint64_t>> values =
+      Roundtrip(FrameType::kBindStream, payload.bytes());
+  if (!values.ok()) return values.error();
+  if (values.value().size() != 1) {
+    return serve::Error{serve::ErrorCode::kMalformedPayload,
+                        "BIND ack carries no binding id"};
+  }
+  return values.value()[0];
+}
+
+serve::Result<bool> ClientConnection::SendEncoded(
+    std::uint64_t binding, std::string_view domain, std::uint32_t count,
+    std::span<const std::uint8_t> payload, double hint) {
+  FrameHeader header;
+  header.type = FrameType::kData;
+  header.seq = next_seq_++;
+  header.session = session_;
+  header.stream = binding;
+  header.set_domain_tag(domain);
+  header.count = count;
+  header.set_hint(hint);
+  return WriteAll(EncodeFrame(header, payload));
+}
+
+serve::Result<bool> ClientConnection::SendBatch(
+    const PayloadCodec& codec, std::uint64_t binding,
+    std::span<const serve::AnyExample> batch, double hint) {
+  const std::vector<std::uint8_t> payload = EncodeBatch(codec, batch);
+  return SendEncoded(binding, codec.domain,
+                     static_cast<std::uint32_t>(batch.size()), payload,
+                     hint);
+}
+
+serve::Result<bool> ClientConnection::Flush() {
+  WireWriter payload;
+  serve::Result<std::vector<std::uint64_t>> values =
+      Roundtrip(FrameType::kFlush, payload.bytes());
+  if (!values.ok()) return values.error();
+  return true;
+}
+
+serve::Result<std::vector<std::uint64_t>> ClientConnection::Stats() {
+  WireWriter payload;
+  serve::Result<std::vector<std::uint64_t>> values =
+      Roundtrip(FrameType::kStats, payload.bytes());
+  if (!values.ok()) return values.error();
+  if (values.value().size() != 8) {
+    return serve::Error{serve::ErrorCode::kMalformedPayload,
+                        "STATS ack does not carry 8 counters"};
+  }
+  return values;
+}
+
+serve::Result<bool> ClientConnection::Goodbye() {
+  WireWriter payload;
+  serve::Result<std::vector<std::uint64_t>> values =
+      Roundtrip(FrameType::kGoodbye, payload.bytes());
+  Close();
+  if (!values.ok()) return values.error();
+  return true;
+}
+
+// ------------------------------------------------------------- synthetics ---
+
+serve::Result<serve::AnyExample> MakeSyntheticExample(
+    std::string_view domain, std::size_t index) {
+  serve::AnyExample example;
+  const double ts = static_cast<double>(index) * 0.033;
+  if (domain == "video") {
+    video::VideoExample payload;
+    payload.frame_index = index;
+    payload.timestamp = ts;
+    payload.detections.push_back(
+        {{0.1, 0.1, 0.4, 0.5}, "car", 0.6 + 0.3 * ((index % 7) / 7.0), -1});
+    if (index % 3 != 0) {
+      payload.detections.push_back(
+          {{0.5, 0.2, 0.8, 0.6}, "car", 0.55, -1});
+    }
+    example.Emplace<video::VideoExample>(std::move(payload));
+    return example;
+  }
+  if (domain == "av") {
+    av::AvExample payload;
+    payload.sample_index = index;
+    payload.timestamp = ts;
+    payload.scene = (index % 5 == 0) ? "night" : "day";
+    payload.camera.push_back({{0.2, 0.2, 0.5, 0.6}, "car", 0.7, -1});
+    payload.lidar_projected.push_back({0.21, 0.19, 0.52, 0.61});
+    if (index % 4 == 0) payload.lidar_projected.push_back({0.7, 0.1, 0.9, 0.3});
+    example.Emplace<av::AvExample>(std::move(payload));
+    return example;
+  }
+  if (domain == "ecg") {
+    ecg::EcgExample payload;
+    payload.record = "synthetic-" + std::to_string(index % 16);
+    payload.timestamp = ts;
+    payload.predicted = static_cast<ecg::Rhythm>(index % ecg::kNumRhythms);
+    example.Emplace<ecg::EcgExample>(std::move(payload));
+    return example;
+  }
+  if (domain == "tvnews") {
+    tvnews::NewsFrame payload;
+    payload.index = index;
+    payload.timestamp = ts;
+    payload.scene_id = static_cast<std::int64_t>(index / 24);
+    tvnews::FaceOutput face;
+    face.box = {0.3, 0.2, 0.5, 0.5};
+    face.identity = "anchor-" + std::to_string(index % 3);
+    face.gender = (index % 2 == 0) ? "F" : "M";
+    face.hair = "dark";
+    face.person_id = static_cast<std::int64_t>(index % 3);
+    face.true_identity = face.identity;
+    face.true_gender = face.gender;
+    face.true_hair = face.hair;
+    payload.faces.push_back(std::move(face));
+    example.Emplace<tvnews::NewsFrame>(std::move(payload));
+    return example;
+  }
+  return serve::Error{serve::ErrorCode::kUnknownDomain,
+                      "no synthetic example maker for domain '" +
+                          std::string(domain) + "'"};
+}
+
+// ------------------------------------------------------------ load client ---
+
+namespace {
+
+serve::Result<ClientConnection> ConnectPer(const LoadClientOptions& options) {
+  if (!options.uds_path.empty()) {
+    return ClientConnection::ConnectUds(options.uds_path);
+  }
+  return ClientConnection::ConnectTcp(options.tcp_host, options.tcp_port);
+}
+
+/// One connection's worth of work, run on its own thread.
+struct ConnectionDrive {
+  ClientConnection conn;
+  const LoadStreamSpec* spec = nullptr;
+  std::vector<std::uint8_t> payload;  ///< pre-encoded batch template
+  std::uint32_t batch = 0;
+  std::size_t frames = 0;
+  std::uint64_t offered = 0;
+  bool failed = false;
+  std::string failure;
+};
+
+}  // namespace
+
+serve::Result<LoadReport> RunLoadClient(const LoadClientOptions& options,
+                                        const serve::DomainRegistry& domains) {
+  if (options.streams.empty()) {
+    return serve::Error{serve::ErrorCode::kInvalidArgument,
+                        "load client needs at least one stream spec"};
+  }
+  if (options.connections == 0 || options.batch == 0) {
+    return serve::Error{serve::ErrorCode::kInvalidArgument,
+                        "load client needs connections >= 1 and batch >= 1"};
+  }
+  // Set everything up front — connect, authenticate, bind, pre-encode each
+  // spec's batch payload — so the drive phase is pure sends and failures
+  // surface before any load is offered.
+  std::vector<ConnectionDrive> drives(options.connections);
+  std::vector<std::uint64_t> bindings(options.connections, 0);
+  for (std::size_t i = 0; i < options.connections; ++i) {
+    ConnectionDrive& drive = drives[i];
+    drive.spec = &options.streams[i % options.streams.size()];
+    const PayloadCodec* codec = domains.CodecFor(drive.spec->domain);
+    if (codec == nullptr) {
+      return serve::Error{serve::ErrorCode::kUnknownDomain,
+                          "domain '" + drive.spec->domain +
+                              "' has no payload codec"};
+    }
+    serve::Result<ClientConnection> conn = ConnectPer(options);
+    if (!conn.ok()) return conn.error();
+    drive.conn = std::move(conn.value());
+    serve::Result<std::uint64_t> session =
+        drive.conn.Hello(drive.spec->tenant, drive.spec->token);
+    if (!session.ok()) return session.error();
+    serve::Result<std::uint64_t> binding =
+        drive.conn.BindStream(drive.spec->domain, drive.spec->stream);
+    if (!binding.ok()) return binding.error();
+    bindings[i] = binding.value();
+    std::vector<serve::AnyExample> batch;
+    batch.reserve(options.batch);
+    for (std::size_t j = 0; j < options.batch; ++j) {
+      serve::Result<serve::AnyExample> example =
+          MakeSyntheticExample(drive.spec->domain, i * options.batch + j);
+      if (!example.ok()) return example.error();
+      batch.push_back(std::move(example.value()));
+    }
+    drive.payload = EncodeBatch(*codec, batch);
+    drive.batch = static_cast<std::uint32_t>(options.batch);
+    drive.frames = std::max<std::size_t>(
+        1, options.examples_per_connection / options.batch);
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(options.connections);
+  for (std::size_t i = 0; i < options.connections; ++i) {
+    threads.emplace_back([&, i] {
+      ConnectionDrive& drive = drives[i];
+      const double interval_s =
+          options.rate_eps > 0.0
+              ? static_cast<double>(options.batch) / options.rate_eps
+              : 0.0;
+      auto next = std::chrono::steady_clock::now();
+      for (std::size_t f = 0; f < drive.frames; ++f) {
+        if (interval_s > 0.0) {
+          std::this_thread::sleep_until(next);
+          next += std::chrono::duration_cast<
+              std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(interval_s));
+        }
+        const serve::Result<bool> sent = drive.conn.SendEncoded(
+            bindings[i], drive.spec->domain, drive.batch, drive.payload,
+            drive.spec->hint);
+        if (!sent.ok()) {
+          drive.failed = true;
+          drive.failure = sent.error().message;
+          return;
+        }
+        drive.offered += drive.batch;
+      }
+      // Per-connection FLUSH: its ACK proves every DATA frame this
+      // connection sent was processed (the server handles one connection's
+      // frames in order), so the later STATS pass races with nothing.
+      const serve::Result<bool> flushed = drive.conn.Flush();
+      if (!flushed.ok()) {
+        drive.failed = true;
+        drive.failure = flushed.error().message;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const auto done = std::chrono::steady_clock::now();
+
+  LoadReport report;
+  report.elapsed_seconds =
+      std::chrono::duration<double>(done - start).count();
+  for (ConnectionDrive& drive : drives) {
+    report.offered += drive.offered;
+    report.wire_bytes += drive.conn.bytes_sent();
+    if (drive.failed) ++report.connection_errors;
+  }
+  if (options.verify && report.connection_errors == 0) {
+    serve::Result<std::vector<std::uint64_t>> stats = drives[0].conn.Stats();
+    if (!stats.ok()) return stats.error();
+    const std::vector<std::uint64_t>& values = stats.value();
+    report.server_offered = values[0];
+    report.server_admitted = values[1];
+    report.server_quota_rejected = values[2];
+    report.server_decode_errors = values[3];
+    report.scored = values[4];
+    report.shed = values[5];
+    report.dropped = values[6];
+    report.errored = values[7];
+    report.reconciled =
+        report.server_offered == report.offered &&
+        report.offered == report.scored + report.shed + report.dropped +
+                              report.errored + report.server_quota_rejected +
+                              report.server_decode_errors;
+  }
+  for (ConnectionDrive& drive : drives) {
+    if (drive.conn.connected()) {
+      (void)drive.conn.Goodbye();
+    }
+  }
+  return report;
+}
+
+}  // namespace omg::net

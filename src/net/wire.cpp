@@ -1,0 +1,347 @@
+#include "net/wire.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace omg::net {
+
+namespace {
+
+/// The reflected IEEE CRC32 table, built once.
+const std::array<std::uint32_t, 256>& CrcTable() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> built{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+      }
+      built[i] = crc;
+    }
+    return built;
+  }();
+  return table;
+}
+
+serve::Error WireError(serve::ErrorCode code, std::string message) {
+  return serve::Error{code, std::move(message)};
+}
+
+}  // namespace
+
+std::string_view FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kHello: return "hello";
+    case FrameType::kBindStream: return "bind_stream";
+    case FrameType::kData: return "data";
+    case FrameType::kFlush: return "flush";
+    case FrameType::kStats: return "stats";
+    case FrameType::kGoodbye: return "goodbye";
+    case FrameType::kAck: return "ack";
+    case FrameType::kError: return "error";
+  }
+  return "unknown";
+}
+
+bool KnownFrameType(std::uint16_t type) {
+  return type >= static_cast<std::uint16_t>(FrameType::kHello) &&
+         type <= static_cast<std::uint16_t>(FrameType::kError);
+}
+
+std::uint32_t Crc32(std::span<const std::uint8_t> bytes) {
+  const auto& table = CrcTable();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const std::uint8_t byte : bytes) {
+    crc = (crc >> 8) ^ table[(crc ^ byte) & 0xFFu];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string_view FrameHeader::domain_tag() const {
+  std::size_t length = 0;
+  while (length < kDomainBytes && domain[length] != '\0') ++length;
+  return {domain, length};
+}
+
+void FrameHeader::set_domain_tag(std::string_view tag) {
+  common::Check(tag.size() <= kDomainBytes,
+                "domain tag '" + std::string(tag) + "' exceeds the " +
+                    std::to_string(kDomainBytes) + "-byte wire field");
+  std::memset(domain, 0, kDomainBytes);
+  std::memcpy(domain, tag.data(), tag.size());
+}
+
+double FrameHeader::hint() const { return std::bit_cast<double>(hint_bits); }
+
+void FrameHeader::set_hint(double value) {
+  hint_bits = std::bit_cast<std::uint64_t>(value);
+}
+
+void WireWriter::U16(std::uint16_t value) {
+  buffer_.push_back(static_cast<std::uint8_t>(value));
+  buffer_.push_back(static_cast<std::uint8_t>(value >> 8));
+}
+
+void WireWriter::U32(std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    buffer_.push_back(static_cast<std::uint8_t>(value >> shift));
+  }
+}
+
+void WireWriter::U64(std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    buffer_.push_back(static_cast<std::uint8_t>(value >> shift));
+  }
+}
+
+void WireWriter::F64(double value) { U64(std::bit_cast<std::uint64_t>(value)); }
+
+void WireWriter::String(std::string_view value) {
+  common::Check(value.size() <= WireReader::kMaxStringBytes,
+                "wire string exceeds the protocol limit");
+  U32(static_cast<std::uint32_t>(value.size()));
+  Bytes(value.data(), value.size());
+}
+
+void WireWriter::Bytes(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  buffer_.insert(buffer_.end(), bytes, bytes + size);
+}
+
+bool WireReader::U8(std::uint8_t& value) {
+  if (remaining() < 1) return false;
+  value = bytes_[offset_++];
+  return true;
+}
+
+bool WireReader::U16(std::uint16_t& value) {
+  if (remaining() < 2) return false;
+  value = static_cast<std::uint16_t>(bytes_[offset_] |
+                                     (bytes_[offset_ + 1] << 8));
+  offset_ += 2;
+  return true;
+}
+
+bool WireReader::U32(std::uint32_t& value) {
+  if (remaining() < 4) return false;
+  value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(bytes_[offset_ + i]) << (8 * i);
+  }
+  offset_ += 4;
+  return true;
+}
+
+bool WireReader::U64(std::uint64_t& value) {
+  if (remaining() < 8) return false;
+  value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(bytes_[offset_ + i]) << (8 * i);
+  }
+  offset_ += 8;
+  return true;
+}
+
+bool WireReader::I64(std::int64_t& value) {
+  std::uint64_t raw;
+  if (!U64(raw)) return false;
+  value = static_cast<std::int64_t>(raw);
+  return true;
+}
+
+bool WireReader::F64(double& value) {
+  std::uint64_t raw;
+  if (!U64(raw)) return false;
+  value = std::bit_cast<double>(raw);
+  return true;
+}
+
+bool WireReader::String(std::string& value) {
+  std::uint32_t length;
+  const std::size_t before = offset_;
+  if (!U32(length)) return false;
+  if (length > kMaxStringBytes || remaining() < length) {
+    offset_ = before;
+    return false;
+  }
+  value.assign(reinterpret_cast<const char*>(bytes_.data() + offset_),
+               length);
+  offset_ += length;
+  return true;
+}
+
+void EncodeHeader(const FrameHeader& header, WireWriter& out) {
+  out.Bytes(kWireMagic, sizeof(kWireMagic));
+  out.U16(header.version);
+  out.U16(static_cast<std::uint16_t>(header.type));
+  out.U64(header.seq);
+  out.U64(header.session);
+  out.U64(header.stream);
+  out.Bytes(header.domain, FrameHeader::kDomainBytes);
+  out.U32(header.count);
+  out.U32(header.payload_length);
+  out.U32(header.payload_crc32);
+  out.U64(header.hint_bits);
+}
+
+std::vector<std::uint8_t> EncodeFrame(FrameHeader header,
+                                      std::span<const std::uint8_t> payload) {
+  header.payload_length = static_cast<std::uint32_t>(payload.size());
+  header.payload_crc32 = Crc32(payload);
+  WireWriter out;
+  out.buffer().reserve(FrameHeader::kBytes + payload.size());
+  EncodeHeader(header, out);
+  out.Bytes(payload.data(), payload.size());
+  return std::move(out.buffer());
+}
+
+serve::Result<FrameHeader> DecodeHeader(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < FrameHeader::kBytes) {
+    return WireError(serve::ErrorCode::kTruncatedFrame,
+                     "frame header truncated: " +
+                         std::to_string(bytes.size()) + " of " +
+                         std::to_string(FrameHeader::kBytes) + " bytes");
+  }
+  if (std::memcmp(bytes.data(), kWireMagic, sizeof(kWireMagic)) != 0) {
+    return WireError(serve::ErrorCode::kBadMagic,
+                     "frame does not start with the OMGW magic");
+  }
+  WireReader reader(bytes.subspan(sizeof(kWireMagic)));
+  FrameHeader header;
+  std::uint16_t type = 0;
+  reader.U16(header.version);
+  reader.U16(type);
+  reader.U64(header.seq);
+  reader.U64(header.session);
+  reader.U64(header.stream);
+  std::uint64_t domain_words[1];
+  static_assert(FrameHeader::kDomainBytes == 8);
+  reader.U64(domain_words[0]);
+  std::memcpy(header.domain, domain_words, FrameHeader::kDomainBytes);
+  reader.U32(header.count);
+  reader.U32(header.payload_length);
+  reader.U32(header.payload_crc32);
+  reader.U64(header.hint_bits);
+  if (header.version != kWireVersion) {
+    return WireError(serve::ErrorCode::kBadVersion,
+                     "wire version " + std::to_string(header.version) +
+                         " is not the supported version " +
+                         std::to_string(kWireVersion));
+  }
+  if (!KnownFrameType(type)) {
+    return WireError(serve::ErrorCode::kUnknownFrameType,
+                     "unknown frame type " + std::to_string(type));
+  }
+  header.type = static_cast<FrameType>(type);
+  return header;
+}
+
+serve::Result<Frame> DecodeFrame(std::span<const std::uint8_t> bytes,
+                                 std::size_t max_frame_bytes) {
+  serve::Result<FrameHeader> header = DecodeHeader(bytes);
+  if (!header.ok()) return header.error();
+  if (max_frame_bytes != 0 &&
+      header.value().payload_length > max_frame_bytes) {
+    return WireError(serve::ErrorCode::kOversizedFrame,
+                     "payload of " +
+                         std::to_string(header.value().payload_length) +
+                         " bytes exceeds the " +
+                         std::to_string(max_frame_bytes) + "-byte limit");
+  }
+  const std::span<const std::uint8_t> rest =
+      bytes.subspan(FrameHeader::kBytes);
+  if (rest.size() < header.value().payload_length) {
+    return WireError(serve::ErrorCode::kTruncatedFrame,
+                     "frame payload truncated: " +
+                         std::to_string(rest.size()) + " of " +
+                         std::to_string(header.value().payload_length) +
+                         " bytes");
+  }
+  const std::span<const std::uint8_t> payload =
+      rest.first(header.value().payload_length);
+  if (Crc32(payload) != header.value().payload_crc32) {
+    return WireError(serve::ErrorCode::kCrcMismatch,
+                     "payload CRC32 does not match the header");
+  }
+  Frame frame;
+  frame.header = header.value();
+  frame.payload.assign(payload.begin(), payload.end());
+  return frame;
+}
+
+FrameAssembler::FrameAssembler(std::size_t max_frame_bytes)
+    : max_frame_bytes_(max_frame_bytes) {
+  common::Check(max_frame_bytes_ > 0,
+                "frame assembler needs a positive frame limit");
+}
+
+void FrameAssembler::Feed(std::span<const std::uint8_t> bytes) {
+  // Compact the consumed prefix before growing: the buffer then stays
+  // bounded by one partial frame plus one read slice.
+  if (consumed_ > 0) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+FrameAssembler::Step FrameAssembler::Next() {
+  Step step;
+  if (poisoned_) {
+    step.failure = *poisoned_;
+    return step;
+  }
+  const std::span<const std::uint8_t> pending =
+      std::span<const std::uint8_t>(buffer_).subspan(consumed_);
+  if (pending.size() < FrameHeader::kBytes) return step;  // need more bytes
+
+  const serve::Result<FrameHeader> header = DecodeHeader(pending);
+  if (!header.ok()) {
+    // Every header-level failure here is fatal: without a trustworthy
+    // header there is no length to skip by. (kTruncatedFrame cannot occur
+    // — kBytes availability was checked above.)
+    DecodeFailure failure{header.error(), 0, true};
+    poisoned_ = failure;
+    step.failure = std::move(failure);
+    return step;
+  }
+  if (header.value().payload_length > max_frame_bytes_) {
+    DecodeFailure failure{
+        WireError(serve::ErrorCode::kOversizedFrame,
+                  "payload of " +
+                      std::to_string(header.value().payload_length) +
+                      " bytes exceeds the " +
+                      std::to_string(max_frame_bytes_) + "-byte limit"),
+        header.value().count, true};
+    poisoned_ = failure;
+    step.failure = std::move(failure);
+    return step;
+  }
+  const std::size_t total =
+      FrameHeader::kBytes + header.value().payload_length;
+  if (pending.size() < total) return step;  // need more bytes
+
+  const std::span<const std::uint8_t> payload =
+      pending.subspan(FrameHeader::kBytes, header.value().payload_length);
+  consumed_ += total;  // the frame is consumed either way below
+  if (Crc32(payload) != header.value().payload_crc32) {
+    step.failure =
+        DecodeFailure{WireError(serve::ErrorCode::kCrcMismatch,
+                                "payload CRC32 does not match the header"),
+                      header.value().count, false};
+    return step;
+  }
+  Frame frame;
+  frame.header = header.value();
+  frame.payload.assign(payload.begin(), payload.end());
+  step.frame = std::move(frame);
+  return step;
+}
+
+}  // namespace omg::net

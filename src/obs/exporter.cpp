@@ -27,6 +27,25 @@ void Header(std::ostream& out, const char* name, const char* type,
       << type << "\n";
 }
 
+/// Splits a "tenant/<id>/<outcome>" named-counter key (the net layer's
+/// per-tenant accounting convention); false for any other shape.
+bool SplitTenantKey(const std::string& key, std::string_view& tenant,
+                    std::string_view& outcome) {
+  constexpr std::string_view kPrefix = "tenant/";
+  if (key.size() <= kPrefix.size() || key.compare(0, kPrefix.size(), kPrefix)) {
+    return false;
+  }
+  const std::size_t slash = key.find('/', kPrefix.size());
+  if (slash == std::string::npos || slash == kPrefix.size() ||
+      slash + 1 == key.size()) {
+    return false;
+  }
+  const std::string_view view = key;
+  tenant = view.substr(kPrefix.size(), slash - kPrefix.size());
+  outcome = view.substr(slash + 1);
+  return outcome.find('/') == std::string_view::npos;
+}
+
 }  // namespace
 
 std::string PrometheusEscapeLabel(std::string_view value) {
@@ -159,6 +178,39 @@ void WritePrometheusText(const runtime::MetricsSnapshot& snapshot,
           << Num(shard.latency.Quantile(q)) << "\n";
     }
   }
+
+  // Named counters. Per-tenant wire accounting renders as ONE family with
+  // tenant/outcome labels (not one family per tenant — label cardinality is
+  // the Prometheus-native shape); any other named key gets the generic
+  // family below.
+  bool any_tenant = false;
+  bool any_other = false;
+  for (const auto& [key, value] : snapshot.named) {
+    std::string_view tenant, outcome;
+    (SplitTenantKey(key, tenant, outcome) ? any_tenant : any_other) = true;
+  }
+  if (any_tenant) {
+    Header(out, "omg_tenant_examples_total", "counter",
+           "Per-tenant ingestion outcomes (offered, admitted, scored, "
+           "shed, quota_rejected, decode_errors, ...).");
+    for (const auto& [key, value] : snapshot.named) {
+      std::string_view tenant, outcome;
+      if (!SplitTenantKey(key, tenant, outcome)) continue;
+      out << "omg_tenant_examples_total{tenant=\""
+          << PrometheusEscapeLabel(tenant) << "\",outcome=\""
+          << PrometheusEscapeLabel(outcome) << "\"} " << value << "\n";
+    }
+  }
+  if (any_other) {
+    Header(out, "omg_named_counter", "counter",
+           "Free-form named counters (MetricsRegistry::RecordNamed).");
+    for (const auto& [key, value] : snapshot.named) {
+      std::string_view tenant, outcome;
+      if (SplitTenantKey(key, tenant, outcome)) continue;
+      out << "omg_named_counter{name=\"" << PrometheusEscapeLabel(key)
+          << "\"} " << value << "\n";
+    }
+  }
 }
 
 void WriteMetricsJsonLine(const runtime::MetricsSnapshot& snapshot,
@@ -204,7 +256,14 @@ void WriteMetricsJsonLine(const runtime::MetricsSnapshot& snapshot,
         << ",\"p99_latency_seconds\":" << Num(shard.latency.Quantile(0.99))
         << "}";
   }
-  out << "]}\n";
+  out << "],\"named\":{";
+  first = true;
+  for (const auto& [key, value] : snapshot.named) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << runtime::JsonEscape(key) << "\":" << value;
+  }
+  out << "}}\n";
 }
 
 MetricsExporter::MetricsExporter(MetricsExporterOptions options,

@@ -20,6 +20,14 @@ std::string_view TraceEventKindName(TraceEventKind kind) {
       return "round";
     case TraceEventKind::kRetrain:
       return "retrain";
+    case TraceEventKind::kConnOpen:
+      return "conn_open";
+    case TraceEventKind::kConnClose:
+      return "conn_close";
+    case TraceEventKind::kFrameDecode:
+      return "frame_decode";
+    case TraceEventKind::kWireReject:
+      return "wire_reject";
   }
   return "unknown";
 }

@@ -26,10 +26,14 @@ enum class TraceEventKind : std::uint8_t {
   kModelHotSwap,      ///< registry published a model (instant; arg0 = version)
   kRound,             ///< one BAL improvement round (span; arg0 = round index)
   kRetrain,           ///< background retrain (span; args: rows, version at end)
+  kConnOpen,          ///< ingest connection accepted (instant; transport, conn)
+  kConnClose,         ///< ingest connection closed (instant; conn, frames)
+  kFrameDecode,       ///< DATA frame decoded + admitted (instant; examples, bytes)
+  kWireReject,        ///< frame/examples refused at the wire (instant; examples, code)
 };
 
 /// Number of TraceEventKind values (for tables indexed by kind).
-inline constexpr std::size_t kTraceEventKinds = 8;
+inline constexpr std::size_t kTraceEventKinds = 12;
 
 /// Stable snake_case name ("batch_dequeue", "evaluate", ...); also the event
 /// name in exported Chrome traces.

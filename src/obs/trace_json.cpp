@@ -45,6 +45,14 @@ ArgNames ArgNamesOf(TraceEventKind kind) {
       return {"round", "value"};
     case TraceEventKind::kRetrain:
       return {"rows", "version"};
+    case TraceEventKind::kConnOpen:
+      return {"transport", "conn"};
+    case TraceEventKind::kConnClose:
+      return {"conn", "frames"};
+    case TraceEventKind::kFrameDecode:
+      return {"examples", "bytes"};
+    case TraceEventKind::kWireReject:
+      return {"examples", "code"};
   }
   return {"", ""};
 }

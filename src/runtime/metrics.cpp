@@ -202,6 +202,12 @@ void MetricsRegistry::RecordQueueDepth(std::size_t shard, std::size_t depth) {
   cell.shard.queue_depth_peak = std::max(cell.shard.queue_depth_peak, depth);
 }
 
+void MetricsRegistry::RecordNamed(const std::string& key,
+                                  std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(named_mutex_);
+  named_[key] += delta;
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snapshot;
   StreamId max_id = 0;
@@ -232,6 +238,10 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
         total.max_severity = slot.max_severity;
       }
     }
+  }
+  {
+    std::lock_guard<std::mutex> lock(named_mutex_);
+    snapshot.named = named_;
   }
   return snapshot;
 }

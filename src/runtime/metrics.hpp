@@ -128,6 +128,10 @@ struct MetricsSnapshot {
   /// Per-serving-shard counters; empty for registries constructed in legacy
   /// (unsharded) mode.
   std::vector<ShardMetrics> shards;
+  /// Free-form named counters recorded via RecordNamed. The net layer folds
+  /// per-tenant wire accounting here under "tenant/<id>/<outcome>" keys;
+  /// anything off the per-example hot path may add its own.
+  std::map<std::string, std::uint64_t> named;
 
   /// Service-wide flags per observed example for one assertion.
   double FlaggedRate(const std::string& assertion) const;
@@ -196,6 +200,12 @@ class MetricsRegistry {
   /// Updates shard `shard`'s queue-depth gauge and peak (sharded mode only).
   void RecordQueueDepth(std::size_t shard, std::size_t depth);
 
+  /// Adds `delta` to the free-form counter `key` (creating it at zero).
+  /// Guarded by its own lock, off the scoring fast path — meant for
+  /// per-batch-or-rarer accounting such as the net layer's per-tenant
+  /// counters, not per-example updates.
+  void RecordNamed(const std::string& key, std::uint64_t delta);
+
   /// Point-in-time copy of every aggregate.
   MetricsSnapshot Snapshot() const;
 
@@ -212,6 +222,9 @@ class MetricsRegistry {
 
   bool sharded_;
   std::vector<std::unique_ptr<Cell>> cells_;
+
+  mutable std::mutex named_mutex_;
+  std::map<std::string, std::uint64_t> named_;
 };
 
 }  // namespace omg::runtime

@@ -286,6 +286,11 @@ class ShardedMonitorService {
   /// (does not flush; pair with Flush() for read-your-writes).
   MetricsSnapshot Metrics() const { return metrics_->Snapshot(); }
 
+  /// The shared metrics registry, for frontends recording their own
+  /// accounting (e.g. the net layer's named per-tenant counters) into the
+  /// same snapshot the exporter renders.
+  MetricsRegistry& metrics_registry() { return *metrics_; }
+
   /// Messages from ingestion tasks that threw (a throwing assertion poisons
   /// its batch, not the service).
   std::vector<std::string> Errors() const {

@@ -20,6 +20,7 @@
 #include <functional>
 #include <iosfwd>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -30,6 +31,10 @@
 namespace omg::config {
 struct SuiteSpec;  // config/scenario.hpp; only referenced here
 }  // namespace omg::config
+
+namespace omg::net {
+struct PayloadCodec;  // net/codec.hpp; registered via SetCodec
+}  // namespace omg::net
 
 namespace omg::serve {
 
@@ -48,6 +53,11 @@ class DomainRegistry {
     /// Writes this domain's registered-assertion listing (the scenario
     /// harness's --describe output).
     std::function<void(std::ostream&)> describe;
+    /// Wire codec for this domain's example payloads (net/codec.hpp);
+    /// null for domains served in-process only. Installed via SetCodec —
+    /// typically net::RegisterDefaultCodecs — rather than at Register so
+    /// purely local deployments never name the net layer.
+    std::shared_ptr<const net::PayloadCodec> codec;
   };
 
   /// Registers `domain`; names must be unique and hooks non-null.
@@ -65,6 +75,26 @@ class DomainRegistry {
   /// True when `name` is registered.
   bool Has(const std::string& name) const {
     return domains_.find(name) != domains_.end();
+  }
+
+  /// Installs (or replaces) the wire codec of registered domain `name`;
+  /// throws CheckError when the domain is absent or `codec` is null.
+  void SetCodec(const std::string& name,
+                std::shared_ptr<const net::PayloadCodec> codec) {
+    common::Check(codec != nullptr, "SetCodec: null codec for '" + name +
+                                        "'");
+    const auto it = domains_.find(name);
+    common::Check(it != domains_.end(),
+                  "SetCodec: unregistered domain '" + name + "'");
+    it->second.codec = std::move(codec);
+  }
+
+  /// The wire codec of domain `name`, or null when the domain is absent
+  /// or serves in-process only (the never-throwing lookup the server's
+  /// frame path needs).
+  const net::PayloadCodec* CodecFor(const std::string& name) const {
+    const auto it = domains_.find(name);
+    return it == domains_.end() ? nullptr : it->second.codec.get();
   }
 
   /// The entry for `name`; throws CheckError when absent (callers holding

@@ -2,6 +2,7 @@
 
 #include "av/factory.hpp"
 #include "ecg/factory.hpp"
+#include "net/codec.hpp"
 #include "tvnews/factory.hpp"
 #include "video/factory.hpp"
 
@@ -13,6 +14,7 @@ DomainRegistry MakeDefaultDomainRegistry() {
   av::RegisterAvDomain(registry);
   ecg::RegisterEcgDomain(registry);
   tvnews::RegisterNewsDomain(registry);
+  net::RegisterDefaultCodecs(registry);
   return registry;
 }
 

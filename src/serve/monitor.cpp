@@ -18,6 +18,19 @@ std::string_view ErrorCodeName(ErrorCode code) {
     case ErrorCode::kInvalidSuite: return "invalid_suite";
     case ErrorCode::kBatchTooLarge: return "batch_too_large";
     case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kTruncatedFrame: return "truncated_frame";
+    case ErrorCode::kBadMagic: return "bad_magic";
+    case ErrorCode::kBadVersion: return "bad_version";
+    case ErrorCode::kOversizedFrame: return "oversized_frame";
+    case ErrorCode::kCrcMismatch: return "crc_mismatch";
+    case ErrorCode::kUnknownFrameType: return "unknown_frame_type";
+    case ErrorCode::kUnknownDomain: return "unknown_domain";
+    case ErrorCode::kMalformedPayload: return "malformed_payload";
+    case ErrorCode::kUnknownTenant: return "unknown_tenant";
+    case ErrorCode::kAuthFailed: return "auth_failed";
+    case ErrorCode::kNotAuthenticated: return "not_authenticated";
+    case ErrorCode::kUnknownStream: return "unknown_stream";
+    case ErrorCode::kQuotaExceeded: return "quota_exceeded";
   }
   return "?";
 }
@@ -361,6 +374,10 @@ void Monitor::Flush() { service_->Flush(); }
 
 runtime::MetricsSnapshot Monitor::Metrics() const {
   return service_->Metrics();
+}
+
+void Monitor::RecordNamedMetric(const std::string& key, std::uint64_t delta) {
+  service_->metrics_registry().RecordNamed(key, delta);
 }
 
 std::vector<std::string> Monitor::Errors() const {

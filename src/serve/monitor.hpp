@@ -245,6 +245,12 @@ class Monitor {
   /// shared across every hosted domain.
   runtime::MetricsSnapshot Metrics() const;
 
+  /// Adds `delta` to free-form counter `key` in the monitor's metrics
+  /// registry (runtime::MetricsRegistry::RecordNamed) so frontends — the
+  /// net layer's per-tenant accounting — land in the same Metrics()
+  /// snapshot the exporter renders.
+  void RecordNamedMetric(const std::string& key, std::uint64_t delta);
+
   /// Messages from batches whose scoring threw (the batch is poisoned and
   /// counted as errored; the service keeps serving).
   std::vector<std::string> Errors() const;

@@ -35,6 +35,38 @@ enum class ErrorCode {
   kBatchTooLarge,
   /// A malformed argument not covered by a more specific code.
   kInvalidArgument,
+
+  // Wire-protocol decode failures (src/net/, docs/WIRE_PROTOCOL.md). These
+  // codes cross the wire inside ERROR frames as their integer values, so
+  // new codes are appended here — never inserted — to keep old clients'
+  // decoding stable.
+  /// A frame (or its header) ended before its declared length.
+  kTruncatedFrame,
+  /// The frame does not start with the protocol magic.
+  kBadMagic,
+  /// The frame's wire-format version is not one this peer speaks.
+  kBadVersion,
+  /// The declared payload length exceeds the negotiated frame limit.
+  kOversizedFrame,
+  /// The payload checksum does not match the header's CRC32.
+  kCrcMismatch,
+  /// The header's frame type is not in the FrameType vocabulary.
+  kUnknownFrameType,
+  /// The header names a domain with no registered payload codec.
+  kUnknownDomain,
+  /// The payload bytes do not decode under the domain's codec.
+  kMalformedPayload,
+  /// HELLO named a tenant the server does not host.
+  kUnknownTenant,
+  /// HELLO carried the wrong token for its tenant.
+  kAuthFailed,
+  /// A data/control frame arrived before a successful HELLO.
+  kNotAuthenticated,
+  /// BIND_STREAM named a stream the server does not expose (or one this
+  /// tenant may not write to).
+  kUnknownStream,
+  /// A data frame was refused by the tenant's admission quota.
+  kQuotaExceeded,
 };
 
 /// Human-readable code name ("invalid_config", "wrong_domain", ...).

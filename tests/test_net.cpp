@@ -1,0 +1,660 @@
+// The network ingestion front end: wire codec round-trips for all four
+// domains, malformed-frame handling (truncation at every header boundary,
+// CRC corruption, oversized payloads), split-read reassembly, the
+// multi-tenant TCP/UDS server (auth, stream isolation, concurrent quota
+// enforcement), and clean shutdown with in-flight frames (the TSan job
+// runs this binary).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "av/factory.hpp"
+#include "config/monitor_loader.hpp"
+#include "config/scenario.hpp"
+#include "config/spec.hpp"
+#include "ecg/factory.hpp"
+#include "net/client.hpp"
+#include "net/codec.hpp"
+#include "net/server.hpp"
+#include "net/wire.hpp"
+#include "serve/domains.hpp"
+#include "serve/monitor.hpp"
+#include "tvnews/factory.hpp"
+#include "video/factory.hpp"
+
+namespace omg::net {
+namespace {
+
+// ------------------------------------------------------------------ wire ---
+
+TEST(Wire, Crc32KnownVector) {
+  const std::string text = "123456789";
+  EXPECT_EQ(Crc32({reinterpret_cast<const std::uint8_t*>(text.data()),
+                   text.size()}),
+            0xCBF43926u);
+  EXPECT_EQ(Crc32({}), 0u);
+}
+
+TEST(Wire, HeaderRoundTripPreservesEveryField) {
+  FrameHeader header;
+  header.type = FrameType::kData;
+  header.seq = 77;
+  header.session = 0x1122334455667788ull;
+  header.stream = 42;
+  header.set_domain_tag("video");
+  header.count = 25;
+  header.set_hint(2.5);
+
+  const std::vector<std::uint8_t> bytes = EncodeFrame(header, {});
+  ASSERT_EQ(bytes.size(), FrameHeader::kBytes);
+  const serve::Result<FrameHeader> decoded = DecodeHeader(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().type, FrameType::kData);
+  EXPECT_EQ(decoded.value().seq, 77u);
+  EXPECT_EQ(decoded.value().session, 0x1122334455667788ull);
+  EXPECT_EQ(decoded.value().stream, 42u);
+  EXPECT_EQ(decoded.value().domain_tag(), "video");
+  EXPECT_EQ(decoded.value().count, 25u);
+  EXPECT_EQ(decoded.value().hint(), 2.5);
+}
+
+TEST(Wire, DecodeHeaderTruncatedAtEveryBoundary) {
+  FrameHeader header;
+  header.set_domain_tag("ecg");
+  const std::vector<std::uint8_t> bytes = EncodeFrame(header, {});
+  for (std::size_t length = 0; length < FrameHeader::kBytes; ++length) {
+    const serve::Result<FrameHeader> decoded =
+        DecodeHeader({bytes.data(), length});
+    ASSERT_FALSE(decoded.ok()) << "length " << length;
+    EXPECT_EQ(decoded.error().code, serve::ErrorCode::kTruncatedFrame)
+        << "length " << length;
+  }
+  EXPECT_TRUE(DecodeHeader(bytes).ok());
+}
+
+TEST(Wire, DecodeHeaderRejectsMagicVersionAndType) {
+  const std::vector<std::uint8_t> good = EncodeFrame(FrameHeader{}, {});
+
+  std::vector<std::uint8_t> bad_magic = good;
+  bad_magic[0] = 'X';
+  EXPECT_EQ(DecodeHeader(bad_magic).error().code,
+            serve::ErrorCode::kBadMagic);
+
+  std::vector<std::uint8_t> bad_version = good;
+  bad_version[4] = 0x7F;  // version low byte
+  EXPECT_EQ(DecodeHeader(bad_version).error().code,
+            serve::ErrorCode::kBadVersion);
+
+  std::vector<std::uint8_t> bad_type = good;
+  bad_type[6] = 0xEE;  // type low byte
+  EXPECT_EQ(DecodeHeader(bad_type).error().code,
+            serve::ErrorCode::kUnknownFrameType);
+}
+
+TEST(Wire, DecodeFrameCatchesCrcAndOversize) {
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5, 6, 7, 8};
+  FrameHeader header;
+  header.count = 1;
+  std::vector<std::uint8_t> bytes = EncodeFrame(header, payload);
+
+  EXPECT_TRUE(DecodeFrame(bytes).ok());
+  // Truncated payload: the declared length overruns the buffer.
+  EXPECT_EQ(DecodeFrame({bytes.data(), bytes.size() - 1}).error().code,
+            serve::ErrorCode::kTruncatedFrame);
+
+  std::vector<std::uint8_t> corrupted = bytes;
+  corrupted.back() ^= 0xFF;
+  EXPECT_EQ(DecodeFrame(corrupted).error().code,
+            serve::ErrorCode::kCrcMismatch);
+
+  EXPECT_EQ(DecodeFrame(bytes, 4).error().code,
+            serve::ErrorCode::kOversizedFrame);
+}
+
+// ----------------------------------------------------------------- codecs ---
+
+TEST(Codec, RoundTripsAllFourDomains) {
+  const serve::DomainRegistry registry = serve::MakeDefaultDomainRegistry();
+  for (const std::string domain : {"video", "av", "ecg", "tvnews"}) {
+    const PayloadCodec* codec = registry.CodecFor(domain);
+    ASSERT_NE(codec, nullptr) << domain;
+
+    std::vector<serve::AnyExample> batch;
+    for (std::size_t i = 0; i < 7; ++i) {
+      serve::Result<serve::AnyExample> example =
+          MakeSyntheticExample(domain, i);
+      ASSERT_TRUE(example.ok()) << domain;
+      batch.push_back(std::move(example.value()));
+    }
+    const std::vector<std::uint8_t> payload = EncodeBatch(*codec, batch);
+    const serve::Result<std::vector<serve::AnyExample>> decoded =
+        DecodeBatch(*codec, payload, static_cast<std::uint32_t>(batch.size()));
+    ASSERT_TRUE(decoded.ok()) << domain;
+    ASSERT_EQ(decoded.value().size(), batch.size()) << domain;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(decoded.value()[i].domain(), domain);
+      EXPECT_EQ(decoded.value()[i].DebugString(), batch[i].DebugString())
+          << domain << " example " << i;
+    }
+  }
+}
+
+TEST(Codec, RoundTripPreservesVideoGeometry) {
+  const serve::DomainRegistry registry = serve::MakeDefaultDomainRegistry();
+  const PayloadCodec* codec = registry.CodecFor("video");
+  ASSERT_NE(codec, nullptr);
+  video::VideoExample example;
+  example.frame_index = 9;
+  example.timestamp = 1.25;
+  example.detections.push_back(
+      {geometry::Box2D{0.1, 0.2, 0.3, 0.4}, "car", 0.875, 3});
+  std::vector<serve::AnyExample> batch;
+  batch.push_back(serve::AnyExample::Make(std::move(example)));
+
+  const std::vector<std::uint8_t> payload = EncodeBatch(*codec, batch);
+  serve::Result<std::vector<serve::AnyExample>> decoded =
+      DecodeBatch(*codec, payload, 1);
+  ASSERT_TRUE(decoded.ok());
+  const video::VideoExample& got = decoded.value()[0].Get<video::VideoExample>();
+  EXPECT_EQ(got.frame_index, 9u);
+  EXPECT_EQ(got.timestamp, 1.25);
+  ASSERT_EQ(got.detections.size(), 1u);
+  EXPECT_EQ(got.detections[0].label, "car");
+  EXPECT_EQ(got.detections[0].confidence, 0.875);
+  EXPECT_EQ(got.detections[0].truth_id, 3);
+  EXPECT_EQ(got.detections[0].box.x_min, 0.1);
+  EXPECT_EQ(got.detections[0].box.y_max, 0.4);
+}
+
+TEST(Codec, RejectsCountMismatchAndTrailingGarbage) {
+  const serve::DomainRegistry registry = serve::MakeDefaultDomainRegistry();
+  const PayloadCodec* codec = registry.CodecFor("ecg");
+  ASSERT_NE(codec, nullptr);
+  std::vector<serve::AnyExample> batch;
+  batch.push_back(std::move(MakeSyntheticExample("ecg", 0).value()));
+  std::vector<std::uint8_t> payload = EncodeBatch(*codec, batch);
+
+  // Declared count exceeds the encoded examples: decode underruns.
+  EXPECT_EQ(DecodeBatch(*codec, payload, 2).error().code,
+            serve::ErrorCode::kMalformedPayload);
+  // Bytes beyond the declared count: trailing garbage.
+  payload.push_back(0);
+  EXPECT_EQ(DecodeBatch(*codec, payload, 1).error().code,
+            serve::ErrorCode::kMalformedPayload);
+}
+
+// -------------------------------------------------------------- assembler ---
+
+std::vector<std::uint8_t> MakeDataFrame(std::uint64_t seq,
+                                        std::uint8_t fill) {
+  FrameHeader header;
+  header.type = FrameType::kData;
+  header.seq = seq;
+  header.count = 4;
+  header.set_domain_tag("video");
+  const std::vector<std::uint8_t> payload(24, fill);
+  return EncodeFrame(header, payload);
+}
+
+TEST(Assembler, ReassemblesFramesFedByteAtATime) {
+  std::vector<std::uint8_t> stream;
+  for (std::uint64_t seq = 1; seq <= 3; ++seq) {
+    const std::vector<std::uint8_t> frame =
+        MakeDataFrame(seq, static_cast<std::uint8_t>(seq));
+    stream.insert(stream.end(), frame.begin(), frame.end());
+  }
+
+  FrameAssembler assembler(1 << 20);
+  std::vector<std::uint64_t> seen;
+  for (const std::uint8_t byte : stream) {
+    assembler.Feed({&byte, 1});
+    for (;;) {
+      FrameAssembler::Step step = assembler.Next();
+      if (step.NeedMore()) break;
+      ASSERT_TRUE(step.frame.has_value());
+      seen.push_back(step.frame->header.seq);
+      EXPECT_EQ(step.frame->payload.size(), 24u);
+    }
+  }
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_FALSE(assembler.MidFrame());
+}
+
+TEST(Assembler, CrcMismatchSkipsOneFrameAndRecovers) {
+  std::vector<std::uint8_t> corrupt = MakeDataFrame(1, 0xAA);
+  corrupt.back() ^= 0xFF;  // payload corruption, framing intact
+  const std::vector<std::uint8_t> good = MakeDataFrame(2, 0xBB);
+
+  FrameAssembler assembler(1 << 20);
+  assembler.Feed(corrupt);
+  assembler.Feed(good);
+
+  FrameAssembler::Step first = assembler.Next();
+  ASSERT_TRUE(first.failure.has_value());
+  EXPECT_EQ(first.failure->error.code, serve::ErrorCode::kCrcMismatch);
+  EXPECT_EQ(first.failure->lost_examples, 4u);
+  EXPECT_FALSE(first.failure->fatal);
+
+  FrameAssembler::Step second = assembler.Next();
+  ASSERT_TRUE(second.frame.has_value());
+  EXPECT_EQ(second.frame->header.seq, 2u);
+}
+
+TEST(Assembler, FatalFailurePoisonsTheStream) {
+  std::vector<std::uint8_t> bad = MakeDataFrame(1, 0x11);
+  bad[0] = 'X';  // bad magic: framing untrustworthy
+
+  FrameAssembler assembler(1 << 20);
+  assembler.Feed(bad);
+  FrameAssembler::Step step = assembler.Next();
+  ASSERT_TRUE(step.failure.has_value());
+  EXPECT_EQ(step.failure->error.code, serve::ErrorCode::kBadMagic);
+  EXPECT_TRUE(step.failure->fatal);
+
+  // A poisoned assembler repeats the failure even over fresh good bytes.
+  assembler.Feed(MakeDataFrame(2, 0x22));
+  FrameAssembler::Step after = assembler.Next();
+  ASSERT_TRUE(after.failure.has_value());
+  EXPECT_TRUE(after.failure->fatal);
+}
+
+TEST(Assembler, OversizedDeclaredLengthIsFatal) {
+  FrameHeader header;
+  header.type = FrameType::kData;
+  const std::vector<std::uint8_t> payload(256, 0x55);
+  const std::vector<std::uint8_t> frame = EncodeFrame(header, payload);
+
+  FrameAssembler assembler(/*max_frame_bytes=*/64);
+  assembler.Feed(frame);
+  FrameAssembler::Step step = assembler.Next();
+  ASSERT_TRUE(step.failure.has_value());
+  EXPECT_EQ(step.failure->error.code, serve::ErrorCode::kOversizedFrame);
+  EXPECT_TRUE(step.failure->fatal);
+}
+
+// ----------------------------------------------------------------- server ---
+
+TEST(Server, ValidTenantNames) {
+  EXPECT_TRUE(IngestServer::ValidTenantName("alpha"));
+  EXPECT_TRUE(IngestServer::ValidTenantName("Tenant_01-x"));
+  EXPECT_FALSE(IngestServer::ValidTenantName(""));
+  EXPECT_FALSE(IngestServer::ValidTenantName("has space"));
+  EXPECT_FALSE(IngestServer::ValidTenantName("slash/y"));
+  EXPECT_FALSE(IngestServer::ValidTenantName("quote\"z"));
+  EXPECT_FALSE(IngestServer::ValidTenantName(std::string(65, 'a')));
+}
+
+/// A two-domain scenario monitor for server tests.
+config::ScenarioMonitor MakeHosted(const serve::DomainRegistry& domains) {
+  const config::ScenarioSpec scenario =
+      config::ConfigLoader::Load(config::SpecDocument::Parse(R"(
+[scenario]
+name = "net-test"
+[runtime]
+shards = 2
+window = 32
+settle_lag = 4
+queue_capacity = 1024
+[suite video]
+assertions = [video.multibox]
+[suite ecg]
+assertions = [ecg.oscillation]
+[stream cam]
+domain = video
+[stream ward]
+domain = ecg
+)"));
+  return config::BuildScenarioMonitor(scenario, domains);
+}
+
+std::string TestSocketPath(const char* tag) {
+  return "/tmp/omg_net_" + std::string(tag) + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+std::vector<serve::AnyExample> SyntheticBatch(const std::string& domain,
+                                              std::size_t count) {
+  std::vector<serve::AnyExample> batch;
+  for (std::size_t i = 0; i < count; ++i) {
+    batch.push_back(std::move(MakeSyntheticExample(domain, i).value()));
+  }
+  return batch;
+}
+
+TEST(Server, HelloBindDataFlushStatsOverUds) {
+  const serve::DomainRegistry domains = serve::MakeDefaultDomainRegistry();
+  config::ScenarioMonitor hosted = MakeHosted(domains);
+
+  IngestServerOptions options;
+  options.uds_path = TestSocketPath("uds");
+  IngestServer server(options, *hosted.monitor, domains);
+  for (const config::BoundStream& stream : hosted.streams) {
+    server.ExposeStream(stream.handle);
+  }
+  const serve::Result<ServerEndpoints> endpoints = server.Start();
+  ASSERT_TRUE(endpoints.ok());
+
+  serve::Result<ClientConnection> conn =
+      ClientConnection::ConnectUds(endpoints.value().uds_path);
+  ASSERT_TRUE(conn.ok());
+  ClientConnection client = std::move(conn.value());
+
+  // Control before HELLO is a typed error, not a closed connection.
+  EXPECT_EQ(client.BindStream("video", "cam").error().code,
+            serve::ErrorCode::kNotAuthenticated);
+
+  const serve::Result<std::uint64_t> session = client.Hello("any", "");
+  ASSERT_TRUE(session.ok());
+  EXPECT_GT(session.value(), 0u);
+
+  EXPECT_EQ(client.BindStream("video", "nope").error().code,
+            serve::ErrorCode::kUnknownStream);
+  const serve::Result<std::uint64_t> binding =
+      client.BindStream("video", "cam");
+  ASSERT_TRUE(binding.ok());
+
+  const PayloadCodec* codec = domains.CodecFor("video");
+  ASSERT_NE(codec, nullptr);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(client
+                    .SendBatch(*codec, binding.value(),
+                               SyntheticBatch("video", 8))
+                    .ok());
+  }
+  ASSERT_TRUE(client.Flush().ok());
+
+  const serve::Result<std::vector<std::uint64_t>> stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats.value().size(), 8u);
+  const std::uint64_t offered = stats.value()[0];
+  const std::uint64_t admitted = stats.value()[1];
+  const std::uint64_t scored = stats.value()[4];
+  EXPECT_EQ(offered, 32u);
+  EXPECT_EQ(admitted, 32u);
+  EXPECT_EQ(scored, 32u);
+
+  EXPECT_TRUE(client.Goodbye().ok());
+  server.Stop();
+  EXPECT_EQ(hosted.monitor->Metrics().examples_seen, 32u);
+}
+
+TEST(Server, TcpTransportServes) {
+  const serve::DomainRegistry domains = serve::MakeDefaultDomainRegistry();
+  config::ScenarioMonitor hosted = MakeHosted(domains);
+
+  IngestServerOptions options;
+  options.tcp = true;  // ephemeral port
+  IngestServer server(options, *hosted.monitor, domains);
+  for (const config::BoundStream& stream : hosted.streams) {
+    server.ExposeStream(stream.handle);
+  }
+  const serve::Result<ServerEndpoints> endpoints = server.Start();
+  ASSERT_TRUE(endpoints.ok());
+  ASSERT_GT(endpoints.value().tcp_port, 0);
+
+  serve::Result<ClientConnection> conn =
+      ClientConnection::ConnectTcp("127.0.0.1", endpoints.value().tcp_port);
+  ASSERT_TRUE(conn.ok());
+  ClientConnection client = std::move(conn.value());
+  ASSERT_TRUE(client.Hello("tenant", "").ok());
+  const serve::Result<std::uint64_t> binding =
+      client.BindStream("ecg", "ward");
+  ASSERT_TRUE(binding.ok());
+  const PayloadCodec* codec = domains.CodecFor("ecg");
+  ASSERT_TRUE(client
+                  .SendBatch(*codec, binding.value(),
+                             SyntheticBatch("ecg", 16))
+                  .ok());
+  const serve::Result<std::vector<std::uint64_t>> stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value()[0], 16u);  // offered
+  EXPECT_EQ(stats.value()[4], 16u);  // scored
+  server.Stop();
+}
+
+TEST(Server, AuthAndTenantIsolation) {
+  const serve::DomainRegistry domains = serve::MakeDefaultDomainRegistry();
+  config::ScenarioMonitor hosted = MakeHosted(domains);
+
+  IngestServerOptions options;
+  options.uds_path = TestSocketPath("auth");
+  options.tenants.push_back({.name = "alpha", .token = "a-secret"});
+  options.tenants.push_back({.name = "beta", .token = "b-secret"});
+  IngestServer server(options, *hosted.monitor, domains);
+  // cam belongs to alpha; ward is open to any authenticated tenant.
+  server.ExposeStream(hosted.streams[0].handle, "alpha");
+  server.ExposeStream(hosted.streams[1].handle);
+  ASSERT_TRUE(server.Start().ok());
+
+  ClientConnection beta = std::move(
+      ClientConnection::ConnectUds(options.uds_path).value());
+  // A closed roster rejects unknown tenants and wrong tokens.
+  EXPECT_EQ(beta.Hello("gamma", "x").error().code,
+            serve::ErrorCode::kUnknownTenant);
+  EXPECT_EQ(beta.Hello("beta", "wrong").error().code,
+            serve::ErrorCode::kAuthFailed);
+  ASSERT_TRUE(beta.Hello("beta", "b-secret").ok());
+
+  // Another tenant's stream reads as unknown — the roster does not leak.
+  EXPECT_EQ(beta.BindStream("video", "cam").error().code,
+            serve::ErrorCode::kUnknownStream);
+  EXPECT_TRUE(beta.BindStream("ecg", "ward").ok());
+
+  ClientConnection alpha = std::move(
+      ClientConnection::ConnectUds(options.uds_path).value());
+  ASSERT_TRUE(alpha.Hello("alpha", "a-secret").ok());
+  EXPECT_TRUE(alpha.BindStream("video", "cam").ok());
+  server.Stop();
+}
+
+TEST(Server, ConcurrentTenantQuotaEnforcement) {
+  const serve::DomainRegistry domains = serve::MakeDefaultDomainRegistry();
+  config::ScenarioMonitor hosted = MakeHosted(domains);
+
+  IngestServerOptions options;
+  options.uds_path = TestSocketPath("quota");
+  // `limited` can burst 64 examples and refills a negligible trickle;
+  // `free` is unlimited. Both hammer concurrently.
+  options.tenants.push_back(
+      {.name = "limited", .token = "", .quota_eps = 1.0, .burst = 64.0});
+  options.tenants.push_back({.name = "free"});
+  IngestServer server(options, *hosted.monitor, domains);
+  server.ExposeStream(hosted.streams[0].handle);  // cam (video)
+  server.ExposeStream(hosted.streams[1].handle);  // ward (ecg)
+  ASSERT_TRUE(server.Start().ok());
+
+  const auto drive = [&options, &domains](const std::string& tenant,
+                                          const std::string& domain,
+                                          const std::string& stream) {
+    ClientConnection client = std::move(
+        ClientConnection::ConnectUds(options.uds_path).value());
+    ASSERT_TRUE(client.Hello(tenant, "").ok());
+    const std::uint64_t binding =
+        client.BindStream(domain, stream).value();
+    const PayloadCodec* codec = domains.CodecFor(domain);
+    const std::vector<serve::AnyExample> batch = SyntheticBatch(domain, 16);
+    const std::vector<std::uint8_t> payload = EncodeBatch(*codec, batch);
+    for (int i = 0; i < 32; ++i) {
+      ASSERT_TRUE(
+          client.SendEncoded(binding, domain, 16, payload).ok());
+    }
+    ASSERT_TRUE(client.Flush().ok());
+    ASSERT_TRUE(client.Goodbye().ok());
+  };
+  std::thread limited(drive, "limited", "video", "cam");
+  std::thread free_rider(drive, "free", "ecg", "ward");
+  limited.join();
+  free_rider.join();
+
+  // Both connections closed after FLUSH+GOODBYE, so stats are settled.
+  const IngestServerStats stats = server.Stats();
+  server.Stop();
+  const TenantStats& lim = stats.tenants.at("limited");
+  const TenantStats& fr = stats.tenants.at("free");
+  EXPECT_EQ(lim.offered, 512u);
+  EXPECT_EQ(fr.offered, 512u);
+  // The limited tenant admitted its burst (64 = 4 frames) plus at most a
+  // trickle of refill; everything else was rejected before the queues.
+  EXPECT_GE(lim.admitted, 64u);
+  EXPECT_LE(lim.admitted, 128u);
+  EXPECT_GE(lim.quota_rejected, 384u);
+  EXPECT_EQ(fr.quota_rejected, 0u);
+  EXPECT_EQ(fr.admitted, 512u);
+  for (const TenantStats* tenant : {&lim, &fr}) {
+    EXPECT_EQ(tenant->offered, tenant->admitted + tenant->shed +
+                                   tenant->quota_rejected +
+                                   tenant->decode_errors);
+  }
+  // The monitor only ever saw admitted examples.
+  hosted.monitor->Flush();
+  EXPECT_EQ(hosted.monitor->Metrics().examples_seen,
+            lim.admitted + fr.admitted);
+}
+
+TEST(Server, ShedFloorHintBypassesExhaustedQuota) {
+  const serve::DomainRegistry domains = serve::MakeDefaultDomainRegistry();
+  config::ScenarioMonitor hosted = MakeHosted(domains);
+
+  IngestServerOptions options;
+  options.uds_path = TestSocketPath("floor");
+  options.tenants.push_back({.name = "t",
+                             .token = "",
+                             .quota_eps = 1.0,
+                             .burst = 16.0,
+                             .shed_floor = 1.0,
+                             .has_shed_floor = true});
+  IngestServer server(options, *hosted.monitor, domains);
+  server.ExposeStream(hosted.streams[0].handle);
+  ASSERT_TRUE(server.Start().ok());
+
+  ClientConnection client = std::move(
+      ClientConnection::ConnectUds(options.uds_path).value());
+  ASSERT_TRUE(client.Hello("t", "").ok());
+  const std::uint64_t binding = client.BindStream("video", "cam").value();
+  const PayloadCodec* codec = domains.CodecFor("video");
+  const std::vector<std::uint8_t> payload =
+      EncodeBatch(*codec, SyntheticBatch("video", 16));
+
+  // Burst (16) admits the first frame; the second, unhinted, is rejected;
+  // the third rides through on a hint above the tenant's shed floor.
+  ASSERT_TRUE(client.SendEncoded(binding, "video", 16, payload, 0.0).ok());
+  ASSERT_TRUE(client.SendEncoded(binding, "video", 16, payload, 0.0).ok());
+  ASSERT_TRUE(client.SendEncoded(binding, "video", 16, payload, 2.0).ok());
+  ASSERT_TRUE(client.Flush().ok());
+
+  const serve::Result<std::vector<std::uint64_t>> stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value()[0], 48u);  // offered
+  EXPECT_EQ(stats.value()[1], 32u);  // admitted (burst + bypass)
+  EXPECT_EQ(stats.value()[2], 16u);  // quota_rejected
+  server.Stop();
+}
+
+TEST(Server, MalformedDataFramesAreCountedNotFatal) {
+  const serve::DomainRegistry domains = serve::MakeDefaultDomainRegistry();
+  config::ScenarioMonitor hosted = MakeHosted(domains);
+
+  IngestServerOptions options;
+  options.uds_path = TestSocketPath("malformed");
+  IngestServer server(options, *hosted.monitor, domains);
+  server.ExposeStream(hosted.streams[0].handle);
+  ASSERT_TRUE(server.Start().ok());
+
+  ClientConnection client = std::move(
+      ClientConnection::ConnectUds(options.uds_path).value());
+  ASSERT_TRUE(client.Hello("t", "").ok());
+  const std::uint64_t binding = client.BindStream("video", "cam").value();
+  const PayloadCodec* codec = domains.CodecFor("video");
+  const std::vector<std::uint8_t> good =
+      EncodeBatch(*codec, SyntheticBatch("video", 8));
+
+  // Garbage payload under an intact frame: malformed, connection lives.
+  const std::vector<std::uint8_t> garbage(32, 0xFF);
+  ASSERT_TRUE(client.SendEncoded(binding, "video", 8, garbage).ok());
+  // Wrong domain tag for the binding.
+  ASSERT_TRUE(client.SendEncoded(binding, "ecg", 8, good).ok());
+  // A good frame after both still serves.
+  ASSERT_TRUE(client.SendEncoded(binding, "video", 8, good).ok());
+  ASSERT_TRUE(client.Flush().ok());
+
+  const serve::Result<std::vector<std::uint64_t>> stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value()[0], 24u);  // offered
+  EXPECT_EQ(stats.value()[1], 8u);   // admitted
+  EXPECT_EQ(stats.value()[3], 16u);  // decode errors
+  EXPECT_EQ(stats.value()[4], 8u);   // scored
+  server.Stop();
+}
+
+TEST(Server, CleanShutdownWithInFlightFrames) {
+  const serve::DomainRegistry domains = serve::MakeDefaultDomainRegistry();
+  config::ScenarioMonitor hosted = MakeHosted(domains);
+
+  IngestServerOptions options;
+  options.uds_path = TestSocketPath("shutdown");
+  IngestServer server(options, *hosted.monitor, domains);
+  server.ExposeStream(hosted.streams[0].handle);
+  ASSERT_TRUE(server.Start().ok());
+
+  ClientConnection client = std::move(
+      ClientConnection::ConnectUds(options.uds_path).value());
+  ASSERT_TRUE(client.Hello("t", "").ok());
+  const std::uint64_t binding = client.BindStream("video", "cam").value();
+  const PayloadCodec* codec = domains.CodecFor("video");
+  const std::vector<std::uint8_t> payload =
+      EncodeBatch(*codec, SyntheticBatch("video", 16));
+  for (int i = 0; i < 64; ++i) {
+    if (!client.SendEncoded(binding, "video", 16, payload).ok()) break;
+  }
+  // Stop with frames still in socket buffers and shard queues; everything
+  // processed must still reconcile at the wire.
+  server.Stop();
+  client.Close();
+
+  const IngestServerStats stats = server.Stats();
+  const TenantStats& totals = stats.totals;
+  EXPECT_EQ(totals.offered, totals.admitted + totals.shed +
+                                totals.quota_rejected + totals.decode_errors);
+  hosted.monitor->Flush();
+  const runtime::MetricsSnapshot snapshot = hosted.monitor->Metrics();
+  EXPECT_EQ(totals.admitted,
+            snapshot.examples_seen + snapshot.TotalShedExamples() +
+                snapshot.TotalDroppedExamples() +
+                snapshot.TotalErroredExamples());
+}
+
+TEST(Server, PerTenantNamedMetricsReachTheRegistry) {
+  const serve::DomainRegistry domains = serve::MakeDefaultDomainRegistry();
+  config::ScenarioMonitor hosted = MakeHosted(domains);
+
+  IngestServerOptions options;
+  options.uds_path = TestSocketPath("named");
+  IngestServer server(options, *hosted.monitor, domains);
+  server.ExposeStream(hosted.streams[0].handle);
+  ASSERT_TRUE(server.Start().ok());
+
+  ClientConnection client = std::move(
+      ClientConnection::ConnectUds(options.uds_path).value());
+  ASSERT_TRUE(client.Hello("acme", "").ok());
+  const std::uint64_t binding = client.BindStream("video", "cam").value();
+  const PayloadCodec* codec = domains.CodecFor("video");
+  ASSERT_TRUE(client
+                  .SendBatch(*codec, binding, SyntheticBatch("video", 8))
+                  .ok());
+  ASSERT_TRUE(client.Flush().ok());
+  ASSERT_TRUE(client.Stats().ok());
+  server.Stop();
+
+  const runtime::MetricsSnapshot snapshot = hosted.monitor->Metrics();
+  ASSERT_TRUE(snapshot.named.contains("tenant/acme/offered"));
+  EXPECT_EQ(snapshot.named.at("tenant/acme/offered"), 8u);
+  EXPECT_EQ(snapshot.named.at("tenant/acme/admitted"), 8u);
+}
+
+}  // namespace
+}  // namespace omg::net

@@ -16,6 +16,11 @@ Three artifact checks plus one benchmark gate, all standard library only:
                   parse, every metric family must be introduced by
                   matching # HELP and # TYPE comments, label values must
                   be properly quoted/escaped.
+                  --prom-require-sample TEXT (repeatable) asserts at
+                  least one sample line containing TEXT (name + labels,
+                  substring match) with a value > 0 — e.g.
+                  'omg_tenant_examples_total{tenant="alpha",outcome="quota_rejected"'
+                  to prove per-tenant shedding surfaced.
   --jsonl FILE    metrics snapshots, one JSON object per line, with the
                   snapshot schema's required keys, non-decreasing
                   counters across lines.
@@ -127,7 +132,7 @@ def check_trace(path, min_domains, required, errors):
                      f"domain(s) {sorted(domains)}, need {min_domains}")
 
 
-def check_prom(path, errors):
+def check_prom(path, require_samples, errors):
     try:
         with open(path) as handle:
             lines = handle.read().splitlines()
@@ -135,6 +140,7 @@ def check_prom(path, errors):
         fail(errors, f"{path}: {error}")
         return
     helped, typed, sampled = set(), set(), set()
+    positive = []  # (name+labels, value) of every sample with value > 0
     for i, line in enumerate(lines, start=1):
         if not line:
             continue
@@ -160,8 +166,17 @@ def check_prom(path, errors):
             for pair in split_labels(labels[1:-1]):
                 if not PROM_LABEL_RE.match(pair):
                     fail(errors, f"{path}:{i}: bad label pair {pair!r}")
+        try:
+            if float(match.group("value")) > 0:
+                positive.append(match.group("name") + (labels or ""))
+        except ValueError:
+            pass  # NaN/Inf: never satisfies a required-sample check
     if not sampled:
         fail(errors, f"{path}: no samples")
+    for needle in require_samples:
+        if not any(needle in series for series in positive):
+            fail(errors, f"{path}: no sample containing {needle!r} with a "
+                         f"value > 0")
     for name in sampled:
         # quantile series (omg_..._seconds{quantile=...}) share the family
         # name, so sampled names match HELP/TYPE names exactly here.
@@ -255,6 +270,11 @@ def main():
     parser.add_argument("--require", action="append", default=[],
                         help="event name every trace must contain "
                              "(repeatable)")
+    parser.add_argument("--prom-require-sample", action="append",
+                        default=[],
+                        help="substring at least one positive-valued "
+                             "sample in every --prom file must contain "
+                             "(repeatable)")
     parser.add_argument("--max-off-overhead", type=float, default=0.10,
                         help="bench gate: allowed tracing-off vs baseline "
                              "throughput delta (default 0.10)")
@@ -266,7 +286,7 @@ def main():
     for path in args.trace:
         check_trace(path, args.min_domains, args.require, errors)
     for path in args.prom:
-        check_prom(path, errors)
+        check_prom(path, args.prom_require_sample, errors)
     for path in args.jsonl:
         check_jsonl(path, errors)
     if args.bench:
