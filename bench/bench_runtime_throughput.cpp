@@ -39,6 +39,8 @@
 #include <array>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <span>
@@ -48,8 +50,8 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/example_gen.hpp"
 #include "common/flags.hpp"
-#include "common/rng.hpp"
 #include "common/table.hpp"
 #include "config/monitor_loader.hpp"
 #include "config/scenario.hpp"
@@ -59,6 +61,8 @@
 #include "net/client.hpp"
 #include "net/server.hpp"
 #include "obs/tracer.hpp"
+#include "replay/replay.hpp"
+#include "replay/trace_file.hpp"
 #include "runtime/admission.hpp"
 #include "runtime/event_sink.hpp"
 #include "runtime/service.hpp"
@@ -66,14 +70,11 @@
 #include "serve/domains.hpp"
 #include "serve/monitor.hpp"
 
-/// One model invocation: a feature vector (e.g. pooled detector activations).
-/// At namespace scope (unlike the rest of the bench) so the facade's
-/// DomainTraits can be specialized for it — the bench doubles as the "any
-/// type can be a domain" demonstration.
-struct Sample {
-  std::size_t index = 0;
-  std::array<double, 16> features{};
-};
+/// One model invocation: the shared generator module's feature-vector
+/// sample (common::MakeBenchStream produces the streams). Aliased at
+/// namespace scope so the facade's DomainTraits can be specialized for it
+/// — the bench doubles as the "any type can be a domain" demonstration.
+using Sample = omg::common::BenchSample;
 
 namespace omg::serve {
 
@@ -154,22 +155,6 @@ void PopulateSuite(core::AssertionSuite<Sample>& suite) {
         return severities;
       },
       /*temporal_radius=*/8);
-}
-
-std::vector<Sample> MakeStream(std::uint64_t seed, std::size_t n) {
-  common::Rng rng(seed);
-  std::vector<Sample> stream;
-  stream.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    Sample sample;
-    sample.index = i;
-    for (double& f : sample.features) f = rng.Normal(0.0, 1.2);
-    if (rng.Bernoulli(0.02)) {  // occasional anomaly burst
-      for (double& f : sample.features) f *= 3.5;
-    }
-    stream.push_back(sample);
-  }
-  return stream;
 }
 
 struct RunResult {
@@ -727,6 +712,101 @@ void WriteJson(
   out << "\n}\n";
 }
 
+// ------------------------------------------------------------ replay mode ---
+
+/// `--replay TRACE`: replays a recorded trace unpaced through a fresh
+/// monitor twice (the second pass must reproduce the first's flag digest)
+/// and writes a replay-only BENCH_runtime.json — a fixed-workload
+/// throughput number that is comparable across commits because the input
+/// bytes are committed to the repo, not regenerated.
+int RunReplayBench(const std::string& trace_path, std::string config_path,
+                   const std::string& json_path) {
+  const serve::DomainRegistry domains = serve::MakeDefaultDomainRegistry();
+  serve::Result<replay::TraceReader> reader =
+      replay::TraceReader::Open(trace_path);
+  if (!reader.ok()) {
+    std::cerr << "replay bench: " << reader.error().message << "\n";
+    return 1;
+  }
+  const replay::TraceInfo& info = reader.value().info();
+  if (config_path.empty()) {
+    // The shipped traces are named after their scenario configs; config
+    // file names use underscores where scenario names use hyphens.
+    std::string file_name = info.scenario;
+    std::replace(file_name.begin(), file_name.end(), '-', '_');
+    for (const char* prefix : {"configs/", "../configs/"}) {
+      for (const std::string& stem : {info.scenario, file_name}) {
+        const std::string candidate = prefix + stem + ".conf";
+        if (std::filesystem::exists(candidate)) {
+          config_path = candidate;
+          break;
+        }
+      }
+      if (!config_path.empty()) break;
+    }
+  }
+  if (config_path.empty()) {
+    std::cerr << "replay bench: cannot find configs/" << info.scenario
+              << ".conf — pass --replay-config\n";
+    return 1;
+  }
+  const config::ScenarioSpec scenario =
+      config::ConfigLoader::LoadFile(config_path);
+
+  replay::ReplayOptions options;
+  options.speed = 0.0;  // unpaced: measure the runtime, not the recording
+  replay::ReplayReport first;
+  replay::ReplayReport second;
+  for (replay::ReplayReport* report : {&first, &second}) {
+    const serve::Result<replay::ReplayReport> replayed =
+        replay::ReplayTrace(scenario, domains, reader.value(), options);
+    if (!replayed.ok()) {
+      std::cerr << "replay bench: " << replayed.error().message << "\n";
+      return 1;
+    }
+    *report = replayed.value();
+  }
+  const bool deterministic = first.flags.digest == second.flags.digest;
+  const double eps = first.elapsed_seconds > 0.0
+                         ? static_cast<double>(first.offered) /
+                               first.elapsed_seconds
+                         : 0.0;
+  char digest[17];
+  std::snprintf(digest, sizeof(digest), "%016llx",
+                static_cast<unsigned long long>(first.flags.digest));
+
+  std::cout << "replay bench: '" << info.scenario << "' (" << trace_path
+            << ") " << first.offered << " examples in " << first.elapsed_seconds
+            << "s = " << eps << " ex/s, " << first.flags.lines.size()
+            << " flags, digest " << digest
+            << (deterministic ? "" : " [NON-DETERMINISTIC]") << "\n";
+
+  std::ofstream out(json_path);
+  common::Check(out.good(), "cannot open json output: " + json_path);
+  out << "{\n"
+      << "  \"bench\": \"runtime_throughput\",\n"
+      << "  \"mode\": \"replay\",\n"
+      << "  \"trace\": \"" << trace_path << "\",\n"
+      << "  \"scenario\": \"" << info.scenario << "\",\n"
+      << "  \"records\": " << info.records << ",\n"
+      << "  \"examples\": " << info.examples << ",\n"
+      << "  \"offered\": " << first.offered << ",\n"
+      << "  \"scored\": " << first.scored << ",\n"
+      << "  \"shed\": " << first.shed << ",\n"
+      << "  \"dropped\": " << first.dropped << ",\n"
+      << "  \"errored\": " << first.errored << ",\n"
+      << "  \"accounted\": " << (first.accounted ? "true" : "false") << ",\n"
+      << "  \"seconds\": " << first.elapsed_seconds << ",\n"
+      << "  \"examples_per_sec\": " << eps << ",\n"
+      << "  \"flags\": " << first.flags.lines.size() << ",\n"
+      << "  \"flag_digest\": \"" << digest << "\",\n"
+      << "  \"deterministic\": " << (deterministic ? "true" : "false")
+      << "\n}\n";
+  std::cout << "wrote " << json_path << "\n";
+  if (!first.accounted || !deterministic) return 1;
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -734,7 +814,12 @@ int main(int argc, char** argv) {
   flags.CheckAllowed(
       {"streams", "examples", "workers", "shards", "capacity", "batch",
        "window", "settle", "seed", "json", "facade", "net",
-       "net-examples"});
+       "net-examples", "replay", "replay-config"});
+  if (const std::string replay_trace = flags.GetString("replay", "");
+      !replay_trace.empty() && replay_trace != "true") {
+    return RunReplayBench(replay_trace, flags.GetString("replay-config", ""),
+                          flags.GetString("json", "BENCH_runtime.json"));
+  }
   const auto n_streams = static_cast<std::size_t>(flags.GetInt("streams", 8));
   const auto examples = static_cast<std::size_t>(flags.GetInt("examples", 20000));
   // `--workers` accepts a comma-separated sweep (e.g. `--workers 1,2,4,8`);
@@ -771,7 +856,7 @@ int main(int argc, char** argv) {
 
   std::vector<std::vector<Sample>> streams;
   for (std::size_t s = 0; s < n_streams; ++s) {
-    streams.push_back(MakeStream(seed + s, examples));
+    streams.push_back(common::MakeBenchStream(seed + s, examples));
   }
 
   const RunResult baseline = RunBaseline(streams, window, settle_lag);

@@ -24,6 +24,17 @@
 //   ./examples/scenario_harness --trace DIR           # Chrome traces to DIR
 //   ./examples/scenario_harness --export-metrics DIR  # jsonl+prom to DIR
 //   ./examples/scenario_harness --serve CONF          # network ingestion
+//   ./examples/scenario_harness CONF --record TRACE   # record a trace
+//   ./examples/scenario_harness CONF --replay TRACE --speed N
+//
+// --record captures the scenario's pregenerated traffic to a deterministic
+// trace file; --replay drives a recorded trace back through a fresh
+// monitor (in-process, or the full wire path with
+// --replay-transport uds) at --speed x the recorded rate (0 = unpaced) and
+// prints the canonical flag digest — identical for every equivalent replay
+// (docs/REPLAY.md). --flags-out FILE writes the canonical JSON-lines flag
+// document; --soak-seconds S repeats the replay until S seconds have
+// elapsed, failing if any iteration's digest diverges.
 //
 // --serve hosts a [server] scenario behind a net::IngestServer instead of
 // generating traffic locally: every [stream ...] is exposed over the wire
@@ -53,6 +64,7 @@
 #include "av/factory.hpp"
 #include "av/pipeline.hpp"
 #include "common/check.hpp"
+#include "common/example_gen.hpp"
 #include "common/flags.hpp"
 #include "common/table.hpp"
 #include "config/monitor_loader.hpp"
@@ -61,6 +73,8 @@
 #include "loop/improvement_loop.hpp"
 #include "net/server.hpp"
 #include "obs/exporter.hpp"
+#include "replay/replay.hpp"
+#include "replay/trace_file.hpp"
 #include "serve/domains.hpp"
 #include "serve/monitor.hpp"
 #include "tvnews/factory.hpp"
@@ -86,22 +100,11 @@ struct SummaryRow {
   double wall_seconds = 0.0;
 };
 
-/// Moves a typed example vector into facade holders.
-template <typename Example>
-std::vector<serve::AnyExample> Erase(std::vector<Example> examples) {
-  std::vector<serve::AnyExample> erased;
-  erased.reserve(examples.size());
-  for (Example& example : examples) {
-    erased.push_back(serve::AnyExample::Make(std::move(example)));
-  }
-  return erased;
-}
+/// Per-stream prebuilt traffic, keyed by stream name. The generators live
+/// in src/common/example_gen so the recorder and bench share them.
+using TrafficMap = common::TrafficMap;
 
-/// Per-stream prebuilt traffic, keyed by stream name.
-using TrafficMap = std::map<std::string, std::vector<serve::AnyExample>>;
-
-// ----------------------------------------------------------- traffic gen ---
-
+/// The scenario's stream specs for one domain, in declaration order.
 std::vector<config::StreamSpec> StreamsOf(
     const config::ScenarioSpec& scenario, const std::string& domain) {
   std::vector<config::StreamSpec> streams;
@@ -109,103 +112,6 @@ std::vector<config::StreamSpec> StreamsOf(
     if (stream.domain == domain) streams.push_back(stream);
   }
   return streams;
-}
-
-void MakeVideoTraffic(const std::vector<config::StreamSpec>& specs,
-                      TrafficMap& traffic) {
-  // One detector serves every stream (the deployment has one model); its
-  // pretraining seed comes from the first stream so scenarios reproduce.
-  video::NightStreetWorld seed_world(video::WorldConfig{},
-                                     specs.front().seed);
-  video::SsdDetector detector(video::DetectorConfig{},
-                              seed_world.config().feature_dim,
-                              specs.front().seed);
-  detector.Pretrain(seed_world.PretrainingSet(500, 700));
-
-  for (const config::StreamSpec& spec : specs) {
-    video::NightStreetWorld world(video::WorldConfig{}, spec.seed);
-    std::vector<video::VideoExample> examples;
-    examples.reserve(spec.examples);
-    for (const auto& frame : world.GenerateFrames(spec.examples)) {
-      examples.push_back({frame.index, frame.timestamp,
-                          detector.Detect(frame)});
-    }
-    traffic.emplace(spec.name, Erase(std::move(examples)));
-  }
-}
-
-void MakeAvTraffic(const std::vector<config::StreamSpec>& specs,
-                   TrafficMap& traffic) {
-  for (const config::StreamSpec& spec : specs) {
-    av::AvPipelineConfig config;
-    config.pool_scenes =
-        spec.examples / config.world.samples_per_scene + 1;
-    config.test_scenes = 1;
-    config.world_seed = spec.seed;
-    av::AvPipeline pipeline(config);
-    std::vector<av::AvExample> examples =
-        pipeline.MakeExamples(pipeline.pool());
-    if (examples.size() > spec.examples) examples.resize(spec.examples);
-    traffic.emplace(spec.name, Erase(std::move(examples)));
-  }
-}
-
-void MakeEcgTraffic(const std::vector<config::StreamSpec>& specs,
-                    TrafficMap& traffic) {
-  ecg::EcgGenerator seed_generator(ecg::EcgConfig{}, specs.front().seed);
-  ecg::EcgClassifier classifier(ecg::EcgClassifierConfig{},
-                                seed_generator.config().feature_dim,
-                                specs.front().seed);
-  classifier.Pretrain(seed_generator.PretrainingSet(600));
-
-  for (const config::StreamSpec& spec : specs) {
-    ecg::EcgGenerator generator(ecg::EcgConfig{}, spec.seed);
-    const std::size_t records =
-        spec.examples / generator.config().windows_per_record + 1;
-    std::vector<ecg::EcgExample> examples;
-    for (const auto& window : generator.GenerateRecords(records)) {
-      if (examples.size() == spec.examples) break;
-      examples.push_back({window.record, window.timestamp,
-                          classifier.Predict(window)});
-    }
-    traffic.emplace(spec.name, Erase(std::move(examples)));
-  }
-}
-
-void MakeNewsTraffic(const std::vector<config::StreamSpec>& specs,
-                     TrafficMap& traffic) {
-  for (const config::StreamSpec& spec : specs) {
-    tvnews::NewsGenerator generator(tvnews::NewsConfig{}, spec.seed);
-    traffic.emplace(spec.name, Erase(generator.Generate(spec.examples)));
-  }
-}
-
-/// Pregenerates traffic for every scenario stream except the `skip`
-/// domain's (the loop path generates video live, against the hot-swapped
-/// detector).
-TrafficMap GenerateTraffic(const config::ScenarioSpec& scenario,
-                           const std::string& skip = "") {
-  TrafficMap traffic;
-  for (const std::string& domain : scenario.Domains()) {
-    if (domain == skip) continue;
-    const std::vector<config::StreamSpec> specs =
-        StreamsOf(scenario, domain);
-    if (domain == "video") {
-      MakeVideoTraffic(specs, traffic);
-    } else if (domain == "av") {
-      MakeAvTraffic(specs, traffic);
-    } else if (domain == "ecg") {
-      MakeEcgTraffic(specs, traffic);
-    } else if (domain == "tvnews") {
-      MakeNewsTraffic(specs, traffic);
-    } else {
-      throw config::SpecError(
-          scenario.source, 0, 0,
-          "no traffic generator for domain '" + domain +
-              "' (the harness generates video, av, ecg, tvnews)");
-    }
-  }
-  return traffic;
 }
 
 // -------------------------------------------------------------- reporting ---
@@ -720,7 +626,8 @@ void RunScenario(const std::string& path,
   // Serve mode takes its traffic off the wire; nothing to pregenerate.
   TrafficMap traffic;
   if (!serve) {
-    traffic = GenerateTraffic(scenario, run_loop ? "video" : "");
+    traffic =
+        common::GenerateScenarioTraffic(scenario, run_loop ? "video" : "");
   }
 
   // Background snapshotter over the monitor's registry; Stop() below takes
@@ -784,6 +691,137 @@ void RunScenario(const std::string& path,
   std::cout << "\n";
 }
 
+// ---------------------------------------------------------- record/replay ---
+
+/// Renders a digest the way check_replay_golden.py and docs quote them:
+/// 16 lowercase hex digits.
+std::string DigestHex(std::uint64_t digest) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(digest));
+  return buffer;
+}
+
+/// A bare `--record` / `--replay` (flag value "true") falls back to the
+/// scenario's [replay] trace_path.
+std::string ResolveTracePath(const std::string& flag_value,
+                             const config::ScenarioSpec& scenario) {
+  if (!flag_value.empty() && flag_value != "true") return flag_value;
+  return scenario.replay.trace_path;
+}
+
+int RunRecordMode(const std::string& config_path,
+                  const serve::DomainRegistry& domains,
+                  const std::string& record_flag) {
+  const config::ScenarioSpec scenario =
+      config::ConfigLoader::LoadFile(config_path);
+  const std::string trace_path = ResolveTracePath(record_flag, scenario);
+  if (trace_path.empty()) {
+    std::cerr << "--record needs a path (or a [replay] trace_path in "
+              << config_path << ")\n";
+    return 1;
+  }
+  TrafficMap traffic = common::GenerateScenarioTraffic(scenario);
+  const serve::Result<replay::RecordReport> report =
+      replay::RecordScenarioTrace(scenario, domains, traffic, trace_path,
+                                  scenario.replay.record_eps);
+  if (!report.ok()) {
+    std::cerr << "record failed: " << report.error().message << "\n";
+    return 1;
+  }
+  std::cout << "recorded '" << scenario.name << "' to " << trace_path
+            << ": " << report.value().records << " records, "
+            << report.value().examples << " examples, scenario hash "
+            << DigestHex(report.value().scenario_hash) << "\n";
+  return 0;
+}
+
+int RunReplayMode(const std::string& config_path,
+                  const serve::DomainRegistry& domains,
+                  const common::Flags& flags) {
+  const config::ScenarioSpec scenario =
+      config::ConfigLoader::LoadFile(config_path);
+  const std::string trace_path =
+      ResolveTracePath(flags.GetString("replay", ""), scenario);
+  if (trace_path.empty()) {
+    std::cerr << "--replay needs a path (or a [replay] trace_path in "
+              << config_path << ")\n";
+    return 1;
+  }
+  serve::Result<replay::TraceReader> reader =
+      replay::TraceReader::Open(trace_path);
+  if (!reader.ok()) {
+    std::cerr << "replay failed: " << reader.error().message << "\n";
+    return 1;
+  }
+
+  replay::ReplayOptions options;
+  options.speed = flags.GetDouble("speed", scenario.replay.speed);
+  const std::string transport =
+      flags.GetString("replay-transport", "inproc");
+  if (transport != "inproc" && transport != "uds") {
+    std::cerr << "--replay-transport must be inproc or uds\n";
+    return 1;
+  }
+  options.over_wire = transport == "uds";
+
+  const replay::TraceInfo& info = reader.value().info();
+  std::cout << "=== replay '" << info.scenario << "' from " << trace_path
+            << " (" << info.records << " records, " << info.examples
+            << " examples, " << info.streams.size() << " streams) at speed "
+            << common::FormatDouble(options.speed, 2) << ", " << transport
+            << "\n";
+
+  const double soak_seconds = flags.GetDouble("soak-seconds", 0.0);
+  const auto soak_start = std::chrono::steady_clock::now();
+  std::size_t iterations = 0;
+  std::optional<std::uint64_t> first_digest;
+  replay::ReplayReport last;
+  do {
+    const serve::Result<replay::ReplayReport> replayed =
+        replay::ReplayTrace(scenario, domains, reader.value(), options);
+    if (!replayed.ok()) {
+      std::cerr << "replay failed: " << replayed.error().message << "\n";
+      return 1;
+    }
+    last = replayed.value();
+    ++iterations;
+    if (!last.accounted) {
+      std::cerr << "replay accounting does not reconcile: offered "
+                << last.offered << " != scored " << last.scored << " + shed "
+                << last.shed << " + dropped " << last.dropped
+                << " + errored " << last.errored << "\n";
+      return 1;
+    }
+    if (first_digest.has_value() && last.flags.digest != *first_digest) {
+      std::cerr << "replay digest diverged on iteration " << iterations
+                << ": " << DigestHex(last.flags.digest) << " != "
+                << DigestHex(*first_digest)
+                << " — replay is not deterministic\n";
+      return 1;
+    }
+    first_digest = last.flags.digest;
+  } while (std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         soak_start)
+               .count() < soak_seconds);
+
+  std::cout << "replayed " << iterations << "x: offered " << last.offered
+            << " == scored " << last.scored << " + shed " << last.shed
+            << " + dropped " << last.dropped << " + errored " << last.errored
+            << ", " << last.flags.lines.size() << " flags, wall "
+            << common::FormatDouble(last.elapsed_seconds, 3) << "s\n";
+  std::cout << "flag digest: " << DigestHex(last.flags.digest) << "\n";
+
+  if (const std::string out_path = flags.GetString("flags-out", "");
+      !out_path.empty()) {
+    std::ofstream out(out_path, std::ios::binary);
+    common::Check(out.good(), "cannot open flags output " + out_path);
+    for (const std::string& line : last.flags.lines) out << line;
+    std::cout << "flags written: " << out_path << "\n";
+  }
+  return 0;
+}
+
 void Describe(const serve::DomainRegistry& domains) {
   std::cout << "registered domains and assertions (use in a "
                "[suite <domain>] assertions list;\nparameters go in an "
@@ -799,13 +837,37 @@ void Describe(const serve::DomainRegistry& domains) {
 
 int main(int argc, char** argv) {
   const auto flags = common::Flags::Parse(argc, argv);
-  flags.CheckAllowed(
-      {"configs", "describe", "trace", "export-metrics", "serve"});
+  flags.CheckAllowed({"configs", "describe", "trace", "export-metrics",
+                      "serve", "record", "replay", "speed", "flags-out",
+                      "replay-transport", "soak-seconds"});
 
   const serve::DomainRegistry domains = serve::MakeDefaultDomainRegistry();
   if (flags.GetBool("describe", false)) {
     Describe(domains);
     return 0;
+  }
+
+  // Record/replay modes take exactly one scenario config positionally.
+  const std::string record_flag = flags.GetString("record", "");
+  const std::string replay_flag = flags.GetString("replay", "");
+  if (!record_flag.empty() || !replay_flag.empty()) {
+    if (!record_flag.empty() && !replay_flag.empty()) {
+      std::cerr << "--record and --replay are mutually exclusive\n";
+      return 1;
+    }
+    if (flags.Positional().size() != 1) {
+      std::cerr << "--record/--replay take exactly one scenario config\n";
+      return 1;
+    }
+    try {
+      return record_flag.empty()
+                 ? RunReplayMode(flags.Positional().front(), domains, flags)
+                 : RunRecordMode(flags.Positional().front(), domains,
+                                 record_flag);
+    } catch (const config::SpecError& error) {
+      std::cerr << "config error: " << error.what() << "\n";
+      return 1;
+    }
   }
 
   std::vector<std::string> paths = flags.Positional();

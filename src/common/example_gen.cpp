@@ -1,0 +1,212 @@
+#include "common/example_gen.hpp"
+
+#include <utility>
+
+#include "av/factory.hpp"
+#include "av/pipeline.hpp"
+#include "common/rng.hpp"
+#include "config/spec.hpp"
+#include "ecg/ecg.hpp"
+#include "ecg/factory.hpp"
+#include "tvnews/factory.hpp"
+#include "tvnews/news.hpp"
+#include "video/detector.hpp"
+#include "video/factory.hpp"
+#include "video/world.hpp"
+
+namespace omg::common {
+
+namespace {
+
+/// Moves a typed example vector into facade holders.
+template <typename Example>
+std::vector<serve::AnyExample> Erase(std::vector<Example> examples) {
+  std::vector<serve::AnyExample> erased;
+  erased.reserve(examples.size());
+  for (Example& example : examples) {
+    erased.push_back(serve::AnyExample::Make(std::move(example)));
+  }
+  return erased;
+}
+
+void MakeVideoTraffic(const std::vector<config::StreamSpec>& specs,
+                      TrafficMap& traffic) {
+  // One detector serves every stream (the deployment has one model); its
+  // pretraining seed comes from the first stream so scenarios reproduce.
+  video::NightStreetWorld seed_world(video::WorldConfig{},
+                                     specs.front().seed);
+  video::SsdDetector detector(video::DetectorConfig{},
+                              seed_world.config().feature_dim,
+                              specs.front().seed);
+  detector.Pretrain(seed_world.PretrainingSet(500, 700));
+
+  for (const config::StreamSpec& spec : specs) {
+    video::NightStreetWorld world(video::WorldConfig{}, spec.seed);
+    std::vector<video::VideoExample> examples;
+    examples.reserve(spec.examples);
+    for (const auto& frame : world.GenerateFrames(spec.examples)) {
+      examples.push_back({frame.index, frame.timestamp,
+                          detector.Detect(frame)});
+    }
+    traffic.emplace(spec.name, Erase(std::move(examples)));
+  }
+}
+
+void MakeAvTraffic(const std::vector<config::StreamSpec>& specs,
+                   TrafficMap& traffic) {
+  for (const config::StreamSpec& spec : specs) {
+    av::AvPipelineConfig config;
+    config.pool_scenes =
+        spec.examples / config.world.samples_per_scene + 1;
+    config.test_scenes = 1;
+    config.world_seed = spec.seed;
+    av::AvPipeline pipeline(config);
+    std::vector<av::AvExample> examples =
+        pipeline.MakeExamples(pipeline.pool());
+    if (examples.size() > spec.examples) examples.resize(spec.examples);
+    traffic.emplace(spec.name, Erase(std::move(examples)));
+  }
+}
+
+void MakeEcgTraffic(const std::vector<config::StreamSpec>& specs,
+                    TrafficMap& traffic) {
+  ecg::EcgGenerator seed_generator(ecg::EcgConfig{}, specs.front().seed);
+  ecg::EcgClassifier classifier(ecg::EcgClassifierConfig{},
+                                seed_generator.config().feature_dim,
+                                specs.front().seed);
+  classifier.Pretrain(seed_generator.PretrainingSet(600));
+
+  for (const config::StreamSpec& spec : specs) {
+    ecg::EcgGenerator generator(ecg::EcgConfig{}, spec.seed);
+    const std::size_t records =
+        spec.examples / generator.config().windows_per_record + 1;
+    std::vector<ecg::EcgExample> examples;
+    for (const auto& window : generator.GenerateRecords(records)) {
+      if (examples.size() == spec.examples) break;
+      examples.push_back({window.record, window.timestamp,
+                          classifier.Predict(window)});
+    }
+    traffic.emplace(spec.name, Erase(std::move(examples)));
+  }
+}
+
+void MakeNewsTraffic(const std::vector<config::StreamSpec>& specs,
+                     TrafficMap& traffic) {
+  for (const config::StreamSpec& spec : specs) {
+    tvnews::NewsGenerator generator(tvnews::NewsConfig{}, spec.seed);
+    traffic.emplace(spec.name, Erase(generator.Generate(spec.examples)));
+  }
+}
+
+std::vector<config::StreamSpec> StreamsOf(
+    const config::ScenarioSpec& scenario, const std::string& domain) {
+  std::vector<config::StreamSpec> streams;
+  for (const config::StreamSpec& stream : scenario.streams) {
+    if (stream.domain == domain) streams.push_back(stream);
+  }
+  return streams;
+}
+
+}  // namespace
+
+serve::Result<serve::AnyExample> MakeSyntheticExample(
+    std::string_view domain, std::size_t index) {
+  serve::AnyExample example;
+  const double ts = static_cast<double>(index) * 0.033;
+  if (domain == "video") {
+    video::VideoExample payload;
+    payload.frame_index = index;
+    payload.timestamp = ts;
+    payload.detections.push_back(
+        {{0.1, 0.1, 0.4, 0.5}, "car", 0.6 + 0.3 * ((index % 7) / 7.0), -1});
+    if (index % 3 != 0) {
+      payload.detections.push_back(
+          {{0.5, 0.2, 0.8, 0.6}, "car", 0.55, -1});
+    }
+    example.Emplace<video::VideoExample>(std::move(payload));
+    return example;
+  }
+  if (domain == "av") {
+    av::AvExample payload;
+    payload.sample_index = index;
+    payload.timestamp = ts;
+    payload.scene = (index % 5 == 0) ? "night" : "day";
+    payload.camera.push_back({{0.2, 0.2, 0.5, 0.6}, "car", 0.7, -1});
+    payload.lidar_projected.push_back({0.21, 0.19, 0.52, 0.61});
+    if (index % 4 == 0) payload.lidar_projected.push_back({0.7, 0.1, 0.9, 0.3});
+    example.Emplace<av::AvExample>(std::move(payload));
+    return example;
+  }
+  if (domain == "ecg") {
+    ecg::EcgExample payload;
+    payload.record = "synthetic-" + std::to_string(index % 16);
+    payload.timestamp = ts;
+    payload.predicted = static_cast<ecg::Rhythm>(index % ecg::kNumRhythms);
+    example.Emplace<ecg::EcgExample>(std::move(payload));
+    return example;
+  }
+  if (domain == "tvnews") {
+    tvnews::NewsFrame payload;
+    payload.index = index;
+    payload.timestamp = ts;
+    payload.scene_id = static_cast<std::int64_t>(index / 24);
+    tvnews::FaceOutput face;
+    face.box = {0.3, 0.2, 0.5, 0.5};
+    face.identity = "anchor-" + std::to_string(index % 3);
+    face.gender = (index % 2 == 0) ? "F" : "M";
+    face.hair = "dark";
+    face.person_id = static_cast<std::int64_t>(index % 3);
+    face.true_identity = face.identity;
+    face.true_gender = face.gender;
+    face.true_hair = face.hair;
+    payload.faces.push_back(std::move(face));
+    example.Emplace<tvnews::NewsFrame>(std::move(payload));
+    return example;
+  }
+  return serve::Error{serve::ErrorCode::kUnknownDomain,
+                      "no synthetic example maker for domain '" +
+                          std::string(domain) + "'"};
+}
+
+TrafficMap GenerateScenarioTraffic(const config::ScenarioSpec& scenario,
+                                   const std::string& skip_domain) {
+  TrafficMap traffic;
+  for (const std::string& domain : scenario.Domains()) {
+    if (domain == skip_domain) continue;
+    const std::vector<config::StreamSpec> specs =
+        StreamsOf(scenario, domain);
+    if (domain == "video") {
+      MakeVideoTraffic(specs, traffic);
+    } else if (domain == "av") {
+      MakeAvTraffic(specs, traffic);
+    } else if (domain == "ecg") {
+      MakeEcgTraffic(specs, traffic);
+    } else if (domain == "tvnews") {
+      MakeNewsTraffic(specs, traffic);
+    } else {
+      throw config::SpecError(
+          scenario.source, 0, 0,
+          "no traffic generator for domain '" + domain +
+              "' (generators exist for video, av, ecg, tvnews)");
+    }
+  }
+  return traffic;
+}
+
+std::vector<BenchSample> MakeBenchStream(std::uint64_t seed, std::size_t n) {
+  common::Rng rng(seed);
+  std::vector<BenchSample> stream;
+  stream.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    BenchSample sample;
+    sample.index = i;
+    for (double& f : sample.features) f = rng.Normal(0.0, 1.2);
+    if (rng.Bernoulli(0.02)) {  // occasional anomaly burst
+      for (double& f : sample.features) f *= 3.5;
+    }
+    stream.push_back(sample);
+  }
+  return stream;
+}
+
+}  // namespace omg::common

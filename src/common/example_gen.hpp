@@ -1,0 +1,62 @@
+// Shared seeded synthetic-example generation.
+//
+// Every producer of synthetic traffic — the scenario harness, the wire
+// load client, the throughput bench, and the trace recorder (src/replay) —
+// draws from this one module, so "the same seed" means the same examples
+// everywhere. Three generator families:
+//
+//   * MakeSyntheticExample: cheap per-index examples for any domain, no
+//     model in the loop (wire load generation, protocol tests).
+//   * GenerateScenarioTraffic: model-backed per-stream traffic for a
+//     declarative scenario (pretrained detector/classifier outputs), the
+//     traffic the harness serves and the recorder captures.
+//   * MakeBenchStream: feature-vector streams for the runtime bench's
+//     synthetic assertion suite.
+//
+// All of them are deterministic in their seeds: same inputs, byte-equal
+// examples, on any host. test_replay pins this contract.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "config/scenario.hpp"
+#include "serve/any_example.hpp"
+#include "serve/result.hpp"
+
+namespace omg::common {
+
+/// Deterministic model-free example for `domain` ("video", "av", "ecg",
+/// "tvnews"), varying with `index`; kUnknownDomain otherwise.
+serve::Result<serve::AnyExample> MakeSyntheticExample(std::string_view domain,
+                                                      std::size_t index);
+
+/// Per-stream prebuilt traffic, keyed by stream name.
+using TrafficMap = std::map<std::string, std::vector<serve::AnyExample>>;
+
+/// Pregenerates traffic for every stream of `scenario` except the
+/// `skip_domain` ones (the improvement loop generates its own domain live,
+/// against the hot-swapped model). Deterministic in the stream seeds; the
+/// shared per-domain model is pretrained from the domain's *first* stream
+/// seed, so scenarios reproduce exactly. Throws config::SpecError for a
+/// domain with no generator.
+TrafficMap GenerateScenarioTraffic(const config::ScenarioSpec& scenario,
+                                   const std::string& skip_domain = "");
+
+/// One bench model invocation: a feature vector (e.g. pooled detector
+/// activations).
+struct BenchSample {
+  std::size_t index = 0;
+  std::array<double, 16> features{};
+};
+
+/// A seeded bench stream: Normal(0, 1.2) features with occasional anomaly
+/// bursts (2% of samples scaled 3.5x).
+std::vector<BenchSample> MakeBenchStream(std::uint64_t seed, std::size_t n);
+
+}  // namespace omg::common

@@ -12,8 +12,8 @@ namespace {
 /// Section kinds a scenario document may contain.
 const char* const kKnownKinds[] = {"scenario", "runtime", "admission",
                                    "suite",    "assertion", "stream",
-                                   "loop",     "observability", "server",
-                                   "tenant"};
+                                   "loop",     "observability", "replay",
+                                   "server",   "tenant"};
 
 RuntimeSpec ReadRuntime(const SpecSection& section) {
   RuntimeSpec spec;
@@ -97,6 +97,21 @@ ObservabilitySpec ReadObservability(const SpecSection& section) {
       section.GetString("metrics_jsonl_path", spec.metrics_jsonl_path);
   spec.metrics_prometheus_path = section.GetString(
       "metrics_prometheus_path", spec.metrics_prometheus_path);
+  section.RejectUnknownKeys();
+  return spec;
+}
+
+ReplaySpec ReadReplay(const SpecSection& section) {
+  ReplaySpec spec;
+  spec.trace_path = section.GetString("trace_path", spec.trace_path);
+  spec.speed = section.GetDouble("speed", spec.speed);
+  if (spec.speed < 0.0) {
+    throw section.ErrorAt("speed", "speed must be >= 0 (0 = unpaced)");
+  }
+  spec.record_eps = section.GetDouble("record_eps", spec.record_eps);
+  if (spec.record_eps <= 0.0) {
+    throw section.ErrorAt("record_eps", "record_eps must be > 0");
+  }
   section.RejectUnknownKeys();
   return spec;
 }
@@ -217,13 +232,14 @@ ScenarioSpec ConfigLoader::Load(const SpecDocument& doc) {
       throw section.ErrorHere("unknown section kind [" + section.kind() +
                               "] (scenario, runtime, admission, suite, "
                               "assertion, stream, loop, observability, "
-                              "server, tenant)");
+                              "replay, server, tenant)");
     }
     const bool singleton = section.kind() == "scenario" ||
                            section.kind() == "runtime" ||
                            section.kind() == "admission" ||
                            section.kind() == "loop" ||
                            section.kind() == "observability" ||
+                           section.kind() == "replay" ||
                            section.kind() == "server";
     if (singleton && !section.label().empty()) {
       throw section.ErrorHere("[" + section.kind() +
@@ -254,6 +270,9 @@ ScenarioSpec ConfigLoader::Load(const SpecDocument& doc) {
   }
   if (const SpecSection* obs = doc.Find("observability")) {
     scenario.observability = ReadObservability(*obs);
+  }
+  if (const SpecSection* replay = doc.Find("replay")) {
+    scenario.replay = ReadReplay(*replay);
   }
   if (const SpecSection* server = doc.Find("server")) {
     scenario.server = ReadServer(*server);

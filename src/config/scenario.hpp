@@ -11,6 +11,7 @@
 //   [stream <name>]       one traffic stream (domain, examples, seed, ...)
 //   [loop]                the improvement loop's round/oracle settings
 //   [observability]       trace rings, sampling, metrics exporter sinks
+//   [replay]              trace record/replay defaults (replay/replay.hpp)
 //   [server]              network ingestion front door (net::IngestServer)
 //   [tenant <name>]       one tenant's token + admission quota
 //
@@ -129,6 +130,19 @@ struct StreamSpec {
   std::string tenant;
 };
 
+/// [replay] — defaults for trace recording and replay (replay/replay.hpp).
+/// Absent = the built-in defaults; the harness's --record/--replay flags
+/// override trace_path, and --speed overrides speed.
+struct ReplaySpec {
+  /// Default trace file for --record/--replay given without a path.
+  std::string trace_path;
+  /// Replay delta divisor (1 = recorded pacing, 0 = unpaced).
+  double speed = 1.0;
+  /// Synthetic offered rate the recorder encodes into inter-arrival
+  /// deltas, examples per second.
+  double record_eps = 5000.0;
+};
+
 /// [server] — the net::IngestServer front door. Absent = no server. The
 /// harness only listens under --serve (so running every shipped config in
 /// a batch never blocks waiting for network clients); `enabled = false`
@@ -169,6 +183,7 @@ struct ScenarioSpec {
   AdmissionSpec admission;
   ObservabilitySpec observability;
   LoopSpec loop;
+  ReplaySpec replay;
   ServerSpec server;
   std::vector<TenantSpec> tenants;  ///< file order; empty = open server
   std::vector<SuiteSpec> suites;    ///< one per domain, file order

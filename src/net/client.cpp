@@ -12,12 +12,9 @@
 #include <thread>
 #include <utility>
 
-#include "av/factory.hpp"
 #include "common/check.hpp"
-#include "ecg/factory.hpp"
+#include "common/example_gen.hpp"
 #include "serve/domain_registry.hpp"
-#include "tvnews/factory.hpp"
-#include "video/factory.hpp"
 
 namespace omg::net {
 
@@ -288,61 +285,9 @@ serve::Result<bool> ClientConnection::Goodbye() {
 
 serve::Result<serve::AnyExample> MakeSyntheticExample(
     std::string_view domain, std::size_t index) {
-  serve::AnyExample example;
-  const double ts = static_cast<double>(index) * 0.033;
-  if (domain == "video") {
-    video::VideoExample payload;
-    payload.frame_index = index;
-    payload.timestamp = ts;
-    payload.detections.push_back(
-        {{0.1, 0.1, 0.4, 0.5}, "car", 0.6 + 0.3 * ((index % 7) / 7.0), -1});
-    if (index % 3 != 0) {
-      payload.detections.push_back(
-          {{0.5, 0.2, 0.8, 0.6}, "car", 0.55, -1});
-    }
-    example.Emplace<video::VideoExample>(std::move(payload));
-    return example;
-  }
-  if (domain == "av") {
-    av::AvExample payload;
-    payload.sample_index = index;
-    payload.timestamp = ts;
-    payload.scene = (index % 5 == 0) ? "night" : "day";
-    payload.camera.push_back({{0.2, 0.2, 0.5, 0.6}, "car", 0.7, -1});
-    payload.lidar_projected.push_back({0.21, 0.19, 0.52, 0.61});
-    if (index % 4 == 0) payload.lidar_projected.push_back({0.7, 0.1, 0.9, 0.3});
-    example.Emplace<av::AvExample>(std::move(payload));
-    return example;
-  }
-  if (domain == "ecg") {
-    ecg::EcgExample payload;
-    payload.record = "synthetic-" + std::to_string(index % 16);
-    payload.timestamp = ts;
-    payload.predicted = static_cast<ecg::Rhythm>(index % ecg::kNumRhythms);
-    example.Emplace<ecg::EcgExample>(std::move(payload));
-    return example;
-  }
-  if (domain == "tvnews") {
-    tvnews::NewsFrame payload;
-    payload.index = index;
-    payload.timestamp = ts;
-    payload.scene_id = static_cast<std::int64_t>(index / 24);
-    tvnews::FaceOutput face;
-    face.box = {0.3, 0.2, 0.5, 0.5};
-    face.identity = "anchor-" + std::to_string(index % 3);
-    face.gender = (index % 2 == 0) ? "F" : "M";
-    face.hair = "dark";
-    face.person_id = static_cast<std::int64_t>(index % 3);
-    face.true_identity = face.identity;
-    face.true_gender = face.gender;
-    face.true_hair = face.hair;
-    payload.faces.push_back(std::move(face));
-    example.Emplace<tvnews::NewsFrame>(std::move(payload));
-    return example;
-  }
-  return serve::Error{serve::ErrorCode::kUnknownDomain,
-                      "no synthetic example maker for domain '" +
-                          std::string(domain) + "'"};
+  // The shared generator module owns the definition so the load client,
+  // harness, bench, and trace recorder all emit identical synthetics.
+  return common::MakeSyntheticExample(domain, index);
 }
 
 // ------------------------------------------------------------ load client ---

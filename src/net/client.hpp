@@ -170,6 +170,8 @@ serve::Result<LoadReport> RunLoadClient(const LoadClientOptions& options,
 
 /// Deterministic synthetic example for `domain` ("video", "av", "ecg",
 /// "tvnews"), varying with `index`. kUnknownDomain for anything else.
+/// Forwards to common::MakeSyntheticExample (src/common/example_gen.hpp),
+/// the shared definition all synthetic producers draw from.
 serve::Result<serve::AnyExample> MakeSyntheticExample(std::string_view domain,
                                                       std::size_t index);
 

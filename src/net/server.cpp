@@ -489,10 +489,18 @@ bool IngestServer::HandleReadable(Handler& handler, Connection& conn) {
         continue;
       }
       if (step.failure) {
+        // A skipped frame's examples never reach OnData, so its offered
+        // bump happens here: the tenant identity offered == admitted +
+        // shed + quota_rejected + decode_errors must hold under wire
+        // corruption too. lost_examples is trustworthy — it is only
+        // nonzero when the header passed its own CRC.
+        if (step.failure->lost_examples > 0) {
+          Account(conn, WireOutcome::kOffered, step.failure->lost_examples);
+        }
         AccountReject(conn, step.failure->lost_examples,
                       step.failure->error.code);
         if (step.failure->fatal) return false;
-        continue;  // CRC mismatch: the frame is skipped, keep reading
+        continue;  // payload CRC mismatch: frame skipped, keep reading
       }
       break;  // need more bytes
     }
@@ -556,7 +564,8 @@ bool IngestServer::ProcessFrame(Handler& handler, Connection& conn,
     }
     case FrameType::kAck:
     case FrameType::kError:
-      return true;  // server-to-client types: ignore on receive
+    case FrameType::kTraceHeader:  // a trace-file artifact, never live
+      return true;  // non-client-request types: ignore on receive
   }
   return true;
 }

@@ -43,13 +43,14 @@ std::string_view FrameTypeName(FrameType type) {
     case FrameType::kGoodbye: return "goodbye";
     case FrameType::kAck: return "ack";
     case FrameType::kError: return "error";
+    case FrameType::kTraceHeader: return "trace_header";
   }
   return "unknown";
 }
 
 bool KnownFrameType(std::uint16_t type) {
   return type >= static_cast<std::uint16_t>(FrameType::kHello) &&
-         type <= static_cast<std::uint16_t>(FrameType::kError);
+         type <= static_cast<std::uint16_t>(FrameType::kTraceHeader);
 }
 
 std::uint32_t Crc32(std::span<const std::uint8_t> bytes) {
@@ -175,6 +176,7 @@ bool WireReader::String(std::string& value) {
 }
 
 void EncodeHeader(const FrameHeader& header, WireWriter& out) {
+  const std::size_t start = out.size();
   out.Bytes(kWireMagic, sizeof(kWireMagic));
   out.U16(header.version);
   out.U16(static_cast<std::uint16_t>(header.type));
@@ -186,6 +188,10 @@ void EncodeHeader(const FrameHeader& header, WireWriter& out) {
   out.U32(header.payload_length);
   out.U32(header.payload_crc32);
   out.U64(header.hint_bits);
+  // The trailing header CRC covers everything appended above, whatever the
+  // caller's header_crc32 said.
+  out.U32(Crc32(std::span<const std::uint8_t>(
+      out.bytes().data() + start, FrameHeader::kCrcCoveredBytes)));
 }
 
 std::vector<std::uint8_t> EncodeFrame(FrameHeader header,
@@ -227,6 +233,7 @@ serve::Result<FrameHeader> DecodeHeader(
   reader.U32(header.payload_length);
   reader.U32(header.payload_crc32);
   reader.U64(header.hint_bits);
+  reader.U32(header.header_crc32);
   if (header.version != kWireVersion) {
     return WireError(serve::ErrorCode::kBadVersion,
                      "wire version " + std::to_string(header.version) +
@@ -236,6 +243,14 @@ serve::Result<FrameHeader> DecodeHeader(
   if (!KnownFrameType(type)) {
     return WireError(serve::ErrorCode::kUnknownFrameType,
                      "unknown frame type " + std::to_string(type));
+  }
+  // Checked after magic/version/type so their targeted diagnostics win,
+  // but before any field is trusted: a corrupted count or payload_length
+  // must surface as header corruption, not feed accounting.
+  if (Crc32(bytes.first(FrameHeader::kCrcCoveredBytes)) !=
+      header.header_crc32) {
+    return WireError(serve::ErrorCode::kCrcMismatch,
+                     "frame header CRC32 does not match its trailing word");
   }
   header.type = static_cast<FrameType>(type);
   return header;

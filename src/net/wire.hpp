@@ -1,14 +1,14 @@
 // The OMG ingestion wire format: length-prefixed binary frames.
 //
 // Every message between a net client and the IngestServer is one *frame*:
-// a fixed 60-byte little-endian header followed by `payload_length` payload
+// a fixed 64-byte little-endian header followed by `payload_length` payload
 // bytes. The header carries everything routing needs — frame type, tenant
 // session, stream binding, domain tag, example count — so a receiver can
 // account for a frame (and skip it) without decoding the payload:
 //
 //   offset  size  field
 //        0     4  magic          "OMGW"
-//        4     2  version        kWireVersion (1)
+//        4     2  version        kWireVersion (2)
 //        6     2  type           FrameType
 //        8     8  seq            sender-assigned; echoed by ACK/ERROR
 //       16     8  session        tenant session id (0 before HELLO)
@@ -18,15 +18,22 @@
 //       44     4  payload_length payload bytes following the header
 //       48     4  payload_crc32  IEEE CRC32 of the payload bytes
 //       52     8  hint           bit-cast f64 admission severity hint
-//       60     …  payload        codec- or control-encoded (see codec.hpp)
+//       60     4  header_crc32   IEEE CRC32 of header bytes [0, 60)
+//       64     …  payload        codec- or control-encoded (see codec.hpp)
+//
+// Version 2 added header_crc32 (the trailing header word, covering every
+// header byte before it) so a receiver can tell header corruption from
+// payload corruption: without it, a flipped bit in `count` silently skewed
+// the per-tenant decode-error accounting because the payload-CRC failure
+// path charged the corrupted count as lost examples.
 //
 // Decoding never aborts: one-shot decodes return serve::Result, and the
 // streaming FrameAssembler reports typed DecodeFailures (truncated frame,
 // bad magic, CRC mismatch, …) per docs/WIRE_PROTOCOL.md. A failure that
-// leaves the framing trustworthy (CRC mismatch over an intact length) skips
-// one frame and keeps the connection; one that does not (bad magic, bad
-// version, unknown type, oversized length) is fatal and poisons the
-// assembler.
+// leaves the framing trustworthy (payload CRC mismatch under an intact,
+// header-CRC-verified length) skips one frame and keeps the connection;
+// one that does not (bad magic, bad version, unknown type, header CRC
+// mismatch, oversized length) is fatal and poisons the assembler.
 #pragma once
 
 #include <cstddef>
@@ -45,19 +52,22 @@ namespace omg::net {
 inline constexpr std::uint8_t kWireMagic[4] = {'O', 'M', 'G', 'W'};
 
 /// Wire-format version this build speaks (negotiated at HELLO: both peers
-/// must agree exactly; there is only one version so far).
-inline constexpr std::uint16_t kWireVersion = 1;
+/// must agree exactly). Version 2 grew the header from 60 to 64 bytes by
+/// appending header_crc32.
+inline constexpr std::uint16_t kWireVersion = 2;
 
 /// Message vocabulary. Values cross the wire; append, never renumber.
 enum class FrameType : std::uint16_t {
-  kHello = 1,       ///< client -> server: tenant name + token (payload)
-  kBindStream = 2,  ///< client -> server: bind a stream name (payload)
-  kData = 3,        ///< client -> server: one example batch (codec payload)
-  kFlush = 4,       ///< client -> server: drain the monitor, then ACK
-  kStats = 5,       ///< client -> server: flush + reply server counters
-  kGoodbye = 6,     ///< client -> server: orderly close after ACK
-  kAck = 7,         ///< server -> client: success reply (payload: values)
-  kError = 8,       ///< server -> client: typed failure (code + message)
+  kHello = 1,        ///< client -> server: tenant name + token (payload)
+  kBindStream = 2,   ///< client -> server: bind a stream name (payload)
+  kData = 3,         ///< client -> server: one example batch (codec payload)
+  kFlush = 4,        ///< client -> server: drain the monitor, then ACK
+  kStats = 5,        ///< client -> server: flush + reply server counters
+  kGoodbye = 6,      ///< client -> server: orderly close after ACK
+  kAck = 7,          ///< server -> client: success reply (payload: values)
+  kError = 8,        ///< server -> client: typed failure (code + message)
+  kTraceHeader = 9,  ///< trace files only (src/replay): leading metadata
+                     ///< frame; a live server ignores it on receive
 };
 
 /// Stable snake_case name ("hello", "data", ...).
@@ -72,7 +82,9 @@ std::uint32_t Crc32(std::span<const std::uint8_t> bytes);
 /// The fixed frame header; see the file comment for the wire layout.
 struct FrameHeader {
   /// Encoded size in bytes.
-  static constexpr std::size_t kBytes = 60;
+  static constexpr std::size_t kBytes = 64;
+  /// Bytes covered by header_crc32 (everything before it).
+  static constexpr std::size_t kCrcCoveredBytes = 60;
   /// Longest domain tag the fixed field can carry.
   static constexpr std::size_t kDomainBytes = 8;
 
@@ -87,6 +99,11 @@ struct FrameHeader {
   std::uint32_t payload_crc32 = 0;
   /// Admission severity hint, bit-cast to preserve the exact double.
   std::uint64_t hint_bits = 0;
+  /// IEEE CRC32 of the first kCrcCoveredBytes encoded header bytes; filled
+  /// by EncodeHeader, verified by DecodeHeader. Keeps the framing fields —
+  /// above all `count` and `payload_length` — trustworthy, so accounting
+  /// never charges a corrupted example count.
+  std::uint32_t header_crc32 = 0;
 
   /// The domain tag without trailing NULs (empty for control frames).
   std::string_view domain_tag() const;
@@ -146,7 +163,8 @@ class WireReader {
   std::size_t offset_ = 0;
 };
 
-/// Appends `header`'s kBytes encoding (magic included) to `out`.
+/// Appends `header`'s kBytes encoding (magic included) to `out`, computing
+/// header_crc32 over the first kCrcCoveredBytes it appends.
 void EncodeHeader(const FrameHeader& header, WireWriter& out);
 
 /// One whole frame: `header` with payload_length/payload_crc32 filled from
@@ -155,7 +173,8 @@ std::vector<std::uint8_t> EncodeFrame(FrameHeader header,
                                       std::span<const std::uint8_t> payload);
 
 /// Decodes the leading kBytes of `bytes` into a header. Typed errors:
-/// kTruncatedFrame, kBadMagic, kBadVersion, kUnknownFrameType.
+/// kTruncatedFrame, kBadMagic, kBadVersion, kUnknownFrameType, and
+/// kCrcMismatch when the header's own CRC32 fails.
 serve::Result<FrameHeader> DecodeHeader(std::span<const std::uint8_t> bytes);
 
 /// One decoded frame.
@@ -173,13 +192,16 @@ serve::Result<Frame> DecodeFrame(std::span<const std::uint8_t> bytes,
 /// One streaming decode failure (see FrameAssembler::Next).
 struct DecodeFailure {
   serve::Error error;
-  /// header.count when the header was readable (examples the failed frame
-  /// claimed to carry — feeds wire-rejection accounting), else 0.
+  /// header.count when the header passed its own CRC (examples the failed
+  /// frame verifiably claimed to carry — feeds wire-rejection accounting),
+  /// else 0. A corrupted header cannot inject a bogus count here: header
+  /// corruption fails the header CRC and reports 0.
   std::uint32_t lost_examples = 0;
   /// True when the byte stream can no longer be framed (bad magic, bad
-  /// version, unknown type, oversized length): the connection must be
-  /// closed. The one non-fatal failure, CRC mismatch, skips the frame —
-  /// its length prefix is still trustworthy — and recovers.
+  /// version, unknown type, header CRC mismatch, oversized length): the
+  /// connection must be closed. The one non-fatal failure, payload CRC
+  /// mismatch, skips the frame — its header-CRC-verified length prefix is
+  /// still trustworthy — and recovers.
   bool fatal = false;
 };
 

@@ -31,6 +31,7 @@ std::string_view ErrorCodeName(ErrorCode code) {
     case ErrorCode::kNotAuthenticated: return "not_authenticated";
     case ErrorCode::kUnknownStream: return "unknown_stream";
     case ErrorCode::kQuotaExceeded: return "quota_exceeded";
+    case ErrorCode::kIoError: return "io_error";
   }
   return "?";
 }

@@ -67,6 +67,9 @@ enum class ErrorCode {
   kUnknownStream,
   /// A data frame was refused by the tenant's admission quota.
   kQuotaExceeded,
+
+  /// A file could not be opened, read, or written (trace record/replay).
+  kIoError,
 };
 
 /// Human-readable code name ("invalid_config", "wrong_domain", ...).

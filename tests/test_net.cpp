@@ -6,12 +6,19 @@
 // runs this binary).
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "wire_corpus.hpp"
 
 #include "av/factory.hpp"
 #include "config/monitor_loader.hpp"
@@ -275,6 +282,69 @@ TEST(Assembler, OversizedDeclaredLengthIsFatal) {
   ASSERT_TRUE(step.failure.has_value());
   EXPECT_EQ(step.failure->error.code, serve::ErrorCode::kOversizedFrame);
   EXPECT_TRUE(step.failure->fatal);
+}
+
+// ----------------------------------------------------------------- corpus ---
+
+// The shared corrupt-frame table (wire_corpus.hpp) against the one-shot
+// decoder: every corruption class gets its documented code, and the two
+// boundary-valid cases (zero-count DATA, exactly-max payload) decode.
+TEST(Corpus, DecodeFrameVerdictsMatchTheTable) {
+  constexpr std::size_t kMaxFrameBytes = 4096;
+  const std::vector<std::uint8_t> good = MakeDataFrame(7, 0xC3);
+  for (const testing::CorruptFrameCase& c :
+       testing::CorruptFrameCorpus(good, 4, kMaxFrameBytes)) {
+    const serve::Result<Frame> decoded = DecodeFrame(c.bytes, kMaxFrameBytes);
+    if (c.valid) {
+      EXPECT_TRUE(decoded.ok()) << c.name;
+      continue;
+    }
+    ASSERT_FALSE(decoded.ok()) << c.name;
+    EXPECT_EQ(decoded.code(), c.expected) << c.name;
+  }
+}
+
+// The same table against the streaming assembler: truncations are NeedMore
+// (not errors), corruptions carry the table's fatality and — the decode
+// accounting contract — lost_examples is the header count only when the
+// header passed its own CRC, never when the count field itself may be
+// corrupt.
+TEST(Corpus, AssemblerVerdictsAndAccountingMatchTheTable) {
+  constexpr std::size_t kMaxFrameBytes = 4096;
+  const std::vector<std::uint8_t> good = MakeDataFrame(7, 0xC3);
+  for (const testing::CorruptFrameCase& c :
+       testing::CorruptFrameCorpus(good, 4, kMaxFrameBytes)) {
+    FrameAssembler assembler(kMaxFrameBytes);
+    assembler.Feed(c.bytes);
+    const FrameAssembler::Step step = assembler.Next();
+    if (c.truncated) {
+      EXPECT_TRUE(step.NeedMore()) << c.name;
+      continue;
+    }
+    if (c.valid) {
+      EXPECT_TRUE(step.frame.has_value()) << c.name;
+      continue;
+    }
+    ASSERT_TRUE(step.failure.has_value()) << c.name;
+    EXPECT_EQ(step.failure->error.code, c.expected) << c.name;
+    EXPECT_EQ(step.failure->fatal, c.fatal) << c.name;
+    EXPECT_EQ(step.failure->lost_examples, c.lost_examples) << c.name;
+  }
+}
+
+// Regression (header CRC, wire v2): a frame whose count field is corrupted
+// must report zero lost examples — the bogus count is untrustworthy in
+// either direction, so it must not inflate or deflate decode_errors.
+TEST(Assembler, CorruptedCountFieldReportsZeroLostExamples) {
+  std::vector<std::uint8_t> frame = MakeDataFrame(1, 0x5C);
+  frame[40] ^= 0xFF;  // count field, little-endian low byte
+  FrameAssembler assembler(1 << 20);
+  assembler.Feed(frame);
+  const FrameAssembler::Step step = assembler.Next();
+  ASSERT_TRUE(step.failure.has_value());
+  EXPECT_EQ(step.failure->error.code, serve::ErrorCode::kCrcMismatch);
+  EXPECT_TRUE(step.failure->fatal);
+  EXPECT_EQ(step.failure->lost_examples, 0u);
 }
 
 // ----------------------------------------------------------------- server ---
@@ -588,6 +658,133 @@ TEST(Server, MalformedDataFramesAreCountedNotFatal) {
   EXPECT_EQ(stats.value()[1], 8u);   // admitted
   EXPECT_EQ(stats.value()[3], 16u);  // decode errors
   EXPECT_EQ(stats.value()[4], 8u);   // scored
+  server.Stop();
+}
+
+// Raw-socket plumbing for tests that must put hand-crafted (corrupt) bytes
+// on the wire — ClientConnection refuses to build them.
+int RawConnect(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool RawWriteAll(int fd, std::span<const std::uint8_t> bytes) {
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n <= 0) return false;
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads frames off `fd` via `assembler` until one whole reply arrives.
+std::optional<Frame> RawReadFrame(int fd, FrameAssembler& assembler) {
+  for (;;) {
+    FrameAssembler::Step step = assembler.Next();
+    if (step.frame.has_value()) return std::move(step.frame);
+    if (step.failure.has_value()) return std::nullopt;
+    std::uint8_t buffer[512];
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n <= 0) return std::nullopt;
+    assembler.Feed({buffer, static_cast<std::size_t>(n)});
+  }
+}
+
+/// Control round-trip over a raw fd; returns the ACK's first value.
+std::optional<std::uint64_t> RawRoundtrip(
+    int fd, FrameAssembler& assembler, FrameType type,
+    std::span<const std::uint8_t> payload, std::uint64_t session = 0) {
+  FrameHeader header;
+  header.type = type;
+  header.session = session;
+  if (!RawWriteAll(fd, EncodeFrame(header, payload))) return std::nullopt;
+  const std::optional<Frame> reply = RawReadFrame(fd, assembler);
+  if (!reply.has_value() || reply->header.type != FrameType::kAck) {
+    return std::nullopt;
+  }
+  WireReader reader(reply->payload);
+  std::uint32_t count = 0;
+  std::uint64_t value = 0;
+  if (!reader.U32(count) || count == 0 || !reader.U64(value)) return 0;
+  return value;
+}
+
+// Regression for the tenant accounting identity under wire corruption: a
+// payload-corrupt frame charges its (CRC-verified) count to offered and
+// decode_errors; a frame whose count FIELD is corrupted fails the header
+// CRC and charges nothing — the bogus count must not leak into either side
+// of offered == admitted + shed + quota_rejected + decode_errors.
+TEST(Server, CorruptCountHeaderCannotSkewTenantAccounting) {
+  const serve::DomainRegistry domains = serve::MakeDefaultDomainRegistry();
+  config::ScenarioMonitor hosted = MakeHosted(domains);
+
+  IngestServerOptions options;
+  options.uds_path = TestSocketPath("corrupt-count");
+  IngestServer server(options, *hosted.monitor, domains);
+  server.ExposeStream(hosted.streams[0].handle);
+  ASSERT_TRUE(server.Start().ok());
+
+  const int fd = RawConnect(options.uds_path);
+  ASSERT_GE(fd, 0);
+  FrameAssembler replies(1 << 20);
+  WireWriter hello;
+  hello.String("t");
+  hello.String("");
+  const std::optional<std::uint64_t> session =
+      RawRoundtrip(fd, replies, FrameType::kHello, hello.bytes());
+  ASSERT_TRUE(session.has_value());
+  WireWriter bind;
+  bind.String("video");
+  bind.String("cam");
+  const std::optional<std::uint64_t> binding =
+      RawRoundtrip(fd, replies, FrameType::kBindStream, bind.bytes(),
+                   *session);
+  ASSERT_TRUE(binding.has_value());
+
+  const PayloadCodec* codec = domains.CodecFor("video");
+  const std::vector<serve::AnyExample> batch = SyntheticBatch("video", 8);
+  const std::vector<std::uint8_t> payload = EncodeBatch(*codec, batch);
+  FrameHeader data;
+  data.type = FrameType::kData;
+  data.session = *session;
+  data.stream = *binding;
+  data.set_domain_tag("video");
+  data.count = 8;
+  const std::vector<std::uint8_t> good = EncodeFrame(data, payload);
+
+  // 1. Payload corruption: framing intact, count trusted — 8 offered, 8
+  //    decode errors.
+  std::vector<std::uint8_t> payload_corrupt = good;
+  payload_corrupt.back() ^= 0xFF;
+  ASSERT_TRUE(RawWriteAll(fd, payload_corrupt));
+  // 2. Count-field corruption: header CRC fails, nothing countable, fatal.
+  std::vector<std::uint8_t> count_corrupt = good;
+  count_corrupt[40] ^= 0xFF;
+  ASSERT_TRUE(RawWriteAll(fd, count_corrupt));
+
+  // The server drops the connection at the fatal frame; EOF on our side
+  // proves both frames were processed (they are handled in order).
+  std::uint8_t drain[64];
+  while (::read(fd, drain, sizeof(drain)) > 0) {
+  }
+  ::close(fd);
+
+  const TenantStats totals = server.Stats().totals;
+  EXPECT_EQ(totals.offered, 8u);
+  EXPECT_EQ(totals.decode_errors, 8u);
+  EXPECT_EQ(totals.admitted, 0u);
+  EXPECT_EQ(totals.offered, totals.admitted + totals.shed +
+                                totals.quota_rejected + totals.decode_errors);
   server.Stop();
 }
 

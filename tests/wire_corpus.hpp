@@ -1,0 +1,156 @@
+// Table-driven corrupt-frame corpus shared by the wire tests (test_net.cpp
+// feeds these to DecodeFrame / FrameAssembler) and the trace-file tests
+// (test_replay.cpp splices them into trace files and asserts positioned
+// rejection). One table, two decode paths — a corruption class the network
+// path rejects is rejected identically when it arrives from disk.
+//
+// Every case is derived from one caller-supplied well-formed kData frame,
+// so the corpus composes with any domain's codec payload.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/wire.hpp"
+#include "serve/result.hpp"
+
+namespace omg::testing {
+
+/// One corrupted (or boundary-valid) frame with its expected verdict.
+struct CorruptFrameCase {
+  std::string name;
+  std::vector<std::uint8_t> bytes;
+  /// Expected decode error code; meaningless when `valid`.
+  serve::ErrorCode expected = serve::ErrorCode::kTruncatedFrame;
+  /// Whether a FrameAssembler can keep framing the stream afterwards.
+  bool fatal = true;
+  /// Expected DecodeFailure::lost_examples: the header's count only when
+  /// the header itself passed its CRC (payload corruption), else 0.
+  std::uint32_t lost_examples = 0;
+  /// True for length-prefix truncations: DecodeFrame says kTruncatedFrame,
+  /// a FrameAssembler just reports NeedMore until more bytes arrive.
+  bool truncated = false;
+  /// True for boundary cases that must DECODE SUCCESSFULLY (zero-count
+  /// DATA frame, exactly-max-size payload).
+  bool valid = false;
+};
+
+/// Builds the corpus from `frame`, a well-formed kData frame whose header
+/// declares `count` examples. Covers: truncation at every header field
+/// boundary (and mid-payload), a flipped byte in every header offset
+/// class, a flipped payload byte, a zero-count DATA frame, and an
+/// exactly-`max_frame_bytes` payload plus its over-by-one rejection.
+inline std::vector<CorruptFrameCase> CorruptFrameCorpus(
+    std::span<const std::uint8_t> frame, std::uint32_t count,
+    std::size_t max_frame_bytes) {
+  std::vector<CorruptFrameCase> corpus;
+  const auto whole = std::vector<std::uint8_t>(frame.begin(), frame.end());
+
+  // Truncations: cut at the start, inside every header field, one byte
+  // short of the full header, and (when there is a payload) mid-payload.
+  std::vector<std::size_t> cuts = {0,  3,  5,  7,  15, 23,
+                                   31, 39, 43, 47, 51, 59,
+                                   net::FrameHeader::kBytes - 1};
+  if (whole.size() > net::FrameHeader::kBytes) {
+    cuts.push_back(net::FrameHeader::kBytes +
+                   (whole.size() - net::FrameHeader::kBytes) / 2);
+    cuts.push_back(whole.size() - 1);
+  }
+  for (const std::size_t cut : cuts) {
+    CorruptFrameCase c;
+    c.name = "truncated_at_" + std::to_string(cut);
+    c.bytes.assign(whole.begin(),
+                   whole.begin() + static_cast<std::ptrdiff_t>(cut));
+    c.expected = serve::ErrorCode::kTruncatedFrame;
+    c.truncated = true;
+    corpus.push_back(std::move(c));
+  }
+
+  // A flipped byte in every header offset class. Magic/version/type have
+  // dedicated diagnostics (checked before the header CRC); everything else
+  // in [8, 64) — including the count field, the payload CRC word, and the
+  // header CRC itself — must fail the header CRC with zero lost examples:
+  // a corrupted header's count is never trusted.
+  struct Flip {
+    std::size_t offset;
+    const char* field;
+    serve::ErrorCode expected;
+  };
+  const Flip flips[] = {
+      {0, "magic", serve::ErrorCode::kBadMagic},
+      {4, "version", serve::ErrorCode::kBadVersion},
+      {6, "type", serve::ErrorCode::kUnknownFrameType},
+      {8, "seq", serve::ErrorCode::kCrcMismatch},
+      {16, "session", serve::ErrorCode::kCrcMismatch},
+      {24, "stream", serve::ErrorCode::kCrcMismatch},
+      {32, "domain", serve::ErrorCode::kCrcMismatch},
+      {40, "count", serve::ErrorCode::kCrcMismatch},
+      {44, "payload_length", serve::ErrorCode::kCrcMismatch},
+      {48, "payload_crc", serve::ErrorCode::kCrcMismatch},
+      {52, "hint", serve::ErrorCode::kCrcMismatch},
+      {60, "header_crc", serve::ErrorCode::kCrcMismatch},
+  };
+  for (const Flip& flip : flips) {
+    CorruptFrameCase c;
+    c.name = std::string("flipped_") + flip.field;
+    c.bytes = whole;
+    c.bytes[flip.offset] ^= 0xFF;
+    c.expected = flip.expected;
+    corpus.push_back(std::move(c));
+  }
+
+  // Payload corruption: framing stays intact, the payload CRC catches it,
+  // and the (CRC-verified) header count is the trustworthy loss figure.
+  if (whole.size() > net::FrameHeader::kBytes) {
+    CorruptFrameCase c;
+    c.name = "flipped_payload_byte";
+    c.bytes = whole;
+    c.bytes.back() ^= 0xFF;
+    c.expected = serve::ErrorCode::kCrcMismatch;
+    c.fatal = false;
+    c.lost_examples = count;
+    corpus.push_back(std::move(c));
+  }
+
+  // Boundary-valid and boundary-invalid sizes, rebuilt from the template
+  // header so CRCs are correct for the new payload.
+  const serve::Result<net::FrameHeader> header =
+      net::DecodeHeader({whole.data(), net::FrameHeader::kBytes});
+  if (header.ok()) {
+    {
+      CorruptFrameCase c;
+      c.name = "zero_count_data_frame";
+      net::FrameHeader zero = header.value();
+      zero.count = 0;
+      c.bytes = net::EncodeFrame(zero, {});
+      c.valid = true;
+      c.fatal = false;
+      corpus.push_back(std::move(c));
+    }
+    {
+      CorruptFrameCase c;
+      c.name = "max_size_payload";
+      const std::vector<std::uint8_t> payload(max_frame_bytes, 0x5A);
+      c.bytes = net::EncodeFrame(header.value(), payload);
+      c.valid = true;
+      c.fatal = false;
+      corpus.push_back(std::move(c));
+    }
+    {
+      CorruptFrameCase c;
+      c.name = "payload_over_limit_by_one";
+      const std::vector<std::uint8_t> payload(max_frame_bytes + 1, 0x5A);
+      c.bytes = net::EncodeFrame(header.value(), payload);
+      c.expected = serve::ErrorCode::kOversizedFrame;
+      // The header passed its CRC, so its declared count is a trustworthy
+      // loss figure even though the payload is refused.
+      c.lost_examples = count;
+      corpus.push_back(std::move(c));
+    }
+  }
+  return corpus;
+}
+
+}  // namespace omg::testing

@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Golden-trace replay gate: shipped traces must replay deterministically.
+
+For every entry in traces/golden.json this script replays the recorded
+trace through `scenario_harness --replay` (unpaced) and enforces the
+golden-flag contract from docs/REPLAY.md:
+
+  * the replay succeeds with exact accounting
+    (offered == scored + shed + dropped + errored, and offered == scored
+    since replay forces blocking admission);
+  * two consecutive replays emit byte-identical canonical flag documents
+    (--flags-out) and the same FNV-1a digest;
+  * the digest matches the committed golden digest — a change means the
+    runtime's scoring behaviour changed and the goldens need a deliberate
+    update (--update rewrites them);
+  * with --uds, a replay through a real net::IngestServer over a
+    Unix-domain socket produces the same digest as the in-process path.
+
+Also cross-checks that traces/ and golden.json list the same traces, so a
+recorded trace cannot ship without a digest (or vice versa).
+
+Exits nonzero with a message per failed check. Standard library only.
+Used by .github/workflows/ci.yml; see docs/REPLAY.md for the update
+runbook.
+"""
+
+import argparse
+import json
+import pathlib
+import re
+import subprocess
+import sys
+import tempfile
+
+DIGEST_RE = re.compile(r"^flag digest: ([0-9a-f]{16})$", re.MULTILINE)
+ACCOUNTING_RE = re.compile(
+    r"offered (\d+) == scored (\d+) \+ shed (\d+) \+ dropped (\d+) "
+    r"\+ errored (\d+)"
+)
+
+
+def fail(errors, message):
+    errors.append(message)
+
+
+def run_replay(harness, trace, config, flags_out, transport, errors):
+    """One replay; returns (digest, offered) or None on failure."""
+    command = [
+        str(harness), "--replay", str(trace), "--speed", "0",
+        "--replay-transport", transport, "--flags-out", str(flags_out),
+        str(config),
+    ]
+    result = subprocess.run(command, capture_output=True, text=True)
+    label = f"{trace} [{transport}]"
+    if result.returncode != 0:
+        fail(errors, f"{label}: replay exited {result.returncode}:\n"
+                     f"{result.stdout}{result.stderr}")
+        return None
+    digest = DIGEST_RE.search(result.stdout)
+    if not digest:
+        fail(errors, f"{label}: no 'flag digest:' line in output")
+        return None
+    accounting = ACCOUNTING_RE.search(result.stdout)
+    if not accounting:
+        fail(errors, f"{label}: no accounting line in output")
+        return None
+    offered, scored, shed, dropped, errored = map(int, accounting.groups())
+    if offered == 0:
+        fail(errors, f"{label}: replay offered zero examples")
+    if offered != scored + shed + dropped + errored:
+        fail(errors, f"{label}: accounting identity broken: {offered} != "
+                     f"{scored} + {shed} + {dropped} + {errored}")
+    if offered != scored:
+        fail(errors, f"{label}: replay shed/dropped/errored examples "
+                     f"({offered} offered, {scored} scored) — replay must "
+                     f"score everything it offers")
+    return digest.group(1), offered
+
+
+def check_entry(harness, repo, name, entry, use_uds, tmp, errors):
+    trace = repo / entry["trace"]
+    config = repo / entry["config"]
+    for path in (trace, config):
+        if not path.is_file():
+            fail(errors, f"{name}: missing file {path}")
+            return None
+
+    flags_a = tmp / f"{name}_a.jsonl"
+    flags_b = tmp / f"{name}_b.jsonl"
+    first = run_replay(harness, trace, config, flags_a, "inproc", errors)
+    second = run_replay(harness, trace, config, flags_b, "inproc", errors)
+    if first is None or second is None:
+        return None
+    if first[0] != second[0]:
+        fail(errors, f"{name}: nondeterministic: back-to-back replays gave "
+                     f"digests {first[0]} and {second[0]}")
+    if flags_a.read_bytes() != flags_b.read_bytes():
+        fail(errors, f"{name}: back-to-back replays wrote different "
+                     f"canonical flag documents")
+    if use_uds:
+        flags_u = tmp / f"{name}_uds.jsonl"
+        wired = run_replay(harness, trace, config, flags_u, "uds", errors)
+        if wired is not None and wired[0] != first[0]:
+            fail(errors, f"{name}: transport-dependent: inproc digest "
+                         f"{first[0]} vs uds digest {wired[0]}")
+        if wired is not None and flags_a.read_bytes() != flags_u.read_bytes():
+            fail(errors, f"{name}: inproc and uds flag documents differ")
+    return first[0]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--harness", required=True,
+                        help="path to the scenario_harness binary")
+    parser.add_argument("--repo", default=".",
+                        help="repository root (trace/config paths in "
+                             "golden.json are relative to it)")
+    parser.add_argument("--golden", default="traces/golden.json",
+                        help="golden digest manifest, relative to --repo")
+    parser.add_argument("--uds", action="store_true",
+                        help="also replay over a Unix-domain socket and "
+                             "require the same digest")
+    parser.add_argument("--only", action="append", default=[],
+                        help="check only this trace name (repeatable)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the golden digests from the current "
+                             "replays instead of checking them")
+    args = parser.parse_args()
+
+    repo = pathlib.Path(args.repo).resolve()
+    harness = pathlib.Path(args.harness).resolve()
+    golden_path = repo / args.golden
+    errors = []
+
+    try:
+        golden = json.loads(golden_path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"cannot load {golden_path}: {error}", file=sys.stderr)
+        return 1
+    entries = golden.get("traces", {})
+    if not entries:
+        print(f"{golden_path}: no traces listed", file=sys.stderr)
+        return 1
+
+    # Every shipped trace must be golden-listed, and vice versa.
+    shipped = {p.stem for p in (repo / "traces").glob("*.trace")}
+    for name in sorted(shipped - set(entries)):
+        fail(errors, f"traces/{name}.trace is shipped but has no golden "
+                     f"entry")
+    for name in sorted(set(entries) - shipped):
+        fail(errors, f"golden entry '{name}' has no trace file under "
+                     f"traces/")
+
+    selected = {name: entry for name, entry in sorted(entries.items())
+                if not args.only or name in args.only}
+    if args.only and len(selected) != len(args.only):
+        fail(errors, f"--only names not in golden.json: "
+                     f"{sorted(set(args.only) - set(selected))}")
+
+    with tempfile.TemporaryDirectory(prefix="replay_golden_") as tmpdir:
+        tmp = pathlib.Path(tmpdir)
+        for name, entry in selected.items():
+            digest = check_entry(harness, repo, name, entry, args.uds, tmp,
+                                 errors)
+            if digest is None:
+                continue
+            if args.update:
+                entry["flag_digest"] = digest
+            elif digest != entry.get("flag_digest"):
+                fail(errors, f"{name}: flag digest {digest} does not match "
+                             f"golden {entry.get('flag_digest')} — if the "
+                             f"scoring change is intended, re-run with "
+                             f"--update and commit")
+            else:
+                print(f"ok {name}: {digest}"
+                      + (" (inproc+uds)" if args.uds else ""))
+
+    if args.update and not errors:
+        golden_path.write_text(json.dumps(golden, indent=2, sort_keys=True)
+                               + "\n")
+        print(f"updated {golden_path}")
+
+    for message in errors:
+        print(f"FAIL: {message}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
