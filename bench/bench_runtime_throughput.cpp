@@ -170,6 +170,8 @@ struct ShardOccupancy {
   double busy_frac = 0.0;
   double mean_queue_wait_ms = 0.0;
   double mean_service_ms = 0.0;
+  std::size_t stolen_batches = 0;  ///< victim-side: taken from this queue
+  double steal_ms = 0.0;           ///< thief-side: foreign scoring time
 };
 
 /// A sharded-service run: throughput plus the observe-to-flag latency
@@ -288,7 +290,12 @@ ShardedRunResult RunSharded(const std::vector<std::vector<Sample>>& streams,
   config.shards = shards;
   config.window = window;
   config.settle_lag = settle_lag;
-  config.queue_capacity = std::max<std::size_t>(batch_size * 16, 4096);
+  // Fixed aggregate buffer budget: each shard gets its share (never less
+  // than one batch). Without this, total buffered backlog — and with it
+  // tail queue wait — grows linearly with the shard count, and the sweep
+  // measures buffering instead of scaling.
+  const std::size_t queue_budget = std::max<std::size_t>(batch_size * 16, 4096);
+  config.queue_capacity = std::max(batch_size, queue_budget / shards);
   config.admission = runtime::AdmissionPolicy::kBlock;
   config.tracer = std::move(tracer);
   runtime::ShardedMonitorService<Sample> service(config, [] {
@@ -326,9 +333,10 @@ ShardedRunResult RunSharded(const std::vector<std::vector<Sample>>& streams,
   result.p95_ms = latency.Quantile(0.95) * 1e3;
   result.p99_ms = latency.Quantile(0.99) * 1e3;
   for (const runtime::ShardMetrics& shard : snapshot.shards) {
-    result.occupancy.push_back({shard.shard, shard.BusyFraction(),
-                                shard.MeanQueueWaitSeconds() * 1e3,
-                                shard.MeanServiceSeconds() * 1e3});
+    result.occupancy.push_back(
+        {shard.shard, shard.BusyFraction(), shard.MeanQueueWaitSeconds() * 1e3,
+         shard.MeanServiceSeconds() * 1e3, shard.stolen_batches,
+         static_cast<double>(shard.steal_ns) / 1e6});
   }
   return result;
 }
@@ -345,7 +353,10 @@ ShardedRunResult RunFacade(const std::vector<std::vector<Sample>>& streams,
   config.shards = shards;
   config.window = window;
   config.settle_lag = settle_lag;
-  config.queue_capacity = std::max<std::size_t>(batch_size * 16, 4096);
+  // Same aggregate buffer budget as RunSharded, so the two paths see the
+  // same queueing and the throughput delta isolates dispatch overhead.
+  const std::size_t queue_budget = std::max<std::size_t>(batch_size * 16, 4096);
+  config.queue_capacity = std::max(batch_size, queue_budget / shards);
   config.admission = runtime::AdmissionPolicy::kBlock;
   serve::Result<std::unique_ptr<serve::Monitor>> built =
       serve::Monitor::Builder().Runtime(config).Build();
@@ -648,7 +659,9 @@ void WriteJson(
       out << (j == 0 ? "" : ", ") << "{\"shard\": " << o.shard
           << ", \"busy_frac\": " << o.busy_frac
           << ", \"mean_queue_wait_ms\": " << o.mean_queue_wait_ms
-          << ", \"mean_service_ms\": " << o.mean_service_ms << "}";
+          << ", \"mean_service_ms\": " << o.mean_service_ms
+          << ", \"stolen_batches\": " << o.stolen_batches
+          << ", \"steal_ms\": " << o.steal_ms << "}";
     }
     out << "]}" << (i + 1 < shard_sweep.size() ? "," : "") << "\n";
   }
@@ -900,7 +913,11 @@ int main(int argc, char** argv) {
   ShardedRunResult facade_result;
   double facade_overhead = 0.0;
   if (facade_enabled) {
-    constexpr int kReps = 5;
+    // Best-of-N, interleaved. Scheduler noise on a shared box only ever
+    // *slows* a run, so the fastest rep of each path is the noise-robust
+    // estimator for a throughput ratio — a median still carries whatever
+    // interference its middle rep happened to absorb.
+    constexpr int kReps = 7;
     std::vector<ShardedRunResult> templated_runs;
     std::vector<ShardedRunResult> facade_runs;
     for (int rep = 0; rep < kReps; ++rep) {
@@ -913,15 +930,15 @@ int main(int argc, char** argv) {
       common::Check(baseline.events == facade_runs.back().run.events,
                     "facade emitted a different event count");
     }
-    const auto median = [](std::vector<ShardedRunResult>& runs) {
+    const auto fastest = [](std::vector<ShardedRunResult>& runs) {
       std::sort(runs.begin(), runs.end(),
                 [](const ShardedRunResult& a, const ShardedRunResult& b) {
-                  return a.run.examples_per_sec < b.run.examples_per_sec;
+                  return a.run.examples_per_sec > b.run.examples_per_sec;
                 });
-      return runs[runs.size() / 2];
+      return runs.front();
     };
-    facade_templated = median(templated_runs);
-    facade_result = median(facade_runs);
+    facade_templated = fastest(templated_runs);
+    facade_result = fastest(facade_runs);
     facade_overhead = 1.0 - facade_result.run.examples_per_sec /
                                 facade_templated.run.examples_per_sec;
   }

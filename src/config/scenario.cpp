@@ -22,6 +22,7 @@ RuntimeSpec ReadRuntime(const SpecSection& section) {
   spec.settle_lag = section.GetSize("settle_lag", spec.settle_lag);
   spec.queue_capacity =
       section.GetSize("queue_capacity", spec.queue_capacity);
+  spec.stealing = section.GetBool("stealing", spec.stealing);
   section.RejectUnknownKeys();
   return spec;
 }
@@ -37,6 +38,8 @@ AdmissionSpec ReadAdmission(const SpecSection& section) {
     throw section.ErrorAt("policy", error.what());
   }
   spec.shed_floor = section.GetDouble("shed_floor", spec.shed_floor);
+  spec.target_p99_ms =
+      section.GetDouble("target_p99_ms", spec.target_p99_ms);
   section.RejectUnknownKeys();
   return spec;
 }
@@ -478,8 +481,10 @@ runtime::ShardedRuntimeConfig ConfigLoader::MakeRuntimeConfig(
   config.window = scenario.runtime.window;
   config.settle_lag = scenario.runtime.settle_lag;
   config.queue_capacity = scenario.runtime.queue_capacity;
+  config.stealing = scenario.runtime.stealing;
   config.admission = scenario.admission.policy;
   config.shed_floor = scenario.admission.shed_floor;
+  config.latency_target_ms = scenario.admission.target_p99_ms;
   return config;
 }
 

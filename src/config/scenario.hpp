@@ -62,12 +62,14 @@ struct RuntimeSpec {
   std::size_t window = 48;
   std::size_t settle_lag = 8;
   std::size_t queue_capacity = 1024;
+  bool stealing = true;  ///< idle shard workers steal from the deepest peer
 };
 
 /// [admission] — what a full shard queue does with an incoming batch.
 struct AdmissionSpec {
   runtime::AdmissionPolicy policy = runtime::AdmissionPolicy::kBlock;
   double shed_floor = 1.0;
+  double target_p99_ms = 50.0;  ///< latency_target policy's SLO
 };
 
 /// [observability] — tracing and metrics export. `trace` defaults to

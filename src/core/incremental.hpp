@@ -70,7 +70,11 @@ class IncrementalWindowEvaluator {
   /// called for each firing, in stream order.
   template <typename EmitFn>
   void Observe(Example example, EmitFn&& emit) {
-    IngestChunk(&example, 1, emit);
+    Example* data = &example;
+    auto source = [data](std::size_t k) -> Example&& {
+      return std::move(data[k]);
+    };
+    IngestChunk(source, 0, 1, emit);
   }
 
   /// Feeds a batch (consumed). Internally splits into chunks small enough
@@ -78,10 +82,27 @@ class IncrementalWindowEvaluator {
   /// need, so results are independent of the batch split.
   template <typename EmitFn>
   void ObserveBatch(std::vector<Example> batch, EmitFn&& emit) {
+    Example* data = batch.data();
+    auto source = [data](std::size_t k) -> Example&& {
+      return std::move(data[k]);
+    };
+    ObserveBatchFrom(batch.size(), source, emit);
+  }
+
+  /// Feeds `count` examples pulled from `source(k)` (k in [0, count), asked
+  /// exactly once each, in order; must return an Example&& to move from).
+  /// This is the zero-copy ingestion path for adapters whose examples live
+  /// behind another representation — the serving facade moves typed
+  /// payloads out of its type-erased holders directly into the window, so
+  /// erasure costs no extra copy. Chunk-splitting semantics match
+  /// ObserveBatch exactly. A `source` that throws poisons the batch
+  /// mid-chunk just like a throwing assertion: already-ingested examples
+  /// stay in the window, the exception propagates to the caller.
+  template <typename Source, typename EmitFn>
+  void ObserveBatchFrom(std::size_t count, Source&& source, EmitFn&& emit) {
     const std::size_t chunk = MaxChunk();
-    for (std::size_t begin = 0; begin < batch.size(); begin += chunk) {
-      const std::size_t count = std::min(chunk, batch.size() - begin);
-      IngestChunk(batch.data() + begin, count, emit);
+    for (std::size_t begin = 0; begin < count; begin += chunk) {
+      IngestChunk(source, begin, std::min(chunk, count - begin), emit);
     }
   }
 
@@ -115,14 +136,16 @@ class IncrementalWindowEvaluator {
     return std::max<std::size_t>(1, config_.window - context);
   }
 
-  /// Moves `count` examples from `data` into the window, re-scores what
-  /// they can affect, emits verdicts, trims the window.
-  template <typename EmitFn>
-  void IngestChunk(Example* data, std::size_t count, EmitFn& emit) {
+  /// Moves `count` examples out of `source(offset + k)` into the window,
+  /// re-scores what they can affect, emits verdicts, trims the window.
+  template <typename Source, typename EmitFn>
+  void IngestChunk(Source& source, std::size_t offset, std::size_t count,
+                   EmitFn& emit) {
     if (count == 0) return;
     Compact();
+    window_.reserve(window_.size() + count);
     for (std::size_t k = 0; k < count; ++k) {
-      window_.push_back(std::move(data[k]));
+      window_.push_back(source(offset + k));
     }
     // Columns added to the suite since the last chunk start unprimed and
     // get a one-off full-window evaluation below.

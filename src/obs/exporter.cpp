@@ -156,6 +156,27 @@ void WritePrometheusText(const runtime::MetricsSnapshot& snapshot,
     out << "omg_shard_idle_seconds_total{shard=\"" << shard.shard << "\"} "
         << Num(Clock::ToSeconds(shard.idle_ns)) << "\n";
   }
+  Header(out, "omg_shard_steal_seconds_total", "counter",
+         "Worker time spent scoring batches stolen from other shards "
+         "(thief-side).");
+  for (const runtime::ShardMetrics& shard : snapshot.shards) {
+    out << "omg_shard_steal_seconds_total{shard=\"" << shard.shard << "\"} "
+        << Num(Clock::ToSeconds(shard.steal_ns)) << "\n";
+  }
+  Header(out, "omg_shard_stolen_batches_total", "counter",
+         "Batches stolen from this shard's queue by idle neighbours "
+         "(victim-side).");
+  for (const runtime::ShardMetrics& shard : snapshot.shards) {
+    out << "omg_shard_stolen_batches_total{shard=\"" << shard.shard << "\"} "
+        << shard.stolen_batches << "\n";
+  }
+  Header(out, "omg_shard_stolen_examples_total", "counter",
+         "Examples stolen from this shard's queue by idle neighbours "
+         "(victim-side).");
+  for (const runtime::ShardMetrics& shard : snapshot.shards) {
+    out << "omg_shard_stolen_examples_total{shard=\"" << shard.shard
+        << "\"} " << shard.stolen_examples << "\n";
+  }
   Header(out, "omg_shard_queue_wait_seconds_total", "counter",
          "Summed enqueue-to-dequeue wait per shard.");
   for (const runtime::ShardMetrics& shard : snapshot.shards) {
@@ -163,7 +184,7 @@ void WritePrometheusText(const runtime::MetricsSnapshot& snapshot,
         << "\"} " << Num(Clock::ToSeconds(shard.queue_wait_ns)) << "\n";
   }
   Header(out, "omg_shard_busy_ratio", "gauge",
-         "busy / (busy + idle) per shard since start.");
+         "(busy + steal) / (busy + idle + steal) per shard since start.");
   for (const runtime::ShardMetrics& shard : snapshot.shards) {
     out << "omg_shard_busy_ratio{shard=\"" << shard.shard << "\"} "
         << Num(shard.BusyFraction()) << "\n";
@@ -247,8 +268,11 @@ void WriteMetricsJsonLine(const runtime::MetricsSnapshot& snapshot,
         << ",\"dropped_examples\":" << shard.dropped_examples
         << ",\"errored_examples\":" << shard.errored_examples
         << ",\"queue_depth_peak\":" << shard.queue_depth_peak
+        << ",\"stolen_batches\":" << shard.stolen_batches
+        << ",\"stolen_examples\":" << shard.stolen_examples
         << ",\"busy_seconds\":" << Num(Clock::ToSeconds(shard.busy_ns))
         << ",\"idle_seconds\":" << Num(Clock::ToSeconds(shard.idle_ns))
+        << ",\"steal_seconds\":" << Num(Clock::ToSeconds(shard.steal_ns))
         << ",\"busy_ratio\":" << Num(shard.BusyFraction())
         << ",\"mean_queue_wait_seconds\":"
         << Num(shard.MeanQueueWaitSeconds())

@@ -14,6 +14,8 @@ std::string_view AdmissionPolicyName(AdmissionPolicy policy) {
       return "drop_oldest";
     case AdmissionPolicy::kShedBelowSeverity:
       return "shed_below_severity";
+    case AdmissionPolicy::kLatencyTarget:
+      return "latency_target";
   }
   common::Check(false, "unknown admission policy");
   return "";  // unreachable
@@ -23,9 +25,10 @@ AdmissionPolicy ParseAdmissionPolicy(std::string_view name) {
   if (name == "block") return AdmissionPolicy::kBlock;
   if (name == "drop_oldest") return AdmissionPolicy::kDropOldest;
   if (name == "shed_below_severity") return AdmissionPolicy::kShedBelowSeverity;
+  if (name == "latency_target") return AdmissionPolicy::kLatencyTarget;
   common::Check(false, "unknown admission policy: " + std::string(name) +
-                           " (expected block, drop_oldest, or "
-                           "shed_below_severity)");
+                           " (expected block, drop_oldest, "
+                           "shed_below_severity, or latency_target)");
   return AdmissionPolicy::kBlock;  // unreachable
 }
 
@@ -43,6 +46,11 @@ void ShardedRuntimeConfig::Validate() const {
                 "sharded runtime config: queue_capacity must be >= 1");
   common::Check(std::isfinite(shed_floor) && shed_floor >= 0.0,
                 "sharded runtime config: shed_floor must be finite and >= 0");
+  if (admission == AdmissionPolicy::kLatencyTarget) {
+    common::Check(std::isfinite(latency_target_ms) && latency_target_ms > 0.0,
+                  "sharded runtime config: latency_target admission needs a "
+                  "finite latency_target_ms > 0");
+  }
 }
 
 }  // namespace omg::runtime

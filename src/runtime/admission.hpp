@@ -33,9 +33,17 @@ enum class AdmissionPolicy {
   /// shed (and counted); batches at or above the floor displace queued
   /// below-floor work first and block only if the whole queue is important.
   kShedBelowSeverity,
+  /// Sheds to hold a latency SLO instead of a queue bound: a below-floor
+  /// batch is refused (and counted as shed) whenever the shard's estimated
+  /// completion latency — queued examples times the worker's EWMA service
+  /// time per example — would exceed `latency_target_ms`. Batches at or
+  /// above the shed floor bypass the SLO check (important evidence is never
+  /// shed); the queue capacity remains a hard bound enforced by blocking.
+  kLatencyTarget,
 };
 
-/// Human-readable policy name ("block", "drop_oldest", "shed_below_severity").
+/// Human-readable policy name ("block", "drop_oldest", "shed_below_severity",
+/// "latency_target").
 std::string_view AdmissionPolicyName(AdmissionPolicy policy);
 
 /// Parses a policy name accepted by AdmissionPolicyName; throws CheckError
@@ -57,9 +65,22 @@ struct ShardedRuntimeConfig {
   std::size_t queue_capacity = 4096;
   /// Full-queue behavior.
   AdmissionPolicy admission = AdmissionPolicy::kBlock;
-  /// Severity-hint floor used by kShedBelowSeverity: batches observed with
-  /// a hint below this value are shed when the queue is full.
+  /// Severity-hint floor used by kShedBelowSeverity and kLatencyTarget:
+  /// batches observed with a hint below this value are shed when the queue
+  /// is full (kShedBelowSeverity) or when the latency SLO is projected to
+  /// be missed (kLatencyTarget).
   double shed_floor = 1.0;
+  /// kLatencyTarget's SLO: the estimated observe-to-flag completion latency
+  /// (milliseconds) a below-floor batch may push the shard to before it is
+  /// shed. Ignored by the other policies.
+  double latency_target_ms = 50.0;
+  /// Work stealing between shard workers: a worker whose own queue is empty
+  /// takes whole stream-batch groups from the deepest neighbour's queue
+  /// (half of its queued examples, oldest streams first). Per-stream FIFO
+  /// order and exclusive evaluator ownership are preserved — scoring
+  /// results are bit-identical with stealing on or off; only scheduling
+  /// (and therefore tail latency under imbalance) changes.
+  bool stealing = true;
   /// Optional trace sink: when set, shard workers emit dequeue/evaluate
   /// events on their lanes and admission losses / flushes land on the
   /// control lane (see obs/tracer.hpp). Must have at least `shards` shard

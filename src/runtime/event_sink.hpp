@@ -37,8 +37,10 @@ struct StreamEvent {
 /// Consumer of runtime events.
 ///
 /// `Consume` may be called concurrently from different shard workers (events
-/// of one stream arrive in order from a single worker; distinct streams may
-/// interleave from distinct threads) — implementations must be thread-safe.
+/// of one stream arrive in stream order, never concurrently — with work
+/// stealing the delivering worker may change between batches, but the
+/// claimed-stream protocol serialises it; distinct streams may interleave
+/// from distinct threads) — implementations must be thread-safe.
 class EventSink {
  public:
   virtual ~EventSink() = default;

@@ -5,20 +5,36 @@
 
 namespace omg::runtime {
 
-std::size_t LatencyHistogram::BucketOf(double seconds) {
+std::size_t LatencyHistogram::SlotOf(double seconds) {
   if (!(seconds > kBaseSeconds)) return 0;
   const double octave = std::log2(seconds / kBaseSeconds);
-  if (octave >= static_cast<double>(kBuckets - 1)) return kBuckets - 1;
-  return static_cast<std::size_t>(octave);
+  if (octave >= static_cast<double>(kBuckets)) return kSlots - 1;
+  const auto o = static_cast<std::size_t>(octave);
+  // Position within the octave, linear in seconds: ratio in [1, 2).
+  const double ratio = seconds / (kBaseSeconds * std::exp2(o));
+  const double sub = (ratio - 1.0) * static_cast<double>(kSubBuckets);
+  const std::size_t s = std::min<std::size_t>(
+      kSubBuckets - 1, static_cast<std::size_t>(std::max(0.0, sub)));
+  return o * kSubBuckets + s;
 }
 
 double LatencyHistogram::LowerBound(std::size_t index) {
-  return kBaseSeconds * std::exp2(static_cast<double>(index));
+  const std::size_t octave = index / kSubBuckets;
+  const std::size_t sub = index % kSubBuckets;
+  const double lo = kBaseSeconds * std::exp2(static_cast<double>(octave));
+  return lo * (1.0 + static_cast<double>(sub) /
+                         static_cast<double>(kSubBuckets));
+}
+
+double LatencyHistogram::Width(std::size_t index) {
+  const std::size_t octave = index / kSubBuckets;
+  return kBaseSeconds * std::exp2(static_cast<double>(octave)) /
+         static_cast<double>(kSubBuckets);
 }
 
 void LatencyHistogram::Record(double seconds) {
   if (!std::isfinite(seconds) || seconds < 0.0) seconds = 0.0;
-  ++buckets_[BucketOf(seconds)];
+  ++buckets_[SlotOf(seconds)];
   if (count_ == 0) {
     min_ = max_ = seconds;
   } else {
@@ -30,7 +46,7 @@ void LatencyHistogram::Record(double seconds) {
 
 void LatencyHistogram::Merge(const LatencyHistogram& other) {
   if (other.count_ == 0) return;
-  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  for (std::size_t i = 0; i < kSlots; ++i) buckets_[i] += other.buckets_[i];
   if (count_ == 0) {
     min_ = other.min_;
     max_ = other.max_;
@@ -48,14 +64,13 @@ double LatencyHistogram::Quantile(double q) const {
   const auto target = static_cast<std::uint64_t>(
       std::max(1.0, std::ceil(q * static_cast<double>(count_))));
   std::uint64_t cumulative = 0;
-  for (std::size_t i = 0; i < kBuckets; ++i) {
+  for (std::size_t i = 0; i < kSlots; ++i) {
     if (buckets_[i] == 0) continue;
     if (cumulative + buckets_[i] >= target) {
-      // Interpolate linearly inside the bucket by the rank position.
+      // Interpolate linearly inside the sub-bucket by the rank position.
       const double within = static_cast<double>(target - cumulative) /
                             static_cast<double>(buckets_[i]);
-      const double lo = LowerBound(i);
-      const double estimate = lo + within * lo;  // bucket width == lo
+      const double estimate = LowerBound(i) + within * Width(i);
       return std::clamp(estimate, min_, max_);
     }
     cumulative += buckets_[i];

@@ -4,9 +4,15 @@
 // batch; the dashboard asks for p50/p95/p99. An exact reservoir would grow
 // with traffic, so the histogram buckets samples on a base-2 log scale
 // (0.1 us granularity at the bottom, ~week-scale headroom at the top) and
-// answers quantile queries by interpolating inside the hit bucket. The
-// relative error is bounded by one octave, which is far below the
-// shard-to-shard variance the dashboards care about.
+// answers quantile queries by interpolating inside the hit bucket.
+//
+// Each octave is further divided into `kSubBuckets` linear sub-buckets:
+// with one counter per octave, a tail concentrated inside a single octave
+// collapsed p95 and p99 onto the same clamped estimate (both quantiles
+// interpolated past the samples and hit the max clamp — the p95 == p99
+// artifact the shard-sweep bench used to record). Sub-bucketing bounds the
+// relative quantile error by 1/kSubBuckets of an octave instead of a full
+// octave, which keeps nearby tail quantiles distinguishable.
 #pragma once
 
 #include <array>
@@ -22,11 +28,15 @@ namespace omg::runtime {
 /// a point-in-time view out of the registry.
 class LatencyHistogram {
  public:
-  /// Number of base-2 buckets: bucket i spans
+  /// Number of base-2 octaves: octave i spans
   /// [kBaseSeconds * 2^i, kBaseSeconds * 2^(i+1)).
   static constexpr std::size_t kBuckets = 48;
-  /// Lower bound of bucket 0 (0.1 microseconds); samples below it land in
-  /// bucket 0, samples beyond the last bucket land in the last bucket.
+  /// Linear sub-buckets per octave (sub-bucket s of octave i spans
+  /// [lo * (1 + s/kSubBuckets), lo * (1 + (s+1)/kSubBuckets)) with
+  /// lo = kBaseSeconds * 2^i).
+  static constexpr std::size_t kSubBuckets = 8;
+  /// Lower bound of octave 0 (0.1 microseconds); samples below it land in
+  /// the first slot, samples beyond the last octave land in the last slot.
   static constexpr double kBaseSeconds = 1e-7;
 
   /// Records one latency sample; negative or non-finite samples count as 0.
@@ -49,12 +59,16 @@ class LatencyHistogram {
   double Quantile(double q) const;
 
  private:
-  /// Bucket index covering `seconds`.
-  static std::size_t BucketOf(double seconds);
-  /// Lower bound of bucket `index` in seconds.
-  static double LowerBound(std::size_t index);
+  static constexpr std::size_t kSlots = kBuckets * kSubBuckets;
 
-  std::array<std::uint64_t, kBuckets> buckets_{};
+  /// Slot index (octave * kSubBuckets + sub-bucket) covering `seconds`.
+  static std::size_t SlotOf(double seconds);
+  /// Lower bound of slot `index` in seconds.
+  static double LowerBound(std::size_t index);
+  /// Width of slot `index` in seconds.
+  static double Width(std::size_t index);
+
+  std::array<std::uint64_t, kSlots> buckets_{};
   std::uint64_t count_ = 0;
   double min_ = 0.0;
   double max_ = 0.0;

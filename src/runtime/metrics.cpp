@@ -27,9 +27,10 @@ double MetricsSnapshot::FlaggedRate(const std::string& assertion) const {
 }
 
 double ShardMetrics::BusyFraction() const {
-  const std::uint64_t measured = busy_ns + idle_ns;
+  const std::uint64_t measured = busy_ns + idle_ns + steal_ns;
   if (measured == 0) return 0.0;
-  return static_cast<double>(busy_ns) / static_cast<double>(measured);
+  return static_cast<double>(busy_ns + steal_ns) /
+         static_cast<double>(measured);
 }
 
 double ShardMetrics::MeanQueueWaitSeconds() const {
@@ -193,6 +194,23 @@ void MetricsRegistry::RecordLoss(std::size_t shard, std::size_t batches,
     cell.shard.shed_batches += batches;
     cell.shard.shed_examples += examples;
   }
+}
+
+void MetricsRegistry::RecordSteal(std::size_t victim_shard, std::size_t batches,
+                                  std::size_t examples) {
+  Cell& cell = ShardCell(victim_shard);
+  std::lock_guard<std::mutex> lock(cell.mutex);
+  cell.shard.stolen_batches += batches;
+  cell.shard.stolen_examples += examples;
+}
+
+void MetricsRegistry::RecordStealWork(std::size_t thief_shard,
+                                      std::uint64_t steal_ns,
+                                      std::uint64_t idle_ns) {
+  Cell& cell = ShardCell(thief_shard);
+  std::lock_guard<std::mutex> lock(cell.mutex);
+  cell.shard.steal_ns += steal_ns;
+  cell.shard.idle_ns += idle_ns;
 }
 
 void MetricsRegistry::RecordQueueDepth(std::size_t shard, std::size_t depth) {

@@ -87,6 +87,11 @@ struct ShardMetrics {
   /// the service; messages surface via the service's Errors()).
   std::size_t errored_batches = 0;
   std::size_t errored_examples = 0;
+  /// Batches / examples stolen *from* this shard's queue by an idle
+  /// neighbour's worker (victim-side counters; the stolen work's scoring
+  /// time lands in the thief shard's `steal_ns`).
+  std::size_t stolen_batches = 0;
+  std::size_t stolen_examples = 0;
   /// Examples queued right now (gauge; snapshot-time value).
   std::size_t queue_depth = 0;
   /// Largest queue depth ever observed — the bounded-memory witness.
@@ -95,19 +100,25 @@ struct ShardMetrics {
   /// the sinks, one sample per scored batch.
   LatencyHistogram latency;
 
-  // Occupancy accounting (obs::Clock nanoseconds). busy + idle covers the
-  // worker's dequeue-to-dequeue wall time, so BusyFraction is the shard's
+  // Occupancy accounting (obs::Clock nanoseconds). busy + idle + steal
+  // partitions the worker's dequeue-to-dequeue wall time — every segment
+  // lands in exactly one bucket — so BusyFraction is the shard's
   // utilisation; queue_wait separates "slow because saturated" (high busy,
   // high wait) from "slow because starved" (low busy — too many shards for
   // the offered load, the 8-shard knee's signature).
-  /// Worker time spent scoring batches (includes batches that threw).
+  /// Worker time spent scoring its own shard's batches (includes batches
+  /// that threw).
   std::uint64_t busy_ns = 0;
   /// Worker time spent waiting for the queue to go non-empty.
   std::uint64_t idle_ns = 0;
+  /// Worker time spent scoring batches stolen from other shards
+  /// (thief-side; the victim's `stolen_batches` counts the same work).
+  std::uint64_t steal_ns = 0;
   /// Enqueue-to-dequeue wait, summed over dequeued batches.
   std::uint64_t queue_wait_ns = 0;
 
-  /// busy / (busy + idle); 0 before the worker measured anything.
+  /// (busy + steal) / (busy + idle + steal); 0 before the worker measured
+  /// anything.
   double BusyFraction() const;
   /// Mean enqueue-to-dequeue wait per dequeued batch, seconds.
   double MeanQueueWaitSeconds() const;
@@ -196,6 +207,19 @@ class MetricsRegistry {
   /// Counts `batches`/`examples` lost on shard `shard` (sharded mode only).
   void RecordLoss(std::size_t shard, std::size_t batches, std::size_t examples,
                   LossKind kind);
+
+  /// Counts work taken *from* `victim_shard`'s queue by another worker
+  /// (sharded mode only; victim-side `stolen_batches`/`stolen_examples`).
+  void RecordSteal(std::size_t victim_shard, std::size_t batches,
+                   std::size_t examples);
+
+  /// Folds a thief worker's occupancy into *its own* shard's counters:
+  /// `steal_ns` of foreign-batch scoring plus the `idle_ns` the worker
+  /// accumulated before the steal (sharded mode only). The scored batch's
+  /// stream/latency aggregates go to the victim cell via RecordScoredBatch
+  /// with zero busy/idle, keeping the two cells' time disjoint.
+  void RecordStealWork(std::size_t thief_shard, std::uint64_t steal_ns,
+                       std::uint64_t idle_ns);
 
   /// Updates shard `shard`'s queue-depth gauge and peak (sharded mode only).
   void RecordQueueDepth(std::size_t shard, std::size_t depth);

@@ -8,27 +8,47 @@
 //
 //   producers ──ObserveBatch──► bounded MPSC queue ─► shard worker 0
 //              (admission policy:  bounded MPSC queue ─► shard worker 1
-//               Block / DropOldest,       ...
-//               ShedBelowSeverity) bounded MPSC queue ─► shard worker N-1
-//                                          │
-//                     evaluators + metrics cell owned by that shard
+//               Block / DropOldest,       ...      ◄─╮
+//               ShedBelowSeverity, bounded MPSC queue ─► shard worker N-1
+//               LatencyTarget)             │         ╰ idle workers steal
+//                     scorers + metrics cell owned by that shard
 //                                          │
 //                          events ──► EventSinks (atomic snapshot)
 //
 // Ownership and threading:
 //
-//   * Stream id % shards picks the shard. Each shard owns a dedicated
-//     worker thread, the IncrementalWindowEvaluators of its streams, and
-//     its cell of the MetricsRegistry — nothing on the observe/score path
+//   * Stream id % shards picks the *home* shard. Each shard owns a
+//     dedicated worker thread, the stream scorers of its streams, and its
+//     cell of the MetricsRegistry — nothing on the observe/score path
 //     takes a lock shared between shards.
+//   * Work stealing (config.stealing): an idle worker steals from the
+//     deepest neighbour's queue instead of sleeping, so one hot shard no
+//     longer caps service throughput at a single core. Steal granularity
+//     is *whole-stream batch groups*: a thief claims a stream (under the
+//     home shard's mutex), extracts every queued batch of that stream in
+//     queue order, and no other worker touches the stream until the thief
+//     unclaims it. Per-stream batches therefore score in submission order
+//     on exactly one thread at a time — stealing cannot reorder a
+//     stream's emissions, so flag digests are identical with stealing on
+//     or off (tests/test_steal_equivalence.cpp pins this).
 //   * The stream table and the sink list are read through atomic
 //     shared_ptr snapshots: producers never contend with registration.
 //   * Ingestion queues are bounded (`queue_capacity` examples per shard).
 //     A full queue invokes the configured AdmissionPolicy, so overload
 //     degrades by an explicit, counted policy instead of OOMing.
+//     kLatencyTarget additionally sheds below-floor batches *before* the
+//     queue fills, whenever queued work times the shard's measured
+//     service rate projects past `latency_target_ms`.
+//
+// Accounting under stealing: a stolen batch's stream aggregates, events,
+// and latency land in its home shard's metrics cell (with zero busy/idle
+// — the home worker spent no time on it); the thief's wall time is
+// recorded as steal_ns in the thief's cell. Per shard, busy + idle +
+// steal partitions worker wall time with no double counting.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -116,7 +136,7 @@ class ShardedMonitorService {
   const StreamRegistry& registry() const { return registry_; }
 
   /// Registers a stream served by the default suite factory and pins it to
-  /// shard `id % shards`.
+  /// home shard `id % shards`.
   StreamId RegisterStream(std::string name) {
     common::Check(static_cast<bool>(factory_),
                   "RegisterStream(name) needs the constructor's suite "
@@ -174,10 +194,11 @@ class ShardedMonitorService {
   ///
   /// `severity_hint` is the producer's estimate of how important the batch
   /// is (e.g. an upstream filter's confidence that it contains anomalies);
-  /// kShedBelowSeverity sheds below-floor batches when the queue is full.
-  /// Returns true when the batch was admitted, false when it was shed —
-  /// kBlock and kDropOldest always admit (kBlock by waiting for space,
-  /// kDropOldest by evicting queued batches).
+  /// kShedBelowSeverity sheds below-floor batches when the queue is full,
+  /// kLatencyTarget sheds them whenever the shard's projected completion
+  /// latency exceeds the target. Returns true when the batch was admitted,
+  /// false when it was shed — kBlock and kDropOldest always admit (kBlock
+  /// by waiting for space, kDropOldest by evicting queued batches).
   bool ObserveBatch(StreamId id, std::vector<Example> batch,
                     double severity_hint = 0.0) {
     if (batch.empty()) return true;
@@ -191,9 +212,37 @@ class ShardedMonitorService {
     std::size_t depth;
     {
       std::unique_lock<std::mutex> lock(shard.mutex);
+      if (config_.admission == AdmissionPolicy::kLatencyTarget &&
+          severity_hint < config_.shed_floor) {
+        // Project the batch's completion latency from the queue depth and
+        // the shard's measured service rate; shed below-floor work that
+        // would land past the target. The EWMA is a deliberately racy
+        // heuristic (workers publish it relaxed); admission stays exact
+        // through the counters, not the estimate. Until the first scored
+        // batch publishes a rate, everything is admitted.
+        const std::uint64_t ewma_ns =
+            shard.service_ewma_ns.load(std::memory_order_relaxed);
+        if (ewma_ns != 0 &&
+            static_cast<double>(shard.queued + cost) *
+                    static_cast<double>(ewma_ns) >
+                config_.latency_target_ms * 1e6) {
+          lock.unlock();
+          metrics_->RecordLoss(state->shard, 1, cost,
+                               MetricsRegistry::LossKind::kShed);
+          OMG_TRACE(if (config_.tracer != nullptr)
+                        config_.tracer->EmitControl(
+                            obs::TraceEventKind::kAdmissionShed,
+                            obs::TracePhase::kInstant, id, cost,
+                            state->shard));
+          return false;
+        }
+      }
       if (shard.queued + cost > config_.queue_capacity) {
         switch (config_.admission) {
           case AdmissionPolicy::kBlock:
+          case AdmissionPolicy::kLatencyTarget:
+            // Capacity is a hard bound under kLatencyTarget too: batches
+            // that clear the latency gate still block for space.
             shard.space.wait(lock, [&] {
               return shard.stop ||
                      shard.queued + cost <= config_.queue_capacity;
@@ -247,6 +296,7 @@ class ShardedMonitorService {
       shard.queue.push_back(
           {state, std::move(batch), severity_hint, obs::Clock::NowNs()});
       shard.queued += cost;
+      shard.queued_approx.store(shard.queued, std::memory_order_relaxed);
       depth = shard.queued;
       shard.ready.notify_one();
     }
@@ -262,17 +312,20 @@ class ShardedMonitorService {
     return true;
   }
 
-  /// Blocks until every shard is quiescent (queue empty, worker idle), then
-  /// flushes the sinks. With producers still running this waits for them to
-  /// pause; under kBlock a producer blocked on admission makes progress as
-  /// the workers drain, so Flush still terminates.
+  /// Blocks until every shard is quiescent (queue empty, worker idle, no
+  /// stolen work in flight), then flushes the sinks. With producers still
+  /// running this waits for them to pause; under kBlock a producer blocked
+  /// on admission makes progress as the workers drain, so Flush still
+  /// terminates.
   void Flush() {
     OMG_TRACE(if (config_.tracer != nullptr) config_.tracer->EmitControl(
                   obs::TraceEventKind::kFlush, obs::TracePhase::kBegin));
     for (const auto& shard : shards_) {
       std::unique_lock<std::mutex> lock(shard->mutex);
-      shard->idle.wait(lock,
-                       [&] { return shard->queue.empty() && !shard->busy; });
+      shard->idle.wait(lock, [&] {
+        return shard->queue.empty() && !shard->busy &&
+               shard->stolen_inflight == 0;
+      });
     }
     if (const auto sinks = sinks_.load()) {
       for (const auto& sink : *sinks) sink->Flush();
@@ -282,8 +335,8 @@ class ShardedMonitorService {
   }
 
   /// Aggregated dashboard snapshot — per-stream aggregates plus the
-  /// per-shard queue/drop counters and observe-to-flag latency histograms
-  /// (does not flush; pair with Flush() for read-your-writes).
+  /// per-shard queue/drop/steal counters and observe-to-flag latency
+  /// histograms (does not flush; pair with Flush() for read-your-writes).
   MetricsSnapshot Metrics() const { return metrics_->Snapshot(); }
 
   /// The shared metrics registry, for frontends recording their own
@@ -299,24 +352,36 @@ class ShardedMonitorService {
   }
 
  private:
-  /// One registered stream: its private suite and window evaluator, owned
-  /// (touched on the scoring path) by exactly one shard worker.
+  /// One registered stream: its suite bundle and scorer, driven by exactly
+  /// one worker at a time (the claimed-stream protocol below).
   struct StreamState {
-    StreamState(StreamId id, std::string_view name, SuiteBundle bundle,
+    StreamState(StreamId id, std::string_view name, SuiteBundle bundle_in,
                 const ShardedRuntimeConfig& config)
         : id(id),
           name(name),
           shard(id % config.shards),
-          bundle(std::move(bundle)),
-          evaluator(*this->bundle.suite,
-                    {config.window, config.settle_lag,
-                     this->bundle.invalidate}) {}
+          bundle(std::move(bundle_in)) {
+      const StreamScorerParams params{config.window, config.settle_lag};
+      if (bundle.scorer) {
+        scorer = bundle.scorer(params);
+        common::Check(scorer != nullptr, "scorer factory returned null");
+      } else {
+        scorer = std::make_unique<DefaultStreamScorer<Example>>(
+            bundle.suite, bundle.invalidate, params);
+      }
+    }
 
     StreamId id;
     std::string_view name;  // owned by the registry
-    std::size_t shard;
+    std::size_t shard;      ///< home shard (id % shards)
     SuiteBundle bundle;
-    IncrementalWindowEvaluator<Example> evaluator;
+    std::unique_ptr<StreamScorer<Example>> scorer;
+    /// True while some worker (home or thief) holds this stream's batches
+    /// out of the queue. Guarded by the *home* shard's mutex. While set,
+    /// no other worker may dequeue or steal this stream's items — this is
+    /// what serialises scorer access and preserves per-stream FIFO under
+    /// stealing.
+    bool claimed = false;
   };
 
   /// One queued ingestion batch.
@@ -328,17 +393,35 @@ class ShardedMonitorService {
     std::uint64_t enqueued_ns;
   };
 
-  /// One shard: a bounded MPSC queue plus the dedicated worker draining it.
-  struct Shard {
+  /// One shard: a bounded MPSC queue plus the dedicated worker draining
+  /// it. Cache-line aligned so one shard's queue churn never false-shares
+  /// with its neighbours' hot fields.
+  struct alignas(64) Shard {
     std::mutex mutex;
-    std::condition_variable ready;  ///< worker waits for work
+    std::condition_variable ready;  ///< worker waits for work / unclaims
     std::condition_variable space;  ///< kBlock producers wait for capacity
     std::condition_variable idle;   ///< Flush waits for quiescence
     std::deque<QueueItem> queue;
     std::size_t queued = 0;  ///< examples summed over `queue`
     bool busy = false;       ///< worker is scoring a popped batch
     bool stop = false;
+    /// Examples extracted by thieves, not yet scored (quiescence term).
+    std::size_t stolen_inflight = 0;
+    /// Lock-free mirror of `queued` — victim selection reads it without
+    /// touching the mutex.
+    std::atomic<std::size_t> queued_approx{0};
+    /// EWMA of scoring ns per example (kLatencyTarget's service-rate
+    /// estimate). Plain loads/stores, intentionally racy — see
+    /// UpdateServiceEwma.
+    std::atomic<std::uint64_t> service_ewma_ns{0};
     std::thread worker;
+  };
+
+  /// One stream's batches extracted from a victim queue, in queue order.
+  struct StolenGroup {
+    StreamState* state = nullptr;
+    std::vector<QueueItem> items;
+    std::size_t examples = 0;
   };
 
   StreamState* State(StreamId id) {
@@ -347,66 +430,231 @@ class ShardedMonitorService {
     return (*table)[id];
   }
 
+  static typename std::deque<QueueItem>::iterator FirstUnclaimed(
+      std::deque<QueueItem>& queue) {
+    for (auto it = queue.begin(); it != queue.end(); ++it) {
+      if (!it->state->claimed) return it;
+    }
+    return queue.end();
+  }
+
   void WorkerLoop(std::size_t shard_index) {
     Shard& shard = *shards_[shard_index];
     [[maybe_unused]] obs::Tracer* const tracer = config_.tracer.get();
-    // Occupancy accounting: everything between finishing one batch and
-    // dequeuing the next is idle; Score's wall time is busy. The boundary
-    // timestamps double as the queue-wait measurement.
+    const bool stealing = config_.stealing && config_.shards > 1;
+    // Occupancy accounting: everything between finishing one batch (or
+    // steal episode) and starting the next is idle; own scoring is busy,
+    // foreign scoring is steal time. The boundary timestamps double as
+    // the queue-wait measurement.
     std::uint64_t idle_since_ns = obs::Clock::NowNs();
     for (;;) {
       QueueItem item;
-      std::size_t depth;
+      std::size_t depth = 0;
+      bool have_own = false;
       {
         std::unique_lock<std::mutex> lock(shard.mutex);
-        shard.ready.wait(lock,
-                         [&] { return shard.stop || !shard.queue.empty(); });
-        if (shard.queue.empty()) return;  // stop requested and queue drained
-        item = std::move(shard.queue.front());
-        shard.queue.pop_front();
-        shard.queued -= item.batch.size();
-        depth = shard.queued;
-        shard.busy = true;
-        shard.space.notify_all();
+        for (;;) {
+          const auto it = FirstUnclaimed(shard.queue);
+          if (it != shard.queue.end()) {
+            item = std::move(*it);
+            shard.queue.erase(it);
+            shard.queued -= item.batch.size();
+            shard.queued_approx.store(shard.queued,
+                                      std::memory_order_relaxed);
+            depth = shard.queued;
+            shard.busy = true;
+            item.state->claimed = true;
+            shard.space.notify_all();
+            have_own = true;
+            break;
+          }
+          if (shard.stop) {
+            if (shard.queue.empty()) return;
+            // Claimed leftovers: a thief still owns those streams; it
+            // will unclaim and notify when its group is scored.
+            shard.ready.wait(lock);
+            continue;
+          }
+          if (stealing) break;  // nothing local: try the neighbours
+          shard.ready.wait(lock);
+        }
       }
-      const std::uint64_t dequeued_ns = obs::Clock::NowNs();
-      const std::uint64_t idle_ns =
-          obs::Clock::ElapsedNs(idle_since_ns, dequeued_ns);
-      const std::uint64_t queue_wait_ns =
-          obs::Clock::ElapsedNs(item.enqueued_ns, dequeued_ns);
-      metrics_->RecordQueueDepth(shard_index, depth);
-      bool traced = false;
-      OMG_TRACE(traced = tracer != nullptr && tracer->SampleBatch(shard_index);
-                if (traced) tracer->EmitShard(
-                    shard_index, obs::TraceEventKind::kBatchDequeue,
-                    obs::TracePhase::kInstant, item.state->id,
-                    item.batch.size(), depth));
-      Score(shard_index, item, queue_wait_ns, idle_ns, traced);
-      {
-        std::lock_guard<std::mutex> lock(shard.mutex);
-        shard.busy = false;
-        if (shard.queue.empty()) shard.idle.notify_all();
+      if (have_own) {
+        const std::uint64_t dequeued_ns = obs::Clock::NowNs();
+        const std::uint64_t idle_ns =
+            obs::Clock::ElapsedNs(idle_since_ns, dequeued_ns);
+        const std::uint64_t queue_wait_ns =
+            obs::Clock::ElapsedNs(item.enqueued_ns, dequeued_ns);
+        metrics_->RecordQueueDepth(shard_index, depth);
+        bool traced = false;
+        OMG_TRACE(
+            traced = tracer != nullptr && tracer->SampleBatch(shard_index);
+            if (traced) tracer->EmitShard(
+                shard_index, obs::TraceEventKind::kBatchDequeue,
+                obs::TracePhase::kInstant, item.state->id, item.batch.size(),
+                depth));
+        Score(shard_index, item, queue_wait_ns, idle_ns, traced,
+              /*stolen=*/false);
+        {
+          std::lock_guard<std::mutex> lock(shard.mutex);
+          item.state->claimed = false;
+          shard.busy = false;
+          if (shard.queue.empty() && shard.stolen_inflight == 0) {
+            shard.idle.notify_all();
+          }
+        }
+        idle_since_ns = obs::Clock::NowNs();
+        continue;
       }
-      idle_since_ns = obs::Clock::NowNs();
+      if (TryStealAndRun(shard_index, idle_since_ns)) continue;
+      // Nothing to steal either: nap until local work arrives or a short
+      // timeout re-opens the steal scan.
+      std::unique_lock<std::mutex> lock(shard.mutex);
+      shard.ready.wait_for(lock, std::chrono::microseconds(500), [&] {
+        return shard.stop || FirstUnclaimed(shard.queue) != shard.queue.end();
+      });
     }
   }
 
-  /// Worker-side scoring: runs on `item.state`'s shard, exclusively.
-  /// `queue_wait_ns` / `idle_ns` are the batch's occupancy deltas measured
-  /// by WorkerLoop; `traced` is the sampling decision for this batch.
-  void Score(std::size_t shard_index, QueueItem& item,
+  /// One steal episode: claim whole-stream batch groups from the deepest
+  /// neighbour until half its queued examples are extracted, score them,
+  /// unclaim group by group. Returns false when there was nothing to
+  /// steal. On success, advances `idle_since_ns` past the episode.
+  bool TryStealAndRun(std::size_t thief_index, std::uint64_t& idle_since_ns) {
+    [[maybe_unused]] obs::Tracer* const tracer = config_.tracer.get();
+    std::size_t victim_index = thief_index;
+    std::size_t deepest = 0;
+    for (std::size_t j = 0; j < config_.shards; ++j) {
+      if (j == thief_index) continue;
+      const std::size_t d =
+          shards_[j]->queued_approx.load(std::memory_order_relaxed);
+      if (d > deepest) {
+        deepest = d;
+        victim_index = j;
+      }
+    }
+    if (victim_index == thief_index) return false;
+    Shard& victim = *shards_[victim_index];
+    std::vector<StolenGroup> groups;
+    std::size_t stolen_examples = 0;
+    std::size_t stolen_batches = 0;
+    std::size_t depth = 0;
+    {
+      std::lock_guard<std::mutex> lock(victim.mutex);
+      // A stopping victim drains its own queue; stealing from it would
+      // race the drain-then-join shutdown.
+      if (victim.stop || victim.queue.empty()) return false;
+      const std::size_t half = (victim.queued + 1) / 2;
+      while (stolen_examples < half) {
+        StreamState* target = nullptr;
+        for (const QueueItem& queued_item : victim.queue) {
+          if (!queued_item.state->claimed) {
+            target = queued_item.state;
+            break;
+          }
+        }
+        if (target == nullptr) break;  // all remaining streams are claimed
+        target->claimed = true;
+        StolenGroup group;
+        group.state = target;
+        for (auto it = victim.queue.begin(); it != victim.queue.end();) {
+          if (it->state == target) {
+            group.examples += it->batch.size();
+            ++stolen_batches;
+            group.items.push_back(std::move(*it));
+            it = victim.queue.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        stolen_examples += group.examples;
+        groups.push_back(std::move(group));
+      }
+      if (groups.empty()) return false;
+      victim.queued -= stolen_examples;
+      victim.queued_approx.store(victim.queued, std::memory_order_relaxed);
+      victim.stolen_inflight += stolen_examples;
+      depth = victim.queued;
+      victim.space.notify_all();
+    }
+    metrics_->RecordQueueDepth(victim_index, depth);
+    metrics_->RecordSteal(victim_index, stolen_batches, stolen_examples);
+    const std::uint64_t steal_begin_ns = obs::Clock::NowNs();
+    const std::uint64_t idle_ns =
+        obs::Clock::ElapsedNs(idle_since_ns, steal_begin_ns);
+    for (StolenGroup& group : groups) {
+      for (QueueItem& stolen_item : group.items) {
+        const std::uint64_t queue_wait_ns =
+            obs::Clock::ElapsedNs(stolen_item.enqueued_ns, steal_begin_ns);
+        // Stolen batches trace into the *thief's* lane (never the home
+        // shard's): each lane stays single-writer — only its own worker
+        // thread emits into it.
+        bool traced = false;
+        OMG_TRACE(
+            traced = tracer != nullptr && tracer->SampleBatch(thief_index);
+            if (traced) tracer->EmitShard(
+                thief_index, obs::TraceEventKind::kBatchDequeue,
+                obs::TracePhase::kInstant, stolen_item.state->id,
+                stolen_item.batch.size(), depth));
+        Score(thief_index, stolen_item, queue_wait_ns, /*idle_ns=*/0,
+              traced, /*stolen=*/true);
+      }
+      {
+        std::lock_guard<std::mutex> lock(victim.mutex);
+        group.state->claimed = false;
+        victim.stolen_inflight -= group.examples;
+        // The home worker may have skipped this stream's newer items (or
+        // be waiting out a stop) — wake it now that the claim is gone.
+        victim.ready.notify_all();
+        if (victim.queue.empty() && !victim.busy &&
+            victim.stolen_inflight == 0) {
+          victim.idle.notify_all();
+        }
+      }
+    }
+    const std::uint64_t steal_end_ns = obs::Clock::NowNs();
+    metrics_->RecordStealWork(
+        thief_index, obs::Clock::ElapsedNs(steal_begin_ns, steal_end_ns),
+        idle_ns);
+    idle_since_ns = steal_end_ns;
+    return true;
+  }
+
+  /// Publishes a scoring measurement into the home shard's service-rate
+  /// EWMA (kLatencyTarget's admission signal). Load/compute/store without
+  /// a CAS loop: the home worker and a thief can race and drop an update,
+  /// which only jitters a heuristic the admission counters keep honest.
+  void UpdateServiceEwma(std::size_t home_shard, std::uint64_t busy_ns,
+                         std::size_t count) {
+    if (count == 0) return;
+    Shard& shard = *shards_[home_shard];
+    const std::uint64_t per =
+        std::max<std::uint64_t>(1, busy_ns / count);
+    const std::uint64_t old =
+        shard.service_ewma_ns.load(std::memory_order_relaxed);
+    shard.service_ewma_ns.store(old == 0 ? per : (7 * old + per) / 8,
+                                std::memory_order_relaxed);
+  }
+
+  /// Scores one batch on `worker_shard`'s thread. The stream is claimed by
+  /// the caller, so scorer access is exclusive. `stolen` routes the
+  /// occupancy: an own batch's busy/idle land in the home cell here, a
+  /// stolen batch's wall time is the caller's steal episode (recorded via
+  /// RecordStealWork) and the home cell gets zero busy/idle — stream
+  /// aggregates, events, and latency always land in the home cell.
+  void Score(std::size_t worker_shard, QueueItem& item,
              std::uint64_t queue_wait_ns, std::uint64_t idle_ns,
-             [[maybe_unused]] bool traced) {
+             [[maybe_unused]] bool traced, bool stolen) {
     [[maybe_unused]] obs::Tracer* const tracer = config_.tracer.get();
     StreamState& state = *item.state;
     const std::size_t count = item.batch.size();
     const std::uint64_t begin_ns = obs::Clock::NowNs();
     OMG_TRACE(if (traced) tracer->EmitShard(
-                  shard_index, obs::TraceEventKind::kEvaluate,
+                  worker_shard, obs::TraceEventKind::kEvaluate,
                   obs::TracePhase::kBegin, state.id, count));
     std::vector<StreamEvent> events;
     try {
-      state.evaluator.ObserveBatch(
+      state.scorer->ObserveBatch(
           std::move(item.batch),
           [&](std::size_t global, std::size_t a, double severity) {
             events.push_back({state.id, state.name, global,
@@ -419,13 +667,15 @@ class ShardedMonitorService {
       }
       const std::uint64_t failed_ns = obs::Clock::NowNs();
       OMG_TRACE(if (traced) tracer->EmitShard(
-                    shard_index, obs::TraceEventKind::kEvaluate,
+                    worker_shard, obs::TraceEventKind::kEvaluate,
                     obs::TracePhase::kEnd, state.id, count, 0));
+      const std::uint64_t busy_ns =
+          obs::Clock::ElapsedNs(begin_ns, failed_ns);
       // Keep the loss accounting exact: a poisoned batch's examples must
       // land in a counter (offered == scored + shed + dropped + errored).
-      metrics_->RecordError(shard_index, 1, count, queue_wait_ns,
-                            obs::Clock::ElapsedNs(begin_ns, failed_ns),
-                            idle_ns);
+      metrics_->RecordError(state.shard, 1, count, queue_wait_ns,
+                            stolen ? 0 : busy_ns, stolen ? 0 : idle_ns);
+      UpdateServiceEwma(state.shard, busy_ns, count);
       return;
     }
     if (const auto sinks = sinks_.load()) {
@@ -435,14 +685,15 @@ class ShardedMonitorService {
     }
     const std::uint64_t done_ns = obs::Clock::NowNs();
     OMG_TRACE(if (traced) tracer->EmitShard(
-                  shard_index, obs::TraceEventKind::kEvaluate,
+                  worker_shard, obs::TraceEventKind::kEvaluate,
                   obs::TracePhase::kEnd, state.id, count, events.size()));
     const double latency = obs::Clock::ToSeconds(
         obs::Clock::ElapsedNs(item.enqueued_ns, done_ns));
-    metrics_->RecordScoredBatch(state.id, shard_index, count, events, latency,
-                                queue_wait_ns,
-                                obs::Clock::ElapsedNs(begin_ns, done_ns),
-                                idle_ns);
+    const std::uint64_t busy_ns = obs::Clock::ElapsedNs(begin_ns, done_ns);
+    metrics_->RecordScoredBatch(state.id, state.shard, count, events, latency,
+                                queue_wait_ns, stolen ? 0 : busy_ns,
+                                stolen ? 0 : idle_ns);
+    UpdateServiceEwma(state.shard, busy_ns, count);
   }
 
   ShardedRuntimeConfig config_;

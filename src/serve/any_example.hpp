@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "serve/spill_pool.hpp"
 
 namespace omg::serve {
 
@@ -88,7 +89,13 @@ class AnyExample {
       ::new (static_cast<void*>(buffer_))
           Payload(std::forward<Args>(args)...);
     } else {
-      void* heap = new Payload(std::forward<Args>(args)...);
+      void* heap = Ops<Payload>::AllocateSpill();
+      try {
+        ::new (heap) Payload(std::forward<Args>(args)...);
+      } catch (...) {
+        Ops<Payload>::ReleaseSpill(heap);
+        throw;
+      }
       std::memcpy(buffer_, &heap, sizeof(heap));
     }
     vtable_ = &VTableFor<Payload>();
@@ -147,6 +154,16 @@ class AnyExample {
     return Is<T>() ? static_cast<const T*>(raw()) : nullptr;
   }
 
+  /// Mutable payload access (same type check as TryGet) — for adapters
+  /// that move the payload *out* of the holder, e.g. the typed stream
+  /// scorer ingesting a facade batch into a typed window. Moving from the
+  /// payload leaves it valid-but-unspecified; the holder still owns and
+  /// destroys it.
+  template <typename T>
+  T* TryGetMutable() {
+    return Is<T>() ? static_cast<T*>(raw()) : nullptr;
+  }
+
   /// The payload as `T`; throws CheckError when empty / a different type
   /// (use TryGet on paths that must not throw).
   template <typename T>
@@ -201,11 +218,34 @@ class AnyExample {
         alignof(T) <= alignof(std::max_align_t) &&
         std::is_nothrow_move_constructible_v<T>;
 
+    /// Heap-spilled payloads recycle SpillPool blocks; over-aligned types
+    /// bypass the pool (its blocks are only max_align_t-aligned).
+    static constexpr bool kPooled =
+        !kInline && alignof(T) <= alignof(std::max_align_t);
+
+    static void* AllocateSpill() {
+      if constexpr (kPooled) {
+        return SpillPool::Allocate(sizeof(T));
+      } else {
+        return ::operator new(sizeof(T), std::align_val_t(alignof(T)));
+      }
+    }
+
+    static void ReleaseSpill(void* block) noexcept {
+      if constexpr (kPooled) {
+        SpillPool::Release(block, sizeof(T));
+      } else {
+        ::operator delete(block, std::align_val_t(alignof(T)));
+      }
+    }
+
     static void Destroy(AnyExample& self) noexcept {
       if constexpr (kInline) {
         static_cast<T*>(self.raw())->~T();
       } else {
-        delete static_cast<T*>(self.raw());
+        T* payload = static_cast<T*>(self.raw());
+        payload->~T();
+        ReleaseSpill(payload);
       }
     }
 
@@ -224,7 +264,13 @@ class AnyExample {
       if constexpr (kInline) {
         ::new (static_cast<void*>(dst.buffer_)) T(payload);
       } else {
-        void* heap = new T(payload);
+        void* heap = AllocateSpill();
+        try {
+          ::new (heap) T(payload);
+        } catch (...) {
+          ReleaseSpill(heap);
+          throw;
+        }
         std::memcpy(dst.buffer_, &heap, sizeof(heap));
       }
     }
@@ -301,9 +347,14 @@ class AnyExample {
 /// producer path: `monitor.ObserveBatch(handle, WrapBatch(span))`).
 template <typename T>
 std::vector<AnyExample> WrapBatch(std::span<const T> examples) {
+  // Pre-sized holders filled through the data pointer: the default ctor
+  // only nulls the vtable word, and a plain indexed loop lets the copies
+  // flatten — measurably faster than reserve + emplace_back, which
+  // re-checks capacity and re-loads the end pointer per element.
   std::vector<AnyExample> batch(examples.size());
+  AnyExample* out = batch.data();
   for (std::size_t i = 0; i < examples.size(); ++i) {
-    batch[i].Emplace<T>(examples[i]);
+    out[i].Emplace<T>(examples[i]);
   }
   return batch;
 }

@@ -192,11 +192,16 @@ class ScratchPool {
   }
 
   /// Verifies domains and copies payloads into `out` (dense,
-  /// memcpy-safe payloads only).
+  /// memcpy-safe payloads only). Two-phase: validate every holder first,
+  /// then copy in a branch-free loop — the throw path stays out of the
+  /// copy loop, so the compiler can unroll/vectorize the memcpys.
   static void CopyRange(const AnyExample* begin, const AnyExample* end,
                         T* out, std::string_view assertion) {
+    for (const AnyExample* it = begin; it != end; ++it) {
+      if (!it->Is<T>()) Payload(*it, assertion);  // throws, naming the domain
+    }
     for (const AnyExample* it = begin; it != end; ++it, ++out) {
-      *out = Payload(*it, assertion);
+      std::memcpy(static_cast<void*>(out), it->TryGet<T>(), sizeof(T));
     }
   }
 
@@ -253,10 +258,55 @@ class ErasedAssertion final : public core::Assertion<AnyExample> {
   bool pass_leader_;
 };
 
+/// The facade's fast path: scores an AnyExample stream on a *typed*
+/// window. Each batch's payloads are moved straight out of their holders
+/// into an IncrementalWindowEvaluator<T> (no ScratchPool materialisation,
+/// no erased-assertion indirection per pass); the typed suite scores
+/// typed spans directly. The evaluator sees the same radii, window, and
+/// settle lag as the erased path, so chunk splits and emission order are
+/// bit-identical — only the per-pass copies disappear.
+template <typename T>
+class TypedStreamScorer final : public runtime::StreamScorer<AnyExample> {
+ public:
+  TypedStreamScorer(std::string_view domain,
+                    std::shared_ptr<core::AssertionSuite<T>> suite,
+                    std::function<void()> invalidate,
+                    const runtime::StreamScorerParams& params)
+      : domain_(domain),
+        suite_(std::move(suite)),
+        evaluator_(*suite_, {params.window, params.settle_lag,
+                             std::move(invalidate)}) {}
+
+  void ObserveBatch(std::vector<AnyExample> batch,
+                    const runtime::StreamScorer<AnyExample>::EmitFn& emit)
+      override {
+    AnyExample* data = batch.data();
+    auto source = [this, data](std::size_t k) -> T&& {
+      T* typed = data[k].TryGetMutable<T>();
+      if (typed == nullptr) {
+        throw common::CheckError(
+            "stream scorer for domain '" + domain_ + "' fed a '" +
+            std::string(data[k].domain()) +
+            "' example: " + data[k].DebugString());
+      }
+      return std::move(*typed);
+    };
+    evaluator_.ObserveBatchFrom(batch.size(), source, emit);
+  }
+
+ private:
+  std::string domain_;
+  std::shared_ptr<core::AssertionSuite<T>> suite_;
+  core::IncrementalWindowEvaluator<T> evaluator_;
+};
+
 /// Erases a typed per-stream bundle into an AnyExample bundle: every
 /// assertion is wrapped (name qualified under `domain`), the invalidation
 /// hook passes through, and the typed suite stays alive behind the
-/// wrappers.
+/// wrappers. The bundle also carries a TypedStreamScorer factory, so the
+/// sharded service evaluates this stream on typed windows (the erased
+/// suite remains the source of event names — and the fallback for any
+/// driver that scores through AssertionSuite::CheckAll directly).
 template <typename T>
 AnySuiteBundle EraseSuiteBundle(std::string_view domain,
                                 runtime::SuiteBundle<T> bundle) {
@@ -270,7 +320,13 @@ AnySuiteBundle EraseSuiteBundle(std::string_view domain,
   }
   AnySuiteBundle out;
   out.suite = std::move(erased);
-  out.invalidate = std::move(bundle.invalidate);
+  out.invalidate = bundle.invalidate;
+  out.scorer = [domain = std::string(domain), suite = bundle.suite,
+                invalidate = std::move(bundle.invalidate)](
+                   const runtime::StreamScorerParams& params) {
+    return std::make_unique<TypedStreamScorer<T>>(domain, suite, invalidate,
+                                                  params);
+  };
   return out;
 }
 

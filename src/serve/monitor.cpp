@@ -65,7 +65,12 @@ class EventDispatcher final : public runtime::EventSink {
     std::lock_guard<std::mutex> lock(mutex_);
     const std::uint64_t id = next_id_++;
     auto entries = std::make_unique<std::vector<Entry>>(Current());
-    entries->push_back({id, std::move(filter), std::move(sink)});
+    // Pass-all filters (the common "give me everything" subscription) skip
+    // Matches entirely — Consume runs once per event on the shard workers.
+    const bool pass_all = filter.domain.empty() && filter.stream.empty() &&
+                          filter.assertion.empty() &&
+                          filter.min_severity <= 0.0;
+    entries->push_back({id, pass_all, std::move(filter), std::move(sink)});
     Publish(std::move(entries));
     return id;
   }
@@ -96,7 +101,9 @@ class EventDispatcher final : public runtime::EventSink {
         current_.load(std::memory_order_acquire);
     if (entries == nullptr) return;
     for (const Entry& entry : *entries) {
-      if (entry.filter.Matches(event)) entry.sink->Consume(event);
+      if (entry.pass_all || entry.filter.Matches(event)) {
+        entry.sink->Consume(event);
+      }
     }
   }
 
@@ -110,6 +117,7 @@ class EventDispatcher final : public runtime::EventSink {
  private:
   struct Entry {
     std::uint64_t id;
+    bool pass_all;
     EventFilter filter;
     std::shared_ptr<runtime::EventSink> sink;
   };
@@ -176,6 +184,16 @@ Monitor::Builder& Monitor::Builder::Admission(
 
 Monitor::Builder& Monitor::Builder::ShedFloor(double floor) {
   config_.shed_floor = floor;
+  return *this;
+}
+
+Monitor::Builder& Monitor::Builder::Stealing(bool stealing) {
+  config_.stealing = stealing;
+  return *this;
+}
+
+Monitor::Builder& Monitor::Builder::LatencyTargetMs(double target_ms) {
+  config_.latency_target_ms = target_ms;
   return *this;
 }
 

@@ -176,8 +176,12 @@ class Monitor {
     Builder& QueueCapacity(std::size_t capacity);
     /// Full-queue admission policy.
     Builder& Admission(runtime::AdmissionPolicy policy);
-    /// Severity floor for kShedBelowSeverity admission.
+    /// Severity floor for kShedBelowSeverity / kLatencyTarget admission.
     Builder& ShedFloor(double floor);
+    /// Enables (default) or disables work stealing between shard workers.
+    Builder& Stealing(bool stealing);
+    /// p99 SLO for kLatencyTarget admission, in milliseconds.
+    Builder& LatencyTargetMs(double target_ms);
     /// Attaches an observability tracer: per-shard trace lanes with
     /// `options.ring_capacity` slots and 1-in-`options.sample_every` batch
     /// sampling (options.shard_lanes is overridden to the shard count).

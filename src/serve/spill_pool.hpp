@@ -1,0 +1,185 @@
+// Pooled allocation for heap-spilled AnyExample payloads.
+//
+// Payload types larger than AnyExample::kInlineCapacity spill to the heap,
+// and holders are created and destroyed at ingest rate — wrap on the
+// producer thread, destroy on whichever shard worker scores the batch. A
+// general-purpose allocator round-trips a lock (or a cross-thread cache
+// miss) per spill; this pool recycles fixed size-class blocks instead:
+//
+//   * 8 power-of-two size classes, 256 B .. 32 KiB (the payload shapes a
+//     domain example realistically takes); larger payloads fall through to
+//     plain operator new/delete;
+//   * a small per-thread cache in front of a mutex-guarded global freelist
+//     per class. Producers allocate from their cache, workers release into
+//     theirs; overflow spills to the global list, so blocks circulate
+//     worker -> global -> producer under the steady-state cross-thread
+//     flow the sharded service produces;
+//   * both tiers are capped (caches 8 blocks/class, global 64/class):
+//     bursts beyond the cap hit the system allocator, memory stays bounded.
+//
+// Lifetime rules (see docs/ARCHITECTURE.md): a block belongs to exactly one
+// live payload at a time; AnyExample's vtable Destroy returns it to the
+// pool of the *destroying* thread, and no pointer into a released block may
+// survive the release. Blocks are max_align_t-aligned; over-aligned payload
+// types bypass the pool entirely (AnyExample gates on alignof). All shipped
+// domains fit inline, so this path is cold today — it exists so a future
+// big-payload domain (full video frames, long telemetry vectors) does not
+// turn the wrap path into an allocator benchmark.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <new>
+#include <vector>
+
+namespace omg::serve {
+
+/// Recycles heap blocks for spilled AnyExample payloads. All methods are
+/// thread-safe and lock-free on the per-thread cache fast path.
+class SpillPool {
+ public:
+  /// Smallest / largest pooled block size; requests outside use the system
+  /// allocator directly.
+  static constexpr std::size_t kMinBlock = 256;
+  static constexpr std::size_t kMaxBlock = 32 * 1024;
+  static constexpr std::size_t kClasses = 8;  // 256 << 7 == 32 KiB
+  static constexpr std::size_t kCacheCap = 8;    ///< blocks per thread class
+  static constexpr std::size_t kGlobalCap = 64;  ///< blocks per global class
+
+  /// A max_align_t-aligned block of at least `bytes`; never null (throws
+  /// std::bad_alloc like operator new).
+  static void* Allocate(std::size_t bytes) {
+    const std::size_t cls = ClassOf(bytes);
+    if (cls >= kClasses) return ::operator new(bytes);
+    auto& cache = Cache().classes[cls];
+    if (!cache.empty()) {
+      void* block = cache.back();
+      cache.pop_back();
+      Counters().pool_hits.fetch_add(1, std::memory_order_relaxed);
+      return block;
+    }
+    {
+      Global& global = GlobalPool();
+      std::lock_guard<std::mutex> lock(global.mutex);
+      auto& list = global.classes[cls];
+      if (!list.empty()) {
+        void* block = list.back();
+        list.pop_back();
+        Counters().pool_hits.fetch_add(1, std::memory_order_relaxed);
+        return block;
+      }
+    }
+    Counters().fresh_allocs.fetch_add(1, std::memory_order_relaxed);
+    return ::operator new(ClassBytes(cls));
+  }
+
+  /// Returns a block obtained from Allocate(bytes) to the pool. The caller
+  /// must pass the same `bytes` it allocated with (AnyExample's vtable
+  /// knows the payload size statically).
+  static void Release(void* block, std::size_t bytes) noexcept {
+    const std::size_t cls = ClassOf(bytes);
+    if (cls >= kClasses) {
+      ::operator delete(block);
+      return;
+    }
+    auto& cache = Cache().classes[cls];
+    if (cache.size() < kCacheCap) {
+      cache.push_back(block);
+      return;
+    }
+    {
+      Global& global = GlobalPool();
+      std::lock_guard<std::mutex> lock(global.mutex);
+      auto& list = global.classes[cls];
+      if (list.size() < kGlobalCap) {
+        list.push_back(block);
+        return;
+      }
+    }
+    ::operator delete(block);
+  }
+
+  /// Allocation-path counters (monotone, process-wide), for tests and
+  /// diagnostics.
+  struct Stats {
+    std::size_t fresh_allocs = 0;  ///< pool misses that hit operator new
+    std::size_t pool_hits = 0;     ///< allocations served from a freelist
+  };
+
+  static Stats GetStats() {
+    return {Counters().fresh_allocs.load(std::memory_order_relaxed),
+            Counters().pool_hits.load(std::memory_order_relaxed)};
+  }
+
+ private:
+  /// Size class index for `bytes` (kClasses when unpooled).
+  static std::size_t ClassOf(std::size_t bytes) {
+    std::size_t size = kMinBlock;
+    for (std::size_t cls = 0; cls < kClasses; ++cls, size <<= 1) {
+      if (bytes <= size) return cls;
+    }
+    return kClasses;
+  }
+
+  static std::size_t ClassBytes(std::size_t cls) { return kMinBlock << cls; }
+
+  struct Global {
+    std::mutex mutex;
+    std::vector<void*> classes[kClasses];
+
+    ~Global() {
+      for (auto& list : classes) {
+        for (void* block : list) ::operator delete(block);
+      }
+    }
+  };
+
+  /// Per-thread cache; drains to the global pool when the thread exits.
+  struct ThreadCache {
+    std::vector<void*> classes[kClasses];
+
+    // Touch the global pool first so its constructor completes before
+    // ours: static destruction then runs ~ThreadCache (which needs the
+    // pool) before ~Global.
+    ThreadCache() { GlobalPool(); }
+
+    ~ThreadCache() {
+      Global& global = GlobalPool();
+      std::lock_guard<std::mutex> lock(global.mutex);
+      for (std::size_t cls = 0; cls < kClasses; ++cls) {
+        for (void* block : classes[cls]) {
+          if (global.classes[cls].size() < kGlobalCap) {
+            global.classes[cls].push_back(block);
+          } else {
+            ::operator delete(block);
+          }
+        }
+      }
+    }
+  };
+
+  struct AtomicStats {
+    std::atomic<std::size_t> fresh_allocs{0};
+    std::atomic<std::size_t> pool_hits{0};
+  };
+
+  // Function-local statics: the global pool outlives every thread cache
+  // (constructed first via the cache destructor's GlobalPool() call).
+  static Global& GlobalPool() {
+    static Global global;
+    return global;
+  }
+
+  static ThreadCache& Cache() {
+    thread_local ThreadCache cache;
+    return cache;
+  }
+
+  static AtomicStats& Counters() {
+    static AtomicStats counters;
+    return counters;
+  }
+};
+
+}  // namespace omg::serve

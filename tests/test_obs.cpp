@@ -434,6 +434,10 @@ TEST(OccupancyTest, ShardedServiceAccountsBusyIdleAndQueueWait) {
   config.window = 16;
   config.settle_lag = 4;
   config.queue_capacity = 1024;
+  // This test pins the *pinned-stream* occupancy model (every batch scored
+  // by its home worker); with stealing an idle neighbour may score a
+  // shard's whole queue, legitimately leaving that shard's busy_ns at 0.
+  config.stealing = false;
   TracerOptions trace_options;
   trace_options.shard_lanes = config.shards;
   trace_options.ring_capacity = 4096;

@@ -382,6 +382,94 @@ TEST(ShardedService, LatencyHistogramTracksBatchesAndQuantilesAreOrdered) {
             snapshot.shards[0].batches + snapshot.shards[1].batches);
 }
 
+TEST(LatencyHistogramTest, QuantilesResolveOnSyntheticDistribution) {
+  // A known mix spanning three octaves. The original octave-only buckets
+  // could not separate p95 from p99 here — both overshot inside a coarse
+  // tail bucket and clamped to max; the 1/8-octave sub-buckets pin each
+  // quantile to its own mode within ~12.5% relative error.
+  LatencyHistogram histogram;
+  for (int i = 0; i < 50; ++i) histogram.Record(0.001);  // ranks 1..50
+  for (int i = 0; i < 45; ++i) histogram.Record(0.008);  // ranks 51..95
+  for (int i = 0; i < 4; ++i) histogram.Record(0.032);   // ranks 96..99
+  histogram.Record(0.128);                               // rank 100
+
+  const double p50 = histogram.Quantile(0.50);
+  const double p95 = histogram.Quantile(0.95);
+  const double p99 = histogram.Quantile(0.99);
+  EXPECT_NEAR(p50, 0.001, 0.001 * 0.13);
+  EXPECT_NEAR(p95, 0.008, 0.008 * 0.13);
+  EXPECT_NEAR(p99, 0.032, 0.032 * 0.13);
+  // The regression this pins: distinct tail modes must yield distinct
+  // quantiles, none stuck at the distribution max.
+  EXPECT_LT(p50, p95);
+  EXPECT_LT(p95, p99);
+  EXPECT_LT(p99, histogram.max_seconds());
+  EXPECT_NEAR(histogram.Quantile(1.0), 0.128, 0.128 * 0.13);
+  EXPECT_EQ(histogram.min_seconds(), 0.001);
+  EXPECT_EQ(histogram.max_seconds(), 0.128);
+}
+
+// ------------------------------------------------- admission: latency SLO ---
+
+TEST(ShardedService, LatencyTargetShedsProjectedOverloadAdmitsImportant) {
+  ShardedRuntimeConfig config;
+  config.shards = 1;
+  config.window = 8;
+  config.settle_lag = 0;
+  config.queue_capacity = 1024;
+  config.admission = AdmissionPolicy::kLatencyTarget;
+  config.shed_floor = 0.5;
+  // Any queued work projects past a 1ns-scale target once the shard has
+  // measured its service rate — so post-warmup, below-floor work sheds.
+  config.latency_target_ms = 1e-6;
+  ShardedMonitorService<Tick> service(config, MakeBundle);
+  const StreamId id = service.RegisterStream("only");
+
+  // Before the first scored batch there is no rate estimate: everything
+  // is admitted, whatever its severity.
+  EXPECT_TRUE(service.ObserveBatch(id, {Tick{0.1}, Tick{0.2}},
+                                   /*severity_hint=*/0.0));
+  service.Flush();
+
+  // Now the EWMA is primed; a below-floor batch projects over target and
+  // sheds, an at-floor batch bypasses the estimate entirely.
+  EXPECT_FALSE(service.ObserveBatch(id, {Tick{0.3}, Tick{0.4}, Tick{0.5}},
+                                    /*severity_hint=*/0.0));
+  EXPECT_TRUE(service.ObserveBatch(id, {Tick{0.6}},
+                                   /*severity_hint=*/0.5));
+  service.Flush();
+
+  const MetricsSnapshot snapshot = service.Metrics();
+  EXPECT_EQ(snapshot.examples_seen, 3u);
+  EXPECT_EQ(snapshot.TotalShedExamples(), 3u);
+  EXPECT_EQ(snapshot.TotalDroppedExamples(), 0u);
+  EXPECT_EQ(snapshot.examples_seen + snapshot.TotalShedExamples() +
+                snapshot.TotalDroppedExamples() +
+                snapshot.TotalErroredExamples(),
+            6u);
+}
+
+TEST(ShardedService, LatencyTargetGenerousSloAdmitsEverything) {
+  ShardedRuntimeConfig config;
+  config.shards = 1;
+  config.window = 8;
+  config.settle_lag = 0;
+  config.queue_capacity = 1024;
+  config.admission = AdmissionPolicy::kLatencyTarget;
+  config.shed_floor = 0.5;
+  config.latency_target_ms = 60'000.0;  // a minute: nothing projects past
+  ShardedMonitorService<Tick> service(config, MakeBundle);
+  const StreamId id = service.RegisterStream("only");
+  for (int round = 0; round < 20; ++round) {
+    EXPECT_TRUE(service.ObserveBatch(id, {Tick{0.1}, Tick{0.2}},
+                                     /*severity_hint=*/0.0));
+  }
+  service.Flush();
+  const MetricsSnapshot snapshot = service.Metrics();
+  EXPECT_EQ(snapshot.examples_seen, 40u);
+  EXPECT_EQ(snapshot.TotalShedExamples(), 0u);
+}
+
 // -------------------------------------------------------------- validation ---
 
 TEST(ShardedService, ValidatesConfigAndInputs) {
