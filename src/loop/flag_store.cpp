@@ -24,7 +24,7 @@ void FlagStore::Record(const CandidateKey& key, std::size_t column,
                      static_cast<std::ptrdiff_t>(config_.num_assertions),
                      "flag store assertion column");
   common::CheckNonNegative(severity, "flag severity");
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = candidates_.find(key);
   if (it != candidates_.end()) {
     const double old_rank = RankOf(it->second);
@@ -53,22 +53,22 @@ void FlagStore::Record(const CandidateKey& key, std::size_t column,
 }
 
 std::size_t FlagStore::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return candidates_.size();
 }
 
 std::size_t FlagStore::total_admitted() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return total_admitted_;
 }
 
 std::size_t FlagStore::evictions() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return evictions_;
 }
 
 FlagStore::Snapshot FlagStore::TakeSnapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Snapshot snapshot;
   snapshot.keys.reserve(candidates_.size());
   snapshot.severities =
@@ -85,7 +85,7 @@ FlagStore::Snapshot FlagStore::TakeSnapshot() const {
 }
 
 std::size_t FlagStore::Remove(std::span<const CandidateKey> keys) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::size_t removed = 0;
   for (const CandidateKey& key : keys) {
     const auto it = candidates_.find(key);
@@ -98,7 +98,7 @@ std::size_t FlagStore::Remove(std::span<const CandidateKey> keys) {
 }
 
 void FlagStore::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   candidates_.clear();
   ranks_.clear();
 }

@@ -17,12 +17,12 @@
 #include <compare>
 #include <cstddef>
 #include <map>
-#include <mutex>
 #include <set>
 #include <span>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "core/severity_matrix.hpp"
 #include "runtime/event_sink.hpp"
 
@@ -91,14 +91,15 @@ class FlagStore {
   static double RankOf(const std::vector<double>& severities);
 
   FlagStoreConfig config_;
-  mutable std::mutex mutex_;
-  std::map<CandidateKey, std::vector<double>> candidates_;
+  mutable Mutex mutex_;
+  std::map<CandidateKey, std::vector<double>> candidates_
+      OMG_GUARDED_BY(mutex_);
   /// Secondary index ordered by (rank, key): begin() is the eviction
   /// victim, so admission under capacity pressure is O(log n) on the
   /// collector's hot path instead of a scan over the whole pool.
-  std::set<std::pair<double, CandidateKey>> ranks_;
-  std::size_t total_admitted_ = 0;
-  std::size_t evictions_ = 0;
+  std::set<std::pair<double, CandidateKey>> ranks_ OMG_GUARDED_BY(mutex_);
+  std::size_t total_admitted_ OMG_GUARDED_BY(mutex_) = 0;
+  std::size_t evictions_ OMG_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace omg::loop

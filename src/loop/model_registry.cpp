@@ -9,7 +9,7 @@ std::uint64_t ModelRegistry::Publish(nn::Mlp model) {
   std::uint64_t version;
   [[maybe_unused]] std::shared_ptr<obs::Tracer> tracer;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     current_.version += 1;
     current_.model = std::move(shared);
     version = current_.version;
@@ -22,17 +22,17 @@ std::uint64_t ModelRegistry::Publish(nn::Mlp model) {
 }
 
 ModelHandle ModelRegistry::Current() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return current_;
 }
 
 std::uint64_t ModelRegistry::version() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return current_.version;
 }
 
 void ModelRegistry::AttachTracer(std::shared_ptr<obs::Tracer> tracer) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   tracer_ = std::move(tracer);
 }
 

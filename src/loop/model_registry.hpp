@@ -10,8 +10,8 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 
+#include "common/mutex.hpp"
 #include "nn/mlp.hpp"
 #include "obs/tracer.hpp"
 
@@ -45,9 +45,9 @@ class ModelRegistry {
   void AttachTracer(std::shared_ptr<obs::Tracer> tracer);
 
  private:
-  mutable std::mutex mutex_;
-  ModelHandle current_;
-  std::shared_ptr<obs::Tracer> tracer_;  ///< guarded by mutex_
+  mutable Mutex mutex_;
+  ModelHandle current_ OMG_GUARDED_BY(mutex_);
+  std::shared_ptr<obs::Tracer> tracer_ OMG_GUARDED_BY(mutex_);
 };
 
 }  // namespace omg::loop

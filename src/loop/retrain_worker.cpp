@@ -29,39 +29,39 @@ RetrainWorker::RetrainWorker(RetrainConfig config,
 
 RetrainWorker::~RetrainWorker() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   worker_.join();
 }
 
 void RetrainWorker::Submit(nn::Dataset labeled) {
   Check(!labeled.empty(), "submitted label batch is empty");
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     pending_.push_back(std::move(labeled));
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 void RetrainWorker::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [this] { return pending_.empty() && !training_; });
+  MutexLock lock(mutex_);
+  while (!pending_.empty() || training_) idle_cv_.Wait(mutex_);
 }
 
 std::size_t RetrainWorker::retrains() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return retrains_;
 }
 
 std::size_t RetrainWorker::accumulated_rows() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return accumulated_.size();
 }
 
 std::vector<std::string> RetrainWorker::Errors() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return errors_;
 }
 
@@ -70,8 +70,8 @@ void RetrainWorker::Run() {
   for (;;) {
     nn::Dataset snapshot;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stop_ && pending_.empty()) work_cv_.Wait(mutex_);
       if (pending_.empty()) break;  // stop_ with nothing left to train
       for (nn::Dataset& batch : pending_) accumulated_.Append(batch);
       pending_.clear();
@@ -95,11 +95,11 @@ void RetrainWorker::Run() {
       nn::SoftmaxTrainer trainer(config_.sgd);
       trainer.Train(model, combined, rng);
       published_version = registry_->Publish(std::move(model));
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       training_ = false;
       ++retrains_;
     } catch (const std::exception& error) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       training_ = false;
       errors_.push_back(error.what());
     }
@@ -107,7 +107,7 @@ void RetrainWorker::Run() {
                   obs::TraceEventKind::kRetrain, obs::TracePhase::kEnd,
                   obs::TraceEvent::kNoStream, snapshot.size(),
                   published_version));
-    idle_cv_.notify_all();
+    idle_cv_.NotifyAll();
   }
 }
 

@@ -9,16 +9,15 @@
 // between batches.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "loop/model_registry.hpp"
 #include "nn/trainer.hpp"
 #include "obs/tracer.hpp"
@@ -84,15 +83,15 @@ class RetrainWorker {
   std::shared_ptr<ModelRegistry> registry_;
   nn::Dataset replay_;  ///< already scaled by replay_weight
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
-  std::vector<nn::Dataset> pending_;
-  nn::Dataset accumulated_;
-  bool training_ = false;
-  bool stop_ = false;
-  std::size_t retrains_ = 0;
-  std::vector<std::string> errors_;
+  mutable Mutex mutex_;
+  CondVar work_cv_;
+  CondVar idle_cv_;
+  std::vector<nn::Dataset> pending_ OMG_GUARDED_BY(mutex_);
+  nn::Dataset accumulated_ OMG_GUARDED_BY(mutex_);
+  bool training_ OMG_GUARDED_BY(mutex_) = false;
+  bool stop_ OMG_GUARDED_BY(mutex_) = false;
+  std::size_t retrains_ OMG_GUARDED_BY(mutex_) = 0;
+  std::vector<std::string> errors_ OMG_GUARDED_BY(mutex_);
 
   std::thread worker_;  // declared last: joined before state dies
 };

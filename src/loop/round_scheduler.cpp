@@ -32,7 +32,7 @@ RoundScheduler::RoundScheduler(RoundConfig config,
 RoundScheduler::~RoundScheduler() { Stop(); }
 
 std::optional<RoundStats> RoundScheduler::RunRound() {
-  std::lock_guard<std::mutex> round_lock(round_mutex_);
+  MutexLock round_lock(round_mutex_);
 
   const FlagStore::Snapshot snapshot = store_->TakeSnapshot();
   if (snapshot.keys.size() < config_.min_candidates) return std::nullopt;
@@ -89,7 +89,7 @@ std::optional<RoundStats> RoundScheduler::RunRound() {
   }
 
   {
-    std::lock_guard<std::mutex> history_lock(history_mutex_);
+    MutexLock history_lock(history_mutex_);
     history_.push_back(stats);
   }
   OMG_TRACE(if (config_.tracer != nullptr) config_.tracer->EmitControl(
@@ -101,41 +101,49 @@ std::optional<RoundStats> RoundScheduler::RunRound() {
 void RoundScheduler::Start(std::chrono::milliseconds interval) {
   Check(interval.count() > 0, "round interval must be positive");
   Check(!timer_.joinable(), "scheduler timer already running");
-  timer_stop_ = false;
+  {
+    MutexLock lock(timer_mutex_);
+    timer_stop_ = false;
+  }
   timer_ = std::thread([this, interval] {
-    std::unique_lock<std::mutex> lock(timer_mutex_);
-    while (!timer_cv_.wait_for(lock, interval,
-                               [this] { return timer_stop_; })) {
-      lock.unlock();
+    MutexLock lock(timer_mutex_);
+    for (;;) {
+      // Bounded wait: Stop() notifies under the mutex, so a stop is seen
+      // either here or on the re-check. A spurious wake before the
+      // deadline restarts the interval, which only jitters the timer.
+      const std::cv_status status = timer_cv_.WaitFor(timer_mutex_, interval);
+      if (timer_stop_) return;
+      if (status == std::cv_status::no_timeout) continue;  // spurious wake
+      lock.Unlock();
       // A throwing oracle/strategy/confidence-fn must not escape the
       // thread (std::terminate); record it and keep the loop alive.
       try {
         RunRound();
       } catch (const std::exception& error) {
-        std::lock_guard<std::mutex> history_lock(history_mutex_);
+        MutexLock history_lock(history_mutex_);
         errors_.push_back(error.what());
       }
-      lock.lock();
+      lock.Lock();
     }
   });
 }
 
 void RoundScheduler::Stop() {
   {
-    std::lock_guard<std::mutex> lock(timer_mutex_);
+    MutexLock lock(timer_mutex_);
     timer_stop_ = true;
   }
-  timer_cv_.notify_all();
+  timer_cv_.NotifyAll();
   if (timer_.joinable()) timer_.join();
 }
 
 std::vector<RoundStats> RoundScheduler::History() const {
-  std::lock_guard<std::mutex> lock(history_mutex_);
+  MutexLock lock(history_mutex_);
   return history_;
 }
 
 std::vector<std::string> RoundScheduler::Errors() const {
-  std::lock_guard<std::mutex> lock(history_mutex_);
+  MutexLock lock(history_mutex_);
   return errors_;
 }
 

@@ -11,12 +11,10 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -24,6 +22,7 @@
 #include <vector>
 
 #include "bandit/strategy.hpp"
+#include "common/mutex.hpp"
 #include "common/rng.hpp"
 #include "loop/flag_store.hpp"
 #include "loop/oracle.hpp"
@@ -106,17 +105,17 @@ class RoundScheduler {
   RetrainWorker* retrain_;
   ConfidenceFn confidences_;
 
-  std::mutex round_mutex_;  ///< serialises rounds; guards rng_ / next_round_
-  common::Rng rng_;
-  std::size_t next_round_ = 0;
+  Mutex round_mutex_;  ///< serialises rounds
+  common::Rng rng_ OMG_GUARDED_BY(round_mutex_);
+  std::size_t next_round_ OMG_GUARDED_BY(round_mutex_) = 0;
 
-  mutable std::mutex history_mutex_;
-  std::vector<RoundStats> history_;
-  std::vector<std::string> errors_;  ///< guarded by history_mutex_
+  mutable Mutex history_mutex_;
+  std::vector<RoundStats> history_ OMG_GUARDED_BY(history_mutex_);
+  std::vector<std::string> errors_ OMG_GUARDED_BY(history_mutex_);
 
-  std::mutex timer_mutex_;
-  std::condition_variable timer_cv_;
-  bool timer_stop_ = false;
+  Mutex timer_mutex_;
+  CondVar timer_cv_;
+  bool timer_stop_ OMG_GUARDED_BY(timer_mutex_) = false;
   std::thread timer_;
 };
 

@@ -14,6 +14,7 @@
 
 #include "common/check.hpp"
 #include "common/example_gen.hpp"
+#include "obs/clock.hpp"
 #include "serve/domain_registry.hpp"
 
 namespace omg::net {
@@ -363,7 +364,7 @@ serve::Result<LoadReport> RunLoadClient(const LoadClientOptions& options,
         1, options.examples_per_connection / options.batch);
   }
 
-  const auto start = std::chrono::steady_clock::now();
+  const std::uint64_t start_ns = obs::Clock::NowNs();
   std::vector<std::thread> threads;
   threads.reserve(options.connections);
   for (std::size_t i = 0; i < options.connections; ++i) {
@@ -373,13 +374,15 @@ serve::Result<LoadReport> RunLoadClient(const LoadClientOptions& options,
           options.rate_eps > 0.0
               ? static_cast<double>(options.batch) / options.rate_eps
               : 0.0;
-      auto next = std::chrono::steady_clock::now();
+      std::uint64_t next_ns = obs::Clock::NowNs();
       for (std::size_t f = 0; f < drive.frames; ++f) {
         if (interval_s > 0.0) {
-          std::this_thread::sleep_until(next);
-          next += std::chrono::duration_cast<
-              std::chrono::steady_clock::duration>(
-              std::chrono::duration<double>(interval_s));
+          const std::uint64_t now_ns = obs::Clock::NowNs();
+          if (next_ns > now_ns) {
+            std::this_thread::sleep_for(
+                std::chrono::nanoseconds(next_ns - now_ns));
+          }
+          next_ns += static_cast<std::uint64_t>(interval_s * 1e9);
         }
         const serve::Result<bool> sent = drive.conn.SendEncoded(
             bindings[i], drive.spec->domain, drive.batch, drive.payload,
@@ -402,11 +405,10 @@ serve::Result<LoadReport> RunLoadClient(const LoadClientOptions& options,
     });
   }
   for (std::thread& thread : threads) thread.join();
-  const auto done = std::chrono::steady_clock::now();
 
   LoadReport report;
   report.elapsed_seconds =
-      std::chrono::duration<double>(done - start).count();
+      obs::Clock::ToSeconds(obs::Clock::ElapsedNs(start_ns, obs::Clock::NowNs()));
   for (ConnectionDrive& drive : drives) {
     report.offered += drive.offered;
     report.wire_bytes += drive.conn.bytes_sent();

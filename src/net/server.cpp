@@ -39,17 +39,17 @@ constexpr std::uint64_t kTransportUds = 1;
 /// budget however many connections the tenant spreads its load over.
 struct IngestServer::TenantState {
   TenantOptions options;
-  std::mutex mutex;
-  double tokens = 0.0;
-  std::uint64_t last_refill_ns = 0;
-  TenantStats stats;
+  Mutex mutex;
+  double tokens OMG_GUARDED_BY(mutex) = 0.0;
+  std::uint64_t last_refill_ns OMG_GUARDED_BY(mutex) = 0;
+  TenantStats stats OMG_GUARDED_BY(mutex);
 
   /// Refills by elapsed time, then tries to spend `examples` tokens.
   /// `hint` >= the tenant's shed floor bypasses an exhausted bucket (the
   /// bucket is drained to zero so the bypass still consumes budget).
   bool Admit(std::uint64_t examples, double hint) {
     if (options.quota_eps <= 0.0) return true;  // unlimited
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     const std::uint64_t now = obs::Clock::NowNs();
     const double burst =
         options.burst > 0.0 ? options.burst : options.quota_eps;
@@ -112,8 +112,9 @@ struct IngestServer::Handler {
   int epoll_fd = -1;
   int wake_fd = -1;
   std::thread thread;
-  std::mutex pending_mutex;
-  std::vector<std::unique_ptr<Connection>> pending;
+  Mutex pending_mutex;
+  std::vector<std::unique_ptr<Connection>> pending
+      OMG_GUARDED_BY(pending_mutex);
   std::map<int, std::unique_ptr<Connection>> connections;
 };
 
@@ -163,6 +164,7 @@ void IngestServer::ExposeStream(const serve::StreamHandle& handle,
                                 std::string tenant) {
   common::Check(!started_, "ExposeStream must precede Start()");
   common::Check(handle.valid(), "cannot expose an invalid stream handle");
+  MutexLock lock(tenants_mutex_);
   common::Check(tenant.empty() || tenants_.count(tenant) > 0 ||
                     options_.tenants.empty(),
                 "stream '" + std::string(handle.name()) +
@@ -393,7 +395,7 @@ void IngestServer::DrainAccept(int listen_fd, bool uds) {
         *handlers_[next_handler_.fetch_add(1, std::memory_order_relaxed) %
                    handlers_.size()];
     {
-      std::lock_guard<std::mutex> lock(handler.pending_mutex);
+      MutexLock lock(handler.pending_mutex);
       handler.pending.push_back(std::move(conn));
     }
     Wake(handler.wake_fd);
@@ -450,7 +452,7 @@ void IngestServer::HandlerLoop(Handler& handler) {
 void IngestServer::AdoptPending(Handler& handler) {
   std::vector<std::unique_ptr<Connection>> adopted;
   {
-    std::lock_guard<std::mutex> lock(handler.pending_mutex);
+    MutexLock lock(handler.pending_mutex);
     adopted.swap(handler.pending);
   }
   for (auto& conn : adopted) {
@@ -807,7 +809,7 @@ void IngestServer::Account(Connection& conn, WireOutcome outcome,
   global->fetch_add(examples, std::memory_order_relaxed);
   if (conn.tenant == nullptr) return;
   {
-    std::lock_guard<std::mutex> lock(conn.tenant->mutex);
+    MutexLock lock(conn.tenant->mutex);
     conn.tenant->stats.*slot += examples;
   }
   monitor_.RecordNamedMetric(
@@ -825,7 +827,7 @@ void IngestServer::AccountReject(Connection& conn, std::uint64_t examples,
 
 IngestServer::TenantState* IngestServer::ResolveTenant(
     const std::string& name) {
-  std::lock_guard<std::mutex> lock(tenants_mutex_);
+  MutexLock lock(tenants_mutex_);
   const auto it = tenants_.find(name);
   if (it != tenants_.end()) return it->second.get();
   if (!options_.tenants.empty()) return nullptr;  // closed roster
@@ -851,9 +853,9 @@ IngestServerStats IngestServer::Stats() const {
       quota_rejected_.load(std::memory_order_relaxed);
   stats.totals.decode_errors =
       decode_errors_.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(tenants_mutex_);
+  MutexLock lock(tenants_mutex_);
   for (const auto& [name, tenant] : tenants_) {
-    std::lock_guard<std::mutex> tenant_lock(tenant->mutex);
+    MutexLock tenant_lock(tenant->mutex);
     stats.tenants.emplace(name, tenant->stats);
   }
   return stats;

@@ -34,13 +34,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "net/wire.hpp"
 #include "serve/monitor.hpp"
 #include "serve/result.hpp"
@@ -197,8 +197,11 @@ class IngestServer {
   serve::Monitor& monitor_;
   const serve::DomainRegistry& domains_;
 
-  mutable std::mutex tenants_mutex_;  ///< map shape (open-server inserts)
-  std::map<std::string, std::unique_ptr<TenantState>> tenants_;
+  mutable Mutex tenants_mutex_;  ///< map shape (open-server inserts)
+  std::map<std::string, std::unique_ptr<TenantState>> tenants_
+      OMG_GUARDED_BY(tenants_mutex_);
+  /// Written only before Start() (ExposeStream checks), read lock-free by
+  /// handler threads afterwards — immutable-after-start, so unguarded.
   std::map<std::string, ExposedStream> streams_;
 
   std::vector<std::unique_ptr<Handler>> handlers_;

@@ -308,7 +308,7 @@ MetricsExporter::MetricsExporter(MetricsExporterOptions options,
 MetricsExporter::~MetricsExporter() { Stop(); }
 
 void MetricsExporter::Start() {
-  std::lock_guard<std::mutex> lock(run_mutex_);
+  MutexLock lock(run_mutex_);
   if (thread_.joinable()) return;
   stop_ = std::make_shared<bool>(false);
   thread_ = std::thread([this, stop = stop_] { Run(std::move(stop)); });
@@ -323,12 +323,12 @@ void MetricsExporter::Stop() {
   // the Start caller's stated intent).
   std::thread worker;
   {
-    std::lock_guard<std::mutex> lock(run_mutex_);
+    MutexLock lock(run_mutex_);
     if (!thread_.joinable()) return;
     *stop_ = true;
     stop_.reset();
     worker = std::move(thread_);
-    wake_.notify_all();
+    wake_.NotifyAll();
   }
   worker.join();
   ExportOnce();  // final point-in-time export
@@ -337,7 +337,7 @@ void MetricsExporter::Stop() {
 std::size_t MetricsExporter::ExportOnce() {
   const runtime::MetricsSnapshot snapshot = snapshot_();
   const std::uint64_t now_ns = Clock::NowNs();
-  std::lock_guard<std::mutex> lock(io_mutex_);
+  MutexLock lock(io_mutex_);
   if (!options_.jsonl_path.empty()) {
     std::ofstream jsonl(options_.jsonl_path, std::ios::app);
     WriteMetricsJsonLine(snapshot, now_ns, jsonl);
@@ -352,8 +352,9 @@ std::size_t MetricsExporter::ExportOnce() {
 void MetricsExporter::Run(std::shared_ptr<bool> stop) {
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(run_mutex_);
-      wake_.wait_for(lock, options_.period, [&] { return *stop; });
+      MutexLock lock(run_mutex_);
+      // A spurious wake just exports one period early — harmless jitter.
+      if (!*stop) wake_.WaitFor(run_mutex_, options_.period);
       if (*stop) return;  // Stop() writes the final export
     }
     ExportOnce();

@@ -23,15 +23,14 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
-#include <condition_variable>
 #include <functional>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
 
+#include "common/mutex.hpp"
 #include "runtime/metrics.hpp"
 
 namespace omg::obs {
@@ -97,16 +96,17 @@ class MetricsExporter {
   MetricsExporterOptions options_;
   SnapshotFn snapshot_;
 
-  std::mutex io_mutex_;        ///< serialises ExportOnce bodies
-  std::size_t exports_ = 0;    ///< guarded by io_mutex_
+  Mutex io_mutex_;  ///< serialises ExportOnce bodies
+  std::size_t exports_ OMG_GUARDED_BY(io_mutex_) = 0;
 
-  std::mutex run_mutex_;       ///< guards stop_/thread lifecycle
-  std::condition_variable wake_;
-  /// Stop token of the current run, one per Start() (guarded by
-  /// run_mutex_; the thread holds its own reference). Per-run tokens keep
-  /// a Start() racing a Stop() from resurrecting the claimed thread.
-  std::shared_ptr<bool> stop_;
-  std::thread thread_;
+  Mutex run_mutex_;  ///< guards stop_/thread lifecycle
+  CondVar wake_;
+  /// Stop token of the current run, one per Start() (the thread holds its
+  /// own reference and re-reads the flag under run_mutex_). Per-run tokens
+  /// keep a Start() racing a Stop() from resurrecting the claimed thread.
+  std::shared_ptr<bool> stop_ OMG_GUARDED_BY(run_mutex_)
+      OMG_PT_GUARDED_BY(run_mutex_);
+  std::thread thread_ OMG_GUARDED_BY(run_mutex_);
 };
 
 }  // namespace omg::obs

@@ -56,14 +56,14 @@ void Tracer::EmitControl(TraceEventKind kind, TracePhase phase,
                          std::uint64_t stream_id, std::uint64_t arg0,
                          std::uint64_t arg1) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(control_mutex_);
+  MutexLock lock(control_mutex_);
   // Timestamp under the lock so control-lane events stay in timestamp
   // order (the ring is SPSC; the mutex makes "one producer" true).
   control_ring_.Push({Clock::NowNs(), kind, phase, stream_id, arg0, arg1});
 }
 
 TraceSnapshot Tracer::Drain() {
-  std::lock_guard<std::mutex> lock(drain_mutex_);
+  MutexLock lock(drain_mutex_);
   TraceSnapshot snapshot;
   snapshot.lanes.reserve(shard_rings_.size() + 1);
   for (std::size_t i = 0; i < shard_rings_.size(); ++i) {

@@ -24,10 +24,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "obs/trace_event.hpp"
 #include "obs/trace_ring.hpp"
 
@@ -136,9 +136,13 @@ class Tracer {
   std::atomic<bool> enabled_;
   std::vector<std::unique_ptr<TraceRing>> shard_rings_;
   std::vector<SampleCounter> sample_counters_;
+  /// SPSC ring with two lock domains — producers serialise under
+  /// control_mutex_, the drain side under drain_mutex_ — so no single
+  /// capability guards it; deliberately unannotated (like shard_rings_,
+  /// whose producer side is lock-free single-writer).
   TraceRing control_ring_;
-  std::mutex control_mutex_;  ///< serialises control-lane producers
-  std::mutex drain_mutex_;    ///< serialises drains (rings are SPSC)
+  Mutex control_mutex_;  ///< serialises control-lane producers
+  Mutex drain_mutex_;    ///< serialises drains (rings are SPSC)
 };
 
 }  // namespace omg::obs

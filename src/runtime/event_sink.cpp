@@ -7,7 +7,7 @@
 namespace omg::runtime {
 
 void CountingSink::Consume(const StreamEvent& event) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++count_;
   if (event.severity > max_severity_) max_severity_ = event.severity;
   const auto it = by_assertion_.find(event.assertion);
@@ -20,30 +20,30 @@ void CountingSink::Consume(const StreamEvent& event) {
 
 std::map<std::string, std::size_t, std::less<>>
 CountingSink::counts_by_assertion() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return by_assertion_;
 }
 
 std::size_t CountingSink::count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return count_;
 }
 
 double CountingSink::max_severity() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return max_severity_;
 }
 
 LoggingSink::LoggingSink(std::ostream& out) : out_(out) {}
 
 void LoggingSink::Consume(const StreamEvent& event) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   out_ << "[" << event.stream << " #" << event.example_index << "] "
        << event.assertion << " severity " << event.severity << "\n";
 }
 
 void LoggingSink::Flush() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   out_.flush();
 }
 
@@ -54,7 +54,7 @@ void JsonLinesSink::Consume(const StreamEvent& event) {
   // checked finite at the assertion layer.
   std::array<char, 32> severity{};
   std::snprintf(severity.data(), severity.size(), "%.17g", event.severity);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   out_ << "{\"stream\":\"" << JsonEscape(event.stream)
        << "\",\"example\":" << event.example_index << ",\"assertion\":\""
        << JsonEscape(event.assertion) << "\",\"severity\":" << severity.data()
@@ -62,19 +62,19 @@ void JsonLinesSink::Consume(const StreamEvent& event) {
 }
 
 void JsonLinesSink::Flush() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   out_.flush();
 }
 
 void CollectingSink::Consume(const StreamEvent& event) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   events_.push_back({event.stream_id, std::string(event.stream),
                      event.example_index, std::string(event.assertion),
                      event.severity});
 }
 
 std::vector<CollectingSink::OwnedEvent> CollectingSink::Events() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return events_;
 }
 

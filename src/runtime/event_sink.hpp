@@ -11,10 +11,11 @@
 #include <cstdint>
 #include <iosfwd>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/mutex.hpp"
 
 namespace omg::runtime {
 
@@ -67,12 +68,13 @@ class CountingSink final : public EventSink {
   std::map<std::string, std::size_t, std::less<>> counts_by_assertion() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::size_t count_ = 0;
-  double max_severity_ = 0.0;
+  mutable Mutex mutex_;
+  std::size_t count_ OMG_GUARDED_BY(mutex_) = 0;
+  double max_severity_ OMG_GUARDED_BY(mutex_) = 0.0;
   /// Transparent comparator: Consume looks names up by string_view without
   /// materialising a std::string per event on the hot path.
-  std::map<std::string, std::size_t, std::less<>> by_assertion_;
+  std::map<std::string, std::size_t, std::less<>> by_assertion_
+      OMG_GUARDED_BY(mutex_);
 };
 
 /// Writes one human-readable line per event.
@@ -85,7 +87,7 @@ class LoggingSink final : public EventSink {
   void Flush() override;
 
  private:
-  std::mutex mutex_;
+  Mutex mutex_;
   std::ostream& out_;
 };
 
@@ -100,7 +102,7 @@ class JsonLinesSink final : public EventSink {
   void Flush() override;
 
  private:
-  std::mutex mutex_;
+  Mutex mutex_;
   std::ostream& out_;
 };
 
@@ -121,8 +123,8 @@ class CollectingSink final : public EventSink {
   std::vector<OwnedEvent> Events() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<OwnedEvent> events_;
+  mutable Mutex mutex_;
+  std::vector<OwnedEvent> events_ OMG_GUARDED_BY(mutex_);
 };
 
 /// Escapes `text` for inclusion in a JSON string literal (no quotes added).

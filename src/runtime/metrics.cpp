@@ -98,7 +98,7 @@ MetricsRegistry::Cell& MetricsRegistry::ShardCell(std::size_t shard) {
 
 void MetricsRegistry::RegisterStream(StreamId id, std::string_view name) {
   Cell& cell = CellOf(id);
-  std::lock_guard<std::mutex> lock(cell.mutex);
+  MutexLock lock(cell.mutex);
   StreamMetrics& stream = cell.streams[id];
   if (stream.stream.empty()) {
     stream.stream_id = id;
@@ -129,7 +129,7 @@ void FoldBatch(StreamMetrics& stream, std::size_t examples,
 void MetricsRegistry::RecordBatch(StreamId id, std::size_t examples,
                                   std::span<const StreamEvent> events) {
   Cell& cell = CellOf(id);
-  std::lock_guard<std::mutex> lock(cell.mutex);
+  MutexLock lock(cell.mutex);
   const auto it = cell.streams.find(id);
   common::Check(it != cell.streams.end(), "metrics stream id not registered");
   FoldBatch(it->second, examples, events);
@@ -145,7 +145,7 @@ void MetricsRegistry::RecordScoredBatch(StreamId id, std::size_t shard,
   Cell& cell = ShardCell(shard);
   common::Check(&cell == &CellOf(id),
                 "stream is not pinned to the given metrics shard");
-  std::lock_guard<std::mutex> lock(cell.mutex);
+  MutexLock lock(cell.mutex);
   const auto it = cell.streams.find(id);
   common::Check(it != cell.streams.end(), "metrics stream id not registered");
   FoldBatch(it->second, examples, events);
@@ -164,7 +164,7 @@ void MetricsRegistry::RecordError(std::size_t shard, std::size_t batches,
                                   std::uint64_t busy_ns,
                                   std::uint64_t idle_ns) {
   Cell& cell = ShardCell(shard);
-  std::lock_guard<std::mutex> lock(cell.mutex);
+  MutexLock lock(cell.mutex);
   cell.shard.errored_batches += batches;
   cell.shard.errored_examples += examples;
   cell.shard.queue_wait_ns += queue_wait_ns;
@@ -176,7 +176,7 @@ void MetricsRegistry::RecordShardBatch(std::size_t shard, std::size_t examples,
                                        std::size_t events,
                                        double latency_seconds) {
   Cell& cell = ShardCell(shard);
-  std::lock_guard<std::mutex> lock(cell.mutex);
+  MutexLock lock(cell.mutex);
   ++cell.shard.batches;
   cell.shard.examples += examples;
   cell.shard.events += events;
@@ -186,7 +186,7 @@ void MetricsRegistry::RecordShardBatch(std::size_t shard, std::size_t examples,
 void MetricsRegistry::RecordLoss(std::size_t shard, std::size_t batches,
                                  std::size_t examples, LossKind kind) {
   Cell& cell = ShardCell(shard);
-  std::lock_guard<std::mutex> lock(cell.mutex);
+  MutexLock lock(cell.mutex);
   if (kind == LossKind::kDropped) {
     cell.shard.dropped_batches += batches;
     cell.shard.dropped_examples += examples;
@@ -199,7 +199,7 @@ void MetricsRegistry::RecordLoss(std::size_t shard, std::size_t batches,
 void MetricsRegistry::RecordSteal(std::size_t victim_shard, std::size_t batches,
                                   std::size_t examples) {
   Cell& cell = ShardCell(victim_shard);
-  std::lock_guard<std::mutex> lock(cell.mutex);
+  MutexLock lock(cell.mutex);
   cell.shard.stolen_batches += batches;
   cell.shard.stolen_examples += examples;
 }
@@ -208,21 +208,21 @@ void MetricsRegistry::RecordStealWork(std::size_t thief_shard,
                                       std::uint64_t steal_ns,
                                       std::uint64_t idle_ns) {
   Cell& cell = ShardCell(thief_shard);
-  std::lock_guard<std::mutex> lock(cell.mutex);
+  MutexLock lock(cell.mutex);
   cell.shard.steal_ns += steal_ns;
   cell.shard.idle_ns += idle_ns;
 }
 
 void MetricsRegistry::RecordQueueDepth(std::size_t shard, std::size_t depth) {
   Cell& cell = ShardCell(shard);
-  std::lock_guard<std::mutex> lock(cell.mutex);
+  MutexLock lock(cell.mutex);
   cell.shard.queue_depth = depth;
   cell.shard.queue_depth_peak = std::max(cell.shard.queue_depth_peak, depth);
 }
 
 void MetricsRegistry::RecordNamed(const std::string& key,
                                   std::uint64_t delta) {
-  std::lock_guard<std::mutex> lock(named_mutex_);
+  MutexLock lock(named_mutex_);
   named_[key] += delta;
 }
 
@@ -232,7 +232,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   bool any_stream = false;
   std::vector<StreamMetrics> collected;
   for (const auto& cell : cells_) {
-    std::lock_guard<std::mutex> lock(cell->mutex);
+    MutexLock lock(cell->mutex);
     for (const auto& [id, stream] : cell->streams) {
       collected.push_back(stream);
       max_id = std::max(max_id, id);
@@ -258,7 +258,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(named_mutex_);
+    MutexLock lock(named_mutex_);
     snapshot.named = named_;
   }
   return snapshot;

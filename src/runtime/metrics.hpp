@@ -20,11 +20,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "runtime/event_sink.hpp"
 #include "runtime/latency_histogram.hpp"
 
@@ -236,9 +236,9 @@ class MetricsRegistry {
  private:
   /// One lock domain: the streams of one serving shard plus its counters.
   struct Cell {
-    mutable std::mutex mutex;
-    std::map<StreamId, StreamMetrics> streams;
-    ShardMetrics shard;
+    mutable Mutex mutex;
+    std::map<StreamId, StreamMetrics> streams OMG_GUARDED_BY(mutex);
+    ShardMetrics shard OMG_GUARDED_BY(mutex);
   };
 
   Cell& CellOf(StreamId id);
@@ -247,8 +247,8 @@ class MetricsRegistry {
   bool sharded_;
   std::vector<std::unique_ptr<Cell>> cells_;
 
-  mutable std::mutex named_mutex_;
-  std::map<std::string, std::uint64_t> named_;
+  mutable Mutex named_mutex_;
+  std::map<std::string, std::uint64_t> named_ OMG_GUARDED_BY(named_mutex_);
 };
 
 }  // namespace omg::runtime

@@ -20,12 +20,12 @@
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/mutex.hpp"
 #include "core/assertion.hpp"
 #include "runtime/event_sink.hpp"
 #include "runtime/incremental.hpp"
@@ -106,7 +106,7 @@ class MonitorService {
     common::Check(bundle.suite != nullptr, "suite factory returned null");
     auto state = std::make_unique<StreamState>(id, registry_.Name(id),
                                                std::move(bundle), config_);
-    std::lock_guard<std::mutex> lock(streams_mutex_);
+    MutexLock lock(streams_mutex_);
     if (id >= streams_.size()) streams_.resize(id + 1);
     streams_[id] = std::move(state);
     return id;
@@ -116,7 +116,7 @@ class MonitorService {
   /// in flight on the workers may miss a sink added concurrently.
   void AddSink(std::shared_ptr<EventSink> sink) {
     common::Check(sink != nullptr, "null sink");
-    std::lock_guard<std::mutex> lock(sinks_mutex_);
+    MutexLock lock(sinks_mutex_);
     sinks_.push_back(std::move(sink));
   }
 
@@ -153,7 +153,7 @@ class MonitorService {
   /// Messages from ingestion tasks that threw (a throwing assertion poisons
   /// its batch, not the service).
   std::vector<std::string> Errors() const {
-    std::lock_guard<std::mutex> lock(errors_mutex_);
+    MutexLock lock(errors_mutex_);
     return errors_;
   }
 
@@ -177,7 +177,7 @@ class MonitorService {
   std::size_t ShardOf(StreamId id) const { return id % config_.workers; }
 
   StreamState* State(StreamId id) {
-    std::lock_guard<std::mutex> lock(streams_mutex_);
+    MutexLock lock(streams_mutex_);
     common::CheckIndex(static_cast<std::ptrdiff_t>(id), 0,
                        static_cast<std::ptrdiff_t>(streams_.size()),
                        "stream id");
@@ -186,7 +186,7 @@ class MonitorService {
   }
 
   std::vector<std::shared_ptr<EventSink>> SnapshotSinks() const {
-    std::lock_guard<std::mutex> lock(sinks_mutex_);
+    MutexLock lock(sinks_mutex_);
     return sinks_;
   }
 
@@ -202,7 +202,7 @@ class MonitorService {
                               state.bundle.suite->at(a).name(), severity});
           });
     } catch (const std::exception& error) {
-      std::lock_guard<std::mutex> lock(errors_mutex_);
+      MutexLock lock(errors_mutex_);
       errors_.push_back(std::string(state.name) + ": " + error.what());
       return;
     }
@@ -217,14 +217,16 @@ class MonitorService {
   StreamRegistry registry_;
   MetricsRegistry metrics_;
 
-  mutable std::mutex streams_mutex_;
-  std::deque<std::unique_ptr<StreamState>> streams_;  // index == StreamId
+  mutable Mutex streams_mutex_;
+  /// Index == StreamId.
+  std::deque<std::unique_ptr<StreamState>> streams_
+      OMG_GUARDED_BY(streams_mutex_);
 
-  mutable std::mutex sinks_mutex_;
-  std::vector<std::shared_ptr<EventSink>> sinks_;
+  mutable Mutex sinks_mutex_;
+  std::vector<std::shared_ptr<EventSink>> sinks_ OMG_GUARDED_BY(sinks_mutex_);
 
-  mutable std::mutex errors_mutex_;
-  std::vector<std::string> errors_;
+  mutable Mutex errors_mutex_;
+  std::vector<std::string> errors_ OMG_GUARDED_BY(errors_mutex_);
 
   // Declared last: destroyed (drained + joined) before the state above.
   std::unique_ptr<ThreadPool> pool_;

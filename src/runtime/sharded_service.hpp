@@ -49,20 +49,19 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/mutex.hpp"
 #include "core/assertion.hpp"
 #include "obs/clock.hpp"
 #include "obs/tracer.hpp"
@@ -118,10 +117,10 @@ class ShardedMonitorService {
   /// joins the workers.
   ~ShardedMonitorService() {
     for (const auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mutex);
+      MutexLock lock(shard->mutex);
       shard->stop = true;
-      shard->ready.notify_all();
-      shard->space.notify_all();
+      shard->ready.NotifyAll();
+      shard->space.NotifyAll();
     }
     for (const auto& shard : shards_) shard->worker.join();
   }
@@ -151,12 +150,13 @@ class ShardedMonitorService {
     // Registration is serialised end to end: id assignment and the table
     // append must be atomic together, or two concurrent registrations
     // could append out of id order.
-    std::lock_guard<std::mutex> lock(registration_mutex_);
+    MutexLock lock(registration_mutex_);
     const StreamId id = registry_.Register(std::move(name));
     metrics_->RegisterStream(id, registry_.Name(id));
     common::Check(bundle.suite != nullptr, "suite factory returned null");
     auto state = std::make_unique<StreamState>(id, registry_.Name(id),
                                                std::move(bundle), config_);
+    state->home_mutex = &shards_[state->shard]->mutex;
     auto table = std::make_shared<std::vector<StreamState*>>(
         streams_.load() ? *streams_.load() : std::vector<StreamState*>{});
     common::Check(table->size() == id, "stream table out of sync");
@@ -171,7 +171,7 @@ class ShardedMonitorService {
   /// in flight on the workers may miss a sink added concurrently.
   void AddSink(std::shared_ptr<EventSink> sink) {
     common::Check(sink != nullptr, "null sink");
-    std::lock_guard<std::mutex> lock(registration_mutex_);
+    MutexLock lock(registration_mutex_);
     auto sinks = std::make_shared<std::vector<std::shared_ptr<EventSink>>>(
         sinks_.load() ? *sinks_.load()
                       : std::vector<std::shared_ptr<EventSink>>{});
@@ -211,7 +211,7 @@ class ShardedMonitorService {
     std::size_t dropped_examples = 0;
     std::size_t depth;
     {
-      std::unique_lock<std::mutex> lock(shard.mutex);
+      MutexLock lock(shard.mutex);
       if (config_.admission == AdmissionPolicy::kLatencyTarget &&
           severity_hint < config_.shed_floor) {
         // Project the batch's completion latency from the queue depth and
@@ -226,7 +226,7 @@ class ShardedMonitorService {
             static_cast<double>(shard.queued + cost) *
                     static_cast<double>(ewma_ns) >
                 config_.latency_target_ms * 1e6) {
-          lock.unlock();
+          lock.Unlock();
           metrics_->RecordLoss(state->shard, 1, cost,
                                MetricsRegistry::LossKind::kShed);
           OMG_TRACE(if (config_.tracer != nullptr)
@@ -243,10 +243,10 @@ class ShardedMonitorService {
           case AdmissionPolicy::kLatencyTarget:
             // Capacity is a hard bound under kLatencyTarget too: batches
             // that clear the latency gate still block for space.
-            shard.space.wait(lock, [&] {
-              return shard.stop ||
-                     shard.queued + cost <= config_.queue_capacity;
-            });
+            while (!shard.stop &&
+                   shard.queued + cost > config_.queue_capacity) {
+              shard.space.Wait(shard.mutex);
+            }
             break;
           case AdmissionPolicy::kDropOldest:
             while (shard.queued + cost > config_.queue_capacity &&
@@ -259,7 +259,7 @@ class ShardedMonitorService {
             break;
           case AdmissionPolicy::kShedBelowSeverity:
             if (severity_hint < config_.shed_floor) {
-              lock.unlock();
+              lock.Unlock();
               metrics_->RecordLoss(state->shard, 1, cost,
                                    MetricsRegistry::LossKind::kShed);
               OMG_TRACE(if (config_.tracer != nullptr)
@@ -284,11 +284,9 @@ class ShardedMonitorService {
                 ++it;
               }
             }
-            if (shard.queued + cost > config_.queue_capacity) {
-              shard.space.wait(lock, [&] {
-                return shard.stop ||
-                       shard.queued + cost <= config_.queue_capacity;
-              });
+            while (!shard.stop &&
+                   shard.queued + cost > config_.queue_capacity) {
+              shard.space.Wait(shard.mutex);
             }
             break;
         }
@@ -298,7 +296,7 @@ class ShardedMonitorService {
       shard.queued += cost;
       shard.queued_approx.store(shard.queued, std::memory_order_relaxed);
       depth = shard.queued;
-      shard.ready.notify_one();
+      shard.ready.NotifyOne();
     }
     metrics_->RecordQueueDepth(state->shard, depth);
     if (dropped_batches > 0) {
@@ -321,11 +319,11 @@ class ShardedMonitorService {
     OMG_TRACE(if (config_.tracer != nullptr) config_.tracer->EmitControl(
                   obs::TraceEventKind::kFlush, obs::TracePhase::kBegin));
     for (const auto& shard : shards_) {
-      std::unique_lock<std::mutex> lock(shard->mutex);
-      shard->idle.wait(lock, [&] {
-        return shard->queue.empty() && !shard->busy &&
-               shard->stolen_inflight == 0;
-      });
+      MutexLock lock(shard->mutex);
+      while (!shard->queue.empty() || shard->busy ||
+             shard->stolen_inflight != 0) {
+        shard->idle.Wait(shard->mutex);
+      }
     }
     if (const auto sinks = sinks_.load()) {
       for (const auto& sink : *sinks) sink->Flush();
@@ -347,7 +345,7 @@ class ShardedMonitorService {
   /// Messages from ingestion tasks that threw (a throwing assertion poisons
   /// its batch, not the service).
   std::vector<std::string> Errors() const {
-    std::lock_guard<std::mutex> lock(errors_mutex_);
+    MutexLock lock(errors_mutex_);
     return errors_;
   }
 
@@ -376,12 +374,34 @@ class ShardedMonitorService {
     std::size_t shard;      ///< home shard (id % shards)
     SuiteBundle bundle;
     std::unique_ptr<StreamScorer<Example>> scorer;
-    /// True while some worker (home or thief) holds this stream's batches
-    /// out of the queue. Guarded by the *home* shard's mutex. While set,
-    /// no other worker may dequeue or steal this stream's items — this is
-    /// what serialises scorer access and preserves per-stream FIFO under
-    /// stealing.
-    bool claimed = false;
+    /// The home shard's mutex — the capability guarding `claimed`. Set by
+    /// RegisterStream right after construction, constant afterwards.
+    Mutex* home_mutex = nullptr;
+
+    /// Whether some worker (home or thief) holds this stream's batches out
+    /// of the queue. `proof` is the mutex the caller holds; every call
+    /// site passes the home shard's mutex (streams are scanned only under
+    /// their own shard's lock), which AssertHeld turns into the capability
+    /// the analysis needs — it cannot name "the home shard's mutex" as a
+    /// static expression because the alias is a runtime value.
+    bool IsClaimed(Mutex& proof) const OMG_REQUIRES(proof) {
+      static_cast<void>(proof);
+      home_mutex->AssertHeld();  // proof IS *home_mutex at every call site
+      return claimed;
+    }
+
+    /// Claims (true) or unclaims (false) the stream. Same proof contract
+    /// as IsClaimed. While claimed, no other worker may dequeue or steal
+    /// this stream's items — this is what serialises scorer access and
+    /// preserves per-stream FIFO under stealing.
+    void SetClaimed(bool value, Mutex& proof) OMG_REQUIRES(proof) {
+      static_cast<void>(proof);
+      home_mutex->AssertHeld();  // proof IS *home_mutex at every call site
+      claimed = value;
+    }
+
+   private:
+    bool claimed OMG_GUARDED_BY(*home_mutex) = false;
   };
 
   /// One queued ingestion batch.
@@ -397,16 +417,18 @@ class ShardedMonitorService {
   /// it. Cache-line aligned so one shard's queue churn never false-shares
   /// with its neighbours' hot fields.
   struct alignas(64) Shard {
-    std::mutex mutex;
-    std::condition_variable ready;  ///< worker waits for work / unclaims
-    std::condition_variable space;  ///< kBlock producers wait for capacity
-    std::condition_variable idle;   ///< Flush waits for quiescence
-    std::deque<QueueItem> queue;
-    std::size_t queued = 0;  ///< examples summed over `queue`
-    bool busy = false;       ///< worker is scoring a popped batch
-    bool stop = false;
+    Mutex mutex;
+    CondVar ready;  ///< worker waits for work / unclaims
+    CondVar space;  ///< kBlock producers wait for capacity
+    CondVar idle;   ///< Flush waits for quiescence
+    std::deque<QueueItem> queue OMG_GUARDED_BY(mutex);
+    /// Examples summed over `queue`.
+    std::size_t queued OMG_GUARDED_BY(mutex) = 0;
+    /// Worker is scoring a popped batch.
+    bool busy OMG_GUARDED_BY(mutex) = false;
+    bool stop OMG_GUARDED_BY(mutex) = false;
     /// Examples extracted by thieves, not yet scored (quiescence term).
-    std::size_t stolen_inflight = 0;
+    std::size_t stolen_inflight OMG_GUARDED_BY(mutex) = 0;
     /// Lock-free mirror of `queued` — victim selection reads it without
     /// touching the mutex.
     std::atomic<std::size_t> queued_approx{0};
@@ -430,10 +452,13 @@ class ShardedMonitorService {
     return (*table)[id];
   }
 
+  /// First queued item whose stream is unclaimed. `proof` is the queue's
+  /// own shard mutex, held by the caller — the home mutex of every stream
+  /// in the queue (streams only ever queue on their home shard).
   static typename std::deque<QueueItem>::iterator FirstUnclaimed(
-      std::deque<QueueItem>& queue) {
+      std::deque<QueueItem>& queue, Mutex& proof) OMG_REQUIRES(proof) {
     for (auto it = queue.begin(); it != queue.end(); ++it) {
-      if (!it->state->claimed) return it;
+      if (!it->state->IsClaimed(proof)) return it;
     }
     return queue.end();
   }
@@ -452,9 +477,9 @@ class ShardedMonitorService {
       std::size_t depth = 0;
       bool have_own = false;
       {
-        std::unique_lock<std::mutex> lock(shard.mutex);
+        MutexLock lock(shard.mutex);
         for (;;) {
-          const auto it = FirstUnclaimed(shard.queue);
+          const auto it = FirstUnclaimed(shard.queue, shard.mutex);
           if (it != shard.queue.end()) {
             item = std::move(*it);
             shard.queue.erase(it);
@@ -463,8 +488,8 @@ class ShardedMonitorService {
                                       std::memory_order_relaxed);
             depth = shard.queued;
             shard.busy = true;
-            item.state->claimed = true;
-            shard.space.notify_all();
+            item.state->SetClaimed(true, shard.mutex);
+            shard.space.NotifyAll();
             have_own = true;
             break;
           }
@@ -472,11 +497,11 @@ class ShardedMonitorService {
             if (shard.queue.empty()) return;
             // Claimed leftovers: a thief still owns those streams; it
             // will unclaim and notify when its group is scored.
-            shard.ready.wait(lock);
+            shard.ready.Wait(shard.mutex);
             continue;
           }
           if (stealing) break;  // nothing local: try the neighbours
-          shard.ready.wait(lock);
+          shard.ready.Wait(shard.mutex);
         }
       }
       if (have_own) {
@@ -496,11 +521,11 @@ class ShardedMonitorService {
         Score(shard_index, item, queue_wait_ns, idle_ns, traced,
               /*stolen=*/false);
         {
-          std::lock_guard<std::mutex> lock(shard.mutex);
-          item.state->claimed = false;
+          MutexLock lock(shard.mutex);
+          item.state->SetClaimed(false, shard.mutex);
           shard.busy = false;
           if (shard.queue.empty() && shard.stolen_inflight == 0) {
-            shard.idle.notify_all();
+            shard.idle.NotifyAll();
           }
         }
         idle_since_ns = obs::Clock::NowNs();
@@ -508,11 +533,13 @@ class ShardedMonitorService {
       }
       if (TryStealAndRun(shard_index, idle_since_ns)) continue;
       // Nothing to steal either: nap until local work arrives or a short
-      // timeout re-opens the steal scan.
-      std::unique_lock<std::mutex> lock(shard.mutex);
-      shard.ready.wait_for(lock, std::chrono::microseconds(500), [&] {
-        return shard.stop || FirstUnclaimed(shard.queue) != shard.queue.end();
-      });
+      // timeout re-opens the steal scan. A spurious wake just re-runs the
+      // outer scan, so a single bounded wait suffices — no predicate loop.
+      MutexLock lock(shard.mutex);
+      if (!shard.stop &&
+          FirstUnclaimed(shard.queue, shard.mutex) == shard.queue.end()) {
+        shard.ready.WaitFor(shard.mutex, std::chrono::microseconds(500));
+      }
     }
   }
 
@@ -540,7 +567,7 @@ class ShardedMonitorService {
     std::size_t stolen_batches = 0;
     std::size_t depth = 0;
     {
-      std::lock_guard<std::mutex> lock(victim.mutex);
+      MutexLock lock(victim.mutex);
       // A stopping victim drains its own queue; stealing from it would
       // race the drain-then-join shutdown.
       if (victim.stop || victim.queue.empty()) return false;
@@ -548,13 +575,14 @@ class ShardedMonitorService {
       while (stolen_examples < half) {
         StreamState* target = nullptr;
         for (const QueueItem& queued_item : victim.queue) {
-          if (!queued_item.state->claimed) {
+          // victim.mutex is the home mutex of every stream in its queue.
+          if (!queued_item.state->IsClaimed(victim.mutex)) {
             target = queued_item.state;
             break;
           }
         }
         if (target == nullptr) break;  // all remaining streams are claimed
-        target->claimed = true;
+        target->SetClaimed(true, victim.mutex);
         StolenGroup group;
         group.state = target;
         for (auto it = victim.queue.begin(); it != victim.queue.end();) {
@@ -575,7 +603,7 @@ class ShardedMonitorService {
       victim.queued_approx.store(victim.queued, std::memory_order_relaxed);
       victim.stolen_inflight += stolen_examples;
       depth = victim.queued;
-      victim.space.notify_all();
+      victim.space.NotifyAll();
     }
     metrics_->RecordQueueDepth(victim_index, depth);
     metrics_->RecordSteal(victim_index, stolen_batches, stolen_examples);
@@ -600,15 +628,15 @@ class ShardedMonitorService {
               traced, /*stolen=*/true);
       }
       {
-        std::lock_guard<std::mutex> lock(victim.mutex);
-        group.state->claimed = false;
+        MutexLock lock(victim.mutex);
+        group.state->SetClaimed(false, victim.mutex);
         victim.stolen_inflight -= group.examples;
         // The home worker may have skipped this stream's newer items (or
         // be waiting out a stop) — wake it now that the claim is gone.
-        victim.ready.notify_all();
+        victim.ready.NotifyAll();
         if (victim.queue.empty() && !victim.busy &&
             victim.stolen_inflight == 0) {
-          victim.idle.notify_all();
+          victim.idle.NotifyAll();
         }
       }
     }
@@ -662,7 +690,7 @@ class ShardedMonitorService {
           });
     } catch (const std::exception& error) {
       {
-        std::lock_guard<std::mutex> lock(errors_mutex_);
+        MutexLock lock(errors_mutex_);
         errors_.push_back(std::string(state.name) + ": " + error.what());
       }
       const std::uint64_t failed_ns = obs::Clock::NowNs();
@@ -703,14 +731,15 @@ class ShardedMonitorService {
 
   /// Guards registration (stream table + sink list writers); readers go
   /// through the atomic snapshots below and never take it.
-  std::mutex registration_mutex_;
-  std::vector<std::unique_ptr<StreamState>> owned_streams_;
+  Mutex registration_mutex_;
+  std::vector<std::unique_ptr<StreamState>> owned_streams_
+      OMG_GUARDED_BY(registration_mutex_);
   std::atomic<std::shared_ptr<const std::vector<StreamState*>>> streams_;
   std::atomic<std::shared_ptr<const std::vector<std::shared_ptr<EventSink>>>>
       sinks_;
 
-  mutable std::mutex errors_mutex_;
-  std::vector<std::string> errors_;
+  mutable Mutex errors_mutex_;
+  std::vector<std::string> errors_ OMG_GUARDED_BY(errors_mutex_);
 
   // Declared last: workers joined (in ~ShardedMonitorService) before the
   // state above dies.

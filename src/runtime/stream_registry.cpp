@@ -8,7 +8,7 @@ namespace omg::runtime {
 
 StreamId StreamRegistry::Register(std::string name) {
   common::Check(!name.empty(), "stream name must be non-empty");
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   common::Check(ids_.find(name) == ids_.end(),
                 "duplicate stream name: " + name);
   const StreamId id = names_.size();
@@ -18,7 +18,7 @@ StreamId StreamRegistry::Register(std::string name) {
 }
 
 std::string_view StreamRegistry::Name(StreamId id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   common::CheckIndex(static_cast<std::ptrdiff_t>(id), 0,
                      static_cast<std::ptrdiff_t>(names_.size()),
                      "stream id");
@@ -26,7 +26,7 @@ std::string_view StreamRegistry::Name(StreamId id) const {
 }
 
 StreamId StreamRegistry::Id(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = ids_.find(name);
   common::Check(it != ids_.end(),
                 "unknown stream: " + std::string(name));
@@ -34,17 +34,17 @@ StreamId StreamRegistry::Id(std::string_view name) const {
 }
 
 bool StreamRegistry::Contains(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return ids_.find(name) != ids_.end();
 }
 
 std::size_t StreamRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return names_.size();
 }
 
 std::vector<std::string> StreamRegistry::Names() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return {names_.begin(), names_.end()};
 }
 

@@ -8,12 +8,12 @@
 
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "runtime/event_sink.hpp"
 
 namespace omg::runtime {
@@ -37,9 +37,11 @@ class StreamRegistry {
   std::vector<std::string> Names() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::deque<std::string> names_;  // index == StreamId; stable addresses
-  std::unordered_map<std::string_view, StreamId> ids_;  // keys view names_
+  mutable Mutex mutex_;
+  /// Index == StreamId; stable addresses.
+  std::deque<std::string> names_ OMG_GUARDED_BY(mutex_);
+  /// Keys view names_.
+  std::unordered_map<std::string_view, StreamId> ids_ OMG_GUARDED_BY(mutex_);
 };
 
 }  // namespace omg::runtime

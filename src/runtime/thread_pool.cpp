@@ -21,9 +21,9 @@ ThreadPool::ThreadPool(std::size_t workers) {
 ThreadPool::~ThreadPool() {
   Drain();
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    MutexLock lock(shard->mutex);
     stop_ = true;
-    shard->ready.notify_all();
+    shard->ready.NotifyAll();
   }
   for (auto& thread : threads_) thread.join();
 }
@@ -31,38 +31,37 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::Submit(std::size_t shard_index, Task task) {
   common::Check(static_cast<bool>(task), "null task");
   {
-    std::lock_guard<std::mutex> lock(pending_mutex_);
+    MutexLock lock(pending_mutex_);
     ++pending_;
   }
   Shard& shard = *shards_[shard_index % shards_.size()];
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     shard.queue.push_back(std::move(task));
   }
-  shard.ready.notify_one();
+  shard.ready.NotifyOne();
 }
 
 void ThreadPool::Drain() {
-  std::unique_lock<std::mutex> lock(pending_mutex_);
-  idle_.wait(lock, [this] { return pending_ == 0; });
+  MutexLock lock(pending_mutex_);
+  while (pending_ != 0) idle_.Wait(pending_mutex_);
 }
 
 void ThreadPool::WorkerLoop(Shard& shard) {
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(shard.mutex);
-      shard.ready.wait(lock,
-                       [&] { return stop_ || !shard.queue.empty(); });
+      MutexLock lock(shard.mutex);
+      while (!stop_ && shard.queue.empty()) shard.ready.Wait(shard.mutex);
       if (shard.queue.empty()) return;  // stop requested and queue drained
       task = std::move(shard.queue.front());
       shard.queue.pop_front();
     }
     task();
     {
-      std::lock_guard<std::mutex> pending_lock(pending_mutex_);
+      MutexLock pending_lock(pending_mutex_);
       --pending_;
-      if (pending_ == 0) idle_.notify_all();
+      if (pending_ == 0) idle_.NotifyAll();
     }
   }
 }

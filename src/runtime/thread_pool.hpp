@@ -8,14 +8,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.hpp"
 
 namespace omg::runtime {
 
@@ -48,9 +48,9 @@ class ThreadPool {
 
  private:
   struct Shard {
-    std::mutex mutex;
-    std::condition_variable ready;
-    std::deque<Task> queue;
+    Mutex mutex;
+    CondVar ready;
+    std::deque<Task> queue OMG_GUARDED_BY(mutex);
   };
 
   void WorkerLoop(Shard& shard);
@@ -59,9 +59,10 @@ class ThreadPool {
   std::vector<std::thread> threads_;
   std::atomic<bool> stop_{false};
 
-  std::mutex pending_mutex_;
-  std::condition_variable idle_;
-  std::size_t pending_ = 0;  // submitted but not yet finished
+  Mutex pending_mutex_;
+  CondVar idle_;
+  // Submitted but not yet finished.
+  std::size_t pending_ OMG_GUARDED_BY(pending_mutex_) = 0;
 };
 
 }  // namespace omg::runtime

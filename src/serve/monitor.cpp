@@ -62,7 +62,7 @@ class EventDispatcher final : public runtime::EventSink {
  public:
   std::uint64_t Add(EventFilter filter,
                     std::shared_ptr<runtime::EventSink> sink) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const std::uint64_t id = next_id_++;
     auto entries = std::make_unique<std::vector<Entry>>(Current());
     // Pass-all filters (the common "give me everything" subscription) skip
@@ -77,7 +77,7 @@ class EventDispatcher final : public runtime::EventSink {
 
   /// True when `id` was present (first Remove wins).
   bool Remove(std::uint64_t id) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto entries = std::make_unique<std::vector<Entry>>(Current());
     const auto it = std::find_if(
         entries->begin(), entries->end(),
@@ -122,24 +122,24 @@ class EventDispatcher final : public runtime::EventSink {
     std::shared_ptr<runtime::EventSink> sink;
   };
 
-  /// Callers hold `mutex_`.
-  const std::vector<Entry>& Current() const {
+  const std::vector<Entry>& Current() const OMG_REQUIRES(mutex_) {
     static const std::vector<Entry> kEmpty;
     const std::vector<Entry>* entries =
         current_.load(std::memory_order_relaxed);
     return entries != nullptr ? *entries : kEmpty;
   }
 
-  /// Callers hold `mutex_`.
-  void Publish(std::unique_ptr<const std::vector<Entry>> entries) {
+  void Publish(std::unique_ptr<const std::vector<Entry>> entries)
+      OMG_REQUIRES(mutex_) {
     current_.store(entries.get(), std::memory_order_release);
     snapshots_.push_back(std::move(entries));  // retire, never free early
   }
 
-  std::mutex mutex_;  ///< serialises Add/Remove (writers)
-  std::uint64_t next_id_ = 1;
+  Mutex mutex_;  ///< serialises Add/Remove (writers)
+  std::uint64_t next_id_ OMG_GUARDED_BY(mutex_) = 1;
   std::atomic<const std::vector<Entry>*> current_{nullptr};
-  std::vector<std::unique_ptr<const std::vector<Entry>>> snapshots_;
+  std::vector<std::unique_ptr<const std::vector<Entry>>> snapshots_
+      OMG_GUARDED_BY(mutex_);
 };
 
 bool Subscription::active() const {
@@ -281,7 +281,7 @@ Result<StreamHandle> Monitor::RegisterStream(std::string_view domain,
     }
   }
 
-  std::lock_guard<std::mutex> lock(registration_mutex_);
+  MutexLock lock(registration_mutex_);
   std::string name = std::move(options.name);
   if (name.empty()) {
     name = std::string(domain) + "-" +

@@ -30,13 +30,13 @@
 #include <deque>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "obs/tracer.hpp"
 #include "runtime/admission.hpp"
 #include "runtime/event_sink.hpp"
@@ -295,8 +295,9 @@ class Monitor {
   std::unique_ptr<runtime::ShardedMonitorService<AnyExample>> service_;
   std::shared_ptr<EventDispatcher> dispatcher_;
 
-  mutable std::mutex registration_mutex_;
-  std::deque<std::string> domains_;  ///< interned domain tags (stable)
+  mutable Mutex registration_mutex_;
+  /// Interned domain tags (stable addresses).
+  std::deque<std::string> domains_ OMG_GUARDED_BY(registration_mutex_);
   std::atomic<std::shared_ptr<const std::vector<StreamInfo>>> stream_info_;
 };
 

@@ -29,9 +29,10 @@
 
 #include <atomic>
 #include <cstddef>
-#include <mutex>
 #include <new>
 #include <vector>
+
+#include "common/mutex.hpp"
 
 namespace omg::serve {
 
@@ -61,7 +62,7 @@ class SpillPool {
     }
     {
       Global& global = GlobalPool();
-      std::lock_guard<std::mutex> lock(global.mutex);
+      MutexLock lock(global.mutex);
       auto& list = global.classes[cls];
       if (!list.empty()) {
         void* block = list.back();
@@ -90,7 +91,7 @@ class SpillPool {
     }
     {
       Global& global = GlobalPool();
-      std::lock_guard<std::mutex> lock(global.mutex);
+      MutexLock lock(global.mutex);
       auto& list = global.classes[cls];
       if (list.size() < kGlobalCap) {
         list.push_back(block);
@@ -125,10 +126,14 @@ class SpillPool {
   static std::size_t ClassBytes(std::size_t cls) { return kMinBlock << cls; }
 
   struct Global {
-    std::mutex mutex;
-    std::vector<void*> classes[kClasses];
+    Mutex mutex;
+    std::vector<void*> classes[kClasses] OMG_GUARDED_BY(mutex);
 
+    // Runs at static destruction, after every ThreadCache has drained;
+    // locking anyway keeps the guarded access provable (and is free —
+    // the mutex is uncontended by then).
     ~Global() {
+      MutexLock lock(mutex);
       for (auto& list : classes) {
         for (void* block : list) ::operator delete(block);
       }
@@ -146,7 +151,7 @@ class SpillPool {
 
     ~ThreadCache() {
       Global& global = GlobalPool();
-      std::lock_guard<std::mutex> lock(global.mutex);
+      MutexLock lock(global.mutex);
       for (std::size_t cls = 0; cls < kClasses; ++cls) {
         for (void* block : classes[cls]) {
           if (global.classes[cls].size() < kGlobalCap) {

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Negative-compile harness for the thread-safety annotation layer.
+
+Proves -Wthread-safety actually rejects the two violation classes the
+layer exists to catch:
+
+  unguarded_write.cpp   — writing a OMG_GUARDED_BY field lock-free
+  missing_requires.cpp  — calling an OMG_REQUIRES function lock-free
+
+and that the positive control (guarded_ok.cpp) still compiles, so the
+expected failures fail for the right reason (the analysis) and not an
+unrelated one (include path, dialect). Each violation's stderr must
+mention -Wthread-safety, pinning the rejection to the analysis.
+
+Requires a Clang compiler — GCC has no thread-safety analysis, so the
+annotations expand to nothing there. Exits 77 (ctest SKIP_RETURN_CODE)
+when no Clang is available; CI's thread-safety job always has one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+SKIP = 77
+
+
+def find_clang(explicit: str | None) -> str | None:
+    candidates = [explicit] if explicit else ["clang++"] + [
+        f"clang++-{major}" for major in range(22, 13, -1)]
+    for candidate in candidates:
+        if candidate and shutil.which(candidate):
+            return candidate
+    return None
+
+
+def compile_tu(clang: str, source_root: Path, tu: Path) -> tuple[int, str]:
+    result = subprocess.run(
+        [clang, "-std=c++20", "-fsyntax-only", "-Wthread-safety", "-Werror",
+         "-I", str(source_root / "src"), str(tu)],
+        capture_output=True, text=True)
+    return result.returncode, result.stderr
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--source-root", type=Path,
+                        default=HERE.parent.parent,
+                        help="repo root (for -I src)")
+    parser.add_argument("--clang", default=None,
+                        help="clang++ binary (default: search PATH)")
+    args = parser.parse_args()
+
+    clang = find_clang(args.clang)
+    if clang is None:
+        print("compile_fail: no clang++ on PATH — thread-safety analysis "
+              "is Clang-only, skipping")
+        return SKIP
+
+    failures: list[str] = []
+
+    code, stderr = compile_tu(clang, args.source_root, HERE / "guarded_ok.cpp")
+    if code != 0:
+        failures.append(
+            f"positive control guarded_ok.cpp failed to compile:\n{stderr}")
+
+    for name in ("unguarded_write.cpp", "missing_requires.cpp"):
+        code, stderr = compile_tu(clang, args.source_root, HERE / name)
+        if code == 0:
+            failures.append(
+                f"{name} compiled — the thread-safety analysis no longer "
+                "rejects this violation class")
+        elif "thread-safety" not in stderr:
+            failures.append(
+                f"{name} failed for a reason other than -Wthread-safety:\n"
+                f"{stderr}")
+
+    if failures:
+        print("\n\n".join(failures))
+        return 1
+    print(f"compile_fail: OK ({clang}: control compiles, both violation "
+          "classes rejected by -Wthread-safety)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

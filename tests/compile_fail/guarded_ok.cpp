@@ -1,0 +1,36 @@
+// Positive control: correct locking that MUST compile cleanly under
+// clang++ -Wthread-safety -Werror. Keeps tests/compile_fail/check.py
+// honest — if this TU fails, the violation TUs are failing for some
+// unrelated reason (include path, dialect) and their "expected failure"
+// results prove nothing.
+#include "common/mutex.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    omg::MutexLock lock(mu_);
+    ++value_;
+    changed_.NotifyAll();
+  }
+
+  int WaitForPositive() {
+    omg::MutexLock lock(mu_);
+    while (value_ <= 0) changed_.Wait(mu_);
+    return value_;
+  }
+
+ private:
+  omg::Mutex mu_;
+  omg::CondVar changed_;
+  int value_ OMG_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return counter.WaitForPositive() > 0 ? 0 : 1;
+}

@@ -1,0 +1,30 @@
+// MUST NOT COMPILE under clang++ -Wthread-safety -Werror.
+//
+// Violation class 2: calling an OMG_REQUIRES function without holding the
+// required mutex. If this TU ever compiles under the thread-safety
+// analysis, locking contracts are no longer being enforced at call sites —
+// tests/compile_fail/check.py fails the build.
+#include "common/mutex.hpp"
+
+namespace {
+
+class Ledger {
+ public:
+  void AddLocked(int amount) OMG_REQUIRES(mu_) { total_ += amount; }
+
+  void Add(int amount) {
+    AddLocked(amount);  // BAD: caller does not hold mu_
+  }
+
+ private:
+  omg::Mutex mu_;
+  int total_ OMG_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Ledger ledger;
+  ledger.Add(1);
+  return 0;
+}

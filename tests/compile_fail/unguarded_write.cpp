@@ -1,0 +1,28 @@
+// MUST NOT COMPILE under clang++ -Wthread-safety -Werror.
+//
+// Violation class 1: writing a OMG_GUARDED_BY field without holding its
+// mutex. If this TU ever compiles under the thread-safety analysis, the
+// annotation layer has stopped proving lock coverage —
+// tests/compile_fail/check.py fails the build.
+#include "common/mutex.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    ++value_;  // BAD: mu_ not held
+  }
+
+ private:
+  omg::Mutex mu_;
+  int value_ OMG_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return 0;
+}

@@ -101,7 +101,8 @@ TEST(AnyExample, HeapStorageCloneAndMove) {
 
   // Move: the source empties, the destination owns the payload.
   AnyExample moved(std::move(example));
-  EXPECT_FALSE(example.has_value());  // NOLINT(bugprone-use-after-move)
+  // NOLINTNEXTLINE(bugprone-use-after-move): asserts the moved-from state
+  EXPECT_FALSE(example.has_value());
   EXPECT_EQ(example.domain(), "");
   EXPECT_EQ(example.DebugString(), "<empty>");
   EXPECT_DOUBLE_EQ(moved.Get<BigBlob>().payload[63], 1.25);

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Repo-specific source contracts that clang-tidy cannot express.
+
+Enforced invariants (each rule names the discipline it protects):
+
+  raw-mutex       Raw std::mutex / std::lock_guard / std::unique_lock /
+                  std::condition_variable are banned in src/ outside the
+                  annotated shim (src/common/mutex.hpp). Clang's
+                  -Wthread-safety analysis only sees locks it can name, so
+                  every lock must be an omg::Mutex (docs/STATIC_ANALYSIS.md).
+
+  raw-clock       std::chrono::steady_clock is banned in src/ outside
+                  src/obs/clock.* — obs::Clock is the injectable time
+                  source; direct clock reads break trace determinism and
+                  replay (docs/OBSERVABILITY.md).
+
+  raw-ts-stream   Streaming obs::Clock::ToSeconds(...) straight into an
+                  ostream is banned: default stream precision (6 sig figs)
+                  truncates second-scale timestamps to ~micro resolution —
+                  the PR 6 trace-timestamp regression class. Route doubles
+                  through a fixed-precision formatter (e.g. the exporters'
+                  %.9g Num helper).
+
+  header-doc      Every header under src/ opens with a doc comment (line 1
+                  is a // comment) — the house API-documentation style that
+                  the Doxygen docs job builds from.
+
+  include-path    Quoted includes resolve src/-relative (the single include
+                  root CMake exports): #include "runtime/metrics.hpp", never
+                  "./metrics.hpp" or "../runtime/metrics.hpp".
+
+Scope: src/** only (tests/benches/examples may use std primitives
+directly; they are not part of the annotated locking surface). Exit code 1
+with file:line diagnostics on any violation; 0 on a clean tree.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+# Files allowed to touch the wrapped primitive: the shim itself.
+MUTEX_SHIM = {"src/common/mutex.hpp"}
+CLOCK_SHIM = {"src/obs/clock.hpp", "src/obs/clock.cpp"}
+
+RAW_MUTEX = re.compile(
+    r"std::(mutex|lock_guard|unique_lock|scoped_lock|shared_mutex|"
+    r"shared_lock|recursive_mutex|condition_variable(_any)?)\b"
+)
+RAW_CLOCK = re.compile(r"std::chrono::steady_clock\b")
+RAW_TS_STREAM = re.compile(r"<<\s*(obs::)?Clock::ToSeconds\s*\(")
+QUOTED_INCLUDE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+# Lines carrying an explanatory comment mentioning the banned token (e.g.
+# the shim ban notice itself) are still flagged unless the token only
+# appears after //.
+def code_part(line: str) -> str:
+    return line.split("//", 1)[0]
+
+
+def main() -> int:
+    failures: list[str] = []
+
+    def flag(path: Path, lineno: int, rule: str, message: str) -> None:
+        rel = path.relative_to(REPO)
+        failures.append(f"{rel}:{lineno}: [{rule}] {message}")
+
+    for path in sorted(SRC.rglob("*")):
+        if path.suffix not in (".hpp", ".cpp"):
+            continue
+        rel = path.relative_to(REPO).as_posix()
+        lines = path.read_text(encoding="utf-8").splitlines()
+
+        if path.suffix == ".hpp" and not lines[0].startswith("//"):
+            flag(path, 1, "header-doc",
+                 "public header must open with a doc comment")
+
+        for lineno, line in enumerate(lines, start=1):
+            code = code_part(line)
+            if rel not in MUTEX_SHIM and RAW_MUTEX.search(code):
+                flag(path, lineno, "raw-mutex",
+                     "use omg::Mutex/MutexLock/CondVar from "
+                     "common/mutex.hpp (annotated shim)")
+            if rel not in CLOCK_SHIM and RAW_CLOCK.search(code):
+                flag(path, lineno, "raw-clock",
+                     "use obs::Clock (injectable, replay-deterministic) "
+                     "instead of std::chrono::steady_clock")
+            if RAW_TS_STREAM.search(code):
+                flag(path, lineno, "raw-ts-stream",
+                     "don't stream ToSeconds() at default precision; "
+                     "format through a %.9g helper")
+            include = QUOTED_INCLUDE.match(code)
+            if include and not (SRC / include.group(1)).is_file():
+                flag(path, lineno, "include-path",
+                     f'"{include.group(1)}" is not a src/-relative path '
+                     "to an existing header")
+
+    if failures:
+        print("\n".join(failures))
+        print(f"\ncheck_source_contracts: {len(failures)} violation(s)")
+        return 1
+    print("check_source_contracts: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

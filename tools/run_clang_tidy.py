@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""clang-tidy driver: runs the .clang-tidy baseline over every src/ TU.
+
+Reads compile_commands.json from the build tree (CMake exports it
+unconditionally), fans clang-tidy out over the cores, and exits non-zero
+if any TU produces a diagnostic — WarningsAsErrors: '*' in .clang-tidy
+turns every finding into an error, so CI stays at a zero-debt baseline.
+
+Usage:
+  tools/run_clang_tidy.py [--build-dir build] [--clang-tidy clang-tidy]
+                          [-j N] [paths...]
+
+`paths` filters the TUs (substring match on the source path); default is
+every entry under src/. Exits 2 with a hint when the binary or the
+compilation database is missing — run cmake first, install clang-tidy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import shutil
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build",
+                        help="build tree holding compile_commands.json")
+    parser.add_argument("--clang-tidy", default="clang-tidy",
+                        help="clang-tidy binary to use")
+    parser.add_argument("-j", "--jobs", type=int,
+                        default=multiprocessing.cpu_count())
+    parser.add_argument("paths", nargs="*",
+                        help="only lint TUs whose path contains one of these")
+    args = parser.parse_args()
+
+    binary = shutil.which(args.clang_tidy)
+    if binary is None:
+        print(f"run_clang_tidy: '{args.clang_tidy}' not found "
+              "(apt install clang-tidy, or pass --clang-tidy)",
+              file=sys.stderr)
+        return 2
+
+    database = REPO / args.build_dir / "compile_commands.json"
+    if not database.is_file():
+        print(f"run_clang_tidy: {database} missing "
+              "(configure the build tree first: cmake -B build -S .)",
+              file=sys.stderr)
+        return 2
+
+    src = (REPO / "src").as_posix()
+    sources = sorted(
+        entry["file"] for entry in json.loads(database.read_text())
+        if entry["file"].startswith(src)
+        and (not args.paths or any(p in entry["file"] for p in args.paths))
+    )
+    if not sources:
+        print("run_clang_tidy: no matching TUs", file=sys.stderr)
+        return 2
+
+    def lint(source: str) -> tuple[str, int, str]:
+        result = subprocess.run(
+            [binary, "-p", str(database.parent), "--quiet", source],
+            capture_output=True, text=True)
+        return source, result.returncode, result.stdout + result.stderr
+
+    failures = 0
+    with ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        for source, code, output in pool.map(lint, sources):
+            rel = Path(source).relative_to(REPO)
+            if code != 0:
+                failures += 1
+                print(f"FAIL {rel}\n{output}")
+            else:
+                print(f"  ok {rel}")
+
+    if failures:
+        print(f"run_clang_tidy: {failures}/{len(sources)} TU(s) failed")
+        return 1
+    print(f"run_clang_tidy: {len(sources)} TU(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
